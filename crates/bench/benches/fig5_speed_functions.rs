@@ -1,0 +1,35 @@
+//! Figure 5 bench: constructing and evaluating the abstract-processor
+//! speed functions (the profiles the paper builds with its automated
+//! measurement procedure).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use summagen_bench::fig5_series;
+use summagen_platform::profile::{abs_cpu_profile, abs_gpu_profile, abs_phi_profile, hclserver1};
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_speed_functions");
+    group.sample_size(20);
+
+    group.bench_function("build_all_profiles", |b| {
+        b.iter(|| (abs_cpu_profile(), abs_gpu_profile(), abs_phi_profile()))
+    });
+
+    let platform = hclserver1();
+    group.bench_function("evaluate_10k_points", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..10_000 {
+                let x = 64.0 + i as f64 * 4.0;
+                acc += platform.processors[i % 3].speed.flops_at_square(x);
+            }
+            acc
+        })
+    });
+
+    group.bench_function("full_fig5_series", |b| b.iter(|| fig5_series(512)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

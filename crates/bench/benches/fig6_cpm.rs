@@ -1,0 +1,24 @@
+//! Figure 6 bench: one constant-performance-model experiment point per
+//! shape (simulated-time SummaGen run at paper scale, N = 30720).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use summagen_bench::run_cpm_point;
+use summagen_partition::ALL_FOUR_SHAPES;
+use summagen_platform::profile::hclserver1;
+
+fn bench_fig6(c: &mut Criterion) {
+    let platform = hclserver1();
+    let mut group = c.benchmark_group("fig6_cpm_point");
+    group.sample_size(10);
+    for shape in ALL_FOUR_SHAPES {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shape.name()),
+            &shape,
+            |b, &shape| b.iter(|| run_cpm_point(30_720, shape, &platform)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

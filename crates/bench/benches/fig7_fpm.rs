@@ -1,0 +1,47 @@
+//! Figure 7 bench: one functional-performance-model experiment point per
+//! shape (load-imbalancing partitioner over non-smooth discrete FPMs,
+//! N = 10240), plus the partitioner itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use summagen_bench::{run_fpm_point, FPM_GRID_STEPS};
+use summagen_partition::{load_imbalancing_areas, DiscreteFpm, ALL_FOUR_SHAPES};
+use summagen_platform::profile::hclserver1;
+
+fn bench_fig7(c: &mut Criterion) {
+    let platform = hclserver1();
+    let mut group = c.benchmark_group("fig7_fpm_point");
+    group.sample_size(10);
+    for shape in ALL_FOUR_SHAPES {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shape.name()),
+            &shape,
+            |b, &shape| b.iter(|| run_fpm_point(10_240, shape, &platform)),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fpm_partitioner");
+    group.sample_size(20);
+    let n = 10_240;
+    let fpms: Vec<DiscreteFpm> = platform
+        .processors
+        .iter()
+        .map(|p| DiscreteFpm::from_speed(p.speed.as_ref(), n, FPM_GRID_STEPS))
+        .collect();
+    group.bench_function("load_imbalancing_dp", |b| {
+        b.iter(|| load_imbalancing_areas(n, &fpms))
+    });
+    group.bench_function("sample_discrete_fpms", |b| {
+        b.iter(|| {
+            platform
+                .processors
+                .iter()
+                .map(|p| DiscreteFpm::from_speed(p.speed.as_ref(), n, FPM_GRID_STEPS))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 8 bench: the dynamic-energy pipeline (simulated run + WattsUp
+//! meter sampling + Equation 5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use summagen_bench::run_cpm_point;
+use summagen_partition::ALL_FOUR_SHAPES;
+use summagen_platform::energy::{hclserver1_power_model, EnergyMeter};
+use summagen_platform::profile::hclserver1;
+
+fn bench_fig8(c: &mut Criterion) {
+    let platform = hclserver1();
+    let mut group = c.benchmark_group("fig8_energy_point");
+    group.sample_size(10);
+    for shape in ALL_FOUR_SHAPES {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shape.name()),
+            &shape,
+            |b, &shape| {
+                b.iter(|| {
+                    let r = run_cpm_point(25_600, shape, &platform);
+                    r.energy.unwrap().dynamic_energy_j
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("energy_meter");
+    group.sample_size(30);
+    let model = hclserver1_power_model();
+    group.bench_function("sample_60s_run", |b| {
+        b.iter(|| {
+            EnergyMeter::default().sample_run(&model, &[55.0, 50.0, 52.0], &[3.0, 5.0, 4.0], 60.0)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

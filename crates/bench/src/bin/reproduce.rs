@@ -1,0 +1,458 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! reproduce table1 | fig1 | fig5 | fig6 | fig7 | fig8 | summary
+//!           | crossover | nrrp | energyopt | summa | cluster | exact | all
+//! ```
+//!
+//! Output is whitespace-aligned text: one row per problem size with one
+//! column per shape (for the figure commands), matching the series the
+//! paper plots.
+
+use std::env;
+
+use summagen_bench::*;
+use summagen_partition::ALL_FOUR_SHAPES;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+    if json {
+        return emit_json(what);
+    }
+    match what {
+        "table1" => print!("{}", table1()),
+        "fig1" => print!("{}", fig1()),
+        "fig5" => fig5(),
+        "fig6" => fig6(),
+        "fig7" => fig7(),
+        "fig8" => fig8(),
+        "summary" => summary(),
+        "crossover" => crossover(),
+        "nrrp" => nrrp(),
+        "energyopt" => energyopt(),
+        "summa" => summa(),
+        "cluster" => cluster(),
+        "exact" => exact(),
+        "auto" => auto_gen(),
+        "fig5measured" => fig5measured(),
+        "verify" => verify(),
+        "all" => {
+            print!("{}", table1());
+            println!();
+            print!("{}", fig1());
+            fig5();
+            fig6();
+            fig7();
+            fig8();
+            summary();
+            crossover();
+            nrrp();
+            energyopt();
+            summa();
+            cluster();
+            exact();
+            auto_gen();
+            fig5measured();
+        }
+        other => {
+            eprintln!(
+                "unknown figure '{other}'; expected one of: table1 fig1 fig5 fig6 fig7 fig8 summary crossover nrrp energyopt summa cluster exact auto fig5measured verify all"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn shape_header() -> String {
+    let names: Vec<String> = ALL_FOUR_SHAPES
+        .iter()
+        .map(|s| format!("{:>18}", s.name()))
+        .collect();
+    format!("{:>8}{}", "N", names.join(""))
+}
+
+fn fig5() {
+    println!("\nFIGURE 5 — speed functions of the abstract processors (TFLOPs)");
+    println!("{:>8}{:>12}{:>12}{:>12}", "x", "AbsCPU", "AbsGPU", "AbsXeonPhi");
+    for (x, s) in fig5_series(2_048) {
+        println!(
+            "{x:>8}{:>12.4}{:>12.4}{:>12.4}",
+            s[0] / 1e12,
+            s[1] / 1e12,
+            s[2] / 1e12
+        );
+    }
+}
+
+fn print_shape_table(
+    title: &str,
+    points: &[ShapePoint],
+    metric: impl Fn(&ShapePoint) -> f64,
+) {
+    println!("\n{title}");
+    println!("{}", shape_header());
+    let ns: std::collections::BTreeSet<usize> = points.iter().map(|p| p.n).collect();
+    for n in ns {
+        let mut row = format!("{n:>8}");
+        for shape in ALL_FOUR_SHAPES {
+            let p = points
+                .iter()
+                .find(|p| p.n == n && p.shape == shape)
+                .expect("missing point");
+            row.push_str(&format!("{:>18.3}", metric(p)));
+        }
+        println!("{row}");
+    }
+}
+
+fn fig6() {
+    let points = fig6_series();
+    print_shape_table(
+        "FIGURE 6a — PMM execution time (s), constant performance models",
+        &points,
+        |p| p.report.exec_time,
+    );
+    print_shape_table("FIGURE 6b — computation time (s)", &points, |p| {
+        p.report.comp_time
+    });
+    print_shape_table("FIGURE 6c — communication time (s)", &points, |p| {
+        p.report.comm_time
+    });
+}
+
+fn fig7() {
+    let points = fig7_series();
+    print_shape_table(
+        "FIGURE 7a — PMM execution time (s), non-constant performance models (load-imbalancing partitioner)",
+        &points,
+        |p| p.report.exec_time,
+    );
+    print_shape_table("FIGURE 7b — computation time (s)", &points, |p| {
+        p.report.comp_time
+    });
+    print_shape_table("FIGURE 7c — communication time (s)", &points, |p| {
+        p.report.comm_time
+    });
+}
+
+fn fig8() {
+    println!("\nFIGURE 8 — dynamic energy (J), constant performance models");
+    println!("{}", shape_header());
+    let series = fig8_series();
+    let ns: std::collections::BTreeSet<usize> = series.iter().map(|&(n, _, _)| n).collect();
+    for n in ns {
+        let mut row = format!("{n:>8}");
+        for shape in ALL_FOUR_SHAPES {
+            let e = series
+                .iter()
+                .find(|&&(m, s, _)| m == n && s == shape)
+                .map(|&(_, _, e)| e)
+                .expect("missing point");
+            row.push_str(&format!("{e:>18.0}"));
+        }
+        println!("{row}");
+    }
+}
+
+fn summary() {
+    let cpm = fig6_series();
+    let fpm = fig7_series();
+    let s = summarize(&cpm, &fpm);
+    println!("\nSUMMARY — headline numbers vs the paper");
+    println!(
+        "  CPM shape spread: max {:.1}% at N = {} (paper: 23% at 25600), avg {:.1}% (paper: 8%)",
+        s.cpm_max_spread_pct, s.cpm_max_spread_n, s.cpm_avg_spread_pct
+    );
+    println!(
+        "  peak performance: {:.2} TFLOPs with {} at N = {} -> {:.0}% of 2.5 TFLOPs (paper: 2.10 TFLOPs, 84%, square rectangle, N = 38416)",
+        s.peak_tflops,
+        s.peak_shape.name(),
+        s.peak_n,
+        s.peak_fraction * 100.0
+    );
+    println!(
+        "  average performance: {:.0}% of theoretical peak (paper: 70%)",
+        s.avg_fraction * 100.0
+    );
+    println!(
+        "  dynamic-energy spread across shapes (CPM): avg {:.1}% (paper: \"equal\")",
+        s.energy_avg_spread_pct
+    );
+    println!("  FPM mean execution time ranking (paper: square rectangle & block rectangle win):");
+    for (shape, t) in &s.fpm_mean_time_per_shape {
+        println!("    {:<20} {t:.3} s", shape.name());
+    }
+}
+
+fn crossover() {
+    println!("\nABLATION — square corner vs 1D rectangular total half-perimeter (n = 4096)");
+    println!("{:>8}{:>16}{:>16}{:>10}", "ratio", "square corner", "1D rect", "winner");
+    for (r, sc, od) in crossover_series(4_096) {
+        println!(
+            "{r:>8.1}{sc:>16}{od:>16}{:>10}",
+            if sc < od { "SC" } else { "1D" }
+        );
+    }
+}
+
+fn nrrp() {
+    println!("\nABLATION — NRRP vs column-based vs best named shape, total half-perimeter (n = 768)");
+    println!(
+        "{:>18}{:>10}{:>10}{:>12}{:>12}{:>10}",
+        "speeds", "NRRP", "columns", "best shape", "lower bnd", "NRRP/LB"
+    );
+    for (label, nrrp, cols, best, lb) in nrrp_comparison(768) {
+        println!(
+            "{label:>18}{nrrp:>10}{cols:>10}{best:>12}{lb:>12.0}{:>10.3}",
+            nrrp as f64 / lb
+        );
+    }
+}
+
+fn energyopt() {
+    println!("\nABLATION — time-optimal vs energy-optimal distribution (paper's open problem)");
+    println!(
+        "{:>8}{:>16}{:>16}{:>16}{:>16}",
+        "N", "t-opt exec (s)", "t-opt E_D (J)", "e-opt exec (s)", "e-opt E_D (J)"
+    );
+    for (n, (tt, te), (et, ee)) in energy_vs_time_partition() {
+        println!("{n:>8}{tt:>16.3}{te:>16.0}{et:>16.3}{ee:>16.0}");
+    }
+}
+
+fn summa() {
+    println!("\nABLATION — SummaGen (block rectangle, speed-aware) vs classic SUMMA (1x3, equal blocks)");
+    println!("{:>8}{:>16}{:>16}{:>10}", "N", "SummaGen (s)", "SUMMA (s)", "speedup");
+    for (n, sg, classic) in summa_comparison() {
+        println!("{n:>8}{sg:>16.3}{classic:>16.3}{:>10.2}", classic / sg);
+    }
+}
+
+fn cluster() {
+    println!("\nFUTURE WORK — SummaGen across a two-HCLServer1 cluster (N = 16384, 1D over 6 processors)");
+    println!("{:>18}{:>12}{:>12}{:>12}", "topology", "exec (s)", "comp (s)", "comm (s)");
+    for (label, exec, comp, comm) in cluster_experiment(16_384) {
+        println!("{label:>18}{exec:>12.3}{comp:>12.3}{comm:>12.3}");
+    }
+}
+
+fn exact() {
+    use summagen_partition::{exact_three_processor_optimum, proportional_areas, CostSummary};
+    use summagen_platform::speed::{ConstantSpeed, SpeedFunction};
+    println!("\nABLATION — §V heuristics vs the exact three-processor optimum (n = 32, speeds 1:2:0.9)");
+    let sp = [
+        ConstantSpeed::new(1.0e9),
+        ConstantSpeed::new(2.0e9),
+        ConstantSpeed::new(0.9e9),
+    ];
+    let speeds: Vec<&dyn SpeedFunction> = sp.iter().map(|s| s as _).collect();
+    let n = 32;
+    let (alpha, beta) = (1e-6, 1e-9);
+    let opt = exact_three_processor_optimum(n, &speeds, alpha, beta);
+    println!(
+        "  exact optimum: {} family, cost {:.3e} s ({} candidates searched)",
+        opt.shape.name(),
+        opt.cost,
+        opt.candidates
+    );
+    let areas = proportional_areas(n, &[1.0, 2.0, 0.9]);
+    for shape in ALL_FOUR_SHAPES {
+        let spec = shape.build(n, &areas);
+        let cost = CostSummary::analyze(&spec, &speeds, alpha, beta).est_total_time;
+        println!(
+            "  {:<20} cost {:.3e} s  ({:.3}x optimal)",
+            shape.name(),
+            cost,
+            cost / opt.cost
+        );
+    }
+}
+
+/// Machine-readable output: `reproduce <figure> --json` prints a JSON
+/// document with the same series the text tables show.
+fn emit_json(what: &str) {
+    use serde_json::json;
+    let doc = match what {
+        "fig5" => json!({
+            "figure": "fig5",
+            "unit": "flops",
+            "series": fig5_series(1024)
+                .into_iter()
+                .map(|(x, s)| json!({"x": x, "cpu": s[0], "gpu": s[1], "phi": s[2]}))
+                .collect::<Vec<_>>(),
+        }),
+        "fig6" | "fig7" => {
+            let points = if what == "fig6" { fig6_series() } else { fig7_series() };
+            json!({
+                "figure": what,
+                "series": points
+                    .iter()
+                    .map(|p| json!({
+                        "n": p.n,
+                        "shape": p.shape.name(),
+                        "exec_time_s": p.report.exec_time,
+                        "comp_time_s": p.report.comp_time,
+                        "comm_time_s": p.report.comm_time,
+                        "achieved_flops": p.report.achieved_flops(),
+                        "dynamic_energy_j": p.report.energy.as_ref().map(|e| e.dynamic_energy_j),
+                    }))
+                    .collect::<Vec<_>>(),
+            })
+        }
+        "fig8" => json!({
+            "figure": "fig8",
+            "unit": "joules",
+            "series": fig8_series()
+                .into_iter()
+                .map(|(n, shape, e)| json!({"n": n, "shape": shape.name(), "dynamic_energy_j": e}))
+                .collect::<Vec<_>>(),
+        }),
+        "summary" => {
+            let s = summarize(&fig6_series(), &fig7_series());
+            json!({
+                "figure": "summary",
+                "cpm_max_spread_pct": s.cpm_max_spread_pct,
+                "cpm_max_spread_n": s.cpm_max_spread_n,
+                "cpm_avg_spread_pct": s.cpm_avg_spread_pct,
+                "peak_tflops": s.peak_tflops,
+                "peak_shape": s.peak_shape.name(),
+                "peak_n": s.peak_n,
+                "peak_fraction": s.peak_fraction,
+                "avg_fraction": s.avg_fraction,
+                "energy_avg_spread_pct": s.energy_avg_spread_pct,
+                "fpm_mean_time_per_shape": s.fpm_mean_time_per_shape
+                    .iter()
+                    .map(|(sh, t)| json!({"shape": sh.name(), "mean_exec_time_s": t}))
+                    .collect::<Vec<_>>(),
+            })
+        }
+        other => {
+            eprintln!("--json supports: fig5 fig6 fig7 fig8 summary (got '{other}')");
+            std::process::exit(2);
+        }
+    };
+    println!("{}", serde_json::to_string_pretty(&doc).expect("serialize"));
+}
+
+fn auto_gen() {
+    use summagen_core::simulate;
+    use summagen_partition::auto::{auto_layout, AutoOptions};
+    use summagen_platform::profile::hclserver1;
+    use summagen_platform::speed::SpeedFunction;
+
+    println!("\nEXTENSION — automatic subp/subph/subpw generation (Section IV: \"we believe that");
+    println!("these arrays can be generated automatically\") vs the named shapes, N = 8192, real FPMs");
+    let platform = hclserver1();
+    let speeds: Vec<&dyn SpeedFunction> = platform
+        .processors
+        .iter()
+        .map(|p| p.speed.as_ref())
+        .collect();
+    let n = 8_192;
+    let opts = AutoOptions {
+        iterations: 800,
+        ..AutoOptions::default()
+    };
+    let (auto_spec, _) = auto_layout(n, &speeds, opts);
+    let auto_time = simulate(&auto_spec, &platform, link_model()).exec_time;
+    println!(
+        "  auto-generated layout ({}x{} grid): {:.3} s",
+        auto_spec.grid_rows, auto_spec.grid_cols, auto_time
+    );
+    let areas = summagen_partition::proportional_areas(n, &CPM_SPEEDS);
+    for shape in ALL_FOUR_SHAPES {
+        let t = simulate(&shape.build(n, &areas), &platform, link_model()).exec_time;
+        println!("  {:<22} {t:.3} s", shape.name());
+    }
+}
+
+fn fig5measured() {
+    println!("\nMETHODOLOGY — Fig. 5 profiles rebuilt via the measurement protocol (3% timer noise)");
+    println!(
+        "{:>12}{:>8}{:>14}{:>12}{:>12}",
+        "device", "sizes", "worst err", "mean reps", "normality"
+    );
+    for (name, sizes, worst, reps, normal) in fig5_measured() {
+        println!(
+            "{name:>12}{sizes:>8}{:>13.2}%{reps:>12.1}{:>12}",
+            worst * 100.0,
+            if normal { "ok" } else { "REJECTED" }
+        );
+    }
+}
+
+/// Quick numeric self-check: every multiplication algorithm in the
+/// workspace against one reference, printed as a checklist.
+fn verify() {
+    use summagen_core::{
+        cannon_multiply, caps_multiply, multiply, multiply_panelled, summa25d_multiply,
+        summa_cyclic_multiply, summa_multiply, BlockCyclic, ExecutionMode,
+    };
+    use summagen_matrix::{
+        gemm_naive, max_abs_diff, ooc_gemm, random_matrix, strassen_multiply, DenseMatrix,
+        GemmKernel,
+    };
+    use summagen_partition::{nrrp_layout, proportional_areas};
+
+    let n = 48;
+    let a = random_matrix(n, n, 1);
+    let b = random_matrix(n, n, 2);
+    let mut want = DenseMatrix::zeros(n, n);
+    gemm_naive(
+        n, n, n, 1.0,
+        a.as_slice(), n,
+        b.as_slice(), n,
+        0.0,
+        want.as_mut_slice(), n,
+    );
+
+    println!("\nVERIFY — every algorithm vs the sequential reference (n = {n})");
+    let check = |name: &str, c: &DenseMatrix| {
+        let err = max_abs_diff(c, &want);
+        let ok = err < 1e-9;
+        println!("  [{}] {name:<40} max err {err:.2e}", if ok { "ok" } else { "FAIL" });
+        assert!(ok, "{name} failed verification");
+    };
+
+    let areas = proportional_areas(n, &CPM_SPEEDS);
+    for shape in ALL_FOUR_SHAPES {
+        let spec = shape.build(n, &areas);
+        check(
+            &format!("SummaGen / {}", shape.name()),
+            &multiply(&spec, &a, &b, ExecutionMode::Real).c,
+        );
+        check(
+            &format!("SummaGen panelled / {}", shape.name()),
+            &multiply_panelled(&spec, &a, &b, GemmKernel::Blocked).c,
+        );
+    }
+    check(
+        "SummaGen / NRRP layout (p = 4)",
+        &multiply(
+            &nrrp_layout(n, &[1.0, 2.0, 0.9, 1.5]),
+            &a,
+            &b,
+            ExecutionMode::Real,
+        )
+        .c,
+    );
+    check("classic SUMMA (2x2)", &summa_multiply(&a, &b, 2, 2, 8).c);
+    check(
+        "block-cyclic SUMMA",
+        &summa_cyclic_multiply(&a, &b, BlockCyclic::new(8, 2, 2)).0,
+    );
+    check("Cannon (4x4)", &cannon_multiply(&a, &b, 4).c);
+    check("2.5D (q=4, c=2)", &summa25d_multiply(&a, &b, 4, 2).c);
+    check("parallel Strassen (CAPS)", &caps_multiply(&a, &b).c);
+    check("sequential Strassen", &strassen_multiply(&a, &b));
+    let mut c = DenseMatrix::zeros(n, n);
+    ooc_gemm(n, a.as_slice(), b.as_slice(), c.as_mut_slice(), 3 * 16 * 16);
+    check("out-of-core GEMM (tight workspace)", &c);
+    println!("  all algorithms verified");
+}

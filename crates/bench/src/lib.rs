@@ -1,0 +1,10 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation section (see `EXPERIMENTS.md` at the workspace root for the
+//! paper-vs-measured record).
+//!
+//! The heavy lifting lives in [`experiments`]; the `reproduce` binary and
+//! the criterion benches are thin wrappers over it.
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,1052 @@
+//! The [`Communicator`]: ranks, point-to-point messaging, collectives, and
+//! `split` — the subset of MPI that SummaGen uses.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::clock::{ClockSnapshot, CostModel, VirtualClock};
+use crate::message::{Envelope, Payload};
+
+/// How long a blocking receive waits for a matching message before declaring
+/// the program deadlocked. Real MPI would hang; failing fast keeps the test
+/// suite honest.
+const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Per-rank traffic accounting, aggregated over all communicators the rank
+/// participates in.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Messages sent.
+    pub msgs_sent: u64,
+    /// Bytes sent (logical wire bytes, phantom included).
+    pub bytes_sent: u64,
+    /// Messages received.
+    pub msgs_recv: u64,
+    /// Bytes received.
+    pub bytes_recv: u64,
+}
+
+/// Broadcast algorithm selection for [`Communicator::bcast_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BcastAlgorithm {
+    /// Root sends to every rank sequentially — `p - 1` link occupations
+    /// at the root.
+    #[default]
+    Flat,
+    /// Binomial tree — `⌈log₂ p⌉` rounds, forwarding through
+    /// intermediate ranks.
+    Binomial,
+}
+
+/// Reduction operators for [`Communicator::allreduce_f64`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Elementwise sum.
+    Sum,
+    /// Elementwise maximum.
+    Max,
+    /// Elementwise minimum.
+    Min,
+}
+
+impl ReduceOp {
+    fn apply(&self, acc: &mut [f64], x: &[f64]) {
+        assert_eq!(acc.len(), x.len(), "reduce length mismatch");
+        for (a, b) in acc.iter_mut().zip(x) {
+            *a = match self {
+                ReduceOp::Sum => *a + *b,
+                ReduceOp::Max => a.max(*b),
+                ReduceOp::Min => a.min(*b),
+            };
+        }
+    }
+}
+
+/// A rank's inbound message queue: the channel endpoint plus messages that
+/// arrived out of matching order.
+pub(crate) struct Mailbox {
+    rx: Receiver<Envelope>,
+    pending: Vec<Envelope>,
+}
+
+impl Mailbox {
+    pub(crate) fn new(rx: Receiver<Envelope>) -> Self {
+        Self {
+            rx,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Blocking receive of the first message in this communicator with
+    /// the given tag, from any source (`MPI_ANY_SOURCE`). Returns the
+    /// envelope so the caller learns the sender.
+    fn recv_match_any(&mut self, comm_id: u64, tag: u64) -> Envelope {
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|e| e.comm_id == comm_id && e.tag == tag)
+        {
+            return self.pending.remove(pos);
+        }
+        loop {
+            let env = self
+                .rx
+                .recv_timeout(RECV_TIMEOUT)
+                .unwrap_or_else(|_| panic!("recv timed out waiting for tag {tag} (deadlock?)"));
+            if env.comm_id == comm_id && env.tag == tag {
+                return env;
+            }
+            self.pending.push(env);
+        }
+    }
+
+    /// Blocking receive of the first message matching `(src, comm_id, tag)`.
+    fn recv_match(&mut self, src: usize, comm_id: u64, tag: u64) -> Envelope {
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|e| e.src == src && e.comm_id == comm_id && e.tag == tag)
+        {
+            return self.pending.remove(pos);
+        }
+        loop {
+            let env = self
+                .rx
+                .recv_timeout(RECV_TIMEOUT)
+                .unwrap_or_else(|_| panic!("recv timed out waiting for src {src} tag {tag} (deadlock?)"));
+            if env.src == src && env.comm_id == comm_id && env.tag == tag {
+                return env;
+            }
+            self.pending.push(env);
+        }
+    }
+}
+
+/// Global runtime state shared by every rank of a universe.
+pub(crate) struct Shared {
+    /// One sender endpoint per global rank.
+    pub senders: Vec<Sender<Envelope>>,
+    /// Communication cost model.
+    pub cost: Arc<dyn CostModel>,
+}
+
+/// An MPI-like communicator over a subset of the universe's ranks.
+///
+/// All collective operations must be called by every member of the
+/// communicator, in the same order — the same contract MPI imposes.
+pub struct Communicator {
+    comm_id: u64,
+    rank: usize,
+    group: Arc<Vec<usize>>,
+    shared: Arc<Shared>,
+    mailbox: Arc<Mutex<Mailbox>>,
+    clock: Arc<Mutex<VirtualClock>>,
+    stats: Arc<Mutex<TrafficStats>>,
+    /// Sequence number for collective operations (tag disambiguation).
+    coll_seq: u64,
+    /// Sequence number for `split` (deterministic child communicator ids).
+    split_seq: u64,
+}
+
+/// Tags at or above this value are reserved for collectives.
+const COLLECTIVE_TAG_BASE: u64 = 1 << 48;
+
+fn mix(mut x: u64) -> u64 {
+    // splitmix64 finalizer: deterministic child-communicator ids.
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+impl Communicator {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        comm_id: u64,
+        rank: usize,
+        group: Arc<Vec<usize>>,
+        shared: Arc<Shared>,
+        mailbox: Arc<Mutex<Mailbox>>,
+        clock: Arc<Mutex<VirtualClock>>,
+        stats: Arc<Mutex<TrafficStats>>,
+    ) -> Self {
+        Self {
+            comm_id,
+            rank,
+            group,
+            shared,
+            mailbox,
+            clock,
+            stats,
+            coll_seq: 0,
+            split_seq: 0,
+        }
+    }
+
+    /// This rank's index within the communicator.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    pub fn size(&self) -> usize {
+        self.group.len()
+    }
+
+    /// Translates a communicator-local rank to the universe-global rank.
+    pub fn global_rank_of(&self, local: usize) -> usize {
+        self.group[local]
+    }
+
+    /// This rank's universe-global rank.
+    pub fn global_rank(&self) -> usize {
+        self.group[self.rank]
+    }
+
+    /// Current virtual time of this rank.
+    pub fn now(&self) -> f64 {
+        self.clock.lock().now()
+    }
+
+    /// Snapshot of this rank's clock (total / compute / communication time).
+    pub fn clock_snapshot(&self) -> ClockSnapshot {
+        self.clock.lock().snapshot()
+    }
+
+    /// Snapshot of this rank's traffic counters.
+    pub fn traffic(&self) -> TrafficStats {
+        *self.stats.lock()
+    }
+
+    /// The rank's recorded event timeline, if the universe was created
+    /// with tracing enabled.
+    pub fn trace_snapshot(&self) -> Option<Vec<crate::clock::TraceEvent>> {
+        self.clock.lock().trace().map(|t| t.to_vec())
+    }
+
+    /// Advances this rank's virtual clock by `dt` seconds of computation.
+    /// SummaGen calls this with the device-model execution time of each
+    /// local DGEMM.
+    pub fn advance_compute(&self, dt: f64) {
+        self.clock.lock().advance_compute(dt);
+    }
+
+    /// Point-to-point send. Blocking semantics are "buffered": the call
+    /// advances the sender's clock by the full transfer time (the link is
+    /// occupied), enqueues the message, and returns.
+    pub fn send(&self, dst: usize, tag: u64, payload: Payload) {
+        assert!(dst < self.size(), "send dst {dst} out of range");
+        assert!(tag < COLLECTIVE_TAG_BASE, "tag {tag} reserved for collectives");
+        self.send_internal(dst, tag, payload);
+    }
+
+    fn send_internal(&self, dst: usize, tag: u64, payload: Payload) {
+        let bytes = payload.bytes();
+        let cost = self
+            .shared
+            .cost
+            .transfer_time_between(self.global_rank(), self.group[dst], bytes);
+        let arrival = {
+            let mut clock = self.clock.lock();
+            clock.advance_comm(cost);
+            clock.now()
+        };
+        {
+            let mut s = self.stats.lock();
+            s.msgs_sent += 1;
+            s.bytes_sent += bytes as u64;
+        }
+        let env = Envelope {
+            src: self.global_rank(),
+            comm_id: self.comm_id,
+            tag,
+            arrival,
+            payload,
+        };
+        self.shared.senders[self.group[dst]]
+            .send(env)
+            .expect("receiver hung up");
+    }
+
+    /// Point-to-point receive, matching on `(src, tag)` within this
+    /// communicator. Advances the receiver's clock to the message's arrival
+    /// time (waiting counts as communication time).
+    pub fn recv(&self, src: usize, tag: u64) -> Payload {
+        assert!(src < self.size(), "recv src {src} out of range");
+        assert!(tag < COLLECTIVE_TAG_BASE, "tag {tag} reserved for collectives");
+        self.recv_internal(src, tag)
+    }
+
+    fn recv_internal(&self, src: usize, tag: u64) -> Payload {
+        let env = self
+            .mailbox
+            .lock()
+            .recv_match(self.group[src], self.comm_id, tag);
+        self.clock.lock().wait_until(env.arrival);
+        {
+            let mut s = self.stats.lock();
+            s.msgs_recv += 1;
+            s.bytes_recv += env.payload.bytes() as u64;
+        }
+        env.payload
+    }
+
+    /// Receive from any source (`MPI_ANY_SOURCE`): returns the sender's
+    /// communicator-local rank and the payload. First-come-first-served
+    /// among pending matches; waiting counts as communication time.
+    pub fn recv_any(&self, tag: u64) -> (usize, Payload) {
+        assert!(tag < COLLECTIVE_TAG_BASE, "tag {tag} reserved for collectives");
+        let env = self.mailbox.lock().recv_match_any(self.comm_id, tag);
+        self.clock.lock().wait_until(env.arrival);
+        {
+            let mut s = self.stats.lock();
+            s.msgs_recv += 1;
+            s.bytes_recv += env.payload.bytes() as u64;
+        }
+        let local = self
+            .group
+            .iter()
+            .position(|&g| g == env.src)
+            .expect("sender not in this communicator");
+        (local, env.payload)
+    }
+
+    fn next_coll_tag(&mut self) -> u64 {
+        let tag = COLLECTIVE_TAG_BASE + self.coll_seq;
+        self.coll_seq += 1;
+        tag
+    }
+
+    /// Broadcast from `root` to all ranks (flat linear tree, which is how
+    /// MPI implementations behave for the paper's 3-rank communicators).
+    /// Every rank passes its payload; non-roots' inputs are ignored and the
+    /// root's payload is returned on every rank.
+    pub fn bcast(&mut self, root: usize, payload: Payload) -> Payload {
+        self.bcast_with(root, payload, BcastAlgorithm::Flat)
+    }
+
+    /// Broadcast with an explicit algorithm. `Flat` has the root send
+    /// `p - 1` messages sequentially (latency `O(p)` at the root);
+    /// `Binomial` forwards along a binomial tree (`O(log p)` rounds), the
+    /// usual MPI choice for larger communicators. Results are identical;
+    /// only the virtual-time profile differs.
+    pub fn bcast_with(&mut self, root: usize, payload: Payload, algo: BcastAlgorithm) -> Payload {
+        assert!(root < self.size(), "bcast root {root} out of range");
+        let tag = self.next_coll_tag();
+        let p = self.size();
+        if p == 1 {
+            return payload;
+        }
+        match algo {
+            BcastAlgorithm::Flat => {
+                if self.rank == root {
+                    for dst in 0..p {
+                        if dst != root {
+                            self.send_internal(dst, tag, payload.clone());
+                        }
+                    }
+                    payload
+                } else {
+                    self.recv_internal(root, tag)
+                }
+            }
+            BcastAlgorithm::Binomial => {
+                // Work in rank space relative to the root. The tree:
+                // parent(rel) clears rel's lowest set bit; node rel's
+                // children are rel + b for b = 1, 2, 4, … below rel's
+                // lowest set bit (all bits for the root).
+                let rel = (self.rank + p - root) % p;
+                let data = if rel == 0 {
+                    payload
+                } else {
+                    let parent_rel = rel & (rel - 1);
+                    let parent = (parent_rel + root) % p;
+                    self.recv_internal(parent, tag)
+                };
+                let limit = if rel == 0 {
+                    p // any bit
+                } else {
+                    rel & rel.wrapping_neg() // lowest set bit of rel
+                };
+                // Send to larger children first so deep subtrees start
+                // earliest (the standard binomial schedule).
+                let mut bits = Vec::new();
+                let mut b = 1;
+                while b < limit && rel + b < p {
+                    bits.push(b);
+                    b <<= 1;
+                }
+                for &b in bits.iter().rev() {
+                    let child = (rel + b + root) % p;
+                    self.send_internal(child, tag, data.clone());
+                }
+                data
+            }
+        }
+    }
+
+    /// Gather: every rank contributes a payload; the root receives all of
+    /// them indexed by rank and returns `Some(vec)`, others return `None`.
+    pub fn gather(&mut self, root: usize, payload: Payload) -> Option<Vec<Payload>> {
+        assert!(root < self.size(), "gather root {root} out of range");
+        let tag = self.next_coll_tag();
+        if self.rank == root {
+            let mut out: Vec<Option<Payload>> = (0..self.size()).map(|_| None).collect();
+            out[root] = Some(payload);
+            for src in 0..self.size() {
+                if src != root {
+                    out[src] = Some(self.recv_internal(src, tag));
+                }
+            }
+            Some(out.into_iter().map(Option::unwrap).collect())
+        } else {
+            self.send_internal(root, tag, payload);
+            None
+        }
+    }
+
+    /// All-gather of `u64` metadata (used by `split` and the partition
+    /// distribution phase).
+    pub fn allgather_u64(&mut self, data: &[u64]) -> Vec<Vec<u64>> {
+        let gathered = self.gather(0, Payload::U64(data.to_vec()));
+        let flat: Vec<u64> = match gathered {
+            Some(parts) => parts.into_iter().flat_map(Payload::into_u64).collect(),
+            None => Vec::new(),
+        };
+        let out = self.bcast(0, Payload::U64(flat)).into_u64();
+        let each = data.len();
+        assert_eq!(out.len(), each * self.size(), "ragged allgather_u64");
+        out.chunks(each).map(|c| c.to_vec()).collect()
+    }
+
+    /// All-gather of `f64` vectors of uniform length.
+    pub fn allgather_f64(&mut self, data: &[f64]) -> Vec<Vec<f64>> {
+        let gathered = self.gather(0, Payload::F64(data.to_vec()));
+        let flat: Vec<f64> = match gathered {
+            Some(parts) => parts.into_iter().flat_map(Payload::into_f64).collect(),
+            None => Vec::new(),
+        };
+        let out = self.bcast(0, Payload::F64(flat)).into_f64();
+        let each = data.len();
+        assert_eq!(out.len(), each * self.size(), "ragged allgather_f64");
+        out.chunks(each).map(|c| c.to_vec()).collect()
+    }
+
+    /// All-reduce over `f64` vectors. Reduction is performed in rank order,
+    /// so results are bit-deterministic.
+    pub fn allreduce_f64(&mut self, data: &[f64], op: ReduceOp) -> Vec<f64> {
+        let parts = self.allgather_f64(data);
+        let mut acc = parts[0].clone();
+        for p in &parts[1..] {
+            op.apply(&mut acc, p);
+        }
+        acc
+    }
+
+    /// Scatter: the root distributes one payload to each rank (index =
+    /// destination rank); every rank returns its own piece. Non-roots
+    /// pass `None`.
+    ///
+    /// # Panics
+    /// Panics if the root's vector length differs from the communicator
+    /// size, or a non-root passes `Some`.
+    pub fn scatter(&mut self, root: usize, payloads: Option<Vec<Payload>>) -> Payload {
+        assert!(root < self.size(), "scatter root {root} out of range");
+        let tag = self.next_coll_tag();
+        if self.rank == root {
+            let mut payloads = payloads.expect("root must provide payloads");
+            assert_eq!(payloads.len(), self.size(), "scatter payload count");
+            let mine = payloads[root].clone();
+            for (dst, p) in payloads.drain(..).enumerate() {
+                if dst != root {
+                    self.send_internal(dst, tag, p);
+                }
+            }
+            mine
+        } else {
+            assert!(payloads.is_none(), "non-root passed scatter payloads");
+            self.recv_internal(root, tag)
+        }
+    }
+
+    /// Reduce to the root: the root returns the elementwise reduction of
+    /// all ranks' vectors (in rank order, so results are deterministic);
+    /// others return `None`.
+    pub fn reduce_f64(&mut self, root: usize, data: &[f64], op: ReduceOp) -> Option<Vec<f64>> {
+        let parts = self.gather(root, Payload::F64(data.to_vec()))?;
+        let mut iter = parts.into_iter().map(Payload::into_f64);
+        let mut acc = iter.next().expect("empty gather");
+        for p in iter {
+            op.apply(&mut acc, &p);
+        }
+        Some(acc)
+    }
+
+    /// Combined send and receive (like `MPI_Sendrecv`): ships `payload`
+    /// to `dst` and returns the message received from `src`, without
+    /// deadlock regardless of ordering (sends are buffered).
+    pub fn sendrecv(&self, dst: usize, src: usize, tag: u64, payload: Payload) -> Payload {
+        self.send(dst, tag, payload);
+        self.recv(src, tag)
+    }
+
+    /// Barrier: no rank leaves before every rank has entered. Virtual
+    /// clocks are synchronized to the latest participant (plus the small
+    /// control-message cost).
+    pub fn barrier(&mut self) {
+        // Gather an empty message to rank 0, then broadcast it back.
+        self.gather(0, Payload::U64(Vec::new()));
+        self.bcast(0, Payload::U64(Vec::new()));
+    }
+
+    /// Builds a sub-communicator from an explicitly known member list
+    /// without any communication. All members must call with the *same*
+    /// sorted list of parent-local ranks and the same `label`; the label
+    /// distinguishes different subgroups with identical membership.
+    ///
+    /// This is how SummaGen builds its per-sub-partition-row and -column
+    /// communicators: group membership is fully determined by the partition
+    /// spec every rank already holds, so the `MPI_Comm_split` exchange can
+    /// be skipped. Ranks not in `members` should simply not call.
+    ///
+    /// Returns `None` if this rank is not in `members`.
+    ///
+    /// # Panics
+    /// Panics if `members` is not strictly increasing or contains an
+    /// out-of-range rank.
+    pub fn subgroup(&self, members: &[usize], label: u64) -> Option<Communicator> {
+        assert!(!members.is_empty(), "empty subgroup");
+        for w in members.windows(2) {
+            assert!(w[0] < w[1], "members must be strictly increasing");
+        }
+        assert!(
+            *members.last().unwrap() < self.size(),
+            "member rank out of range"
+        );
+        let new_rank = members.iter().position(|&m| m == self.rank)?;
+        let group: Vec<usize> = members.iter().map(|&m| self.group[m]).collect();
+        let child_id = mix(mix(self.comm_id ^ mix(label)) ^ 0x5347_5542); // "SGUB"
+        Some(Communicator::new(
+            child_id,
+            new_rank,
+            Arc::new(group),
+            Arc::clone(&self.shared),
+            Arc::clone(&self.mailbox),
+            Arc::clone(&self.clock),
+            Arc::clone(&self.stats),
+        ))
+    }
+
+    /// Splits the communicator by color, ordering the members of each child
+    /// communicator by `(key, parent rank)`. Ranks passing `None` receive
+    /// `None` (they do not join any child). This mirrors `MPI_Comm_split`
+    /// and is what builds SummaGen's per-sub-partition-row and -column
+    /// communicators.
+    pub fn split(&mut self, color: Option<u64>, key: u64) -> Option<Communicator> {
+        let split_seq = self.split_seq;
+        self.split_seq += 1;
+        // Exchange (participates, color, key) triples.
+        let mine = [
+            u64::from(color.is_some()),
+            color.unwrap_or(0),
+            key,
+        ];
+        let all = self.allgather_u64(&mine);
+        let my_color = color?;
+        let mut members: Vec<(u64, usize)> = all
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v[0] == 1 && v[1] == my_color)
+            .map(|(r, v)| (v[2], r))
+            .collect();
+        members.sort_unstable();
+        let group: Vec<usize> = members.iter().map(|&(_, r)| self.group[r]).collect();
+        let new_rank = group
+            .iter()
+            .position(|&g| g == self.global_rank())
+            .expect("rank missing from its own split group");
+        let child_id = mix(mix(self.comm_id ^ mix(split_seq)) ^ mix(my_color));
+        Some(Communicator::new(
+            child_id,
+            new_rank,
+            Arc::new(group),
+            Arc::clone(&self.shared),
+            Arc::clone(&self.mailbox),
+            Arc::clone(&self.clock),
+            Arc::clone(&self.stats),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HockneyModel, Universe, ZeroCost};
+
+    #[test]
+    fn reduce_ops_apply() {
+        let mut acc = vec![1.0, 5.0, -2.0];
+        ReduceOp::Sum.apply(&mut acc, &[1.0, 1.0, 1.0]);
+        assert_eq!(acc, vec![2.0, 6.0, -1.0]);
+        ReduceOp::Max.apply(&mut acc, &[0.0, 10.0, 0.0]);
+        assert_eq!(acc, vec![2.0, 10.0, 0.0]);
+        ReduceOp::Min.apply(&mut acc, &[3.0, 3.0, -5.0]);
+        assert_eq!(acc, vec![2.0, 3.0, -5.0]);
+    }
+
+    #[test]
+    fn p2p_send_recv() {
+        let out = Universe::new(2, ZeroCost).run(|mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, Payload::F64(vec![1.0, 2.0, 3.0]));
+                comm.barrier();
+                0.0
+            } else {
+                let p = comm.recv(0, 7).into_f64();
+                comm.barrier();
+                p.iter().sum()
+            }
+        });
+        assert_eq!(out, vec![0.0, 6.0]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_matched() {
+        let out = Universe::new(2, ZeroCost).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, Payload::U64(vec![11]));
+                comm.send(1, 2, Payload::U64(vec![22]));
+                0
+            } else {
+                // Receive in the opposite order of sending.
+                let b = comm.recv(0, 2).into_u64()[0];
+                let a = comm.recv(0, 1).into_u64()[0];
+                a * 100 + b
+            }
+        });
+        assert_eq!(out[1], 1122);
+    }
+
+    #[test]
+    fn bcast_delivers_root_payload() {
+        let out = Universe::new(4, ZeroCost).run(|mut comm| {
+            let mine = Payload::F64(vec![comm.rank() as f64]);
+            comm.bcast(2, mine).into_f64()[0]
+        });
+        assert_eq!(out, vec![2.0; 4]);
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let out = Universe::new(3, ZeroCost).run(|mut comm| {
+            let res = comm.gather(1, Payload::U64(vec![comm.rank() as u64 * 10]));
+            match res {
+                Some(parts) => parts
+                    .into_iter()
+                    .map(|p| p.into_u64()[0])
+                    .collect::<Vec<_>>(),
+                None => vec![],
+            }
+        });
+        assert_eq!(out[0], Vec::<u64>::new());
+        assert_eq!(out[1], vec![0, 10, 20]);
+        assert_eq!(out[2], Vec::<u64>::new());
+    }
+
+    #[test]
+    fn allgather_and_allreduce() {
+        let out = Universe::new(3, ZeroCost).run(|mut comm| {
+            let r = comm.rank() as f64;
+            let gathered = comm.allgather_f64(&[r, r * r]);
+            let sum = comm.allreduce_f64(&[r], ReduceOp::Sum)[0];
+            let max = comm.allreduce_f64(&[r], ReduceOp::Max)[0];
+            (gathered, sum, max)
+        });
+        for (gathered, sum, max) in out {
+            assert_eq!(gathered, vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 4.0]]);
+            assert_eq!(sum, 3.0);
+            assert_eq!(max, 2.0);
+        }
+    }
+
+    #[test]
+    fn split_forms_correct_groups() {
+        let out = Universe::new(6, ZeroCost).run(|mut comm| {
+            // Even ranks -> color 0, odd -> color 1.
+            let color = (comm.rank() % 2) as u64;
+            let mut sub = comm.split(Some(color), comm.rank() as u64).unwrap();
+            // Inside the sub-communicator, gather global ranks at local 0.
+            let parts = sub.allgather_u64(&[comm.rank() as u64]);
+            let members: Vec<u64> = parts.into_iter().map(|v| v[0]).collect();
+            (sub.rank(), sub.size(), members)
+        });
+        assert_eq!(out[0], (0, 3, vec![0, 2, 4]));
+        assert_eq!(out[3], (1, 3, vec![1, 3, 5]));
+        assert_eq!(out[5], (2, 3, vec![1, 3, 5]));
+    }
+
+    #[test]
+    fn split_nonparticipant_gets_none() {
+        let out = Universe::new(3, ZeroCost).run(|mut comm| {
+            let color = if comm.rank() == 1 { None } else { Some(0) };
+            comm.split(color, 0).is_some()
+        });
+        assert_eq!(out, vec![true, false, true]);
+    }
+
+    #[test]
+    fn split_key_reorders_ranks() {
+        let out = Universe::new(3, ZeroCost).run(|mut comm| {
+            // Reverse order via key.
+            let key = (10 - comm.rank()) as u64;
+            let sub = comm.split(Some(0), key).unwrap();
+            sub.rank()
+        });
+        assert_eq!(out, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn sub_communicators_do_not_crosstalk() {
+        let out = Universe::new(4, ZeroCost).run(|mut comm| {
+            let color = (comm.rank() / 2) as u64;
+            let mut sub = comm.split(Some(color), 0).unwrap();
+            // Both groups bcast concurrently with the same tag sequence.
+            let v = sub.bcast(0, Payload::U64(vec![comm.rank() as u64]));
+            v.into_u64()[0]
+        });
+        assert_eq!(out, vec![0, 0, 2, 2]);
+    }
+
+    #[test]
+    fn recv_any_collects_from_all_workers() {
+        let out = Universe::new(4, ZeroCost).run(|comm| {
+            if comm.rank() == 0 {
+                let mut seen = Vec::new();
+                for _ in 0..3 {
+                    let (src, payload) = comm.recv_any(5);
+                    seen.push((src, payload.into_u64()[0]));
+                }
+                seen.sort_unstable();
+                seen
+            } else {
+                comm.send(0, 5, Payload::U64(vec![comm.rank() as u64 * 10]));
+                vec![]
+            }
+        });
+        assert_eq!(out[0], vec![(1, 10), (2, 20), (3, 30)]);
+    }
+
+    #[test]
+    fn tracing_records_timeline_intervals() {
+        use crate::clock::TraceKind;
+        let model = HockneyModel {
+            alpha: 1e-3,
+            beta: 1e-9,
+        };
+        let out = Universe::new(2, model).traced(true).run(|comm| {
+            if comm.rank() == 0 {
+                comm.advance_compute(0.5);
+                comm.send(1, 0, Payload::Phantom { elems: 1000 });
+            } else {
+                comm.recv(0, 0);
+                comm.advance_compute(0.25);
+            }
+            comm.trace_snapshot().expect("tracing enabled")
+        });
+        // Rank 0: one Compute then one Comm (the send).
+        assert_eq!(out[0].len(), 2);
+        assert_eq!(out[0][0].kind, TraceKind::Compute);
+        assert!((out[0][0].duration() - 0.5).abs() < 1e-12);
+        assert_eq!(out[0][1].kind, TraceKind::Comm);
+        // Rank 1: a Wait (blocked on the late sender) then Compute.
+        assert_eq!(out[1][0].kind, TraceKind::Wait);
+        assert_eq!(out[1][1].kind, TraceKind::Compute);
+        // Intervals are contiguous and monotone.
+        for tl in &out {
+            for w in tl.windows(2) {
+                assert!(w[0].end <= w[1].start + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn tracing_off_by_default() {
+        let out = Universe::new(1, ZeroCost).run(|comm| {
+            comm.advance_compute(1.0);
+            comm.trace_snapshot()
+        });
+        assert!(out[0].is_none());
+    }
+
+    #[test]
+    fn scatter_distributes_pieces() {
+        let out = Universe::new(3, ZeroCost).run(|mut comm| {
+            let payloads = (comm.rank() == 1).then(|| {
+                (0..3)
+                    .map(|i| Payload::U64(vec![i as u64 * 11]))
+                    .collect::<Vec<_>>()
+            });
+            comm.scatter(1, payloads).into_u64()[0]
+        });
+        assert_eq!(out, vec![0, 11, 22]);
+    }
+
+    #[test]
+    fn reduce_to_root_only() {
+        let out = Universe::new(4, ZeroCost).run(|mut comm| {
+            let r = comm.rank() as f64;
+            comm.reduce_f64(2, &[r, 1.0], ReduceOp::Sum)
+        });
+        assert_eq!(out[2], Some(vec![6.0, 4.0]));
+        assert_eq!(out[0], None);
+        assert_eq!(out[3], None);
+    }
+
+    #[test]
+    fn sendrecv_ring_rotation() {
+        let out = Universe::new(4, ZeroCost).run(|comm| {
+            let right = (comm.rank() + 1) % 4;
+            let left = (comm.rank() + 3) % 4;
+            comm.sendrecv(right, left, 9, Payload::U64(vec![comm.rank() as u64]))
+                .into_u64()[0]
+        });
+        assert_eq!(out, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn two_level_topology_prices_links_differently() {
+        use crate::clock::TwoLevelTopology;
+        let topo = TwoLevelTopology::uniform(
+            4,
+            2,
+            HockneyModel {
+                alpha: 0.0,
+                beta: 1e-9,
+            },
+            HockneyModel {
+                alpha: 0.0,
+                beta: 1e-7,
+            },
+        );
+        let out = Universe::new(4, topo).run(|comm| {
+            // Rank 0 sends the same message intra-node (to 1) and
+            // inter-node (to 2).
+            match comm.rank() {
+                0 => {
+                    comm.send(1, 1, Payload::Phantom { elems: 1_000_000 });
+                    let t_intra = comm.now();
+                    comm.send(2, 2, Payload::Phantom { elems: 1_000_000 });
+                    let t_inter = comm.now() - t_intra;
+                    (t_intra, t_inter)
+                }
+                1 => {
+                    comm.recv(0, 1);
+                    (0.0, 0.0)
+                }
+                2 => {
+                    comm.recv(0, 2);
+                    (0.0, 0.0)
+                }
+                _ => (0.0, 0.0),
+            }
+        });
+        let (t_intra, t_inter) = out[0];
+        assert!(
+            t_inter > t_intra * 50.0,
+            "inter {t_inter} not ≫ intra {t_intra}"
+        );
+    }
+
+    #[test]
+    fn binomial_bcast_delivers_to_all_ranks() {
+        for p in 1..=9usize {
+            for root in [0, p / 2, p - 1] {
+                let out = Universe::new(p, ZeroCost).run(|mut comm| {
+                    let mine = Payload::U64(vec![comm.rank() as u64 + 100]);
+                    comm.bcast_with(root, mine, BcastAlgorithm::Binomial)
+                        .into_u64()[0]
+                });
+                assert_eq!(out, vec![root as u64 + 100; p], "p={p} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_beats_flat_on_root_latency_for_large_p() {
+        let model = HockneyModel {
+            alpha: 1e-3,
+            beta: 0.0,
+        };
+        let time_with = |algo: BcastAlgorithm| {
+            let out = Universe::new(16, model).run(|mut comm| {
+                comm.bcast_with(0, Payload::Phantom { elems: 1 }, algo);
+                comm.now()
+            });
+            out.into_iter().fold(0.0, f64::max)
+        };
+        let flat = time_with(BcastAlgorithm::Flat);
+        let binomial = time_with(BcastAlgorithm::Binomial);
+        // Flat: 15 sequential alpha at the root. Binomial: 4 rounds.
+        assert!(
+            binomial < flat * 0.5,
+            "binomial {binomial} not much faster than flat {flat}"
+        );
+    }
+
+    #[test]
+    fn flat_and_binomial_agree_on_payload() {
+        let out = Universe::new(6, ZeroCost).run(|mut comm| {
+            let a = comm
+                .bcast_with(2, Payload::U64(vec![comm.rank() as u64]), BcastAlgorithm::Flat)
+                .into_u64();
+            let b = comm
+                .bcast_with(
+                    2,
+                    Payload::U64(vec![comm.rank() as u64 * 7]),
+                    BcastAlgorithm::Binomial,
+                )
+                .into_u64();
+            (a[0], b[0])
+        });
+        assert!(out.iter().all(|&(a, b)| a == 2 && b == 14));
+    }
+
+    #[test]
+    fn subgroup_builds_without_communication() {
+        let out = Universe::new(4, ZeroCost).run(|comm| {
+            let members = [1, 3];
+            if members.contains(&comm.rank()) {
+                let mut sub = comm.subgroup(&members, 7).unwrap();
+                let v = sub.bcast(0, Payload::U64(vec![comm.rank() as u64]));
+                let traffic_before_world_ops = comm.traffic();
+                (v.into_u64()[0], traffic_before_world_ops.msgs_sent <= 1)
+            } else {
+                assert!(comm.subgroup(&members, 7).is_none());
+                // Non-members did not communicate at all.
+                (99, comm.traffic().msgs_sent == 0)
+            }
+        });
+        assert_eq!(out[1].0, 1);
+        assert_eq!(out[3].0, 1);
+        assert_eq!(out[0].0, 99);
+        assert!(out.iter().all(|&(_, ok)| ok));
+    }
+
+    #[test]
+    fn subgroups_with_same_members_different_labels_are_isolated() {
+        let out = Universe::new(2, ZeroCost).run(|comm| {
+            let mut s1 = comm.subgroup(&[0, 1], 1).unwrap();
+            let mut s2 = comm.subgroup(&[0, 1], 2).unwrap();
+            // Interleave: send on s2 first, receive on s1 first.
+            if comm.rank() == 0 {
+                s2.bcast(0, Payload::U64(vec![200]));
+                s1.bcast(0, Payload::U64(vec![100]));
+                0
+            } else {
+                let a = s1.bcast(0, Payload::U64(vec![])).into_u64()[0];
+                let b = s2.bcast(0, Payload::U64(vec![])).into_u64()[0];
+                (a * 1000 + b) as usize
+            }
+        });
+        assert_eq!(out[1], 100_200);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank panicked")]
+    fn subgroup_rejects_unsorted_members() {
+        Universe::new(2, ZeroCost).run(|comm| {
+            comm.subgroup(&[1, 0], 0);
+        });
+    }
+
+    #[test]
+    fn hockney_costs_advance_clocks() {
+        let model = HockneyModel {
+            alpha: 1e-3,
+            beta: 1e-6,
+        };
+        let out = Universe::new(2, model).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, Payload::Phantom { elems: 1000 });
+            } else {
+                comm.recv(0, 0);
+            }
+            comm.clock_snapshot()
+        });
+        // 8000 bytes at beta=1e-6 s/B plus alpha=1e-3 -> 9e-3 s.
+        let expect = 1e-3 + 8000.0 * 1e-6;
+        assert!((out[0].now - expect).abs() < 1e-12, "sender clock {}", out[0].now);
+        assert!((out[1].now - expect).abs() < 1e-12, "receiver clock {}", out[1].now);
+        assert_eq!(out[0].comp_time, 0.0);
+        assert!(out[0].comm_time > 0.0);
+    }
+
+    #[test]
+    fn receiver_waits_for_late_sender() {
+        let model = HockneyModel {
+            alpha: 0.0,
+            beta: 1e-9,
+        };
+        let out = Universe::new(2, model).run(|comm| {
+            if comm.rank() == 0 {
+                comm.advance_compute(5.0); // sender is busy first
+                comm.send(1, 0, Payload::Phantom { elems: 1 });
+            } else {
+                comm.recv(0, 0);
+            }
+            comm.now()
+        });
+        // Receiver's clock must reach the sender's send-completion time.
+        assert!(out[1] >= 5.0, "receiver at {}", out[1]);
+    }
+
+    #[test]
+    fn traffic_stats_count_bytes() {
+        let out = Universe::new(2, ZeroCost).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, Payload::F64(vec![0.0; 100]));
+            } else {
+                comm.recv(0, 0);
+            }
+            comm.traffic()
+        });
+        assert_eq!(out[0].bytes_sent, 800);
+        assert_eq!(out[0].msgs_sent, 1);
+        assert_eq!(out[1].bytes_recv, 800);
+        assert_eq!(out[1].msgs_recv, 1);
+    }
+
+    #[test]
+    fn barrier_synchronizes_virtual_time() {
+        let out = Universe::new(3, ZeroCost).run(|mut comm| {
+            comm.advance_compute(comm.rank() as f64 * 2.0);
+            comm.barrier();
+            comm.now()
+        });
+        // After the barrier every clock is at least the max pre-barrier time.
+        for t in &out {
+            assert!(*t >= 4.0, "clock {t} < 4.0 after barrier");
+        }
+    }
+
+    #[test]
+    fn virtual_time_is_deterministic() {
+        let model = HockneyModel {
+            alpha: 1e-5,
+            beta: 2e-9,
+        };
+        let run = || {
+            Universe::new(3, model).run(|mut comm| {
+                comm.advance_compute(0.25 * (comm.rank() + 1) as f64);
+                let v = comm.bcast(0, Payload::Phantom { elems: 4096 });
+                comm.advance_compute(v.elems() as f64 * 1e-6);
+                comm.barrier();
+                comm.now()
+            })
+        };
+        assert_eq!(run(), run());
+    }
+}

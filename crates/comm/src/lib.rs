@@ -1,0 +1,32 @@
+//! A thread-based message-passing runtime with virtual time.
+//!
+//! The paper executes SummaGen with Intel MPI, mapping one MPI process to
+//! one *abstract processor* (a CPU socket group, a GPU plus its host core,
+//! or a Xeon Phi plus its host core). This crate reproduces the MPI
+//! machinery SummaGen needs — ranks, communicators, `split` (the paper's
+//! `get_subp_comm` builds row/column communicators), point-to-point
+//! send/receive, broadcast, barrier, gather, and all-reduce — on top of OS
+//! threads and crossbeam channels.
+//!
+//! Two things distinguish it from a plain channel wrapper:
+//!
+//! * **Virtual clocks.** Every rank carries a [`VirtualClock`]. Communication
+//!   operations advance clocks according to a pluggable [`CostModel`] — the
+//!   Hockney model `α + β·m` the paper cites — and computation advances them
+//!   via [`Communicator::advance_compute`]. This lets the same algorithm
+//!   execute with *simulated* heterogeneous-platform timing while the data
+//!   movement itself is performed for real between threads.
+//! * **Phantom payloads.** For paper-scale problem sizes (N up to 38 416 ⇒
+//!   tens of gigabytes) a message can carry only its element count. The cost
+//!   model and traffic accounting see the same byte counts either way, so
+//!   timed experiments and numeric correctness runs share one code path.
+
+pub mod clock;
+pub mod comm;
+pub mod message;
+pub mod universe;
+
+pub use clock::{ClockSnapshot, CostModel, HockneyModel, TraceEvent, TraceKind, TwoLevelTopology, VirtualClock, ZeroCost};
+pub use comm::{BcastAlgorithm, Communicator, ReduceOp, TrafficStats};
+pub use message::Payload;
+pub use universe::Universe;

@@ -1,0 +1,162 @@
+//! The [`Universe`]: spawns one OS thread per rank and hands each a root
+//! [`Communicator`], the analogue of `MPI_COMM_WORLD`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::unbounded;
+use parking_lot::Mutex;
+
+use crate::clock::{CostModel, VirtualClock};
+use crate::comm::{Communicator, Mailbox, Shared, TrafficStats};
+
+/// A set of `p` ranks sharing a communication fabric and a cost model.
+///
+/// ```
+/// use summagen_comm::{Payload, Universe, ZeroCost};
+///
+/// let sums = Universe::new(3, ZeroCost).run(|mut comm| {
+///     // Broadcast rank 0's data, then everyone sums their rank into it.
+///     let v = comm.bcast(0, Payload::U64(vec![100])).into_u64();
+///     v[0] + comm.rank() as u64
+/// });
+/// assert_eq!(sums, vec![100, 101, 102]);
+/// ```
+pub struct Universe {
+    size: usize,
+    cost: Arc<dyn CostModel>,
+    traced: bool,
+}
+
+static UNIVERSE_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+impl Universe {
+    /// Creates a universe of `size` ranks using `cost` to price transfers.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn new(size: usize, cost: impl CostModel) -> Self {
+        assert!(size > 0, "universe must have at least one rank");
+        Self {
+            size,
+            cost: Arc::new(cost),
+            traced: false,
+        }
+    }
+
+    /// Enables per-rank event tracing: every rank's clock records a
+    /// [`crate::clock::TraceEvent`] timeline, retrievable through
+    /// [`crate::Communicator::trace_snapshot`].
+    pub fn traced(mut self, on: bool) -> Self {
+        self.traced = on;
+        self
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Runs `f` on every rank concurrently (one OS thread per rank) and
+    /// returns the per-rank results in rank order.
+    ///
+    /// Virtual clocks start at zero on every rank. Any panic inside a rank
+    /// propagates out of `run`.
+    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Communicator) -> R + Sync,
+    {
+        let p = self.size;
+        let mut senders = Vec::with_capacity(p);
+        let mut receivers = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let shared = Arc::new(Shared {
+            senders,
+            cost: Arc::clone(&self.cost),
+        });
+        let world_id = UNIVERSE_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let group: Arc<Vec<usize>> = Arc::new((0..p).collect());
+
+        let comms: Vec<Communicator> = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, rx)| {
+                let mut clock = VirtualClock::new();
+                if self.traced {
+                    clock.enable_trace();
+                }
+                Communicator::new(
+                    world_id,
+                    rank,
+                    Arc::clone(&group),
+                    Arc::clone(&shared),
+                    Arc::new(Mutex::new(Mailbox::new(rx))),
+                    Arc::new(Mutex::new(clock)),
+                    Arc::new(Mutex::new(TrafficStats::default())),
+                )
+            })
+            .collect();
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|comm| scope.spawn(|| f(comm)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ZeroCost;
+
+    #[test]
+    fn single_rank_universe_runs() {
+        let out = Universe::new(1, ZeroCost).run(|comm| {
+            assert_eq!(comm.size(), 1);
+            assert_eq!(comm.rank(), 0);
+            42
+        });
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn results_are_in_rank_order() {
+        let out = Universe::new(8, ZeroCost).run(|comm| comm.rank() * comm.rank());
+        assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_rank_universe_rejected() {
+        Universe::new(0, ZeroCost);
+    }
+
+    #[test]
+    fn clocks_start_at_zero() {
+        let out = Universe::new(3, ZeroCost).run(|comm| comm.now());
+        assert_eq!(out, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn consecutive_runs_are_independent() {
+        let u = Universe::new(2, ZeroCost);
+        let a = u.run(|comm| {
+            comm.advance_compute(1.0);
+            comm.now()
+        });
+        let b = u.run(|comm| comm.now());
+        assert_eq!(a, vec![1.0, 1.0]);
+        assert_eq!(b, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,395 @@
+//! Running SummaGen end-to-end on real matrices.
+
+use summagen_comm::{ClockSnapshot, CostModel, HockneyModel, TrafficStats, Universe, ZeroCost};
+use summagen_matrix::{DenseMatrix, GemmKernel};
+use summagen_partition::PartitionSpec;
+
+use crate::rankdata::{assemble, distribute};
+use crate::stages::{horizontal_a, local_compute, vertical_b, StageData, Workspace};
+
+/// How local computations execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// Real numeric execution with the given kernel.
+    #[default]
+    Real,
+    /// Real numeric execution with an explicit kernel choice.
+    RealWith(GemmKernel),
+}
+
+impl ExecutionMode {
+    fn kernel(&self) -> GemmKernel {
+        match self {
+            ExecutionMode::Real => GemmKernel::default(),
+            ExecutionMode::RealWith(k) => *k,
+        }
+    }
+}
+
+/// The outcome of a numeric SummaGen run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The assembled product `C = A × B`.
+    pub c: DenseMatrix,
+    /// Per-rank virtual-clock snapshots.
+    pub clocks: Vec<ClockSnapshot>,
+    /// Per-rank traffic counters.
+    pub traffic: Vec<TrafficStats>,
+    /// Parallel execution time: max over ranks of final virtual time.
+    pub exec_time: f64,
+    /// Max over ranks of attributed computation time.
+    pub comp_time: f64,
+    /// Max over ranks of attributed communication time.
+    pub comm_time: f64,
+}
+
+/// Multiplies `A × B` with SummaGen under the given partition, with free
+/// communication (pure correctness run).
+///
+/// ```
+/// use summagen_core::{multiply, ExecutionMode};
+/// use summagen_matrix::{random_matrix, DenseMatrix};
+/// use summagen_partition::{proportional_areas, Shape};
+///
+/// let n = 32;
+/// let areas = proportional_areas(n, &[1.0, 2.0, 0.9]);
+/// let spec = Shape::SquareCorner.build(n, &areas);
+/// let a = DenseMatrix::identity(n);
+/// let b = random_matrix(n, n, 7);
+/// let result = multiply(&spec, &a, &b, ExecutionMode::Real);
+/// // I × B = B, computed across three rank threads.
+/// assert!(summagen_matrix::approx_eq(&result.c, &b, 1e-12));
+/// ```
+pub fn multiply(
+    spec: &PartitionSpec,
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    mode: ExecutionMode,
+) -> RunResult {
+    run_real(spec, a, b, mode, ZeroCost)
+}
+
+/// Multiplies `A × B` with SummaGen, pricing communication with a Hockney
+/// model so the virtual clocks report realistic times.
+pub fn multiply_with_cost(
+    spec: &PartitionSpec,
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    mode: ExecutionMode,
+    cost: HockneyModel,
+) -> RunResult {
+    run_real(spec, a, b, mode, cost)
+}
+
+fn run_real(
+    spec: &PartitionSpec,
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    mode: ExecutionMode,
+    cost: impl CostModel,
+) -> RunResult {
+    let rank_data = distribute(spec, a, b);
+    let universe = Universe::new(spec.nprocs, cost);
+    let results = universe.run(|comm| {
+        let rank = comm.rank();
+        let mut state = StageData::Real {
+            data: &rank_data[rank],
+            ws: Workspace::for_rank(spec, rank),
+            kernel: mode.kernel(),
+        };
+        horizontal_a(&comm, spec, rank, &mut state);
+        vertical_b(&comm, spec, rank, &mut state);
+        // Real runs do not model device speeds: computation advances the
+        // clock by zero (timing studies use `simulate`).
+        let (blocks, _flops) = local_compute(&comm, spec, rank, &mut state, |_| 0.0);
+        (blocks, comm.clock_snapshot(), comm.traffic())
+    });
+
+    let mut blocks = Vec::with_capacity(spec.nprocs);
+    let mut clocks = Vec::with_capacity(spec.nprocs);
+    let mut traffic = Vec::with_capacity(spec.nprocs);
+    for (b, c, t) in results {
+        blocks.push(b);
+        clocks.push(c);
+        traffic.push(t);
+    }
+    let c = assemble(spec, &blocks);
+    let exec_time = clocks.iter().map(|c| c.now).fold(0.0, f64::max);
+    let comp_time = clocks.iter().map(|c| c.comp_time).fold(0.0, f64::max);
+    let comm_time = clocks.iter().map(|c| c.comm_time).fold(0.0, f64::max);
+    RunResult {
+        c,
+        clocks,
+        traffic,
+        exec_time,
+        comp_time,
+        comm_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use summagen_matrix::{approx_eq, gemm_naive, gemm_tolerance, random_matrix};
+    use summagen_partition::{proportional_areas, Shape, ALL_FOUR_SHAPES};
+
+    fn reference(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+        let n = a.rows();
+        let mut c = DenseMatrix::zeros(n, n);
+        gemm_naive(
+            n,
+            n,
+            n,
+            1.0,
+            a.as_slice(),
+            n,
+            b.as_slice(),
+            n,
+            0.0,
+            c.as_mut_slice(),
+            n,
+        );
+        c
+    }
+
+    fn fig1a() -> PartitionSpec {
+        PartitionSpec::new(
+            vec![0, 1, 1, 1, 1, 1, 1, 1, 2],
+            vec![9, 3, 4],
+            vec![9, 3, 4],
+            3,
+        )
+    }
+
+    #[test]
+    fn fig1a_produces_correct_product() {
+        let a = random_matrix(16, 16, 1);
+        let b = random_matrix(16, 16, 2);
+        let res = multiply(&fig1a(), &a, &b, ExecutionMode::Real);
+        assert!(approx_eq(&res.c, &reference(&a, &b), gemm_tolerance(16) * 100.0));
+    }
+
+    #[test]
+    fn all_four_shapes_produce_correct_products() {
+        let n = 48;
+        let a = random_matrix(n, n, 3);
+        let b = random_matrix(n, n, 4);
+        let want = reference(&a, &b);
+        let areas = proportional_areas(n, &[1.0, 2.0, 0.9]);
+        for shape in ALL_FOUR_SHAPES {
+            let spec = shape.build(n, &areas);
+            let res = multiply(&spec, &a, &b, ExecutionMode::Real);
+            assert!(
+                approx_eq(&res.c, &want, gemm_tolerance(n) * 100.0),
+                "{} wrong",
+                shape.name()
+            );
+        }
+    }
+
+    #[test]
+    fn extension_shapes_produce_correct_products() {
+        let n = 40;
+        let a = random_matrix(n, n, 5);
+        let b = random_matrix(n, n, 6);
+        let want = reference(&a, &b);
+        let areas = proportional_areas(n, &[2.0, 1.0, 0.5]);
+        for shape in [Shape::RectangleCorner, Shape::LRectangle] {
+            let spec = shape.build(n, &areas);
+            let res = multiply(&spec, &a, &b, ExecutionMode::Real);
+            assert!(
+                approx_eq(&res.c, &want, gemm_tolerance(n) * 100.0),
+                "{} wrong",
+                shape.name()
+            );
+        }
+    }
+
+    #[test]
+    fn identity_times_identity() {
+        let n = 32;
+        let id = DenseMatrix::identity(n);
+        let areas = proportional_areas(n, &[1.0, 1.0, 1.0]);
+        let spec = Shape::SquareCorner.build(n, &areas);
+        let res = multiply(&spec, &id, &id, ExecutionMode::Real);
+        assert!(approx_eq(&res.c, &id, 1e-12));
+    }
+
+    #[test]
+    fn single_processor_partition_works() {
+        let n = 20;
+        let spec = PartitionSpec::new(vec![0], vec![n], vec![n], 1);
+        let a = random_matrix(n, n, 7);
+        let b = random_matrix(n, n, 8);
+        let res = multiply(&spec, &a, &b, ExecutionMode::Real);
+        assert!(approx_eq(&res.c, &reference(&a, &b), gemm_tolerance(n) * 100.0));
+        // One rank => no messages at all.
+        assert_eq!(res.traffic[0].msgs_sent, 0);
+    }
+
+    #[test]
+    fn many_processor_one_d_partition() {
+        let n = 60;
+        let areas: Vec<f64> = vec![600.0; 6];
+        let spec = Shape::OneDRectangular.build(n, &areas);
+        let a = random_matrix(n, n, 9);
+        let b = random_matrix(n, n, 10);
+        let res = multiply(&spec, &a, &b, ExecutionMode::Real);
+        assert!(approx_eq(&res.c, &reference(&a, &b), gemm_tolerance(n) * 100.0));
+    }
+
+    #[test]
+    fn hockney_cost_produces_nonzero_comm_time() {
+        let n = 32;
+        let areas = proportional_areas(n, &[1.0, 2.0, 0.9]);
+        let spec = Shape::SquareRectangle.build(n, &areas);
+        let a = random_matrix(n, n, 11);
+        let b = random_matrix(n, n, 12);
+        let res = multiply_with_cost(
+            &spec,
+            &a,
+            &b,
+            ExecutionMode::Real,
+            HockneyModel {
+                alpha: 1e-5,
+                beta: 1e-9,
+            },
+        );
+        assert!(res.comm_time > 0.0);
+        assert!(res.exec_time >= res.comm_time);
+        assert!(approx_eq(&res.c, &reference(&a, &b), gemm_tolerance(n) * 100.0));
+        // Every rank moved some bytes.
+        for t in &res.traffic {
+            assert!(t.bytes_sent + t.bytes_recv > 0);
+        }
+    }
+
+    #[test]
+    fn all_kernels_agree_through_summagen() {
+        let n = 36;
+        let areas = proportional_areas(n, &[1.0, 1.5, 0.7]);
+        let spec = Shape::BlockRectangle.build(n, &areas);
+        let a = random_matrix(n, n, 13);
+        let b = random_matrix(n, n, 14);
+        let want = reference(&a, &b);
+        for kernel in [GemmKernel::Naive, GemmKernel::Blocked, GemmKernel::Parallel] {
+            let res = multiply(&spec, &a, &b, ExecutionMode::RealWith(kernel));
+            assert!(approx_eq(&res.c, &want, gemm_tolerance(n) * 100.0));
+        }
+    }
+
+    #[test]
+    fn beaumont_layout_runs_through_summagen() {
+        let n = 50;
+        let spec = summagen_partition::beaumont_column_layout(n, &[1.0, 2.0, 0.9, 1.5]);
+        let a = random_matrix(n, n, 15);
+        let b = random_matrix(n, n, 16);
+        let res = multiply(&spec, &a, &b, ExecutionMode::Real);
+        assert!(approx_eq(&res.c, &reference(&a, &b), gemm_tolerance(n) * 100.0));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use summagen_matrix::{approx_eq, gemm_naive, gemm_tolerance, random_matrix};
+    use summagen_partition::{proportional_areas, ALL_FOUR_SHAPES};
+
+    fn reference(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+        let n = a.rows();
+        let mut c = DenseMatrix::zeros(n, n);
+        gemm_naive(
+            n, n, n, 1.0,
+            a.as_slice(), n,
+            b.as_slice(), n,
+            0.0,
+            c.as_mut_slice(), n,
+        );
+        c
+    }
+
+    /// A random valid partition spec: random grid cuts and random owners
+    /// (repaired so every processor owns something).
+    fn random_spec(n: usize, p: usize, seed: u64) -> PartitionSpec {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let cuts = |total: usize, parts: usize, rng: &mut rand::rngs::StdRng| -> Vec<usize> {
+            // parts-1 distinct interior cut points.
+            let mut points: Vec<usize> = (1..total).collect();
+            points.shuffle(rng);
+            let mut chosen: Vec<usize> = points.into_iter().take(parts - 1).collect();
+            chosen.sort_unstable();
+            let mut sizes = Vec::with_capacity(parts);
+            let mut prev = 0;
+            for c in chosen {
+                sizes.push(c - prev);
+                prev = c;
+            }
+            sizes.push(total - prev);
+            sizes
+        };
+        let gr = rng.random_range(1..=4.min(n));
+        let gc = rng.random_range(1..=4.min(n));
+        let heights = cuts(n, gr, &mut rng);
+        let widths = cuts(n, gc, &mut rng);
+        let cells = gr * gc;
+        let p = p.min(cells);
+        let mut owners: Vec<usize> = (0..cells).map(|_| rng.random_range(0..p)).collect();
+        // Repair: give each processor at least one cell.
+        for proc in 0..p {
+            if !owners.contains(&proc) {
+                let idx = rng.random_range(0..cells);
+                owners[idx] = proc;
+            }
+        }
+        // Second repair pass in case repairs overwrote each other.
+        for proc in 0..p {
+            if !owners.contains(&proc) {
+                let victim = owners
+                    .iter()
+                    .position(|&o| owners.iter().filter(|&&x| x == o).count() > 1)
+                    .unwrap();
+                owners[victim] = proc;
+            }
+        }
+        PartitionSpec::new(owners, heights, widths, p)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// SummaGen computes the correct product for *arbitrary* valid
+        /// partition specs — not just the four named shapes.
+        #[test]
+        fn arbitrary_specs_are_correct(n in 8usize..40, p in 1usize..5, seed in 0u64..10_000) {
+            let spec = random_spec(n, p, seed);
+            let a = random_matrix(n, n, seed.wrapping_add(1));
+            let b = random_matrix(n, n, seed.wrapping_add(2));
+            let res = multiply(&spec, &a, &b, ExecutionMode::Real);
+            prop_assert!(approx_eq(&res.c, &reference(&a, &b), gemm_tolerance(n) * 100.0));
+        }
+
+        /// The four shapes are correct across random sizes and area mixes.
+        #[test]
+        fn shapes_correct_across_sizes(
+            n in 9usize..48,
+            s0 in 0.2f64..4.0,
+            s1 in 0.2f64..4.0,
+            s2 in 0.2f64..4.0,
+        ) {
+            let areas = proportional_areas(n, &[s0, s1, s2]);
+            let a = random_matrix(n, n, 21);
+            let b = random_matrix(n, n, 22);
+            let want = reference(&a, &b);
+            for shape in ALL_FOUR_SHAPES {
+                let spec = shape.build(n, &areas);
+                let res = multiply(&spec, &a, &b, ExecutionMode::Real);
+                prop_assert!(
+                    approx_eq(&res.c, &want, gemm_tolerance(n) * 100.0),
+                    "{} wrong at n={n}", shape.name()
+                );
+            }
+        }
+    }
+}

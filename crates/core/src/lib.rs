@@ -1,0 +1,45 @@
+//! SummaGen — parallel matrix-matrix multiplication over non-rectangular
+//! partitions, the paper's core contribution.
+//!
+//! Like SUMMA, the algorithm has three stages (Section IV):
+//!
+//! 1. **Horizontal communications of `A`** — every processor gathers, into
+//!    its working matrix `WA`, all sub-partition rows of `A` in which it
+//!    owns at least one sub-partition (broadcasts within per-row
+//!    communicators; rows wholly owned by one processor are copied locally
+//!    without communication).
+//! 2. **Vertical communications of `B`** — symmetric, into `WB`, over
+//!    per-column communicators.
+//! 3. **Local computations** — one DGEMM per owned sub-partition
+//!    (`height × n` by `n × width`), accumulating exactly the processor's
+//!    own partition of `C`; computing per sub-partition avoids the
+//!    redundant work a blanket `WA × WB` would do.
+//!
+//! Two execution modes share this code path:
+//!
+//! * [`ExecutionMode::Real`] — matrices are materialized and multiplied
+//!   with the kernels from `summagen-matrix`; the result is verified
+//!   against a sequential reference in the tests.
+//! * [`ExecutionMode::Simulated`] — payloads are phantom (size-only) and
+//!   local DGEMM advances the rank's virtual clock by the device-model
+//!   time from `summagen-platform`. This is how the paper-scale
+//!   experiments (N up to 38 416) run.
+
+pub mod caps;
+pub mod commopt;
+pub mod cyclic;
+pub mod panelled;
+pub mod executor;
+pub mod rankdata;
+pub mod simulate;
+pub mod stages;
+pub mod summa;
+
+pub use caps::{caps_multiply, caps_multiply_with_cost, CapsResult};
+pub use cyclic::{summa_cyclic_multiply, summa_cyclic_multiply_with_cost, BlockCyclic};
+pub use commopt::{cannon_multiply, cannon_multiply_with_cost, summa25d_multiply, summa25d_multiply_with_cost, GridRunResult};
+pub use executor::{multiply, multiply_with_cost, ExecutionMode, RunResult};
+pub use panelled::{multiply_panelled, multiply_panelled_with_cost, peak_workspace_elems, simulate_panelled};
+pub use rankdata::{assemble, distribute, RankMatrices};
+pub use simulate::{metered_energy_from_timelines, simulate, simulate_traced, simulate_with_energy, SimReport};
+pub use summa::{summa_multiply, summa_multiply_with_cost, summa_simulate, SummaResult};

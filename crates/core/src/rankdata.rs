@@ -1,0 +1,148 @@
+//! Distribution of the global matrices to ranks and re-assembly of `C`.
+//!
+//! The paper partitions `A`, `B` and `C` identically: processor `i` owns
+//! the elements of all three matrices inside its sub-partitions. These
+//! helpers carve a global matrix into per-rank block sets and put the
+//! computed `C` blocks back together.
+
+use summagen_matrix::DenseMatrix;
+use summagen_partition::{PartitionSpec, ProcBlock};
+
+/// One rank's share of the input matrices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankMatrices {
+    /// Owned sub-partitions of `A`, in grid row-major order.
+    pub a_blocks: Vec<(ProcBlock, DenseMatrix)>,
+    /// Owned sub-partitions of `B`, in grid row-major order.
+    pub b_blocks: Vec<(ProcBlock, DenseMatrix)>,
+}
+
+impl RankMatrices {
+    /// Looks up the owned `A` block at grid position `(bi, bj)`.
+    pub fn a_block(&self, bi: usize, bj: usize) -> Option<&DenseMatrix> {
+        self.a_blocks
+            .iter()
+            .find(|(b, _)| b.block_i == bi && b.block_j == bj)
+            .map(|(_, m)| m)
+    }
+
+    /// Looks up the owned `B` block at grid position `(bi, bj)`.
+    pub fn b_block(&self, bi: usize, bj: usize) -> Option<&DenseMatrix> {
+        self.b_blocks
+            .iter()
+            .find(|(b, _)| b.block_i == bi && b.block_j == bj)
+            .map(|(_, m)| m)
+    }
+}
+
+/// Splits global `A` and `B` into per-rank block sets according to `spec`.
+///
+/// # Panics
+/// Panics if the matrices are not `n × n` for the spec's `n`.
+pub fn distribute(spec: &PartitionSpec, a: &DenseMatrix, b: &DenseMatrix) -> Vec<RankMatrices> {
+    assert_eq!((a.rows(), a.cols()), (spec.n, spec.n), "A shape mismatch");
+    assert_eq!((b.rows(), b.cols()), (spec.n, spec.n), "B shape mismatch");
+    (0..spec.nprocs)
+        .map(|proc| {
+            let blocks = spec.blocks_of(proc);
+            RankMatrices {
+                a_blocks: blocks
+                    .iter()
+                    .map(|&blk| (blk, a.submatrix(blk.row, blk.col, blk.rows, blk.cols)))
+                    .collect(),
+                b_blocks: blocks
+                    .iter()
+                    .map(|&blk| (blk, b.submatrix(blk.row, blk.col, blk.rows, blk.cols)))
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// Reassembles the global `C` from per-rank computed blocks.
+///
+/// # Panics
+/// Panics if the blocks do not exactly tile the matrix.
+pub fn assemble(spec: &PartitionSpec, per_rank: &[Vec<(ProcBlock, DenseMatrix)>]) -> DenseMatrix {
+    let mut c = DenseMatrix::zeros(spec.n, spec.n);
+    let mut covered = 0usize;
+    for blocks in per_rank {
+        for (blk, m) in blocks {
+            assert_eq!((m.rows(), m.cols()), (blk.rows, blk.cols), "block shape");
+            c.set_submatrix(blk.row, blk.col, m);
+            covered += blk.rows * blk.cols;
+        }
+    }
+    assert_eq!(covered, spec.n * spec.n, "blocks do not tile the matrix");
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use summagen_matrix::deterministic_matrix;
+
+    fn fig1a() -> PartitionSpec {
+        PartitionSpec::new(
+            vec![0, 1, 1, 1, 1, 1, 1, 1, 2],
+            vec![9, 3, 4],
+            vec![9, 3, 4],
+            3,
+        )
+    }
+
+    #[test]
+    fn distribute_gives_each_rank_its_blocks() {
+        let spec = fig1a();
+        let a = deterministic_matrix(16, 16);
+        let b = deterministic_matrix(16, 16);
+        let ranks = distribute(&spec, &a, &b);
+        assert_eq!(ranks.len(), 3);
+        assert_eq!(ranks[0].a_blocks.len(), 1);
+        assert_eq!(ranks[1].a_blocks.len(), 7);
+        assert_eq!(ranks[2].a_blocks.len(), 1);
+        // Block content matches the source window.
+        let (blk, m) = &ranks[2].a_blocks[0];
+        assert_eq!((blk.row, blk.col), (12, 12));
+        assert_eq!(*m, a.submatrix(12, 12, 4, 4));
+    }
+
+    #[test]
+    fn block_lookup_by_grid_position() {
+        let spec = fig1a();
+        let a = deterministic_matrix(16, 16);
+        let ranks = distribute(&spec, &a, &a);
+        assert!(ranks[0].a_block(0, 0).is_some());
+        assert!(ranks[0].a_block(1, 1).is_none());
+        assert!(ranks[1].b_block(1, 1).is_some());
+    }
+
+    #[test]
+    fn assemble_inverts_distribute() {
+        let spec = fig1a();
+        let a = deterministic_matrix(16, 16);
+        let ranks = distribute(&spec, &a, &a);
+        let blocks: Vec<_> = ranks.into_iter().map(|r| r.a_blocks).collect();
+        let rebuilt = assemble(&spec, &blocks);
+        assert_eq!(rebuilt, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "A shape mismatch")]
+    fn distribute_rejects_wrong_shape() {
+        let spec = fig1a();
+        let a = deterministic_matrix(8, 8);
+        distribute(&spec, &a, &a);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not tile")]
+    fn assemble_rejects_missing_blocks() {
+        let spec = fig1a();
+        let a = deterministic_matrix(16, 16);
+        let ranks = distribute(&spec, &a, &a);
+        // Drop rank 2's block.
+        let blocks: Vec<_> = ranks[..2].iter().map(|r| r.a_blocks.clone()).collect();
+        assemble(&spec, &blocks);
+    }
+}

@@ -1,0 +1,325 @@
+//! The three SummaGen stages (Figures 2, 3 and 4 of the paper),
+//! generalized to arbitrary grids and processor counts.
+
+use summagen_comm::{Communicator, Payload};
+use summagen_matrix::{copy_block, DenseMatrix, GemmKernel};
+use summagen_partition::{PartitionSpec, ProcBlock};
+
+use crate::rankdata::RankMatrices;
+
+/// Label space separating row communicators from column communicators.
+const ROW_LABEL_BASE: u64 = 1 << 20;
+const COL_LABEL_BASE: u64 = 1 << 21;
+
+/// Working storage of one rank during a real-numeric run: `WA` holds the
+/// needed sub-partition rows of `A` (local rows × n) and `WB` the needed
+/// sub-partition columns of `B` (n × local cols).
+pub(crate) struct Workspace {
+    /// WA buffer, row-major with leading dimension `n`.
+    pub wa: Vec<f64>,
+    /// Local row offset of each grid row in WA (None = not needed).
+    pub wa_row_off: Vec<Option<usize>>,
+    /// WB buffer, row-major with leading dimension `wb_width`.
+    pub wb: Vec<f64>,
+    /// Local column offset of each grid column in WB (None = not needed).
+    pub wb_col_off: Vec<Option<usize>>,
+    /// Total width of WB.
+    pub wb_width: usize,
+}
+
+impl Workspace {
+    /// Allocates working matrices sized for `rank`'s participation.
+    pub fn for_rank(spec: &PartitionSpec, rank: usize) -> Self {
+        let n = spec.n;
+        let mut wa_row_off = vec![None; spec.grid_rows];
+        let mut local_rows = 0;
+        for bi in 0..spec.grid_rows {
+            if spec.row_contains(rank, bi) {
+                wa_row_off[bi] = Some(local_rows);
+                local_rows += spec.heights[bi];
+            }
+        }
+        let mut wb_col_off = vec![None; spec.grid_cols];
+        let mut local_cols = 0;
+        for bj in 0..spec.grid_cols {
+            if spec.col_contains(rank, bj) {
+                wb_col_off[bj] = Some(local_cols);
+                local_cols += spec.widths[bj];
+            }
+        }
+        Self {
+            wa: vec![0.0; local_rows * n],
+            wa_row_off,
+            wb: vec![0.0; n * local_cols],
+            wb_col_off,
+            wb_width: local_cols,
+        }
+    }
+}
+
+/// Per-rank execution state threaded through the three stages.
+pub(crate) enum StageData<'a> {
+    /// Real numeric execution with materialized blocks and workspaces.
+    Real {
+        data: &'a RankMatrices,
+        ws: Workspace,
+        kernel: GemmKernel,
+    },
+    /// Size-only execution: no element data moves or is stored.
+    Phantom,
+}
+
+/// The sorted list of processors owning at least one sub-partition in grid
+/// row `bi`.
+fn row_participants(spec: &PartitionSpec, bi: usize) -> Vec<usize> {
+    (0..spec.nprocs)
+        .filter(|&p| spec.row_contains(p, bi))
+        .collect()
+}
+
+/// The sorted list of processors owning at least one sub-partition in grid
+/// column `bj`.
+fn col_participants(spec: &PartitionSpec, bj: usize) -> Vec<usize> {
+    (0..spec.nprocs)
+        .filter(|&p| spec.col_contains(p, bj))
+        .collect()
+}
+
+/// Stage 1 (Fig. 2): horizontal communications of `A`. After this call,
+/// every rank holds (or, in phantom mode, has paid the communication cost
+/// for) all `A` elements of every sub-partition row it participates in.
+pub(crate) fn horizontal_a(
+    comm: &Communicator,
+    spec: &PartitionSpec,
+    rank: usize,
+    state: &mut StageData<'_>,
+) {
+    for bi in 0..spec.grid_rows {
+        if !spec.row_contains(rank, bi) {
+            continue;
+        }
+        let participants = row_participants(spec, bi);
+        if participants.len() == 1 {
+            // Special case (Fig. 2 line 8): the whole row is ours — copy
+            // locally, no communication.
+            if let StageData::Real { data, ws, .. } = state {
+                for bj in 0..spec.grid_cols {
+                    let blk = owned_block(spec, bi, bj);
+                    let m = data.a_block(bi, bj).expect("missing own A block");
+                    stash_wa(spec, ws, &blk, m.as_slice());
+                }
+            }
+            continue;
+        }
+        let mut row_comm = comm
+            .subgroup(&participants, ROW_LABEL_BASE + bi as u64)
+            .expect("participant missing from its row communicator");
+        for bj in 0..spec.grid_cols {
+            let owner = spec.owner(bi, bj);
+            let root = participants
+                .iter()
+                .position(|&p| p == owner)
+                .expect("owner not in row communicator");
+            let blk = owned_block(spec, bi, bj);
+            let payload = match state {
+                StageData::Real { data, .. } if owner == rank => Payload::F64(
+                    data.a_block(bi, bj)
+                        .expect("missing own A block")
+                        .as_slice()
+                        .to_vec(),
+                ),
+                StageData::Real { .. } => Payload::F64(Vec::new()),
+                StageData::Phantom => Payload::Phantom { elems: blk.area() },
+            };
+            let received = row_comm.bcast(root, payload);
+            if let StageData::Real { ws, .. } = state {
+                stash_wa(spec, ws, &blk, &received.into_f64());
+            }
+        }
+    }
+}
+
+/// Stage 2 (Fig. 3): vertical communications of `B`, symmetric to stage 1
+/// over sub-partition columns.
+pub(crate) fn vertical_b(
+    comm: &Communicator,
+    spec: &PartitionSpec,
+    rank: usize,
+    state: &mut StageData<'_>,
+) {
+    for bj in 0..spec.grid_cols {
+        if !spec.col_contains(rank, bj) {
+            continue;
+        }
+        let participants = col_participants(spec, bj);
+        if participants.len() == 1 {
+            if let StageData::Real { data, ws, .. } = state {
+                for bi in 0..spec.grid_rows {
+                    let blk = owned_block(spec, bi, bj);
+                    let m = data.b_block(bi, bj).expect("missing own B block");
+                    stash_wb(spec, ws, &blk, m.as_slice());
+                }
+            }
+            continue;
+        }
+        let mut col_comm = comm
+            .subgroup(&participants, COL_LABEL_BASE + bj as u64)
+            .expect("participant missing from its column communicator");
+        for bi in 0..spec.grid_rows {
+            let owner = spec.owner(bi, bj);
+            let root = participants
+                .iter()
+                .position(|&p| p == owner)
+                .expect("owner not in column communicator");
+            let blk = owned_block(spec, bi, bj);
+            let payload = match state {
+                StageData::Real { data, .. } if owner == rank => Payload::F64(
+                    data.b_block(bi, bj)
+                        .expect("missing own B block")
+                        .as_slice()
+                        .to_vec(),
+                ),
+                StageData::Real { .. } => Payload::F64(Vec::new()),
+                StageData::Phantom => Payload::Phantom { elems: blk.area() },
+            };
+            let received = col_comm.bcast(root, payload);
+            if let StageData::Real { ws, .. } = state {
+                stash_wb(spec, ws, &blk, &received.into_f64());
+            }
+        }
+    }
+}
+
+/// Stage 3 (Fig. 4): local computations, one DGEMM per owned sub-partition
+/// (`height × n` times `n × width`). Returns the computed `C` blocks (empty
+/// in phantom mode) and the total flops performed.
+pub(crate) fn local_compute(
+    comm: &Communicator,
+    spec: &PartitionSpec,
+    rank: usize,
+    state: &mut StageData<'_>,
+    block_compute_seconds: impl Fn(&ProcBlock) -> f64,
+) -> (Vec<(ProcBlock, DenseMatrix)>, f64) {
+    let n = spec.n;
+    let mut out = Vec::new();
+    let mut total_flops = 0.0;
+    for blk in spec.blocks_of(rank) {
+        let flops = 2.0 * blk.rows as f64 * blk.cols as f64 * n as f64;
+        total_flops += flops;
+        match state {
+            StageData::Real { ws, kernel, .. } => {
+                let a_off = ws.wa_row_off[blk.block_i].expect("WA row missing") * n;
+                let b_off = ws.wb_col_off[blk.block_j].expect("WB column missing");
+                let mut c = DenseMatrix::zeros(blk.rows, blk.cols);
+                kernel.run(
+                    blk.rows,
+                    blk.cols,
+                    n,
+                    1.0,
+                    &ws.wa[a_off..],
+                    n,
+                    &ws.wb[b_off..],
+                    ws.wb_width,
+                    0.0,
+                    c.as_mut_slice(),
+                    blk.cols,
+                );
+                out.push((blk, c));
+            }
+            StageData::Phantom => {}
+        }
+        comm.advance_compute(block_compute_seconds(&blk));
+    }
+    (out, total_flops)
+}
+
+/// The block descriptor at grid position `(bi, bj)` regardless of owner.
+fn owned_block(spec: &PartitionSpec, bi: usize, bj: usize) -> ProcBlock {
+    ProcBlock {
+        block_i: bi,
+        block_j: bj,
+        row: spec.row_offset(bi),
+        col: spec.col_offset(bj),
+        rows: spec.heights[bi],
+        cols: spec.widths[bj],
+    }
+}
+
+/// Stores an `A` block (row-major `blk.rows × blk.cols`) into WA.
+fn stash_wa(spec: &PartitionSpec, ws: &mut Workspace, blk: &ProcBlock, src: &[f64]) {
+    let n = spec.n;
+    let local = ws.wa_row_off[blk.block_i].expect("WA row missing") ;
+    let dst_start = local * n + blk.col;
+    copy_block(
+        &mut ws.wa[dst_start..],
+        n,
+        src,
+        blk.cols,
+        blk.rows,
+        blk.cols,
+    );
+}
+
+/// Stores a `B` block into WB.
+fn stash_wb(_spec: &PartitionSpec, ws: &mut Workspace, blk: &ProcBlock, src: &[f64]) {
+    let local = ws.wb_col_off[blk.block_j].expect("WB column missing");
+    let dst_start = blk.row * ws.wb_width + local;
+    copy_block(
+        &mut ws.wb[dst_start..],
+        ws.wb_width,
+        src,
+        blk.cols,
+        blk.rows,
+        blk.cols,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1a() -> PartitionSpec {
+        PartitionSpec::new(
+            vec![0, 1, 1, 1, 1, 1, 1, 1, 2],
+            vec![9, 3, 4],
+            vec![9, 3, 4],
+            3,
+        )
+    }
+
+    #[test]
+    fn participants_for_fig1a() {
+        let s = fig1a();
+        assert_eq!(row_participants(&s, 0), vec![0, 1]);
+        assert_eq!(row_participants(&s, 1), vec![1]);
+        assert_eq!(row_participants(&s, 2), vec![1, 2]);
+        assert_eq!(col_participants(&s, 0), vec![0, 1]);
+        assert_eq!(col_participants(&s, 2), vec![1, 2]);
+    }
+
+    #[test]
+    fn workspace_sizes_match_participation() {
+        let s = fig1a();
+        // Rank 0 participates in grid row 0 (9 rows) and column 0 (9 cols).
+        let ws = Workspace::for_rank(&s, 0);
+        assert_eq!(ws.wa.len(), 9 * 16);
+        assert_eq!(ws.wb.len(), 16 * 9);
+        assert_eq!(ws.wa_row_off, vec![Some(0), None, None]);
+        assert_eq!(ws.wb_col_off, vec![Some(0), None, None]);
+        // Rank 1 participates everywhere.
+        let ws1 = Workspace::for_rank(&s, 1);
+        assert_eq!(ws1.wa.len(), 16 * 16);
+        assert_eq!(ws1.wb_width, 16);
+        // Rank 2: row 2 (4 rows), column 2 (4 cols).
+        let ws2 = Workspace::for_rank(&s, 2);
+        assert_eq!(ws2.wa.len(), 4 * 16);
+        assert_eq!(ws2.wb_col_off, vec![None, None, Some(0)]);
+    }
+
+    #[test]
+    fn owned_block_positions() {
+        let s = fig1a();
+        let b = owned_block(&s, 2, 1);
+        assert_eq!((b.row, b.col, b.rows, b.cols), (12, 9, 4, 3));
+    }
+}

@@ -1,0 +1,182 @@
+//! Strided block copies — the Rust equivalent of the paper's `copy_matrix`.
+//!
+//! SummaGen moves rectangular blocks between the global matrices, temporary
+//! broadcast buffers, and the working matrices `WA`/`WB`. All of those are
+//! row-major buffers with different leading dimensions, so the fundamental
+//! operation is "copy an `h x w` window from one strided buffer to another".
+
+/// A rectangular window into a row-major buffer, identified by its top-left
+/// corner and extent. Used to describe sub-partitions of the global matrices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Block {
+    /// First row of the window.
+    pub row: usize,
+    /// First column of the window.
+    pub col: usize,
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl Block {
+    /// Creates a block descriptor.
+    pub fn new(row: usize, col: usize, rows: usize, cols: usize) -> Self {
+        Self {
+            row,
+            col,
+            rows,
+            cols,
+        }
+    }
+
+    /// Number of elements covered by the block.
+    pub fn area(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Half-perimeter `h + w` — proportional to the communication volume a
+    /// processor owning this block incurs in PMM (Section II of the paper).
+    pub fn half_perimeter(&self) -> usize {
+        self.rows + self.cols
+    }
+
+    /// Whether the block is empty (zero rows or columns).
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// Whether `self` and `other` overlap in at least one element.
+    pub fn intersects(&self, other: &Block) -> bool {
+        if self.is_empty() || other.is_empty() {
+            return false;
+        }
+        self.row < other.row + other.rows
+            && other.row < self.row + self.rows
+            && self.col < other.col + other.cols
+            && other.col < self.col + self.cols
+    }
+
+    /// Whether the block fits inside an `n x n` matrix.
+    pub fn fits_in(&self, n: usize) -> bool {
+        self.row + self.rows <= n && self.col + self.cols <= n
+    }
+}
+
+/// Copies an `h x w` window between two row-major strided buffers.
+///
+/// `src` starts at the window's top-left element and has leading dimension
+/// `src_ld`; likewise for `dst`/`dst_ld`. This is the direct analogue of the
+/// `copy_matrix` helper in the paper's Figures 2 and 3.
+///
+/// # Panics
+/// Panics if either buffer is too short for the requested window, or if a
+/// leading dimension is smaller than `w` (rows would overlap).
+pub fn copy_block(dst: &mut [f64], dst_ld: usize, src: &[f64], src_ld: usize, h: usize, w: usize) {
+    if h == 0 || w == 0 {
+        return;
+    }
+    assert!(src_ld >= w, "src leading dimension {src_ld} < width {w}");
+    assert!(dst_ld >= w, "dst leading dimension {dst_ld} < width {w}");
+    assert!(
+        src.len() >= (h - 1) * src_ld + w,
+        "src buffer too short: len {} for {h}x{w} with ld {src_ld}",
+        src.len()
+    );
+    assert!(
+        dst.len() >= (h - 1) * dst_ld + w,
+        "dst buffer too short: len {} for {h}x{w} with ld {dst_ld}",
+        dst.len()
+    );
+    for i in 0..h {
+        let s = &src[i * src_ld..i * src_ld + w];
+        dst[i * dst_ld..i * dst_ld + w].copy_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DenseMatrix;
+
+    #[test]
+    fn block_area_and_half_perimeter() {
+        let b = Block::new(0, 0, 9, 4);
+        assert_eq!(b.area(), 36);
+        assert_eq!(b.half_perimeter(), 13);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn empty_block_detection() {
+        assert!(Block::new(1, 1, 0, 5).is_empty());
+        assert!(Block::new(1, 1, 5, 0).is_empty());
+        assert!(!Block::new(1, 1, 1, 1).is_empty());
+    }
+
+    #[test]
+    fn intersects_detects_overlap_and_disjoint() {
+        let a = Block::new(0, 0, 4, 4);
+        let b = Block::new(3, 3, 4, 4); // overlaps at (3,3)
+        let c = Block::new(4, 0, 2, 2); // touches below, no overlap
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        assert!(!a.intersects(&Block::new(0, 4, 4, 4)));
+    }
+
+    #[test]
+    fn empty_blocks_never_intersect() {
+        let a = Block::new(0, 0, 4, 4);
+        let e = Block::new(1, 1, 0, 4);
+        assert!(!a.intersects(&e));
+        assert!(!e.intersects(&a));
+    }
+
+    #[test]
+    fn fits_in_boundary_cases() {
+        assert!(Block::new(0, 0, 16, 16).fits_in(16));
+        assert!(Block::new(12, 12, 4, 4).fits_in(16));
+        assert!(!Block::new(12, 12, 5, 4).fits_in(16));
+    }
+
+    #[test]
+    fn copy_block_moves_window_between_strides() {
+        // Source: 4x4 matrix, copy the 2x3 window at (1,1) into a 2x3 dest.
+        let src = DenseMatrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let mut dst = vec![0.0; 6];
+        let off = 1 * 4 + 1;
+        copy_block(&mut dst, 3, &src.as_slice()[off..], 4, 2, 3);
+        assert_eq!(dst, vec![5.0, 6.0, 7.0, 9.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn copy_block_into_larger_stride() {
+        let src = vec![1.0, 2.0, 3.0, 4.0]; // 2x2, ld 2
+        let mut dst = vec![0.0; 12]; // 3x4, ld 4; place at row 0 col 1
+        copy_block(&mut dst[1..], 4, &src, 2, 2, 2);
+        assert_eq!(dst, vec![0.0, 1.0, 2.0, 0.0, 0.0, 3.0, 4.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn copy_block_zero_size_is_noop() {
+        let mut dst = vec![7.0; 4];
+        copy_block(&mut dst, 2, &[], 2, 0, 2);
+        copy_block(&mut dst, 2, &[], 2, 2, 0);
+        assert_eq!(dst, vec![7.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "src buffer too short")]
+    fn copy_block_panics_on_short_source() {
+        let mut dst = vec![0.0; 9];
+        copy_block(&mut dst, 3, &[1.0, 2.0], 3, 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "leading dimension")]
+    fn copy_block_panics_on_bad_ld() {
+        let mut dst = vec![0.0; 9];
+        copy_block(&mut dst, 1, &[1.0; 9], 3, 2, 2);
+    }
+}

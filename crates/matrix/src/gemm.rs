@@ -1,0 +1,369 @@
+//! GEMM kernels operating on strided row-major submatrices.
+//!
+//! All kernels compute `C = alpha * A * B + beta * C` where `A` is `m x k`
+//! with leading dimension `lda`, `B` is `k x n` with leading dimension `ldb`,
+//! and `C` is `m x n` with leading dimension `ldc`. The slices start at the
+//! top-left element of each submatrix, which lets SummaGen multiply windows
+//! of `WA` and `WB` straight into a window of the local `C` partition — the
+//! same calling convention as the vendor DGEMM the paper wraps in
+//! `localDgemm` (Fig. 4).
+
+use rayon::prelude::*;
+
+/// Selects which local-computation kernel SummaGen uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GemmKernel {
+    /// Triple-loop reference kernel. Slow; used for verification.
+    Naive,
+    /// Cache-blocked serial kernel.
+    Blocked,
+    /// Cache-blocked kernel parallelized over row panels with rayon. This is
+    /// the "multi-threaded CPU kernel" analogue of the paper's MKL DGEMM.
+    #[default]
+    Parallel,
+}
+
+impl GemmKernel {
+    /// Runs the selected kernel.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run(
+        &self,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f64,
+        a: &[f64],
+        lda: usize,
+        b: &[f64],
+        ldb: usize,
+        beta: f64,
+        c: &mut [f64],
+        ldc: usize,
+    ) {
+        match self {
+            GemmKernel::Naive => gemm_naive(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc),
+            GemmKernel::Blocked => gemm_blocked(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc),
+            GemmKernel::Parallel => gemm_parallel(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc),
+        }
+    }
+}
+
+fn check_dims(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    c: &[f64],
+    ldc: usize,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    assert!(k == 0 || lda >= k, "lda {lda} < k {k}");
+    assert!(ldb >= n, "ldb {ldb} < n {n}");
+    assert!(ldc >= n, "ldc {ldc} < n {n}");
+    if k > 0 {
+        assert!(
+            a.len() >= (m - 1) * lda + k,
+            "A buffer too short: {} for {m}x{k} ld {lda}",
+            a.len()
+        );
+        assert!(
+            b.len() >= (k - 1) * ldb + n,
+            "B buffer too short: {} for {k}x{n} ld {ldb}",
+            b.len()
+        );
+    }
+    assert!(
+        c.len() >= (m - 1) * ldc + n,
+        "C buffer too short: {} for {m}x{n} ld {ldc}",
+        c.len()
+    );
+}
+
+/// Reference triple-loop GEMM. `C = alpha*A*B + beta*C`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_naive(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    check_dims(m, n, k, a, lda, b, ldb, c, ldc);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for l in 0..k {
+                acc += a[i * lda + l] * b[l * ldb + j];
+            }
+            c[i * ldc + j] = alpha * acc + beta * c[i * ldc + j];
+        }
+    }
+}
+
+/// Tile sizes for the blocked kernel, chosen so a `MC x KC` panel of `A`
+/// plus a `KC x NC` panel of `B` fit comfortably in L2.
+const MC: usize = 64;
+const KC: usize = 256;
+const NC: usize = 512;
+
+/// Cache-blocked serial GEMM. `C = alpha*A*B + beta*C`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_blocked(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    check_dims(m, n, k, a, lda, b, ldb, c, ldc);
+    if m == 0 || n == 0 {
+        return;
+    }
+    // Apply beta once up front, then accumulate alpha*A*B.
+    if beta != 1.0 {
+        for i in 0..m {
+            for x in &mut c[i * ldc..i * ldc + n] {
+                *x *= beta;
+            }
+        }
+    }
+    if k == 0 || alpha == 0.0 {
+        return;
+    }
+    for j0 in (0..n).step_by(NC) {
+        let nb = NC.min(n - j0);
+        for l0 in (0..k).step_by(KC) {
+            let kb = KC.min(k - l0);
+            for i0 in (0..m).step_by(MC) {
+                let mb = MC.min(m - i0);
+                // Micro-kernel: i-k-j loop order so the innermost loop
+                // streams contiguously through B and C rows, letting the
+                // compiler auto-vectorize.
+                for i in i0..i0 + mb {
+                    let crow = &mut c[i * ldc + j0..i * ldc + j0 + nb];
+                    for l in l0..l0 + kb {
+                        let av = alpha * a[i * lda + l];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let brow = &b[l * ldb + j0..l * ldb + j0 + nb];
+                        for (cx, bx) in crow.iter_mut().zip(brow) {
+                            *cx += av * bx;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Rayon-parallel GEMM: row panels of `C` are computed independently with
+/// the blocked kernel. `C = alpha*A*B + beta*C`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_parallel(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    check_dims(m, n, k, a, lda, b, ldb, c, ldc);
+    if m == 0 || n == 0 {
+        return;
+    }
+    // Small problems are not worth the fork-join overhead.
+    if m * n * k < 64 * 64 * 64 {
+        return gemm_blocked(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    }
+    // Trim C so the last chunk ends exactly at the final row's data; then
+    // every `ldc`-sized chunk is one C row (the final one may be shorter but
+    // still holds >= n elements of payload).
+    let c = &mut c[..(m - 1) * ldc + n];
+    c.par_chunks_mut(ldc)
+        .enumerate()
+        .for_each(|(i, crow)| {
+            gemm_blocked(1, n, k, alpha, &a[i * lda..], lda, b, ldb, beta, crow, ldc);
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{deterministic_matrix, gemm_tolerance, random_matrix, DenseMatrix};
+
+    /// Reference multiply on whole matrices.
+    fn mul_ref(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+        let mut c = DenseMatrix::zeros(a.rows(), b.cols());
+        gemm_naive(
+            a.rows(),
+            b.cols(),
+            a.cols(),
+            1.0,
+            a.as_slice(),
+            a.cols(),
+            b.as_slice(),
+            b.cols(),
+            0.0,
+            c.as_mut_slice(),
+            b.cols(),
+        );
+        c
+    }
+
+    fn run_kernel(kernel: GemmKernel, a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+        let mut c = DenseMatrix::zeros(a.rows(), b.cols());
+        kernel.run(
+            a.rows(),
+            b.cols(),
+            a.cols(),
+            1.0,
+            a.as_slice(),
+            a.cols(),
+            b.as_slice(),
+            b.cols(),
+            0.0,
+            c.as_mut_slice(),
+            b.cols(),
+        );
+        c
+    }
+
+    #[test]
+    fn identity_is_neutral_for_all_kernels() {
+        let a = deterministic_matrix(17, 17);
+        let id = DenseMatrix::identity(17);
+        for kernel in [GemmKernel::Naive, GemmKernel::Blocked, GemmKernel::Parallel] {
+            let c = run_kernel(kernel, &a, &id);
+            assert!(crate::approx_eq(&c, &a, 1e-12), "kernel {kernel:?}");
+        }
+    }
+
+    #[test]
+    fn blocked_matches_naive_on_awkward_sizes() {
+        // Sizes straddling the tile boundaries (MC=64, KC=256, NC=512).
+        for (m, n, k) in [(1, 1, 1), (3, 5, 7), (64, 64, 64), (65, 63, 257), (130, 70, 300)] {
+            let a = random_matrix(m, k, 42);
+            let b = random_matrix(k, n, 43);
+            let c1 = mul_ref(&a, &b);
+            let c2 = run_kernel(GemmKernel::Blocked, &a, &b);
+            assert!(
+                crate::approx_eq(&c1, &c2, gemm_tolerance(k) * 100.0),
+                "mismatch at {m}x{n}x{k}: {}",
+                crate::max_abs_diff(&c1, &c2)
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_naive() {
+        let a = random_matrix(90, 110, 7);
+        let b = random_matrix(110, 75, 8);
+        let c1 = mul_ref(&a, &b);
+        let c2 = run_kernel(GemmKernel::Parallel, &a, &b);
+        assert!(crate::approx_eq(&c1, &c2, gemm_tolerance(110) * 100.0));
+    }
+
+    #[test]
+    fn beta_accumulates_existing_c() {
+        let a = random_matrix(10, 10, 1);
+        let b = random_matrix(10, 10, 2);
+        let mut c = random_matrix(10, 10, 3);
+        let c0 = c.clone();
+        let prod = mul_ref(&a, &b);
+        gemm_blocked(
+            10, 10, 10, 2.0,
+            a.as_slice(), 10,
+            b.as_slice(), 10,
+            0.5,
+            c.as_mut_slice(), 10,
+        );
+        for i in 0..10 {
+            for j in 0..10 {
+                let want = 2.0 * prod.get(i, j) + 0.5 * c0.get(i, j);
+                assert!((c.get(i, j) - want).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn strided_submatrix_multiply() {
+        // Multiply the 3x4 window of A at (1,2) by the 4x2 window of B at
+        // (0,1), writing into a 3x2 window of C at (2,3).
+        let a = random_matrix(8, 8, 10);
+        let b = random_matrix(8, 8, 11);
+        let mut c = DenseMatrix::zeros(8, 8);
+        let (m, n, k) = (3, 2, 4);
+        gemm_blocked(
+            m, n, k, 1.0,
+            &a.as_slice()[1 * 8 + 2..], 8,
+            &b.as_slice()[0 * 8 + 1..], 8,
+            0.0,
+            &mut c.as_mut_slice()[2 * 8 + 3..], 8,
+        );
+        let want = mul_ref(&a.submatrix(1, 2, m, k), &b.submatrix(0, 1, k, n));
+        assert!(crate::approx_eq(&c.submatrix(2, 3, m, n), &want, 1e-10));
+        // Outside the window C stays zero.
+        assert_eq!(c.get(0, 0), 0.0);
+        assert_eq!(c.get(7, 7), 0.0);
+        assert_eq!(c.get(2, 2), 0.0);
+    }
+
+    #[test]
+    fn zero_k_scales_c_by_beta_only() {
+        let mut c = DenseMatrix::from_fn(3, 3, |_, _| 4.0);
+        gemm_blocked(3, 3, 0, 1.0, &[], 1, &[], 3, 0.25, c.as_mut_slice(), 3);
+        assert!(c.as_slice().iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn zero_m_or_n_is_noop() {
+        let mut c = vec![9.0; 4];
+        gemm_blocked(0, 2, 2, 1.0, &[1.0; 4], 2, &[1.0; 4], 2, 0.0, &mut c, 2);
+        gemm_parallel(2, 0, 2, 1.0, &[1.0; 4], 2, &[1.0; 4], 2, 0.0, &mut c, 2);
+        assert_eq!(c, vec![9.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "A buffer too short")]
+    fn rejects_short_a_buffer() {
+        let mut c = vec![0.0; 4];
+        gemm_naive(2, 2, 2, 1.0, &[1.0; 3], 2, &[1.0; 4], 2, 0.0, &mut c, 2);
+    }
+
+    #[test]
+    fn alpha_zero_only_applies_beta() {
+        let a = random_matrix(5, 5, 20);
+        let b = random_matrix(5, 5, 21);
+        let mut c = DenseMatrix::from_fn(5, 5, |i, j| (i + j) as f64);
+        let expect = {
+            let mut e = c.clone();
+            e.scale(3.0);
+            e
+        };
+        gemm_blocked(5, 5, 5, 0.0, a.as_slice(), 5, b.as_slice(), 5, 3.0, c.as_mut_slice(), 5);
+        assert!(crate::approx_eq(&c, &expect, 1e-12));
+    }
+}

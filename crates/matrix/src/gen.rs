@@ -1,0 +1,119 @@
+//! Deterministic and random matrix generators for tests and workloads.
+
+use crate::DenseMatrix;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A seeded RNG so workloads are reproducible across runs.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A matrix of uniform random values in `[-1, 1)`, seeded for
+/// reproducibility.
+pub fn random_matrix(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    let mut rng = seeded_rng(seed);
+    DenseMatrix::from_fn(rows, cols, |_, _| rng.random_range(-1.0..1.0))
+}
+
+/// A deterministic, position-dependent matrix that is cheap to regenerate
+/// and makes element routing errors (swapped blocks, off-by-one copies)
+/// immediately visible.
+pub fn deterministic_matrix(rows: usize, cols: usize) -> DenseMatrix {
+    DenseMatrix::from_fn(rows, cols, |i, j| {
+        (i as f64) * 1e-3 + (j as f64) * 1e-6 + 1.0
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_matrix_is_reproducible() {
+        let a = random_matrix(6, 7, 99);
+        let b = random_matrix(6, 7, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_matrix(6, 7, 1);
+        let b = random_matrix(6, 7, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn random_values_in_range() {
+        let a = random_matrix(20, 20, 5);
+        assert!(a.as_slice().iter().all(|&x| (-1.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn deterministic_matrix_distinguishes_positions() {
+        let m = deterministic_matrix(10, 10);
+        assert_ne!(m.get(1, 2), m.get(2, 1));
+        assert_ne!(m.get(0, 0), m.get(0, 1));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::gemm::{gemm_blocked, gemm_naive, gemm_parallel};
+    use crate::{gemm_tolerance, max_abs_diff, DenseMatrix};
+    use proptest::prelude::*;
+
+    fn mul(kernel: fn(usize, usize, usize, f64, &[f64], usize, &[f64], usize, f64, &mut [f64], usize),
+           a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+        let mut c = DenseMatrix::zeros(a.rows(), b.cols());
+        kernel(
+            a.rows(), b.cols(), a.cols(), 1.0,
+            a.as_slice(), a.cols(),
+            b.as_slice(), b.cols(),
+            0.0,
+            c.as_mut_slice(), b.cols(),
+        );
+        c
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Property: all three kernels agree on random sizes and data.
+        #[test]
+        fn kernels_agree(m in 1usize..40, n in 1usize..40, k in 0usize..80, seed in 0u64..1000) {
+            let a = random_matrix(m, k, seed);
+            let b = random_matrix(k, n, seed.wrapping_add(1));
+            let c0 = mul(gemm_naive, &a, &b);
+            let c1 = mul(gemm_blocked, &a, &b);
+            let c2 = mul(gemm_parallel, &a, &b);
+            let tol = gemm_tolerance(k) * 100.0;
+            prop_assert!(max_abs_diff(&c0, &c1) <= tol);
+            prop_assert!(max_abs_diff(&c0, &c2) <= tol);
+        }
+
+        /// Property: (A*B)^T == B^T * A^T.
+        #[test]
+        fn transpose_identity(m in 1usize..20, n in 1usize..20, k in 1usize..20, seed in 0u64..1000) {
+            let a = random_matrix(m, k, seed);
+            let b = random_matrix(k, n, seed.wrapping_add(7));
+            let lhs = mul(gemm_blocked, &a, &b).transpose();
+            let rhs = mul(gemm_blocked, &b.transpose(), &a.transpose());
+            prop_assert!(max_abs_diff(&lhs, &rhs) <= gemm_tolerance(k) * 100.0);
+        }
+
+        /// Property: submatrix/set_submatrix roundtrip for arbitrary windows.
+        #[test]
+        fn submatrix_roundtrip(rows in 1usize..30, cols in 1usize..30,
+                               i0 in 0usize..10, j0 in 0usize..10,
+                               h in 1usize..10, w in 1usize..10) {
+            prop_assume!(i0 + h <= rows && j0 + w <= cols);
+            let m = random_matrix(rows, cols, 3);
+            let s = m.submatrix(i0, j0, h, w);
+            let mut m2 = m.clone();
+            m2.set_submatrix(i0, j0, &s);
+            prop_assert_eq!(m2, m);
+        }
+    }
+}

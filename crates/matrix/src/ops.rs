@@ -1,0 +1,115 @@
+//! Elementwise operations and norms on dense matrices (BLAS-1 style
+//! surface for downstream users).
+
+use crate::dense::DenseMatrix;
+
+/// `y += alpha * x`, elementwise over equally-shaped matrices.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn axpy(alpha: f64, x: &DenseMatrix, y: &mut DenseMatrix) {
+    assert_eq!(
+        (x.rows(), x.cols()),
+        (y.rows(), y.cols()),
+        "shape mismatch in axpy"
+    );
+    for (yi, xi) in y.as_mut_slice().iter_mut().zip(x.as_slice()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Elementwise sum `a + b`.
+pub fn add(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    let mut out = a.clone();
+    axpy(1.0, b, &mut out);
+    out
+}
+
+/// Elementwise difference `a - b`.
+pub fn sub(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    let mut out = a.clone();
+    axpy(-1.0, b, &mut out);
+    out
+}
+
+/// Maximum-absolute-column-sum norm (`‖·‖₁`).
+pub fn norm_one(m: &DenseMatrix) -> f64 {
+    (0..m.cols())
+        .map(|j| (0..m.rows()).map(|i| m.get(i, j).abs()).sum::<f64>())
+        .fold(0.0, f64::max)
+}
+
+/// Maximum-absolute-row-sum norm (`‖·‖∞`).
+pub fn norm_inf(m: &DenseMatrix) -> f64 {
+    (0..m.rows())
+        .map(|i| m.row(i).iter().map(|x| x.abs()).sum::<f64>())
+        .fold(0.0, f64::max)
+}
+
+/// Largest absolute entry (`max` norm).
+pub fn norm_max(m: &DenseMatrix) -> f64 {
+    m.as_slice().iter().map(|x| x.abs()).fold(0.0, f64::max)
+}
+
+/// Whether every entry is finite (no NaN/Inf crept in).
+pub fn all_finite(m: &DenseMatrix) -> bool {
+    m.as_slice().iter().all(|x| x.is_finite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_matrix;
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = DenseMatrix::from_fn(2, 2, |_, _| 2.0);
+        let mut y = DenseMatrix::from_fn(2, 2, |_, _| 1.0);
+        axpy(3.0, &x, &mut y);
+        assert!(y.as_slice().iter().all(|&v| v == 7.0));
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = random_matrix(5, 7, 1);
+        let b = random_matrix(5, 7, 2);
+        let back = sub(&add(&a, &b), &b);
+        assert!(crate::approx_eq(&back, &a, 1e-12));
+    }
+
+    #[test]
+    fn norms_of_known_matrix() {
+        // [[1, -2], [3, 4]]: ||.||_1 = max(4, 6) = 6; ||.||_inf = max(3, 7) = 7.
+        let m = DenseMatrix::from_vec(2, 2, vec![1.0, -2.0, 3.0, 4.0]);
+        assert_eq!(norm_one(&m), 6.0);
+        assert_eq!(norm_inf(&m), 7.0);
+        assert_eq!(norm_max(&m), 4.0);
+    }
+
+    #[test]
+    fn norm_inequalities_hold() {
+        let m = random_matrix(8, 8, 3);
+        // ||A||_max <= ||A||_inf and ||A||_max <= ||A||_1.
+        assert!(norm_max(&m) <= norm_inf(&m) + 1e-15);
+        assert!(norm_max(&m) <= norm_one(&m) + 1e-15);
+        // For the transpose, the 1- and inf-norms swap.
+        let t = m.transpose();
+        assert!((norm_one(&m) - norm_inf(&t)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finite_detection() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        assert!(all_finite(&m));
+        m.set(0, 1, f64::NAN);
+        assert!(!all_finite(&m));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn axpy_rejects_mismatched_shapes() {
+        let x = DenseMatrix::zeros(2, 3);
+        let mut y = DenseMatrix::zeros(3, 2);
+        axpy(1.0, &x, &mut y);
+    }
+}

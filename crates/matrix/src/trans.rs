@@ -1,0 +1,230 @@
+//! Transposed GEMM variants: `C = alpha * op(A) * op(B) + beta * C` with
+//! `op ∈ {identity, transpose}` — the full calling surface of a BLAS-3
+//! `dgemm`, needed by downstream users of the library even though
+//! SummaGen itself only uses the non-transposed form.
+
+use crate::dense::DenseMatrix;
+use crate::gemm::gemm_blocked;
+
+/// Whether an operand is used as stored or transposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Trans {
+    /// Use the operand as stored.
+    #[default]
+    No,
+    /// Use the operand transposed.
+    Yes,
+}
+
+/// Packs `op(src)` (where `src` is `rows × cols` with leading dimension
+/// `ld`) into a fresh contiguous row-major buffer of the operated shape.
+fn pack(src: &[f64], rows: usize, cols: usize, ld: usize, trans: Trans) -> (Vec<f64>, usize, usize) {
+    match trans {
+        Trans::No => {
+            let mut out = Vec::with_capacity(rows * cols);
+            for i in 0..rows {
+                out.extend_from_slice(&src[i * ld..i * ld + cols]);
+            }
+            (out, rows, cols)
+        }
+        Trans::Yes => {
+            let mut out = vec![0.0; rows * cols];
+            for i in 0..rows {
+                for j in 0..cols {
+                    out[j * rows + i] = src[i * ld + j];
+                }
+            }
+            (out, cols, rows)
+        }
+    }
+}
+
+/// Full-form GEMM: `C = alpha * op(A) * op(B) + beta * C`.
+///
+/// `A` is stored `am × ak` with leading dimension `lda` (before `op`),
+/// `B` stored `bk × bn` with `ldb`, and `C` is `m × n` with `ldc`, where
+/// `m × k` and `k × n` are the *operated* shapes. Transposed operands are
+/// packed once into contiguous buffers and the blocked kernel is used —
+/// the standard pack-and-multiply strategy.
+///
+/// # Panics
+/// Panics if operated shapes are inconsistent with `C`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_trans(
+    transa: Trans,
+    transb: Trans,
+    alpha: f64,
+    a: &[f64],
+    am: usize,
+    ak: usize,
+    lda: usize,
+    b: &[f64],
+    bk: usize,
+    bn: usize,
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    let (pa, m, k1) = pack(a, am, ak, lda, transa);
+    let (pb, k2, n) = pack(b, bk, bn, ldb, transb);
+    assert_eq!(k1, k2, "inner dimensions differ: {k1} vs {k2}");
+    gemm_blocked(m, n, k1, alpha, &pa, k1.max(1), &pb, n.max(1), beta, c, ldc);
+}
+
+/// Convenience on whole matrices: `op(A) * op(B)`.
+pub fn mul_trans(a: &DenseMatrix, transa: Trans, b: &DenseMatrix, transb: Trans) -> DenseMatrix {
+    let (m, k1) = match transa {
+        Trans::No => (a.rows(), a.cols()),
+        Trans::Yes => (a.cols(), a.rows()),
+    };
+    let (k2, n) = match transb {
+        Trans::No => (b.rows(), b.cols()),
+        Trans::Yes => (b.cols(), b.rows()),
+    };
+    assert_eq!(k1, k2, "inner dimensions differ");
+    let mut c = DenseMatrix::zeros(m, n);
+    gemm_trans(
+        transa,
+        transb,
+        1.0,
+        a.as_slice(),
+        a.rows(),
+        a.cols(),
+        a.cols(),
+        b.as_slice(),
+        b.rows(),
+        b.cols(),
+        b.cols(),
+        0.0,
+        c.as_mut_slice(),
+        n.max(1),
+    );
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{approx_eq, gemm_tolerance, random_matrix};
+
+    fn naive_mul(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+        let mut c = DenseMatrix::zeros(a.rows(), b.cols());
+        crate::gemm::gemm_naive(
+            a.rows(),
+            b.cols(),
+            a.cols(),
+            1.0,
+            a.as_slice(),
+            a.cols(),
+            b.as_slice(),
+            b.cols(),
+            0.0,
+            c.as_mut_slice(),
+            b.cols(),
+        );
+        c
+    }
+
+    #[test]
+    fn nn_matches_plain_gemm() {
+        let a = random_matrix(7, 5, 1);
+        let b = random_matrix(5, 9, 2);
+        let c = mul_trans(&a, Trans::No, &b, Trans::No);
+        assert!(approx_eq(&c, &naive_mul(&a, &b), gemm_tolerance(5) * 100.0));
+    }
+
+    #[test]
+    fn tn_equals_explicit_transpose() {
+        let a = random_matrix(5, 7, 3); // op(A) = 7x5
+        let b = random_matrix(5, 4, 4);
+        let c = mul_trans(&a, Trans::Yes, &b, Trans::No);
+        let want = naive_mul(&a.transpose(), &b);
+        assert!(approx_eq(&c, &want, gemm_tolerance(5) * 100.0));
+    }
+
+    #[test]
+    fn nt_equals_explicit_transpose() {
+        let a = random_matrix(6, 5, 5);
+        let b = random_matrix(3, 5, 6); // op(B) = 5x3
+        let c = mul_trans(&a, Trans::No, &b, Trans::Yes);
+        let want = naive_mul(&a, &b.transpose());
+        assert!(approx_eq(&c, &want, gemm_tolerance(5) * 100.0));
+    }
+
+    #[test]
+    fn tt_equals_double_transpose() {
+        let a = random_matrix(5, 6, 7); // op(A) = 6x5
+        let b = random_matrix(4, 5, 8); // op(B) = 5x4
+        let c = mul_trans(&a, Trans::Yes, &b, Trans::Yes);
+        let want = naive_mul(&a.transpose(), &b.transpose());
+        assert!(approx_eq(&c, &want, gemm_tolerance(5) * 100.0));
+    }
+
+    #[test]
+    fn tt_is_transpose_of_reversed_product() {
+        // (A^T B^T) = (B A)^T.
+        let a = random_matrix(5, 6, 9);
+        let b = random_matrix(4, 5, 10);
+        let lhs = mul_trans(&a, Trans::Yes, &b, Trans::Yes);
+        let rhs = naive_mul(&b, &a).transpose();
+        assert!(approx_eq(&lhs, &rhs, gemm_tolerance(5) * 100.0));
+    }
+
+    #[test]
+    fn strided_transposed_operands() {
+        // op(A) from a window of a bigger buffer.
+        let big = random_matrix(10, 10, 11);
+        let a_window = big.submatrix(2, 3, 4, 6); // stored 4x6
+        let b = random_matrix(4, 3, 12);
+        let mut c = DenseMatrix::zeros(6, 3);
+        gemm_trans(
+            Trans::Yes,
+            Trans::No,
+            1.0,
+            &big.as_slice()[2 * 10 + 3..],
+            4,
+            6,
+            10,
+            b.as_slice(),
+            4,
+            3,
+            3,
+            0.0,
+            c.as_mut_slice(),
+            3,
+        );
+        let want = naive_mul(&a_window.transpose(), &b);
+        assert!(approx_eq(&c, &want, gemm_tolerance(4) * 100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn rejects_mismatched_inner_dims() {
+        let a = random_matrix(3, 4, 1);
+        let b = random_matrix(3, 4, 2);
+        mul_trans(&a, Trans::No, &b, Trans::No);
+    }
+
+    #[test]
+    fn alpha_beta_respected() {
+        let a = random_matrix(4, 4, 13);
+        let b = random_matrix(4, 4, 14);
+        let mut c = DenseMatrix::from_fn(4, 4, |_, _| 1.0);
+        gemm_trans(
+            Trans::No,
+            Trans::No,
+            2.0,
+            a.as_slice(), 4, 4, 4,
+            b.as_slice(), 4, 4, 4,
+            3.0,
+            c.as_mut_slice(), 4,
+        );
+        let want = {
+            let mut w = naive_mul(&a, &b);
+            w.scale(2.0);
+            DenseMatrix::from_fn(4, 4, |i, j| w.get(i, j) + 3.0)
+        };
+        assert!(approx_eq(&c, &want, 1e-10));
+    }
+}

@@ -1,0 +1,296 @@
+//! Borrowed matrix views: zero-copy windows into row-major buffers.
+//!
+//! SummaGen's working matrices (`WA`, `WB`, the local `C` partition) are
+//! all windows into larger buffers; these types give them a safe, typed
+//! API instead of raw `(&[f64], ld)` pairs.
+
+use crate::dense::DenseMatrix;
+use crate::gemm::gemm_blocked;
+
+/// An immutable `rows × cols` window with leading dimension `ld` into a
+/// row-major buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixView<'a> {
+    data: &'a [f64],
+    rows: usize,
+    cols: usize,
+    ld: usize,
+}
+
+impl<'a> MatrixView<'a> {
+    /// Wraps a strided buffer. `data` starts at the window's `(0, 0)`.
+    ///
+    /// # Panics
+    /// Panics if the buffer is too short or `ld < cols`.
+    pub fn new(data: &'a [f64], rows: usize, cols: usize, ld: usize) -> Self {
+        assert!(ld >= cols.max(1), "ld {ld} < cols {cols}");
+        if rows > 0 && cols > 0 {
+            assert!(
+                data.len() >= (rows - 1) * ld + cols,
+                "buffer too short: {} for {rows}x{cols} ld {ld}",
+                data.len()
+            );
+        }
+        Self {
+            data,
+            rows,
+            cols,
+            ld,
+        }
+    }
+
+    /// A view of an entire dense matrix.
+    pub fn of(m: &'a DenseMatrix) -> Self {
+        Self::new(m.as_slice(), m.rows(), m.cols(), m.cols())
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Leading dimension.
+    pub fn ld(&self) -> usize {
+        self.ld
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.ld + j]
+    }
+
+    /// The underlying strided buffer (starting at `(0, 0)`).
+    pub fn as_slice(&self) -> &[f64] {
+        self.data
+    }
+
+    /// A sub-window of this view.
+    ///
+    /// # Panics
+    /// Panics if the window does not fit.
+    pub fn window(&self, i0: usize, j0: usize, rows: usize, cols: usize) -> MatrixView<'a> {
+        assert!(
+            i0 + rows <= self.rows && j0 + cols <= self.cols,
+            "window out of bounds"
+        );
+        MatrixView::new(&self.data[i0 * self.ld + j0..], rows, cols, self.ld)
+    }
+
+    /// Copies the view into an owned matrix.
+    pub fn to_dense(&self) -> DenseMatrix {
+        DenseMatrix::from_fn(self.rows, self.cols, |i, j| self.get(i, j))
+    }
+}
+
+/// A mutable strided window.
+#[derive(Debug)]
+pub struct MatrixViewMut<'a> {
+    data: &'a mut [f64],
+    rows: usize,
+    cols: usize,
+    ld: usize,
+}
+
+impl<'a> MatrixViewMut<'a> {
+    /// Wraps a mutable strided buffer.
+    ///
+    /// # Panics
+    /// Panics if the buffer is too short or `ld < cols`.
+    pub fn new(data: &'a mut [f64], rows: usize, cols: usize, ld: usize) -> Self {
+        assert!(ld >= cols.max(1), "ld {ld} < cols {cols}");
+        if rows > 0 && cols > 0 {
+            assert!(
+                data.len() >= (rows - 1) * ld + cols,
+                "buffer too short: {} for {rows}x{cols} ld {ld}",
+                data.len()
+            );
+        }
+        Self {
+            data,
+            rows,
+            cols,
+            ld,
+        }
+    }
+
+    /// A mutable view of an entire dense matrix.
+    pub fn of(m: &'a mut DenseMatrix) -> Self {
+        let (rows, cols) = (m.rows(), m.cols());
+        Self::new(m.as_mut_slice(), rows, cols, cols)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.ld + j]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.ld + j] = v;
+    }
+
+    /// An immutable snapshot view of the same window.
+    pub fn as_view(&self) -> MatrixView<'_> {
+        MatrixView::new(self.data, self.rows, self.cols, self.ld)
+    }
+
+    /// `self = alpha * a * b + beta * self` — view-typed GEMM.
+    ///
+    /// # Panics
+    /// Panics if the shapes are incompatible.
+    pub fn gemm(&mut self, alpha: f64, a: MatrixView<'_>, b: MatrixView<'_>, beta: f64) {
+        assert_eq!(a.cols(), b.rows(), "inner dimensions differ");
+        assert_eq!(self.rows, a.rows(), "output rows");
+        assert_eq!(self.cols, b.cols(), "output cols");
+        gemm_blocked(
+            self.rows,
+            self.cols,
+            a.cols(),
+            alpha,
+            a.as_slice(),
+            a.ld(),
+            b.as_slice(),
+            b.ld(),
+            beta,
+            self.data,
+            self.ld,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{approx_eq, gemm_tolerance, random_matrix};
+
+    #[test]
+    fn view_of_dense_roundtrips() {
+        let m = random_matrix(5, 7, 1);
+        let v = MatrixView::of(&m);
+        assert_eq!(v.rows(), 5);
+        assert_eq!(v.cols(), 7);
+        assert_eq!(v.to_dense(), m);
+    }
+
+    #[test]
+    fn window_indexes_correctly() {
+        let m = DenseMatrix::from_fn(6, 6, |i, j| (i * 6 + j) as f64);
+        let v = MatrixView::of(&m).window(2, 3, 3, 2);
+        assert_eq!(v.get(0, 0), 15.0);
+        assert_eq!(v.get(2, 1), 28.0);
+        assert_eq!(v.to_dense(), m.submatrix(2, 3, 3, 2));
+    }
+
+    #[test]
+    fn nested_windows_compose() {
+        let m = DenseMatrix::from_fn(8, 8, |i, j| (i * 8 + j) as f64);
+        let v = MatrixView::of(&m).window(1, 1, 6, 6).window(2, 3, 2, 2);
+        assert_eq!(v.to_dense(), m.submatrix(3, 4, 2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "window out of bounds")]
+    fn oversized_window_panics() {
+        let m = DenseMatrix::zeros(4, 4);
+        MatrixView::of(&m).window(2, 2, 3, 1);
+    }
+
+    #[test]
+    fn mut_view_writes_through() {
+        let mut m = DenseMatrix::zeros(4, 4);
+        {
+            let mut v = MatrixViewMut::new(&mut m.as_mut_slice()[5..], 2, 2, 4);
+            v.set(0, 0, 1.0);
+            v.set(1, 1, 2.0);
+        }
+        assert_eq!(m.get(1, 1), 1.0);
+        assert_eq!(m.get(2, 2), 2.0);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn view_gemm_matches_dense_gemm() {
+        let a = random_matrix(6, 9, 2);
+        let b = random_matrix(9, 4, 3);
+        let mut c = DenseMatrix::zeros(6, 4);
+        MatrixViewMut::of(&mut c).gemm(1.0, MatrixView::of(&a), MatrixView::of(&b), 0.0);
+        let mut want = DenseMatrix::zeros(6, 4);
+        crate::gemm::gemm_naive(
+            6, 4, 9, 1.0,
+            a.as_slice(), 9,
+            b.as_slice(), 4,
+            0.0,
+            want.as_mut_slice(), 4,
+        );
+        assert!(approx_eq(&c, &want, gemm_tolerance(9) * 100.0));
+    }
+
+    #[test]
+    fn windowed_gemm_on_submatrices() {
+        // C[1..4, 0..2] = A[0..3, 2..7] * B[1..6, 3..5].
+        let a = random_matrix(5, 8, 4);
+        let b = random_matrix(8, 6, 5);
+        let mut c = DenseMatrix::zeros(6, 6);
+        let va = MatrixView::of(&a).window(0, 2, 3, 5);
+        let vb = MatrixView::of(&b).window(1, 3, 5, 2);
+        {
+            let c_slice = &mut c.as_mut_slice()[1 * 6..];
+            let mut vc = MatrixViewMut::new(c_slice, 3, 2, 6);
+            vc.gemm(1.0, va, vb, 0.0);
+        }
+        let want_block = {
+            let mut w = DenseMatrix::zeros(3, 2);
+            let sa = a.submatrix(0, 2, 3, 5);
+            let sb = b.submatrix(1, 3, 5, 2);
+            crate::gemm::gemm_naive(
+                3, 2, 5, 1.0,
+                sa.as_slice(), 5,
+                sb.as_slice(), 2,
+                0.0,
+                w.as_mut_slice(), 2,
+            );
+            w
+        };
+        assert!(approx_eq(&c.submatrix(1, 0, 3, 2), &want_block, 1e-10));
+        assert_eq!(c.get(0, 0), 0.0);
+        assert_eq!(c.get(5, 5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn gemm_rejects_mismatched_shapes() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(4, 2);
+        let mut c = DenseMatrix::zeros(2, 2);
+        MatrixViewMut::of(&mut c).gemm(1.0, MatrixView::of(&a), MatrixView::of(&b), 0.0);
+    }
+
+    #[test]
+    fn zero_sized_views_are_fine() {
+        let v = MatrixView::new(&[], 0, 0, 1);
+        assert_eq!(v.rows(), 0);
+        let d = v.to_dense();
+        assert_eq!(d.rows(), 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Theoretical communication bounds and approximation guarantees from the
+//! partitioning literature the paper builds on, as checkable quantities.
+//!
+//! * Every zone of area `a` has half-perimeter `c(Z) ≥ 2√a` (its covering
+//!   rectangle's perimeter is minimized by the square), so any partition
+//!   satisfies `Σ c(Zᵢ) ≥ LB = 2·Σ √aᵢ`.
+//! * Column-based rectangular partitioning is a 1.25-approximation of LB
+//!   (Nagamochi & Abe), improved to 1.15 under assumptions (Fügenschuh et
+//!   al.), and NRRP achieves `2/√3 ≈ 1.1547` with no assumptions
+//!   (Beaumont et al., reference [11]).
+//!
+//! The [`approximation_ratio`] helper measures where a concrete layout
+//! lands relative to the lower bound for its *achieved* areas, which is
+//! how the tests verify our partitioners stay inside the published
+//! guarantees (plus integer-rounding slack).
+
+use crate::cost::half_perimeter_lower_bound;
+use crate::spec::PartitionSpec;
+
+/// NRRP's approximation guarantee `2/√3` (reference [11]).
+pub const NRRP_GUARANTEE: f64 = 1.154_700_538_379_251_7;
+
+/// Nagamochi & Abe's recursive rectangular guarantee.
+pub const RECTANGULAR_GUARANTEE: f64 = 1.25;
+
+/// Fügenschuh et al.'s improved rectangular ratio (under assumptions).
+pub const RECTANGULAR_GUARANTEE_IMPROVED: f64 = 1.15;
+
+/// The ratio of a layout's total half-perimeter to the `2Σ√aᵢ` lower
+/// bound evaluated at the layout's *achieved* areas. Always ≥ 1 (up to
+/// floating error).
+pub fn approximation_ratio(spec: &PartitionSpec) -> f64 {
+    let areas: Vec<f64> = spec.areas().iter().map(|&a| a as f64).collect();
+    let lb = half_perimeter_lower_bound(&areas);
+    spec.total_half_perimeter() as f64 / lb
+}
+
+/// The lower bound itself, at the layout's achieved areas.
+pub fn lower_bound_of(spec: &PartitionSpec) -> f64 {
+    let areas: Vec<f64> = spec.areas().iter().map(|&a| a as f64).collect();
+    half_perimeter_lower_bound(&areas)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::columns::beaumont_column_layout;
+    use crate::distribution::proportional_areas;
+    use crate::nrrp::nrrp_layout;
+    use crate::shapes::ALL_FOUR_SHAPES;
+
+    #[test]
+    fn ratio_is_at_least_one_for_everything() {
+        let n = 300;
+        let areas = proportional_areas(n, &[1.0, 2.0, 0.9]);
+        for shape in ALL_FOUR_SHAPES {
+            let spec = shape.build(n, &areas);
+            assert!(approximation_ratio(&spec) >= 1.0 - 1e-12, "{}", shape.name());
+        }
+    }
+
+    #[test]
+    fn single_square_zone_attains_the_bound() {
+        let spec = PartitionSpec::new(vec![0], vec![64], vec![64], 1);
+        assert!((approximation_ratio(&spec) - 1.0).abs() < 1e-12);
+        assert!((lower_bound_of(&spec) - 128.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn column_layouts_respect_the_rectangular_guarantee() {
+        // Plus a little slack for integer rounding at moderate n.
+        for speeds in [
+            vec![1.0, 1.0, 1.0],
+            vec![1.0, 2.0, 0.9],
+            vec![3.0, 1.0, 0.5, 2.0],
+            vec![1.0; 6],
+        ] {
+            let spec = beaumont_column_layout(600, &speeds);
+            let r = approximation_ratio(&spec);
+            assert!(
+                r <= RECTANGULAR_GUARANTEE + 0.05,
+                "{speeds:?}: ratio {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn nrrp_respects_its_guarantee_with_rounding_slack() {
+        for speeds in [
+            vec![1.0, 1.0],
+            vec![6.0, 1.0],
+            vec![1.0, 2.0, 0.9],
+            vec![8.0, 4.0, 2.0, 1.0, 1.0],
+        ] {
+            let spec = nrrp_layout(840, &speeds);
+            let r = approximation_ratio(&spec);
+            assert!(r <= NRRP_GUARANTEE + 0.08, "{speeds:?}: ratio {r}");
+        }
+    }
+
+    #[test]
+    fn guarantees_are_ordered() {
+        // Note the subtlety the paper's Section I records: 2/√3 ≈ 1.1547
+        // is *numerically* slightly above the 1.15 of Fügenschuh et al.,
+        // but holds with no assumptions and for non-rectangular zones.
+        assert!(1.0 < NRRP_GUARANTEE);
+        assert!(RECTANGULAR_GUARANTEE_IMPROVED < NRRP_GUARANTEE);
+        assert!(NRRP_GUARANTEE < RECTANGULAR_GUARANTEE);
+        assert!((NRRP_GUARANTEE - 2.0 / 3.0_f64.sqrt()).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::distribution::proportional_areas;
+    use crate::nrrp::nrrp_layout;
+    use crate::shapes::ALL_FOUR_SHAPES;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The lower bound really lower-bounds every layout we can build,
+        /// and NRRP stays within its guarantee (plus integer slack) for
+        /// random speed mixes.
+        #[test]
+        fn bounds_hold_for_random_inputs(
+            n in 120usize..600,
+            s0 in 0.2f64..5.0,
+            s1 in 0.2f64..5.0,
+            s2 in 0.2f64..5.0,
+        ) {
+            let speeds = [s0, s1, s2];
+            let areas = proportional_areas(n, &speeds);
+            for shape in ALL_FOUR_SHAPES {
+                let spec = shape.build(n, &areas);
+                prop_assert!(approximation_ratio(&spec) >= 1.0 - 1e-9);
+            }
+            let spec = nrrp_layout(n, &speeds);
+            let r = approximation_ratio(&spec);
+            prop_assert!(r >= 1.0 - 1e-9);
+            prop_assert!(r <= NRRP_GUARANTEE + 0.12, "ratio {r}");
+        }
+    }
+}

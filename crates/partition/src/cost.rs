@@ -1,0 +1,179 @@
+//! Analytic cost model — Section II's objectives.
+
+use summagen_platform::speed::SpeedFunction;
+
+use crate::distribution::partition_time;
+use crate::spec::PartitionSpec;
+
+/// Per-processor computation times `2·a_i·n / s_i(a_i)` for a partition,
+/// the quantity inside Equation 3.
+pub fn comp_times(spec: &PartitionSpec, speeds: &[&dyn SpeedFunction]) -> Vec<f64> {
+    assert_eq!(speeds.len(), spec.nprocs, "speed count != processor count");
+    spec.areas()
+        .iter()
+        .zip(speeds)
+        .map(|(&a, s)| partition_time(a as f64, spec.n, *s))
+        .collect()
+}
+
+/// Communication volume in matrix elements per processor: the covering
+/// rectangle's half-perimeter times `n` (a processor participating in `h`
+/// rows and `w` columns moves `(h + w)·n` elements of `A` and `B` through
+/// the broadcasts), minus the `2·a_i` elements it already owns.
+pub fn comm_volume_elements(spec: &PartitionSpec) -> Vec<usize> {
+    spec.half_perimeters()
+        .iter()
+        .zip(spec.areas())
+        .map(|(&hp, a)| (hp * spec.n).saturating_sub(2 * a))
+        .collect()
+}
+
+/// The square-zone lower bound on the total half-perimeter: every zone of
+/// area `a` has `c(Z) ≥ 2·√a`, so `Σ c(Z_i) ≥ 2·Σ √a_i`.
+pub fn half_perimeter_lower_bound(areas: &[f64]) -> f64 {
+    areas.iter().map(|&a| 2.0 * a.max(0.0).sqrt()).sum()
+}
+
+/// A complete analytic evaluation of a partition under given speed
+/// functions and a Hockney link model — the model-side counterparts of
+/// Figures 6/7.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostSummary {
+    /// Per-processor computation time (s).
+    pub comp_times: Vec<f64>,
+    /// Parallel computation time: the max (Equation 3's inner term).
+    pub max_comp_time: f64,
+    /// Per-processor communication volume in elements.
+    pub comm_elements: Vec<usize>,
+    /// Total half-perimeter (Equation 4's objective).
+    pub total_half_perimeter: usize,
+    /// Estimated per-processor communication time under Hockney (s).
+    pub comm_times: Vec<f64>,
+    /// Estimated parallel execution time: `max(comp) + max(comm)`.
+    pub est_total_time: f64,
+}
+
+impl CostSummary {
+    /// Analyzes a partition: `alpha`/`beta` are the Hockney latency (s)
+    /// and reciprocal bandwidth (s/byte) of the links.
+    pub fn analyze(
+        spec: &PartitionSpec,
+        speeds: &[&dyn SpeedFunction],
+        alpha: f64,
+        beta: f64,
+    ) -> Self {
+        let comp_times = comp_times(spec, speeds);
+        let max_comp_time = comp_times.iter().cloned().fold(0.0, f64::max);
+        let comm_elements = comm_volume_elements(spec);
+        let comm_times: Vec<f64> = comm_elements
+            .iter()
+            .map(|&e| {
+                if e == 0 {
+                    0.0
+                } else {
+                    alpha + beta * (e * 8) as f64
+                }
+            })
+            .collect();
+        let max_comm = comm_times.iter().cloned().fold(0.0, f64::max);
+        Self {
+            comp_times,
+            max_comp_time,
+            comm_elements,
+            total_half_perimeter: spec.total_half_perimeter(),
+            comm_times,
+            est_total_time: max_comp_time + max_comm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes::{Shape, ALL_FOUR_SHAPES};
+    use summagen_platform::speed::ConstantSpeed;
+
+    fn fig1a() -> PartitionSpec {
+        PartitionSpec::new(
+            vec![0, 1, 1, 1, 1, 1, 1, 1, 2],
+            vec![9, 3, 4],
+            vec![9, 3, 4],
+            3,
+        )
+    }
+
+    #[test]
+    fn comp_times_proportional_to_area_over_speed() {
+        let spec = fig1a();
+        let s1 = ConstantSpeed::new(1e9);
+        let s2 = ConstantSpeed::new(2e9);
+        let s3 = ConstantSpeed::new(1e9);
+        let t = comp_times(&spec, &[&s1, &s2, &s3]);
+        // t_i = 2 * a_i * 16 / s_i with areas {81, 159, 16}.
+        assert!((t[0] - 2.0 * 81.0 * 16.0 / 1e9).abs() < 1e-18);
+        assert!((t[1] - 2.0 * 159.0 * 16.0 / 2e9).abs() < 1e-18);
+        assert!((t[2] - 2.0 * 16.0 * 16.0 / 1e9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn comm_volume_subtracts_owned_elements() {
+        let spec = fig1a();
+        let v = comm_volume_elements(&spec);
+        // P0: hp 18 * 16 - 2*81 = 288 - 162 = 126.
+        assert_eq!(v[0], 126);
+        // P1: 32 * 16 - 2*159 = 512 - 318 = 194.
+        assert_eq!(v[1], 194);
+        // P2: 8 * 16 - 2*16 = 96.
+        assert_eq!(v[2], 96);
+    }
+
+    #[test]
+    fn lower_bound_below_all_shapes() {
+        let n = 300;
+        let n2 = (n * n) as f64;
+        let areas = [n2 / 3.9, 2.0 * n2 / 3.9, 0.9 * n2 / 3.9];
+        let lb = half_perimeter_lower_bound(&areas);
+        for shape in ALL_FOUR_SHAPES {
+            let spec = shape.build(n, &areas);
+            assert!(
+                spec.total_half_perimeter() as f64 >= lb - 1e-9,
+                "{} beats the lower bound",
+                shape.name()
+            );
+        }
+    }
+
+    #[test]
+    fn summary_total_combines_comp_and_comm() {
+        let spec = fig1a();
+        let s = ConstantSpeed::new(1e9);
+        let sum = CostSummary::analyze(&spec, &[&s, &s, &s], 1e-6, 1e-9);
+        assert_eq!(sum.comp_times.len(), 3);
+        assert!(sum.est_total_time >= sum.max_comp_time);
+        assert!(sum.max_comp_time > 0.0);
+        assert_eq!(sum.total_half_perimeter, 58);
+        assert!(sum.comm_times.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn one_d_has_larger_comm_volume_than_square_corner_when_skewed() {
+        // Mirrors the Becker result at the volume level via CostSummary.
+        let n = 600;
+        let n2 = (n * n) as f64;
+        let areas = [n2 * 0.1, n2 * 0.8, n2 * 0.1];
+        let s = ConstantSpeed::new(1e9);
+        let sc = CostSummary::analyze(
+            &Shape::SquareCorner.build(n, &areas),
+            &[&s, &s, &s],
+            0.0,
+            1e-9,
+        );
+        let od = CostSummary::analyze(
+            &Shape::OneDRectangular.build(n, &areas),
+            &[&s, &s, &s],
+            0.0,
+            1e-9,
+        );
+        assert!(sc.total_half_perimeter < od.total_half_perimeter);
+    }
+}

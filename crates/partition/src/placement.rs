@@ -1,0 +1,240 @@
+//! Rank-to-node placement for multi-node execution (the paper's Section
+//! VII future-work direction).
+//!
+//! On a cluster, which processors share a node decides how much of
+//! SummaGen's broadcast traffic crosses the slow inter-node links. The
+//! pairwise traffic matrix is fully determined by the partition spec (the
+//! owner of each sub-partition broadcasts it to every other participant
+//! of its grid row/column), so the placement that minimizes inter-node
+//! bytes can be computed ahead of time. For realistic processor counts an
+//! exhaustive search over node assignments is cheap.
+
+use crate::spec::PartitionSpec;
+
+/// Pairwise traffic matrix in elements: `t[src][dst]` is how many matrix
+/// elements `src` ships to `dst` during SummaGen's two communication
+/// stages (flat broadcasts, as in the implementation).
+pub fn pairwise_traffic(spec: &PartitionSpec) -> Vec<Vec<u64>> {
+    let p = spec.nprocs;
+    let mut t = vec![vec![0u64; p]; p];
+    // Horizontal stage: block (bi, bj) goes from its owner to every other
+    // participant of grid row bi.
+    for bi in 0..spec.grid_rows {
+        let participants: Vec<usize> = (0..p).filter(|&q| spec.row_contains(q, bi)).collect();
+        if participants.len() < 2 {
+            continue;
+        }
+        for bj in 0..spec.grid_cols {
+            let owner = spec.owner(bi, bj);
+            let area = (spec.heights[bi] * spec.widths[bj]) as u64;
+            for &q in &participants {
+                if q != owner {
+                    t[owner][q] += area;
+                }
+            }
+        }
+    }
+    // Vertical stage: block (bi, bj) to every other participant of grid
+    // column bj.
+    for bj in 0..spec.grid_cols {
+        let participants: Vec<usize> = (0..p).filter(|&q| spec.col_contains(q, bj)).collect();
+        if participants.len() < 2 {
+            continue;
+        }
+        for bi in 0..spec.grid_rows {
+            let owner = spec.owner(bi, bj);
+            let area = (spec.heights[bi] * spec.widths[bj]) as u64;
+            for &q in &participants {
+                if q != owner {
+                    t[owner][q] += area;
+                }
+            }
+        }
+    }
+    t
+}
+
+/// Inter-node traffic (elements) of an assignment `node_of[rank]`.
+pub fn inter_node_traffic(traffic: &[Vec<u64>], node_of: &[usize]) -> u64 {
+    let p = traffic.len();
+    assert_eq!(node_of.len(), p, "assignment length");
+    let mut total = 0;
+    for u in 0..p {
+        for v in 0..p {
+            if node_of[u] != node_of[v] {
+                total += traffic[u][v];
+            }
+        }
+    }
+    total
+}
+
+/// Finds the rank→node assignment minimizing inter-node traffic, for
+/// nodes of the given capacities (`node_sizes` sums to the processor
+/// count). Exhaustive branch-and-bound; fine for `p ≲ 12`.
+///
+/// Returns `(node_of, inter_node_elements)`.
+///
+/// # Panics
+/// Panics if capacities do not sum to the matrix size.
+pub fn optimal_placement(traffic: &[Vec<u64>], node_sizes: &[usize]) -> (Vec<usize>, u64) {
+    let p = traffic.len();
+    assert_eq!(
+        node_sizes.iter().sum::<usize>(),
+        p,
+        "node capacities must sum to processor count"
+    );
+    let nnodes = node_sizes.len();
+    let mut best: Option<(Vec<usize>, u64)> = None;
+    let mut node_of = vec![usize::MAX; p];
+    let mut remaining = node_sizes.to_vec();
+
+    fn cost_so_far(traffic: &[Vec<u64>], node_of: &[usize], upto: usize) -> u64 {
+        let mut c = 0;
+        for u in 0..upto {
+            for v in 0..upto {
+                if node_of[u] != node_of[v] {
+                    c += traffic[u][v];
+                }
+            }
+        }
+        c
+    }
+
+    fn recurse(
+        rank: usize,
+        traffic: &[Vec<u64>],
+        node_of: &mut Vec<usize>,
+        remaining: &mut Vec<usize>,
+        nnodes: usize,
+        best: &mut Option<(Vec<usize>, u64)>,
+    ) {
+        let p = traffic.len();
+        if rank == p {
+            let c = cost_so_far(traffic, node_of, p);
+            if best.as_ref().map_or(true, |(_, bc)| c < *bc) {
+                *best = Some((node_of.clone(), c));
+            }
+            return;
+        }
+        // Prune: partial cost already exceeds the best.
+        if let Some((_, bc)) = best {
+            if cost_so_far(traffic, node_of, rank) >= *bc {
+                return;
+            }
+        }
+        for node in 0..nnodes {
+            if remaining[node] == 0 {
+                continue;
+            }
+            remaining[node] -= 1;
+            node_of[rank] = node;
+            recurse(rank + 1, traffic, node_of, remaining, nnodes, best);
+            node_of[rank] = usize::MAX;
+            remaining[node] += 1;
+        }
+    }
+
+    recurse(0, traffic, &mut node_of, &mut remaining, nnodes, &mut best);
+    best.expect("no assignment found")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::proportional_areas;
+    use crate::shapes::Shape;
+
+    #[test]
+    fn traffic_matrix_matches_fig1a_structure() {
+        // Fig. 1a: P0 owns (0,0); row 0 participants {0,1}; column 0
+        // participants {0,1}. P0 sends its 81-element block to P1 twice
+        // (once per stage), receives row-0/column-0 blocks of P1.
+        let spec = PartitionSpec::new(
+            vec![0, 1, 1, 1, 1, 1, 1, 1, 2],
+            vec![9, 3, 4],
+            vec![9, 3, 4],
+            3,
+        );
+        let t = pairwise_traffic(&spec);
+        assert_eq!(t[0][1], 2 * 81);
+        assert_eq!(t[0][2], 0, "P0 and P2 share no row or column");
+        assert_eq!(t[2][0], 0);
+        // P1 sends its row-0 blocks (9x3 and 9x4) to P0 horizontally and
+        // its column-0 blocks (3x9, 4x9) vertically.
+        assert_eq!(t[1][0], (27 + 36) + (27 + 36));
+        assert_eq!(t[2][1], 2 * 16);
+    }
+
+    #[test]
+    fn diagonal_is_zero() {
+        let n = 64;
+        let areas = proportional_areas(n, &[1.0, 2.0, 0.9]);
+        let spec = Shape::SquareRectangle.build(n, &areas);
+        let t = pairwise_traffic(&spec);
+        for (i, row) in t.iter().enumerate() {
+            assert_eq!(row[i], 0, "self-traffic at {i}");
+        }
+    }
+
+    #[test]
+    fn inter_node_traffic_zero_for_single_node() {
+        let n = 32;
+        let areas = proportional_areas(n, &[1.0, 1.0, 1.0]);
+        let spec = Shape::OneDRectangular.build(n, &areas);
+        let t = pairwise_traffic(&spec);
+        assert_eq!(inter_node_traffic(&t, &[0, 0, 0]), 0);
+        assert!(inter_node_traffic(&t, &[0, 1, 0]) > 0);
+    }
+
+    #[test]
+    fn placement_separates_non_communicating_pairs() {
+        // Fig. 1a structure: P0 and P2 never talk; the optimal 2-node
+        // split with capacities (2, 1) must NOT separate P1 from both.
+        let spec = PartitionSpec::new(
+            vec![0, 1, 1, 1, 1, 1, 1, 1, 2],
+            vec![36, 12, 16],
+            vec![36, 12, 16],
+            3,
+        );
+        let t = pairwise_traffic(&spec);
+        let (assign, cost) = optimal_placement(&t, &[2, 1]);
+        // The isolated rank must be P0 or P2 (they talk only to P1; the
+        // optimum cuts the cheaper of the two links).
+        let lone: Vec<usize> = (0..3).filter(|&r| assign.iter().filter(|&&x| x == assign[r]).count() == 1).collect();
+        assert_eq!(lone.len(), 1);
+        assert_ne!(lone[0], 1, "P1 is the hub and must stay with a partner");
+        // Cost equals the cut link's two-way volume.
+        let other = lone[0];
+        assert_eq!(cost, t[other][1] + t[1][other]);
+    }
+
+    #[test]
+    fn placement_respects_capacities() {
+        let n = 60;
+        let areas: Vec<f64> = vec![(n * n) as f64 / 6.0; 6];
+        let spec = Shape::OneDRectangular.build(n, &areas);
+        let t = pairwise_traffic(&spec);
+        let (assign, _) = optimal_placement(&t, &[3, 3]);
+        assert_eq!(assign.iter().filter(|&&x| x == 0).count(), 3);
+        assert_eq!(assign.iter().filter(|&&x| x == 1).count(), 3);
+    }
+
+    #[test]
+    fn optimal_never_worse_than_naive_contiguous() {
+        let n = 96;
+        let areas = proportional_areas(n, &[1.0, 2.0, 0.9, 1.0, 2.0, 0.9]);
+        let spec = crate::columns::beaumont_column_layout(n, &[1.0, 2.0, 0.9, 1.0, 2.0, 0.9]);
+        let _ = areas;
+        let t = pairwise_traffic(&spec);
+        let naive = inter_node_traffic(&t, &[0, 0, 0, 1, 1, 1]);
+        let (_, optimal) = optimal_placement(&t, &[3, 3]);
+        assert!(optimal <= naive, "optimal {optimal} vs naive {naive}");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacities must sum")]
+    fn rejects_bad_capacities() {
+        optimal_placement(&[vec![0, 1], vec![1, 0]], &[1, 2]);
+    }
+}

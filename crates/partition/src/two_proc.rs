@@ -1,0 +1,168 @@
+//! The two-processor theory of Becker & Lastovetsky (the origin of the
+//! paper's second research thread).
+//!
+//! For two processors with speed ratio `r : 1`, the *square corner*
+//! partitioning gives the slow processor a square of area `n²/(1+r)` in a
+//! corner; the fast processor owns the non-rectangular remainder. Its
+//! total half-perimeter is `2n + 2n/√(1+r)`, versus `3n` for the straight
+//! 1D cut — so square corner communicates strictly less exactly when
+//! `r > 3`, the celebrated 3:1 threshold. This module provides the
+//! analytic volumes, the exact threshold, and constructors for both
+//! layouts so the theory can be validated against the measured volumes of
+//! real [`PartitionSpec`]s.
+
+use crate::spec::PartitionSpec;
+
+/// Analytic total half-perimeter of the two-processor *square corner*
+/// partitioning of an `n × n` matrix with speed ratio `r = fast/slow ≥ 1`:
+/// `2n + 2n/√(1+r)`.
+pub fn square_corner_volume(n: f64, r: f64) -> f64 {
+    assert!(r >= 1.0, "ratio must be >= 1 (got {r})");
+    2.0 * n + 2.0 * n / (1.0 + r).sqrt()
+}
+
+/// Analytic total half-perimeter of the two-processor straight (1D) cut:
+/// `3n`, independent of the ratio.
+pub fn straight_cut_volume(n: f64) -> f64 {
+    3.0 * n
+}
+
+/// The exact speed ratio above which square corner beats the straight
+/// cut: `2n/√(1+r) < n ⇔ r > 3`.
+pub const SQUARE_CORNER_THRESHOLD: f64 = 3.0;
+
+/// Builds the two-processor square-corner layout: processor `1` (the slow
+/// one) gets a square of area ≈ `n²/(1+r)` in the bottom-right corner;
+/// processor `0` the remainder.
+pub fn square_corner_2p(n: usize, r: f64) -> PartitionSpec {
+    assert!(r >= 1.0, "ratio must be >= 1 (got {r})");
+    assert!(n >= 2, "n too small");
+    let s = ((n * n) as f64 / (1.0 + r)).sqrt().round() as usize;
+    let s = s.clamp(1, n - 1);
+    PartitionSpec::new(vec![0, 0, 0, 1], vec![n - s, s], vec![n - s, s], 2)
+}
+
+/// Builds the two-processor straight-cut layout: two full-height columns
+/// with widths proportional to `r : 1`.
+pub fn straight_cut_2p(n: usize, r: f64) -> PartitionSpec {
+    assert!(r >= 1.0, "ratio must be >= 1 (got {r})");
+    assert!(n >= 2, "n too small");
+    let w1 = ((n as f64) / (1.0 + r)).round() as usize;
+    let w1 = w1.clamp(1, n - 1);
+    PartitionSpec::new(vec![0, 1], vec![n], vec![n - w1, w1], 2)
+}
+
+/// For a given ratio, which layout communicates less (analytically)?
+pub fn better_layout(r: f64) -> &'static str {
+    if r > SQUARE_CORNER_THRESHOLD {
+        "square corner"
+    } else {
+        "straight cut"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_is_exactly_three() {
+        let n = 1.0;
+        // At r = 3: 2 + 2/2 = 3 = straight cut — exact tie.
+        assert!((square_corner_volume(n, 3.0) - straight_cut_volume(n)).abs() < 1e-12);
+        assert!(square_corner_volume(n, 3.01) < straight_cut_volume(n));
+        assert!(square_corner_volume(n, 2.99) > straight_cut_volume(n));
+    }
+
+    #[test]
+    fn analytic_volume_matches_constructed_spec() {
+        let n = 1200;
+        for r in [1.0, 2.0, 3.0, 5.0, 9.0] {
+            let spec = square_corner_2p(n, r);
+            let measured = spec.total_half_perimeter() as f64;
+            let analytic = square_corner_volume(n as f64, r);
+            assert!(
+                (measured - analytic).abs() / analytic < 0.01,
+                "r={r}: measured {measured} analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn straight_cut_volume_matches_spec() {
+        let n = 1000;
+        for r in [1.0, 4.0, 10.0] {
+            let spec = straight_cut_2p(n, r);
+            assert_eq!(spec.total_half_perimeter(), 3 * n);
+        }
+    }
+
+    #[test]
+    fn areas_proportional_to_ratio() {
+        let n = 2000;
+        let r = 4.0;
+        let sc = square_corner_2p(n, r);
+        let areas = sc.areas();
+        let frac = areas[1] as f64 / (n * n) as f64;
+        assert!((frac - 1.0 / (1.0 + r)).abs() < 0.01, "slow fraction {frac}");
+        let st = straight_cut_2p(n, r);
+        let frac = st.areas()[1] as f64 / (n * n) as f64;
+        assert!((frac - 1.0 / (1.0 + r)).abs() < 0.01);
+    }
+
+    #[test]
+    fn better_layout_flips_at_threshold() {
+        assert_eq!(better_layout(2.0), "straight cut");
+        assert_eq!(better_layout(3.0), "straight cut");
+        assert_eq!(better_layout(3.5), "square corner");
+    }
+
+    #[test]
+    fn measured_specs_cross_near_three() {
+        // Find the first integer-ish ratio where the constructed square
+        // corner beats the constructed straight cut; must be near 3.
+        let n = 4000;
+        let mut crossover = None;
+        let mut r = 1.0;
+        while r <= 8.0 {
+            let sc = square_corner_2p(n, r).total_half_perimeter();
+            let st = straight_cut_2p(n, r).total_half_perimeter();
+            if sc < st {
+                crossover = Some(r);
+                break;
+            }
+            r += 0.1;
+        }
+        let c = crossover.expect("no crossover found");
+        assert!((2.7..3.4).contains(&c), "crossover at {c}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Both constructors always yield valid two-processor specs
+        /// conserving area, and the analytic dominance matches the
+        /// measured volumes away from the threshold.
+        #[test]
+        fn constructors_valid_and_theory_holds(n in 100usize..3000, r in 1.0f64..10.0) {
+            let sc = square_corner_2p(n, r);
+            let st = straight_cut_2p(n, r);
+            prop_assert_eq!(sc.areas().iter().sum::<usize>(), n * n);
+            prop_assert_eq!(st.areas().iter().sum::<usize>(), n * n);
+            // Away from the threshold (where rounding can flip the winner)
+            // the measured volumes agree with the theory.
+            if r > 3.5 {
+                prop_assert!(sc.total_half_perimeter() < st.total_half_perimeter());
+            }
+            if r < 2.5 {
+                prop_assert!(sc.total_half_perimeter() > st.total_half_perimeter());
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Simulated measurement of speed functions — the paper's "automated
+//! procedure" for building the Fig. 5 performance profiles.
+//!
+//! Each experimental point times a square `x × x` DGEMM on a device, with
+//! measurement noise, repeating per the Student's-t protocol (95 % CI,
+//! 2.5 % precision) until the mean converges; the speed is then
+//! `s = 2·x³ / t̄`. The noise source is a deterministic seeded RNG so the
+//! whole pipeline stays reproducible.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::speed::{SpeedFunction, TabulatedSpeed};
+use crate::stats::{measure_to_confidence, MeasurementProtocol, SampleStats};
+
+/// A simulated noisy timer for a device whose true behaviour is given by
+/// a ground-truth speed function.
+pub struct NoisyTimer<'a> {
+    truth: &'a dyn SpeedFunction,
+    rng: StdRng,
+    /// Relative standard deviation of one timing sample.
+    pub noise_sd: f64,
+}
+
+impl<'a> NoisyTimer<'a> {
+    /// Creates a timer with the given relative noise (e.g. 0.02 = 2 %).
+    pub fn new(truth: &'a dyn SpeedFunction, noise_sd: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&noise_sd), "unreasonable noise {noise_sd}");
+        Self {
+            truth,
+            rng: StdRng::seed_from_u64(seed),
+            noise_sd,
+        }
+    }
+
+    /// One timing sample of a square `x × x` DGEMM (seconds).
+    pub fn time_once(&mut self, x: f64) -> f64 {
+        let flops = 2.0 * x * x * x;
+        let true_time = flops / self.truth.flops_at_square(x);
+        // Approximately normal multiplicative noise (sum of 4 uniforms),
+        // clamped so times stay positive.
+        let u: f64 = (0..4).map(|_| self.rng.random_range(-0.5..0.5)).sum::<f64>() / 2.0;
+        (true_time * (1.0 + self.noise_sd * u * 3.46)).max(true_time * 0.5)
+    }
+}
+
+/// One measured point of a performance profile.
+#[derive(Debug, Clone)]
+pub struct MeasuredPoint {
+    /// Square problem size.
+    pub x: f64,
+    /// Timing statistics (the paper reports the sample mean).
+    pub stats: SampleStats,
+    /// Derived speed `2·x³ / mean` in FLOP/s.
+    pub speed: f64,
+}
+
+/// Builds a tabulated speed function by measuring each size with the
+/// Student's-t protocol — the reproduction of the paper's profile
+/// construction procedure.
+pub fn build_fpm_via_protocol(
+    truth: &dyn SpeedFunction,
+    sizes: &[f64],
+    noise_sd: f64,
+    seed: u64,
+    protocol: MeasurementProtocol,
+) -> (TabulatedSpeed, Vec<MeasuredPoint>) {
+    assert!(!sizes.is_empty(), "no sizes to measure");
+    let mut timer = NoisyTimer::new(truth, noise_sd, seed);
+    let mut points = Vec::with_capacity(sizes.len());
+    for &x in sizes {
+        let stats = measure_to_confidence(protocol, || timer.time_once(x));
+        let speed = 2.0 * x * x * x / stats.mean;
+        points.push(MeasuredPoint { x, stats, speed });
+    }
+    let table = TabulatedSpeed::from_square_sizes(
+        points.iter().map(|p| (p.x, p.speed)).collect(),
+    );
+    (table, points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speed::ConstantSpeed;
+
+    #[test]
+    fn noisy_timer_is_reproducible() {
+        let truth = ConstantSpeed::new(1e12);
+        let mut t1 = NoisyTimer::new(&truth, 0.05, 7);
+        let mut t2 = NoisyTimer::new(&truth, 0.05, 7);
+        assert_eq!(t1.time_once(1000.0), t2.time_once(1000.0));
+    }
+
+    #[test]
+    fn noise_stays_positive_and_near_truth() {
+        let truth = ConstantSpeed::new(1e12);
+        let mut t = NoisyTimer::new(&truth, 0.05, 3);
+        let true_time = 2.0 * 1000.0f64.powi(3) / 1e12;
+        for _ in 0..200 {
+            let s = t.time_once(1000.0);
+            assert!(s > 0.0);
+            assert!((s - true_time).abs() / true_time < 0.5);
+        }
+    }
+
+    #[test]
+    fn protocol_recovers_constant_speed_within_precision() {
+        let truth = ConstantSpeed::new(0.8e12);
+        let sizes: Vec<f64> = (1..=8).map(|k| k as f64 * 512.0).collect();
+        let (table, points) =
+            build_fpm_via_protocol(&truth, &sizes, 0.05, 42, MeasurementProtocol::default());
+        for p in &points {
+            let rel = (p.speed - 0.8e12).abs() / 0.8e12;
+            assert!(rel < 0.05, "at x={}: measured {} ({rel})", p.x, p.speed);
+            assert!(p.stats.reps >= 5);
+        }
+        // The table interpolates near the truth everywhere in range.
+        for x in [600.0, 1500.0, 3000.0] {
+            let rel = (table.flops_at_square(x) - 0.8e12).abs() / 0.8e12;
+            assert!(rel < 0.05, "table at {x}: {rel}");
+        }
+    }
+
+    #[test]
+    fn noisier_devices_need_more_repetitions() {
+        let truth = ConstantSpeed::new(1e12);
+        let protocol = MeasurementProtocol::default();
+        let reps = |noise: f64| {
+            let (_, pts) = build_fpm_via_protocol(&truth, &[2048.0], noise, 11, protocol);
+            pts[0].stats.reps
+        };
+        assert!(reps(0.15) > reps(0.01), "noisy {} quiet {}", reps(0.15), reps(0.01));
+    }
+
+    #[test]
+    fn recovered_profile_tracks_a_varying_truth() {
+        use crate::profile::abs_phi_profile;
+        let truth = abs_phi_profile();
+        let sizes: Vec<f64> = (4..=32).map(|k| k as f64 * 1_024.0).collect();
+        let (table, _) =
+            build_fpm_via_protocol(&truth, &sizes, 0.02, 5, MeasurementProtocol::default());
+        for &x in &sizes {
+            let t = truth.flops_at_square(x);
+            let m = table.flops_at_square(x);
+            assert!((m - t).abs() / t < 0.05, "x={x}: truth {t} measured {m}");
+        }
+    }
+}

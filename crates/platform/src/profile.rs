@@ -1,0 +1,252 @@
+//! Synthetic full speed functions of the three abstract processors (Fig. 5).
+//!
+//! The paper builds these profiles with an automated measurement procedure:
+//! every data point is a square `x × x` DGEMM executed on all three abstract
+//! processors *simultaneously* (so contention is included), with accelerator
+//! times including host↔device transfers, and out-of-core implementations
+//! past the memory limits. We rebuild the same curves mechanistically:
+//!
+//! `effective(x) = ramp(x) · contention(x) · ooc(x) · calibration`
+//!
+//! * `ramp` — kernel efficiency rising with problem size (startup and
+//!   cache-warm effects);
+//! * `contention` — a deterministic, seeded ripple whose amplitude decays
+//!   with `x` for AbsCPU/AbsGPU (as the paper observes) and *grows* for
+//!   AbsXeonPhi in the window `[12800, 19200]` where the paper reports the
+//!   maximum variations;
+//! * `ooc` — the [`OutOfCoreModel`] transfer/tiling cost for accelerators;
+//! * `calibration` — a single scale factor so the plateau speeds sit at the
+//!   relative ratio {1.0, 2.0, 0.9} used in Section VI-A with the platform
+//!   total ≈ 78 % of the 2.5 TFLOPs theoretical peak.
+
+use std::sync::Arc;
+
+use crate::device::{
+    AbstractProcessor, Platform, HASWELL_E5_2670V3, NVIDIA_K40C, XEON_PHI_3120P,
+};
+use crate::ooc::OutOfCoreModel;
+use crate::speed::TabulatedSpeed;
+
+/// Plateau (constant-range) speed of AbsCPU in FLOP/s: the "1.0" of the
+/// paper's relative speeds {1.0, 2.0, 0.9}.
+pub const CPU_PLATEAU_FLOPS: f64 = 0.575e12;
+/// Plateau speed of AbsGPU ("2.0").
+pub const GPU_PLATEAU_FLOPS: f64 = 1.15e12;
+/// Plateau speed of AbsXeonPhi ("0.9").
+pub const PHI_PLATEAU_FLOPS: f64 = 0.5175e12;
+
+/// Square size at which plateaus are calibrated (well inside the constant
+/// range of every device).
+const CALIBRATION_X: f64 = 11_000.0;
+
+/// Sampling grid for the tabulated profiles: x = 64 then every 256 up to
+/// 40 960, covering the paper's full experiment range (N up to 38 416).
+fn sample_grid() -> Vec<f64> {
+    let mut xs = vec![64.0];
+    let mut x = 256.0;
+    while x <= 40_960.0 {
+        xs.push(x);
+        x += 256.0;
+    }
+    xs
+}
+
+/// Deterministic "measurement ripple": a sum of incommensurate sinusoids in
+/// `[-1, 1]`, seeded per device. No RNG so profiles are identical across
+/// runs and platforms.
+fn ripple(x: f64, seed: u64) -> f64 {
+    let s = seed as f64;
+    let a = (x / 517.0 + s * 1.7).sin();
+    let b = (x / 1313.0 + s * 0.61).sin();
+    let c = (x / 211.0 + s * 2.9).sin();
+    (0.5 * a + 0.35 * b + 0.15 * c).clamp(-1.0, 1.0)
+}
+
+/// Kernel efficiency ramp: ~0 at tiny sizes, ~1 past a device-specific
+/// knee `x0`.
+fn ramp(x: f64, x0: f64) -> f64 {
+    let x2 = x * x;
+    x2 / (x2 + x0 * x0)
+}
+
+fn build_profile(
+    xs: &[f64],
+    raw: impl Fn(f64) -> f64,
+    plateau_target: f64,
+) -> TabulatedSpeed {
+    let calib = plateau_target / raw(CALIBRATION_X);
+    TabulatedSpeed::from_square_sizes(
+        xs.iter()
+            .map(|&x| (x, (raw(x) * calib).max(1e9)))
+            .collect(),
+    )
+}
+
+/// Full speed function of AbsCPU (22 Haswell cores running multithreaded
+/// MKL-style DGEMM under contention from both accelerator host cores).
+pub fn abs_cpu_profile() -> TabulatedSpeed {
+    let xs = sample_grid();
+    let raw = |x: f64| {
+        // Contention amplitude decays with x (paper: variations decrease
+        // for AbsCPU as problem size increases).
+        let amp = 0.05 * (-x / 9_000.0).exp() + 0.008;
+        ramp(x, 900.0) * (1.0 + amp * ripple(x, 11))
+    };
+    build_profile(&xs, raw, CPU_PLATEAU_FLOPS)
+}
+
+/// Full speed function of AbsGPU (K40c + dedicated host core, including
+/// PCIe transfers and the ZZGemmOOC out-of-core path).
+pub fn abs_gpu_profile() -> TabulatedSpeed {
+    let xs = sample_grid();
+    // ZZGemmOOC overlaps staging with computation well: mild OOC penalty.
+    let ooc = OutOfCoreModel::new(NVIDIA_K40C.memory_bytes, NVIDIA_K40C.link_bandwidth.unwrap())
+        .with_kernel_efficiency(0.97);
+    let raw = |x: f64| {
+        let amp = 0.06 * (-x / 7_000.0).exp() + 0.006;
+        let kernel = ramp(x, 1_600.0) * (1.0 + amp * ripple(x, 23));
+        // `effective_flops` folds in the transfer ramp and OOC penalty;
+        // the kernel factor scales its in-core speed.
+        ooc.effective_flops(x.max(1.0), kernel.max(1e-3))
+    };
+    build_profile(&xs, raw, GPU_PLATEAU_FLOPS)
+}
+
+/// Full speed function of AbsXeonPhi (Phi 3120P + dedicated host core,
+/// including PCIe transfers and the XeonPhiOOC out-of-core path past
+/// x ≈ 13 800).
+pub fn abs_phi_profile() -> TabulatedSpeed {
+    let xs = sample_grid();
+    // XeonPhiOOC pays a visible out-of-card penalty (the paper reports
+    // growing variations past x = 13824).
+    let ooc = OutOfCoreModel::new(
+        XEON_PHI_3120P.memory_bytes,
+        XEON_PHI_3120P.link_bandwidth.unwrap(),
+    )
+    .with_kernel_efficiency(0.92);
+    let raw = |x: f64| {
+        // Smooth up to ~13760, maximum variations in [12800, 19200]
+        // (paper, Section VI-B), growing again for out-of-card sizes.
+        let window = if (12_800.0..=19_200.0).contains(&x) { 0.05 } else { 0.0 };
+        let ooc_turbulence = if x > 13_824.0 { 0.035 } else { 0.0 };
+        let amp = 0.01 + window + ooc_turbulence;
+        let kernel = ramp(x, 1_200.0) * (1.0 + amp * ripple(x, 37));
+        ooc.effective_flops(x.max(1.0), kernel.max(1e-3))
+    };
+    build_profile(&xs, raw, PHI_PLATEAU_FLOPS)
+}
+
+/// The full HCLServer1 model: the three abstract processors with their
+/// Fig. 5 speed functions and the platform's 230 W static power.
+pub fn hclserver1() -> Platform {
+    Platform::new(
+        vec![
+            AbstractProcessor::new(HASWELL_E5_2670V3, Arc::new(abs_cpu_profile())),
+            AbstractProcessor::new(NVIDIA_K40C, Arc::new(abs_gpu_profile())),
+            AbstractProcessor::new(XEON_PHI_3120P, Arc::new(abs_phi_profile())),
+        ],
+        230.0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speed::SpeedFunction;
+
+    #[test]
+    fn profiles_are_deterministic() {
+        let a = abs_phi_profile();
+        let b = abs_phi_profile();
+        assert_eq!(a.points(), b.points());
+    }
+
+    #[test]
+    fn plateau_ratios_match_paper_constants() {
+        // Relative speeds {1.0, 2.0, 0.9} in the constant range: probe the
+        // per-device equivalent sizes for N ~ 30720 under proportional
+        // distribution (fractions 1/3.9, 2/3.9, 0.9/3.9).
+        let n = 30_720.0_f64;
+        let cpu = abs_cpu_profile().flops_at_square(n * (1.0_f64 / 3.9).sqrt());
+        let gpu = abs_gpu_profile().flops_at_square(n * (2.0_f64 / 3.9).sqrt());
+        let phi = abs_phi_profile().flops_at_square(n * (0.9_f64 / 3.9).sqrt());
+        let r_gpu = gpu / cpu;
+        let r_phi = phi / cpu;
+        assert!((r_gpu - 2.0).abs() < 0.25, "gpu/cpu ratio {r_gpu}");
+        assert!((r_phi - 0.9).abs() < 0.15, "phi/cpu ratio {r_phi}");
+    }
+
+    #[test]
+    fn combined_plateau_near_ninety_percent_of_peak() {
+        // Loss mechanisms (communication, OOC, aspect efficiency, ripple)
+        // bring the *achieved* fraction down to the paper's 70-84 % band,
+        // so the raw plateau sum sits a little above it.
+        let total = CPU_PLATEAU_FLOPS + GPU_PLATEAU_FLOPS + PHI_PLATEAU_FLOPS;
+        let frac = total / 2.5e12;
+        assert!((0.8..0.95).contains(&frac), "plateau fraction {frac}");
+    }
+
+    #[test]
+    fn cpu_variations_decrease_with_size() {
+        let p = abs_cpu_profile();
+        let spread = |lo: f64, hi: f64| {
+            let mut min = f64::INFINITY;
+            let mut max = 0.0_f64;
+            let mut x = lo;
+            while x <= hi {
+                let v = p.flops_at_square(x);
+                min = min.min(v);
+                max = max.max(v);
+                x += 128.0;
+            }
+            (max - min) / max
+        };
+        assert!(spread(2_000.0, 6_000.0) > spread(20_000.0, 30_000.0));
+    }
+
+    #[test]
+    fn phi_variation_window_is_turbulent() {
+        let p = abs_phi_profile();
+        let spread = |lo: f64, hi: f64| {
+            let mut min = f64::INFINITY;
+            let mut max = 0.0_f64;
+            let mut x = lo;
+            while x <= hi {
+                let v = p.flops_at_square(x);
+                min = min.min(v);
+                max = max.max(v);
+                x += 64.0;
+            }
+            (max - min) / max
+        };
+        let calm = spread(6_000.0, 11_000.0);
+        let stormy = spread(13_000.0, 19_000.0);
+        assert!(stormy > calm * 2.0, "calm {calm} stormy {stormy}");
+    }
+
+    #[test]
+    fn gpu_ramps_then_plateaus() {
+        let p = abs_gpu_profile();
+        let small = p.flops_at_square(1_000.0);
+        let mid = p.flops_at_square(10_000.0);
+        assert!(small < 0.8 * mid, "small {small} mid {mid}");
+        assert!((mid - GPU_PLATEAU_FLOPS).abs() / GPU_PLATEAU_FLOPS < 0.1);
+    }
+
+    #[test]
+    fn speeds_positive_over_whole_range() {
+        for p in [abs_cpu_profile(), abs_gpu_profile(), abs_phi_profile()] {
+            for &(a, s) in p.points() {
+                assert!(s > 0.0, "non-positive speed {s} at area {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn hclserver1_is_three_processors_at_230w() {
+        let plat = hclserver1();
+        assert_eq!(plat.len(), 3);
+        assert_eq!(plat.static_power_w, 230.0);
+        assert!((plat.theoretical_peak_flops() - 2.5e12).abs() < 1e6);
+    }
+}

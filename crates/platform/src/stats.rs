@@ -1,0 +1,415 @@
+//! The paper's measurement protocol: repeat an experiment until the sample
+//! mean lies in a 95 % confidence interval with 2.5 % precision, using
+//! Student's t distribution.
+
+/// Two-sided 97.5 % quantiles of Student's t distribution (95 % CI) for
+/// 1..=30 degrees of freedom; beyond 30 we use the normal quantile 1.96.
+const T_975: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// 97.5 % t quantile for `df` degrees of freedom.
+pub fn t_quantile_975(df: usize) -> f64 {
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= 30 {
+        T_975[df - 1]
+    } else {
+        1.96
+    }
+}
+
+/// Summary statistics of a repeated measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleStats {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (unbiased).
+    pub stddev: f64,
+    /// Number of repetitions performed.
+    pub reps: usize,
+    /// Half-width of the 95 % confidence interval around the mean.
+    pub ci_half_width: f64,
+}
+
+impl SampleStats {
+    /// Computes statistics from raw samples.
+    ///
+    /// # Panics
+    /// Panics on an empty sample.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "no samples");
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = if samples.len() > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        let stddev = var.sqrt();
+        let ci_half_width = if samples.len() > 1 {
+            t_quantile_975(samples.len() - 1) * stddev / n.sqrt()
+        } else {
+            f64::INFINITY
+        };
+        Self {
+            mean,
+            stddev,
+            reps: samples.len(),
+            ci_half_width,
+        }
+    }
+
+    /// Relative precision achieved: CI half-width over mean.
+    pub fn relative_precision(&self) -> f64 {
+        if self.mean == 0.0 {
+            if self.ci_half_width == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.ci_half_width / self.mean.abs()
+        }
+    }
+}
+
+/// The repetition protocol of Section VI: 95 % confidence, 2.5 % precision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasurementProtocol {
+    /// Target relative precision (the paper uses 0.025).
+    pub precision: f64,
+    /// Minimum repetitions before testing convergence.
+    pub min_reps: usize,
+    /// Hard cap on repetitions.
+    pub max_reps: usize,
+}
+
+impl Default for MeasurementProtocol {
+    fn default() -> Self {
+        Self {
+            precision: 0.025,
+            min_reps: 5,
+            max_reps: 1000,
+        }
+    }
+}
+
+/// Repeats `sample()` until the Student's-t 95 % CI half-width is within
+/// `protocol.precision` of the mean (or `max_reps` is hit) and returns the
+/// statistics. This is exactly the paper's experimental-point procedure.
+pub fn measure_to_confidence(
+    protocol: MeasurementProtocol,
+    mut sample: impl FnMut() -> f64,
+) -> SampleStats {
+    let mut samples = Vec::with_capacity(protocol.min_reps);
+    loop {
+        samples.push(sample());
+        if samples.len() >= protocol.min_reps {
+            let stats = SampleStats::from_samples(&samples);
+            if stats.relative_precision() <= protocol.precision
+                || samples.len() >= protocol.max_reps
+            {
+                return stats;
+            }
+        }
+    }
+}
+
+/// Percentage difference between the extremes of a set of values relative
+/// to their mean — the metric behind the paper's "average percentage
+/// difference of 8 %" comparison of the four shapes.
+pub fn percent_spread(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "no values");
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    if mean == 0.0 {
+        0.0
+    } else {
+        100.0 * (max - min) / mean
+    }
+}
+
+/// 95 % quantiles of the chi-squared distribution for 1..=30 degrees of
+/// freedom (upper critical values).
+const CHI2_95: [f64; 30] = [
+    3.841, 5.991, 7.815, 9.488, 11.070, 12.592, 14.067, 15.507, 16.919, 18.307, 19.675, 21.026,
+    22.362, 23.685, 24.996, 26.296, 27.587, 28.869, 30.144, 31.410, 32.671, 33.924, 35.172,
+    36.415, 37.652, 38.885, 40.113, 41.337, 42.557, 43.773,
+];
+
+/// 95 % chi-squared critical value for `df` degrees of freedom
+/// (Wilson–Hilferty approximation beyond 30).
+pub fn chi2_critical_95(df: usize) -> f64 {
+    if df == 0 {
+        0.0
+    } else if df <= 30 {
+        CHI2_95[df - 1]
+    } else {
+        let d = df as f64;
+        d * (1.0 - 2.0 / (9.0 * d) + 1.645 * (2.0 / (9.0 * d)).sqrt()).powi(3)
+    }
+}
+
+/// Result of a Pearson chi-squared goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquaredTest {
+    /// The test statistic `Σ (O - E)² / E`.
+    pub statistic: f64,
+    /// Degrees of freedom (`bins - 3`: bin count minus one minus two
+    /// fitted parameters).
+    pub df: usize,
+    /// The 95 % critical value for `df`.
+    pub critical_95: f64,
+}
+
+impl ChiSquaredTest {
+    /// Whether normality is *not* rejected at the 5 % level.
+    pub fn consistent_with_normal(&self) -> bool {
+        self.statistic <= self.critical_95
+    }
+}
+
+/// Inverse CDF of the standard normal (Acklam-style rational
+/// approximation, adequate for bin-edge computation).
+fn normal_quantile(p: f64) -> f64 {
+    assert!((0.0..1.0).contains(&p) && p > 0.0, "quantile arg {p}");
+    // Beasley-Springer-Moro.
+    let a = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    let b = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    let c = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    let d = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let plow = 0.02425;
+    if p < plow {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5])
+            / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    } else if p <= 1.0 - plow {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q
+            / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)
+    } else {
+        -normal_quantile(1.0 - p)
+    }
+}
+
+/// Pearson's chi-squared test of normality — the paper uses it to verify
+/// the assumptions behind the Student's-t protocol. Samples are binned
+/// into `bins` equiprobable intervals under the fitted normal; the
+/// statistic compares observed and expected counts.
+///
+/// # Panics
+/// Panics with fewer than `5 * bins` samples (expected counts would be
+/// too small for the test to be valid) or `bins < 4`.
+pub fn pearson_normality_test(samples: &[f64], bins: usize) -> ChiSquaredTest {
+    assert!(bins >= 4, "need at least 4 bins");
+    assert!(
+        samples.len() >= 5 * bins,
+        "need >= {} samples for {bins} bins, got {}",
+        5 * bins,
+        samples.len()
+    );
+    let stats = SampleStats::from_samples(samples);
+    let (mean, sd) = (stats.mean, stats.stddev.max(1e-300));
+    // Equiprobable bin edges under N(mean, sd).
+    let edges: Vec<f64> = (1..bins)
+        .map(|i| mean + sd * normal_quantile(i as f64 / bins as f64))
+        .collect();
+    let mut observed = vec![0usize; bins];
+    for &x in samples {
+        let bin = edges.partition_point(|&e| e < x);
+        observed[bin] += 1;
+    }
+    let expected = samples.len() as f64 / bins as f64;
+    let statistic: f64 = observed
+        .iter()
+        .map(|&o| {
+            let d = o as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    let df = bins.saturating_sub(3).max(1);
+    ChiSquaredTest {
+        statistic,
+        df,
+        critical_95: chi2_critical_95(df),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_quantiles_decrease_with_df() {
+        assert!(t_quantile_975(1) > t_quantile_975(2));
+        assert!(t_quantile_975(30) > t_quantile_975(31));
+        assert_eq!(t_quantile_975(100), 1.96);
+        assert_eq!(t_quantile_975(0), f64::INFINITY);
+    }
+
+    #[test]
+    fn stats_of_constant_samples() {
+        let s = SampleStats::from_samples(&[5.0, 5.0, 5.0, 5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.ci_half_width, 0.0);
+        assert_eq!(s.relative_precision(), 0.0);
+    }
+
+    #[test]
+    fn stats_known_values() {
+        let s = SampleStats::from_samples(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.stddev - 1.0).abs() < 1e-12);
+        // CI half width = t(2) * 1 / sqrt(3).
+        assert!((s.ci_half_width - 4.303 / 3.0_f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_has_infinite_ci() {
+        let s = SampleStats::from_samples(&[3.0]);
+        assert_eq!(s.ci_half_width, f64::INFINITY);
+    }
+
+    #[test]
+    fn protocol_stops_quickly_on_stable_measurements() {
+        let mut count = 0;
+        let stats = measure_to_confidence(MeasurementProtocol::default(), || {
+            count += 1;
+            10.0 + 0.001 * (count % 2) as f64
+        });
+        assert_eq!(stats.reps, 5); // min_reps suffices for tiny variance
+        assert!(stats.relative_precision() <= 0.025);
+    }
+
+    #[test]
+    fn protocol_keeps_sampling_noisy_measurements() {
+        // Deterministic "noise": alternating large swings that shrink.
+        let mut k = 0_u32;
+        let stats = measure_to_confidence(
+            MeasurementProtocol {
+                precision: 0.025,
+                min_reps: 5,
+                max_reps: 500,
+            },
+            || {
+                k += 1;
+                10.0 + if k % 2 == 0 { 1.0 } else { -1.0 }
+            },
+        );
+        assert!(stats.reps > 5, "needed {} reps", stats.reps);
+        assert!(
+            stats.relative_precision() <= 0.025 || stats.reps == 500,
+            "prec {}",
+            stats.relative_precision()
+        );
+    }
+
+    #[test]
+    fn protocol_respects_max_reps() {
+        let mut k = 0_f64;
+        let stats = measure_to_confidence(
+            MeasurementProtocol {
+                precision: 1e-9,
+                min_reps: 3,
+                max_reps: 20,
+            },
+            || {
+                k += 1.0;
+                k // wildly non-converging
+            },
+        );
+        assert_eq!(stats.reps, 20);
+    }
+
+    #[test]
+    fn percent_spread_examples() {
+        assert_eq!(percent_spread(&[1.0, 1.0, 1.0]), 0.0);
+        // max 1.1, min 0.9, mean 1.0 -> 20 %.
+        assert!((percent_spread(&[0.9, 1.0, 1.1]) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_quantile_symmetry_and_known_values() {
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.95996).abs() < 1e-3);
+        assert!((normal_quantile(0.025) + 1.95996).abs() < 1e-3);
+        assert!((normal_quantile(0.84134) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn chi2_critical_values() {
+        assert!((chi2_critical_95(1) - 3.841).abs() < 1e-3);
+        assert!((chi2_critical_95(10) - 18.307).abs() < 1e-3);
+        // Wilson-Hilferty beyond the table: df=40 is ~55.76.
+        assert!((chi2_critical_95(40) - 55.76).abs() < 0.5);
+    }
+
+    #[test]
+    fn normality_accepted_for_near_normal_samples() {
+        // Sum of 8 deterministic quasi-uniforms per sample: CLT-normal.
+        let samples: Vec<f64> = (0..400)
+            .map(|i| {
+                (0..8)
+                    .map(|j| {
+                        let x = ((i * 8 + j) as f64 * 0.6180339887498949).fract();
+                        x - 0.5
+                    })
+                    .sum::<f64>()
+            })
+            .collect();
+        let t = pearson_normality_test(&samples, 8);
+        assert!(
+            t.consistent_with_normal(),
+            "stat {} > crit {}",
+            t.statistic,
+            t.critical_95
+        );
+    }
+
+    #[test]
+    fn normality_rejected_for_bimodal_samples() {
+        // Two well-separated spikes — nothing like a normal.
+        let samples: Vec<f64> = (0..400)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 10.0 } + (i % 5) as f64 * 1e-3)
+            .collect();
+        let t = pearson_normality_test(&samples, 8);
+        assert!(!t.consistent_with_normal(), "stat {}", t.statistic);
+    }
+
+    #[test]
+    #[should_panic(expected = "need >=")]
+    fn normality_test_rejects_tiny_samples() {
+        pearson_normality_test(&[1.0; 10], 8);
+    }
+}

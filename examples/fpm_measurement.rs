@@ -1,0 +1,57 @@
+//! Building a functional performance model the way the paper does:
+//! repeat each timing until the Student's-t 95 % confidence interval is
+//! within 2.5 % of the mean, check normality with Pearson's chi-squared
+//! test, and tabulate the measured speed function.
+//!
+//! ```sh
+//! cargo run --example fpm_measurement
+//! ```
+
+use summagen_platform::measurement::{build_fpm_via_protocol, NoisyTimer};
+use summagen_platform::profile::abs_gpu_profile;
+use summagen_platform::speed::SpeedFunction;
+use summagen_platform::stats::{pearson_normality_test, MeasurementProtocol};
+
+fn main() {
+    let truth = abs_gpu_profile();
+    let sizes: Vec<f64> = (2..=24).map(|k| k as f64 * 1_024.0).collect();
+
+    println!("building the AbsGPU profile via the measurement protocol (3% noise)...\n");
+    let (table, points) =
+        build_fpm_via_protocol(&truth, &sizes, 0.03, 2024, MeasurementProtocol::default());
+
+    println!(
+        "{:>8}{:>8}{:>14}{:>14}{:>12}",
+        "x", "reps", "mean t (s)", "measured TF", "true TF"
+    );
+    for p in &points {
+        println!(
+            "{:>8.0}{:>8}{:>14.4}{:>14.3}{:>12.3}",
+            p.x,
+            p.stats.reps,
+            p.stats.mean,
+            p.speed / 1e12,
+            truth.flops_at_square(p.x) / 1e12,
+        );
+    }
+
+    // The paper verifies the t-test's normality assumption with Pearson's
+    // chi-squared test: do the same on raw samples at one size.
+    let mut timer = NoisyTimer::new(&truth, 0.03, 99);
+    let samples: Vec<f64> = (0..200).map(|_| timer.time_once(8_192.0)).collect();
+    let test = pearson_normality_test(&samples, 8);
+    println!(
+        "\nPearson chi-squared on 200 raw samples at x = 8192: statistic {:.2}, 95% critical {:.2} -> normality {}",
+        test.statistic,
+        test.critical_95,
+        if test.consistent_with_normal() { "not rejected" } else { "REJECTED" }
+    );
+
+    // The tabulated model can drive partitioning directly.
+    let worst = points
+        .iter()
+        .map(|p| (p.speed - truth.flops_at_square(p.x)).abs() / truth.flops_at_square(p.x))
+        .fold(0.0, f64::max);
+    println!("worst relative error of the measured profile: {:.2}%", worst * 100.0);
+    let _ = table;
+}

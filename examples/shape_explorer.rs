@@ -1,0 +1,58 @@
+//! Shape explorer: render all six partition shapes (the paper's four plus
+//! the two extension candidates) for arbitrary speed ratios, and compare
+//! their communication volumes against the theoretical lower bound.
+//!
+//! ```sh
+//! cargo run --example shape_explorer [s0 s1 s2]
+//! # e.g. a 1:8:1 platform where square corner shines:
+//! cargo run --example shape_explorer 1 8 1
+//! ```
+
+use summagen_partition::{
+    half_perimeter_lower_bound, proportional_areas, Shape, ALL_FOUR_SHAPES,
+};
+
+fn main() {
+    let args: Vec<f64> = std::env::args()
+        .skip(1)
+        .filter_map(|s| s.parse().ok())
+        .collect();
+    let speeds: [f64; 3] = if args.len() == 3 {
+        [args[0], args[1], args[2]]
+    } else {
+        [1.0, 2.0, 0.9]
+    };
+
+    let n = 64;
+    let areas = proportional_areas(n, &speeds);
+    println!(
+        "speeds {speeds:?} -> areas {:?} on an {n}x{n} matrix\n",
+        areas.iter().map(|a| a.round()).collect::<Vec<_>>()
+    );
+
+    let all_shapes = ALL_FOUR_SHAPES
+        .iter()
+        .chain(&[Shape::RectangleCorner, Shape::LRectangle]);
+    let lb = half_perimeter_lower_bound(&areas);
+    println!("{:<24}{:>14}{:>18}", "shape", "sum c(Z_i)", "vs lower bound");
+    let mut best: Option<(Shape, usize)> = None;
+    for &shape in all_shapes.clone() {
+        let spec = shape.build(n, &areas);
+        let hp = spec.total_half_perimeter();
+        println!("{:<24}{:>14}{:>17.2}x", shape.name(), hp, hp as f64 / lb);
+        if best.is_none() || hp < best.unwrap().1 {
+            best = Some((shape, hp));
+        }
+    }
+    let (winner, _) = best.unwrap();
+    println!(
+        "\nlower bound 2·Σ√aᵢ = {lb:.0}; best shape here: {}\n",
+        winner.name()
+    );
+
+    for &shape in all_shapes {
+        let spec = shape.build(n, &areas);
+        println!("{} (areas {:?}):", shape.name(), spec.areas());
+        println!("{}", spec.element_map(32));
+    }
+}

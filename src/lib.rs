@@ -1,0 +1,37 @@
+//! Facade crate for the SummaGen reproduction: re-exports the public API
+//! of every workspace crate under one roof, so downstream users can depend
+//! on a single crate.
+//!
+//! ```
+//! use summagen_repro::prelude::*;
+//!
+//! let n = 64;
+//! let areas = proportional_areas(n, &[1.0, 2.0, 0.9]);
+//! let spec = Shape::SquareCorner.build(n, &areas);
+//! let a = random_matrix(n, n, 1);
+//! let b = random_matrix(n, n, 2);
+//! let result = multiply(&spec, &a, &b, ExecutionMode::Real);
+//! assert_eq!(result.c.rows(), n);
+//! ```
+
+pub use summagen_comm as comm;
+pub use summagen_core as core;
+pub use summagen_matrix as matrix;
+pub use summagen_partition as partition;
+pub use summagen_platform as platform;
+
+/// The most common imports, re-exported flat.
+pub mod prelude {
+    pub use summagen_comm::{Communicator, HockneyModel, Payload, Universe, ZeroCost};
+    pub use summagen_core::{
+        multiply, multiply_with_cost, simulate, simulate_with_energy, ExecutionMode, RunResult,
+        SimReport,
+    };
+    pub use summagen_matrix::{random_matrix, DenseMatrix, GemmKernel};
+    pub use summagen_partition::{
+        beaumont_column_layout, load_imbalancing_areas, proportional_areas, DiscreteFpm,
+        PartitionSpec, Shape, ALL_FOUR_SHAPES,
+    };
+    pub use summagen_platform::profile::hclserver1;
+    pub use summagen_platform::{AbstractProcessor, Platform};
+}

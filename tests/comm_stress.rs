@@ -1,0 +1,187 @@
+//! Stress and property tests for the message-passing runtime: randomized
+//! collective schedules, overlapping subgroups, and conservation
+//! invariants under concurrency.
+
+use proptest::prelude::*;
+use summagen_comm::{BcastAlgorithm, Payload, ReduceOp, Universe, ZeroCost};
+
+#[test]
+fn many_interleaved_subgroups() {
+    // Every pair (i, j) forms a subgroup; each performs a bcast. 6 ranks
+    // -> 15 overlapping communicators active at once.
+    let p = 6;
+    let out = Universe::new(p, ZeroCost).run(|comm| {
+        let me = comm.rank();
+        let mut received = Vec::new();
+        for i in 0..p {
+            for j in (i + 1)..p {
+                if me == i || me == j {
+                    let label = (i * p + j) as u64;
+                    let mut sub = comm.subgroup(&[i, j], label).unwrap();
+                    let v = sub.bcast(0, Payload::U64(vec![(i * 100 + j) as u64]));
+                    received.push(v.into_u64()[0]);
+                }
+            }
+        }
+        received
+    });
+    // Each rank participates in p-1 pairs and must have received the
+    // pair-specific value each time.
+    for (me, vals) in out.iter().enumerate() {
+        assert_eq!(vals.len(), p - 1, "rank {me}");
+        for &v in vals {
+            let (i, j) = ((v / 100) as usize, (v % 100) as usize);
+            assert!(i == me || j == me);
+        }
+    }
+}
+
+#[test]
+fn heavy_out_of_order_traffic() {
+    // Rank 0 sends 100 tagged messages; rank 1 receives them in reverse.
+    let out = Universe::new(2, ZeroCost).run(|comm| {
+        if comm.rank() == 0 {
+            for tag in 0..100u64 {
+                comm.send(1, tag, Payload::U64(vec![tag * 7]));
+            }
+            0
+        } else {
+            let mut sum = 0;
+            for tag in (0..100u64).rev() {
+                sum += comm.recv(0, tag).into_u64()[0];
+            }
+            sum
+        }
+    });
+    assert_eq!(out[1], 7 * (0..100).sum::<u64>());
+}
+
+#[test]
+fn nested_subgroups() {
+    // Subgroup of a subgroup: {0..5} -> evens {0,2,4} -> {0,4}.
+    let out = Universe::new(6, ZeroCost).run(|comm| {
+        let evens = [0usize, 2, 4];
+        if let Some(sub) = comm.subgroup(&evens, 1) {
+            // Within the even group, local ranks 0 and 2 are global 0, 4.
+            if sub.rank() == 0 || sub.rank() == 2 {
+                let mut inner = sub.subgroup(&[0, 2], 2).unwrap();
+                let v = inner.bcast(1, Payload::U64(vec![comm.rank() as u64]));
+                return v.into_u64()[0] as i64;
+            }
+        }
+        -1
+    });
+    // The inner bcast root (local 1 of inner = global 4) wins.
+    assert_eq!(out[0], 4);
+    assert_eq!(out[4], 4);
+    assert_eq!(out[2], -1);
+    assert_eq!(out[1], -1);
+}
+
+#[test]
+fn collectives_with_empty_payloads() {
+    let out = Universe::new(4, ZeroCost).run(|mut comm| {
+        let b = comm.bcast(0, Payload::F64(Vec::new())).into_f64();
+        let g = comm.gather(0, Payload::U64(Vec::new()));
+        comm.barrier();
+        (b.len(), g.map(|v| v.len()))
+    });
+    assert_eq!(out[0], (0, Some(4)));
+    assert_eq!(out[1], (0, None));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random collective schedules: any sequence of (bcast root, algo,
+    /// payload size) pairs produces the root's payload everywhere and
+    /// conserves bytes.
+    #[test]
+    fn random_bcast_schedules(
+        p in 2usize..7,
+        schedule in proptest::collection::vec((0usize..7, 0usize..2, 0usize..500), 1..12),
+    ) {
+        let out = Universe::new(p, ZeroCost).run(|mut comm| {
+            let mut ok = true;
+            for &(root, algo, len) in &schedule {
+                let root = root % p;
+                let algo = if algo == 0 {
+                    BcastAlgorithm::Flat
+                } else {
+                    BcastAlgorithm::Binomial
+                };
+                let payload = Payload::F64(vec![root as f64; len]);
+                let got = comm.bcast_with(root, payload, algo).into_f64();
+                ok &= got.len() == len && got.iter().all(|&x| x == root as f64);
+            }
+            (ok, comm.traffic())
+        });
+        prop_assert!(out.iter().all(|(ok, _)| *ok));
+        let sent: u64 = out.iter().map(|(_, t)| t.bytes_sent).sum();
+        let recv: u64 = out.iter().map(|(_, t)| t.bytes_recv).sum();
+        prop_assert_eq!(sent, recv);
+    }
+
+    /// allreduce results agree on every rank and match a serial fold,
+    /// regardless of op and vector contents.
+    #[test]
+    fn allreduce_agrees_with_serial_fold(
+        p in 1usize..6,
+        data in proptest::collection::vec(-100.0f64..100.0, 1..8),
+        op_idx in 0usize..3,
+    ) {
+        let op = [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min][op_idx];
+        let out = Universe::new(p, ZeroCost).run(|mut comm| {
+            // Rank r contributes data shifted by r.
+            let mine: Vec<f64> = data.iter().map(|&x| x + comm.rank() as f64).collect();
+            comm.allreduce_f64(&mine, op)
+        });
+        // Serial expectation.
+        let mut expect: Vec<f64> = data.clone();
+        for r in 1..p {
+            let contrib: Vec<f64> = data.iter().map(|&x| x + r as f64).collect();
+            for (e, c) in expect.iter_mut().zip(&contrib) {
+                *e = match op {
+                    ReduceOp::Sum => *e + c,
+                    ReduceOp::Max => e.max(*c),
+                    ReduceOp::Min => e.min(*c),
+                };
+            }
+        }
+        for r in &out {
+            prop_assert_eq!(r.clone(), expect.clone());
+        }
+    }
+
+    /// Ring send/recv of random payload sizes conserves content through
+    /// arbitrary rotations.
+    #[test]
+    fn ring_rotation_conserves_data(
+        p in 2usize..7,
+        len in 0usize..200,
+        rounds in 1usize..5,
+    ) {
+        let out = Universe::new(p, ZeroCost).run(|comm| {
+            let me = comm.rank();
+            let mut data: Vec<f64> = (0..len).map(|k| (me * 1000 + k) as f64).collect();
+            for round in 0..rounds {
+                let right = (me + 1) % p;
+                let left = (me + p - 1) % p;
+                data = comm
+                    .sendrecv(right, left, round as u64, Payload::F64(data))
+                    .into_f64();
+            }
+            data
+        });
+        // After `rounds` rotations, rank r holds the data that started at
+        // (r - rounds) mod p... actually data moves to the right, so rank
+        // r holds data from (r + p - rounds % p) % p.
+        for (r, data) in out.iter().enumerate() {
+            let origin = (r + p - rounds % p) % p;
+            prop_assert_eq!(data.len(), len);
+            for (k, &v) in data.iter().enumerate() {
+                prop_assert_eq!(v, (origin * 1000 + k) as f64);
+            }
+        }
+    }
+}

