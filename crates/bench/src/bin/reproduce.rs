@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! reproduce table1 | fig1 | fig5 | fig6 | fig7 | fig8 | summary
-//!           | crossover | nrrp | energyopt | summa | cluster | exact | all
+//!           | crossover | nrrp | energyopt | summa | cluster | exact
+//!           | auto | fig5measured | verify | recovery | all
 //! ```
 //!
 //! Output is whitespace-aligned text: one row per problem size with one
@@ -42,6 +43,7 @@ fn main() {
         "auto" => auto_gen(),
         "fig5measured" => fig5measured(),
         "verify" => verify(),
+        "recovery" => recovery(),
         "all" => {
             print!("{}", table1());
             println!();
@@ -59,10 +61,11 @@ fn main() {
             exact();
             auto_gen();
             fig5measured();
+            recovery();
         }
         other => {
             eprintln!(
-                "unknown figure '{other}'; expected one of: table1 fig1 fig5 fig6 fig7 fig8 summary crossover nrrp energyopt summa cluster exact auto fig5measured verify all"
+                "unknown figure '{other}'; expected one of: table1 fig1 fig5 fig6 fig7 fig8 summary crossover nrrp energyopt summa cluster exact auto fig5measured verify recovery all"
             );
             std::process::exit(2);
         }
@@ -277,67 +280,90 @@ fn exact() {
 /// Machine-readable output: `reproduce <figure> --json` prints a JSON
 /// document with the same series the text tables show.
 fn emit_json(what: &str) {
-    use serde_json::json;
+    use summagen_bench::json::Json;
     let doc = match what {
-        "fig5" => json!({
-            "figure": "fig5",
-            "unit": "flops",
-            "series": fig5_series(1024)
-                .into_iter()
-                .map(|(x, s)| json!({"x": x, "cpu": s[0], "gpu": s[1], "phi": s[2]}))
-                .collect::<Vec<_>>(),
-        }),
+        "fig5" => Json::obj([
+            ("figure", Json::from("fig5")),
+            ("unit", Json::from("flops")),
+            (
+                "series",
+                Json::arr(fig5_series(1024).into_iter().map(|(x, s)| {
+                    Json::obj([
+                        ("x", Json::from(x)),
+                        ("cpu", Json::from(s[0])),
+                        ("gpu", Json::from(s[1])),
+                        ("phi", Json::from(s[2])),
+                    ])
+                })),
+            ),
+        ]),
         "fig6" | "fig7" => {
             let points = if what == "fig6" { fig6_series() } else { fig7_series() };
-            json!({
-                "figure": what,
-                "series": points
-                    .iter()
-                    .map(|p| json!({
-                        "n": p.n,
-                        "shape": p.shape.name(),
-                        "exec_time_s": p.report.exec_time,
-                        "comp_time_s": p.report.comp_time,
-                        "comm_time_s": p.report.comm_time,
-                        "achieved_flops": p.report.achieved_flops(),
-                        "dynamic_energy_j": p.report.energy.as_ref().map(|e| e.dynamic_energy_j),
-                    }))
-                    .collect::<Vec<_>>(),
-            })
+            Json::obj([
+                ("figure", Json::from(what)),
+                (
+                    "series",
+                    Json::arr(points.iter().map(|p| {
+                        Json::obj([
+                            ("n", Json::from(p.n)),
+                            ("shape", Json::from(p.shape.name())),
+                            ("exec_time_s", Json::from(p.report.exec_time)),
+                            ("comp_time_s", Json::from(p.report.comp_time)),
+                            ("comm_time_s", Json::from(p.report.comm_time)),
+                            ("achieved_flops", Json::from(p.report.achieved_flops())),
+                            (
+                                "dynamic_energy_j",
+                                Json::from(p.report.energy.as_ref().map(|e| e.dynamic_energy_j)),
+                            ),
+                        ])
+                    })),
+                ),
+            ])
         }
-        "fig8" => json!({
-            "figure": "fig8",
-            "unit": "joules",
-            "series": fig8_series()
-                .into_iter()
-                .map(|(n, shape, e)| json!({"n": n, "shape": shape.name(), "dynamic_energy_j": e}))
-                .collect::<Vec<_>>(),
-        }),
+        "fig8" => Json::obj([
+            ("figure", Json::from("fig8")),
+            ("unit", Json::from("joules")),
+            (
+                "series",
+                Json::arr(fig8_series().into_iter().map(|(n, shape, e)| {
+                    Json::obj([
+                        ("n", Json::from(n)),
+                        ("shape", Json::from(shape.name())),
+                        ("dynamic_energy_j", Json::from(e)),
+                    ])
+                })),
+            ),
+        ]),
         "summary" => {
             let s = summarize(&fig6_series(), &fig7_series());
-            json!({
-                "figure": "summary",
-                "cpm_max_spread_pct": s.cpm_max_spread_pct,
-                "cpm_max_spread_n": s.cpm_max_spread_n,
-                "cpm_avg_spread_pct": s.cpm_avg_spread_pct,
-                "peak_tflops": s.peak_tflops,
-                "peak_shape": s.peak_shape.name(),
-                "peak_n": s.peak_n,
-                "peak_fraction": s.peak_fraction,
-                "avg_fraction": s.avg_fraction,
-                "energy_avg_spread_pct": s.energy_avg_spread_pct,
-                "fpm_mean_time_per_shape": s.fpm_mean_time_per_shape
-                    .iter()
-                    .map(|(sh, t)| json!({"shape": sh.name(), "mean_exec_time_s": t}))
-                    .collect::<Vec<_>>(),
-            })
+            Json::obj([
+                ("figure", Json::from("summary")),
+                ("cpm_max_spread_pct", Json::from(s.cpm_max_spread_pct)),
+                ("cpm_max_spread_n", Json::from(s.cpm_max_spread_n)),
+                ("cpm_avg_spread_pct", Json::from(s.cpm_avg_spread_pct)),
+                ("peak_tflops", Json::from(s.peak_tflops)),
+                ("peak_shape", Json::from(s.peak_shape.name())),
+                ("peak_n", Json::from(s.peak_n)),
+                ("peak_fraction", Json::from(s.peak_fraction)),
+                ("avg_fraction", Json::from(s.avg_fraction)),
+                ("energy_avg_spread_pct", Json::from(s.energy_avg_spread_pct)),
+                (
+                    "fpm_mean_time_per_shape",
+                    Json::arr(s.fpm_mean_time_per_shape.iter().map(|(sh, t)| {
+                        Json::obj([
+                            ("shape", Json::from(sh.name())),
+                            ("mean_exec_time_s", Json::from(*t)),
+                        ])
+                    })),
+                ),
+            ])
         }
         other => {
             eprintln!("--json supports: fig5 fig6 fig7 fig8 summary (got '{other}')");
             std::process::exit(2);
         }
     };
-    println!("{}", serde_json::to_string_pretty(&doc).expect("serialize"));
+    println!("{}", doc.pretty());
 }
 
 fn auto_gen() {
@@ -383,6 +409,113 @@ fn fig5measured() {
             "{name:>12}{sizes:>8}{:>13.2}%{reps:>12.1}{:>12}",
             worst * 100.0,
             if normal { "ok" } else { "REJECTED" }
+        );
+    }
+}
+
+/// Fault-tolerance demo: runs every paper shape under seeded fault plans
+/// through `multiply_with_recovery` and reports how each run ended, then
+/// prints the analytical device-failure model the recovery policy targets.
+fn recovery() {
+    use std::time::Duration;
+    use summagen_comm::{FaultPlan, ZeroCost};
+    use summagen_core::{multiply_with_recovery, ExecutionMode, RecoveryOptions};
+    use summagen_matrix::{gemm_naive, max_abs_diff, random_matrix, DenseMatrix};
+    use summagen_platform::{
+        degraded_capacity, expected_runtime_with_restarts, fleet_survival, DeviceKind,
+        FailureModel,
+    };
+
+    let n = 32;
+    let a = random_matrix(n, n, 41);
+    let b = random_matrix(n, n, 42);
+    let mut want = DenseMatrix::zeros(n, n);
+    gemm_naive(
+        n, n, n, 1.0,
+        a.as_slice(), n,
+        b.as_slice(), n,
+        0.0,
+        want.as_mut_slice(), n,
+    );
+    let opts = RecoveryOptions {
+        max_attempts: 3,
+        retry_backoff: 0.25,
+        recv_timeout: Duration::from_millis(500),
+    };
+
+    println!("\nROBUSTNESS — shrink-and-retry recovery under seeded fault plans (n = {n})");
+    println!(
+        "{:>20}{:>6}{:>12}{:>10}{:>10}{:>10}{:>12}",
+        "shape", "seed", "outcome", "attempts", "failed", "capacity", "max err"
+    );
+    for shape in ALL_FOUR_SHAPES {
+        for seed in 1..=3u64 {
+            let plan = FaultPlan::seeded(seed, 3);
+            let row = match multiply_with_recovery(
+                shape,
+                &CPM_SPEEDS,
+                &a,
+                &b,
+                ExecutionMode::Real,
+                ZeroCost,
+                std::slice::from_ref(&plan),
+                &opts,
+            ) {
+                Ok(res) => {
+                    let err = max_abs_diff(&res.c, &want);
+                    match &res.recovery {
+                        Some(rep) => format!(
+                            "{:>20}{seed:>6}{:>12}{:>10}{:>10}{:>10.2}{err:>12.2e}",
+                            shape.name(),
+                            "recovered",
+                            rep.attempts,
+                            format!("{:?}", rep.failed_devices),
+                            degraded_capacity(&CPM_SPEEDS, &rep.failed_devices),
+                        ),
+                        None => format!(
+                            "{:>20}{seed:>6}{:>12}{:>10}{:>10}{:>10.2}{err:>12.2e}",
+                            shape.name(),
+                            "clean",
+                            1,
+                            "[]",
+                            1.0,
+                        ),
+                    }
+                }
+                Err(e) => format!(
+                    "{:>20}{seed:>6}{:>12}{:>10}{:>10}{:>10}{:>12}",
+                    shape.name(),
+                    "error",
+                    "-",
+                    "-",
+                    "-",
+                    format!("{e:.30}"),
+                ),
+            };
+            println!("{row}");
+        }
+    }
+
+    println!("\n  analytical failure model (typical MTBFs, one hour of failure-free work):");
+    let models = [
+        FailureModel::typical(DeviceKind::Cpu),
+        FailureModel::typical(DeviceKind::Gpu),
+        FailureModel::typical(DeviceKind::XeonPhi),
+    ];
+    let work = 3600.0;
+    println!(
+        "    fleet survival over the run: {:.4}",
+        fleet_survival(&models, work)
+    );
+    println!(
+        "    expected makespan with restart-from-scratch: {:.1} s (vs {work:.0} s failure-free)",
+        expected_runtime_with_restarts(work, &models)
+    );
+    for (name, m) in [("AbsCPU", models[0]), ("AbsGPU", models[1]), ("AbsXeonPhi", models[2])] {
+        println!(
+            "    {name:<12} MTBF {:>9.0} s   P(fail during run) {:.4}",
+            m.mtbf_seconds,
+            m.failure_probability(work)
         );
     }
 }

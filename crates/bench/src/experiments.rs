@@ -333,10 +333,14 @@ pub fn nrrp_comparison(n: usize) -> Vec<(String, usize, usize, usize, f64)> {
         .collect()
 }
 
+/// One `(exec seconds, energy joules)` sample of an objective-specific
+/// distribution in [`energy_vs_time_partition`].
+pub type TimeEnergy = (f64, f64);
+
 /// Ablation for the paper's open problem: time-optimal vs energy-optimal
 /// workload distribution on the modelled node. Returns per problem size
 /// `(n, time-opt (exec s, energy J), energy-opt (exec s, energy J))`.
-pub fn energy_vs_time_partition() -> Vec<(usize, (f64, f64), (f64, f64))> {
+pub fn energy_vs_time_partition() -> Vec<(usize, TimeEnergy, TimeEnergy)> {
     use summagen_partition::energy_optimal_areas;
     let platform = hclserver1();
     let power = hclserver1_power_model();
@@ -466,11 +470,12 @@ mod tests {
     fn partition_spec_json_roundtrip() {
         let areas = proportional_areas(64, &[1.0, 2.0, 0.9]);
         let spec = Shape::SquareCorner.build(64, &areas);
-        let json = serde_json::to_string(&spec).unwrap();
-        let back: summagen_partition::PartitionSpec = serde_json::from_str(&json).unwrap();
+        let json = spec.to_json();
+        let back = summagen_partition::PartitionSpec::from_json(&json).unwrap();
         assert_eq!(back, spec);
-        let shape_json = serde_json::to_string(&Shape::BlockRectangle).unwrap();
+        let shape_json = Shape::BlockRectangle.to_json();
         assert_eq!(shape_json, "\"BlockRectangle\"");
+        assert_eq!(Shape::from_json(&shape_json).unwrap(), Shape::BlockRectangle);
     }
 
     #[test]

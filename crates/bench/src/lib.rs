@@ -6,5 +6,6 @@
 //! the criterion benches are thin wrappers over it.
 
 pub mod experiments;
+pub mod json;
 
 pub use experiments::*;

@@ -1,19 +1,24 @@
 //! The [`Communicator`]: ranks, point-to-point messaging, collectives, and
 //! `split` — the subset of MPI that SummaGen uses.
+//!
+//! Every blocking operation exists in two forms: the historical infallible
+//! method (`send`, `recv`, `bcast`, …) which panics on failure, and a
+//! fallible `try_` twin returning [`CommResult`]. The `try_` family is what
+//! makes the runtime fault-tolerant: when a peer dies mid-collective the
+//! survivors get `Err(CommError::PeerFailed { .. })` within milliseconds
+//! (a *death notice* wakes their blocked receives) instead of hanging
+//! until the receive timeout.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{Receiver, Sender};
-use parking_lot::Mutex;
-
+use crate::chan::{RecvError, Sender};
 use crate::clock::{ClockSnapshot, CostModel, VirtualClock};
+use crate::error::{CommError, CommResult};
+use crate::fault::{FaultState, MsgAction};
 use crate::message::{Envelope, Payload};
-
-/// How long a blocking receive waits for a matching message before declaring
-/// the program deadlocked. Real MPI would hang; failing fast keeps the test
-/// suite honest.
-const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+use crate::sync::Mutex;
 
 /// Per-rank traffic accounting, aggregated over all communicators the rank
 /// participates in.
@@ -65,62 +70,106 @@ impl ReduceOp {
     }
 }
 
+/// Reserved communicator id for control (death-notice) envelopes. User
+/// communicator ids are sanitized away from this value.
+pub(crate) const CONTROL_COMM: u64 = u64::MAX;
+
 /// A rank's inbound message queue: the channel endpoint plus messages that
 /// arrived out of matching order.
 pub(crate) struct Mailbox {
-    rx: Receiver<Envelope>,
+    rx: crate::chan::Receiver<Envelope>,
     pending: Vec<Envelope>,
 }
 
 impl Mailbox {
-    pub(crate) fn new(rx: Receiver<Envelope>) -> Self {
+    pub(crate) fn new(rx: crate::chan::Receiver<Envelope>) -> Self {
         Self {
             rx,
             pending: Vec::new(),
         }
     }
 
-    /// Blocking receive of the first message in this communicator with
-    /// the given tag, from any source (`MPI_ANY_SOURCE`). Returns the
-    /// envelope so the caller learns the sender.
-    fn recv_match_any(&mut self, comm_id: u64, tag: u64) -> Envelope {
-        if let Some(pos) = self
-            .pending
-            .iter()
-            .position(|e| e.comm_id == comm_id && e.tag == tag)
-        {
-            return self.pending.remove(pos);
-        }
-        loop {
-            let env = self
-                .rx
-                .recv_timeout(RECV_TIMEOUT)
-                .unwrap_or_else(|_| panic!("recv timed out waiting for tag {tag} (deadlock?)"));
-            if env.comm_id == comm_id && env.tag == tag {
-                return env;
+    /// Moves every queued envelope into `pending`, discarding control
+    /// envelopes (their only job is to wake a blocked receive).
+    fn drain(&mut self) {
+        while let Ok(env) = self.rx.try_recv() {
+            if env.comm_id != CONTROL_COMM {
+                self.pending.push(env);
             }
-            self.pending.push(env);
         }
     }
 
-    /// Blocking receive of the first message matching `(src, comm_id, tag)`.
-    fn recv_match(&mut self, src: usize, comm_id: u64, tag: u64) -> Envelope {
-        if let Some(pos) = self
-            .pending
-            .iter()
-            .position(|e| e.src == src && e.comm_id == comm_id && e.tag == tag)
-        {
-            return self.pending.remove(pos);
-        }
+    fn take_match(&mut self, src: Option<usize>, comm_id: u64, tag: u64) -> Option<Envelope> {
+        let pos = self.pending.iter().position(|e| {
+            e.comm_id == comm_id && e.tag == tag && src.is_none_or(|s| e.src == s)
+        })?;
+        Some(self.pending.remove(pos))
+    }
+
+    /// Blocking receive of the first message matching `(src, comm_id,
+    /// tag)`, where `src = None` means any source. Failure-aware: if a
+    /// rank in `watch` dies while we wait, returns `PeerFailed` instead of
+    /// blocking out the full timeout.
+    ///
+    /// The check order — match, drain, match, *then* read failure flags,
+    /// then drain and match once more — closes the race where a rank's
+    /// final messages are still in our channel when its death flag
+    /// becomes visible: the flag store happens-after the victim's last
+    /// enqueue, so one more drain after observing the flag is guaranteed
+    /// to surface any matching message that beat the death.
+    fn try_recv_match(
+        &mut self,
+        src: Option<usize>,
+        comm_id: u64,
+        tag: u64,
+        shared: &Shared,
+        watch: &[usize],
+        me: usize,
+    ) -> CommResult<Envelope> {
+        let timeout = shared.recv_timeout;
+        let deadline = Instant::now() + timeout;
         loop {
-            let env = self
-                .rx
-                .recv_timeout(RECV_TIMEOUT)
-                .unwrap_or_else(|_| panic!("recv timed out waiting for src {src} tag {tag} (deadlock?)"));
-            if env.src == src && env.comm_id == comm_id && env.tag == tag {
-                return env;
+            if let Some(env) = self.take_match(src, comm_id, tag) {
+                return Ok(env);
             }
-            self.pending.push(env);
+            self.drain();
+            if let Some(env) = self.take_match(src, comm_id, tag) {
+                return Ok(env);
+            }
+            if let Some(&dead) = watch
+                .iter()
+                .find(|&&r| shared.failed[r].load(Ordering::SeqCst))
+            {
+                self.drain();
+                if let Some(env) = self.take_match(src, comm_id, tag) {
+                    return Ok(env);
+                }
+                return Err(CommError::PeerFailed { rank: dead });
+            }
+            if Instant::now() >= deadline {
+                return Err(CommError::Timeout {
+                    src,
+                    tag,
+                    waited: timeout,
+                });
+            }
+            match self.rx.recv_deadline(deadline) {
+                Ok(env) => {
+                    if env.comm_id != CONTROL_COMM {
+                        self.pending.push(env);
+                    }
+                }
+                Err(RecvError::Timeout) => {
+                    return Err(CommError::Timeout {
+                        src,
+                        tag,
+                        waited: timeout,
+                    })
+                }
+                // Our own inbox was closed: this rank has been marked dead
+                // (it resigned) — it cannot receive anything anymore.
+                Err(RecvError::Closed) => return Err(CommError::ChannelClosed { rank: me }),
+            }
         }
     }
 }
@@ -131,6 +180,36 @@ pub(crate) struct Shared {
     pub senders: Vec<Sender<Envelope>>,
     /// Communication cost model.
     pub cost: Arc<dyn CostModel>,
+    /// Per-global-rank death flags, set by the death-notice protocol.
+    pub failed: Vec<AtomicBool>,
+    /// Active fault-injection state, if the universe carries a plan.
+    pub fault: Option<FaultState>,
+    /// How long a blocking receive waits before declaring a deadlock.
+    pub recv_timeout: Duration,
+}
+
+impl Shared {
+    /// Marks `rank` dead and unblocks everyone who might wait on it:
+    /// closes its inbox (senders fail fast) and posts a control envelope
+    /// to every survivor (blocked receives wake up and re-check flags).
+    /// Idempotent.
+    pub(crate) fn death_notice(&self, rank: usize) {
+        if self.failed[rank].swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.senders[rank].close();
+        for (i, s) in self.senders.iter().enumerate() {
+            if i != rank {
+                let _ = s.send(Envelope {
+                    src: rank,
+                    comm_id: CONTROL_COMM,
+                    tag: 0,
+                    arrival: 0.0,
+                    payload: Payload::U64(Vec::new()),
+                });
+            }
+        }
+    }
 }
 
 /// An MPI-like communicator over a subset of the universe's ranks.
@@ -162,6 +241,15 @@ fn mix(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Child communicator ids must not collide with the control id.
+fn sanitize_id(id: u64) -> u64 {
+    if id == CONTROL_COMM {
+        mix(id)
+    } else {
+        id
+    }
+}
+
 impl Communicator {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
@@ -174,7 +262,7 @@ impl Communicator {
         stats: Arc<Mutex<TrafficStats>>,
     ) -> Self {
         Self {
-            comm_id,
+            comm_id: sanitize_id(comm_id),
             rank,
             group,
             shared,
@@ -227,28 +315,67 @@ impl Communicator {
         self.clock.lock().trace().map(|t| t.to_vec())
     }
 
+    /// The configured blocking-receive timeout (see
+    /// `Universe::recv_timeout`).
+    pub fn recv_timeout(&self) -> Duration {
+        self.shared.recv_timeout
+    }
+
+    /// Whether the given universe-global rank has been marked dead.
+    pub fn is_failed(&self, global_rank: usize) -> bool {
+        self.shared.failed[global_rank].load(Ordering::SeqCst)
+    }
+
+    /// Voluntarily marks this rank as dead and wakes every peer blocked on
+    /// it. `Universe::try_run` calls this automatically when a rank's
+    /// closure panics or returns `Err`; call it directly only when bailing
+    /// out of a run by other means.
+    pub fn resign(&self) {
+        self.shared.death_notice(self.global_rank());
+    }
+
     /// Advances this rank's virtual clock by `dt` seconds of computation.
     /// SummaGen calls this with the device-model execution time of each
-    /// local DGEMM.
+    /// local DGEMM. A fault plan's `slow_rank` factor is applied here.
     pub fn advance_compute(&self, dt: f64) {
-        self.clock.lock().advance_compute(dt);
+        let factor = self
+            .shared
+            .fault
+            .as_ref()
+            .map_or(1.0, |fs| fs.compute_factor(self.global_rank()));
+        self.clock.lock().advance_compute(dt * factor);
     }
 
     /// Point-to-point send. Blocking semantics are "buffered": the call
     /// advances the sender's clock by the full transfer time (the link is
     /// occupied), enqueues the message, and returns.
+    ///
+    /// # Panics
+    /// Panics if the destination has failed; use [`Communicator::try_send`]
+    /// to handle that case.
     pub fn send(&self, dst: usize, tag: u64, payload: Payload) {
-        assert!(dst < self.size(), "send dst {dst} out of range");
-        assert!(tag < COLLECTIVE_TAG_BASE, "tag {tag} reserved for collectives");
-        self.send_internal(dst, tag, payload);
+        self.try_send(dst, tag, payload)
+            .unwrap_or_else(|e| panic!("send to rank {dst} failed: {e}"));
     }
 
-    fn send_internal(&self, dst: usize, tag: u64, payload: Payload) {
+    /// Fallible point-to-point send. Returns `PeerFailed`/`ChannelClosed`
+    /// if the destination rank has died.
+    pub fn try_send(&self, dst: usize, tag: u64, payload: Payload) -> CommResult<()> {
+        assert!(dst < self.size(), "send dst {dst} out of range");
+        assert!(tag < COLLECTIVE_TAG_BASE, "tag {tag} reserved for collectives");
+        self.try_send_internal(dst, tag, payload)
+    }
+
+    fn try_send_internal(&self, dst: usize, tag: u64, payload: Payload) -> CommResult<()> {
+        if let Some(fs) = &self.shared.fault {
+            fs.before_op(self.global_rank());
+        }
+        let dst_global = self.group[dst];
         let bytes = payload.bytes();
         let cost = self
             .shared
             .cost
-            .transfer_time_between(self.global_rank(), self.group[dst], bytes);
+            .transfer_time_between(self.global_rank(), dst_global, bytes);
         let arrival = {
             let mut clock = self.clock.lock();
             clock.advance_comm(cost);
@@ -259,47 +386,106 @@ impl Communicator {
             s.msgs_sent += 1;
             s.bytes_sent += bytes as u64;
         }
+        let action = self
+            .shared
+            .fault
+            .as_ref()
+            .map_or(MsgAction::Deliver, |fs| {
+                fs.on_message(self.global_rank(), dst_global)
+            });
+        let extra = match action {
+            // A dropped message costs the sender the same as a delivered
+            // one (the NIC pushed the bytes); it just never arrives.
+            MsgAction::Drop => return Ok(()),
+            MsgAction::Delay(secs) => secs,
+            MsgAction::Deliver => 0.0,
+        };
+        if self.shared.failed[dst_global].load(Ordering::SeqCst) {
+            return Err(CommError::PeerFailed { rank: dst_global });
+        }
         let env = Envelope {
             src: self.global_rank(),
             comm_id: self.comm_id,
             tag,
-            arrival,
+            arrival: arrival + extra,
             payload,
         };
-        self.shared.senders[self.group[dst]]
+        self.shared.senders[dst_global]
             .send(env)
-            .expect("receiver hung up");
+            .map_err(|_| CommError::ChannelClosed { rank: dst_global })
     }
 
     /// Point-to-point receive, matching on `(src, tag)` within this
     /// communicator. Advances the receiver's clock to the message's arrival
     /// time (waiting counts as communication time).
+    ///
+    /// # Panics
+    /// Panics on timeout or if the source rank has failed; use
+    /// [`Communicator::try_recv`] to handle those cases.
     pub fn recv(&self, src: usize, tag: u64) -> Payload {
-        assert!(src < self.size(), "recv src {src} out of range");
-        assert!(tag < COLLECTIVE_TAG_BASE, "tag {tag} reserved for collectives");
-        self.recv_internal(src, tag)
+        self.try_recv(src, tag).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    fn recv_internal(&self, src: usize, tag: u64) -> Payload {
-        let env = self
-            .mailbox
-            .lock()
-            .recv_match(self.group[src], self.comm_id, tag);
+    /// Fallible point-to-point receive: `Err(PeerFailed)` if `src` dies
+    /// while we wait, `Err(Timeout)` if nothing matches within the
+    /// configured receive timeout.
+    pub fn try_recv(&self, src: usize, tag: u64) -> CommResult<Payload> {
+        assert!(src < self.size(), "recv src {src} out of range");
+        assert!(tag < COLLECTIVE_TAG_BASE, "tag {tag} reserved for collectives");
+        self.try_recv_internal(src, tag)
+    }
+
+    fn try_recv_internal(&self, src: usize, tag: u64) -> CommResult<Payload> {
+        if let Some(fs) = &self.shared.fault {
+            fs.before_op(self.global_rank());
+        }
+        let src_global = self.group[src];
+        let env = self.mailbox.lock().try_recv_match(
+            Some(src_global),
+            self.comm_id,
+            tag,
+            &self.shared,
+            &[src_global],
+            self.global_rank(),
+        )?;
         self.clock.lock().wait_until(env.arrival);
         {
             let mut s = self.stats.lock();
             s.msgs_recv += 1;
             s.bytes_recv += env.payload.bytes() as u64;
         }
-        env.payload
+        Ok(env.payload)
     }
 
     /// Receive from any source (`MPI_ANY_SOURCE`): returns the sender's
     /// communicator-local rank and the payload. First-come-first-served
     /// among pending matches; waiting counts as communication time.
+    ///
+    /// # Panics
+    /// Panics on timeout or peer failure; see [`Communicator::try_recv_any`].
     pub fn recv_any(&self, tag: u64) -> (usize, Payload) {
+        self.try_recv_any(tag).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible any-source receive. If *any* other member of this
+    /// communicator dies while we wait, returns `Err(PeerFailed)` — the
+    /// runtime cannot know whether the dead rank was the intended sender,
+    /// so it fails conservatively.
+    pub fn try_recv_any(&self, tag: u64) -> CommResult<(usize, Payload)> {
         assert!(tag < COLLECTIVE_TAG_BASE, "tag {tag} reserved for collectives");
-        let env = self.mailbox.lock().recv_match_any(self.comm_id, tag);
+        if let Some(fs) = &self.shared.fault {
+            fs.before_op(self.global_rank());
+        }
+        let me = self.global_rank();
+        let watch: Vec<usize> = self.group.iter().copied().filter(|&g| g != me).collect();
+        let env = self.mailbox.lock().try_recv_match(
+            None,
+            self.comm_id,
+            tag,
+            &self.shared,
+            &watch,
+            me,
+        )?;
         self.clock.lock().wait_until(env.arrival);
         {
             let mut s = self.stats.lock();
@@ -311,7 +497,7 @@ impl Communicator {
             .iter()
             .position(|&g| g == env.src)
             .expect("sender not in this communicator");
-        (local, env.payload)
+        Ok((local, env.payload))
     }
 
     fn next_coll_tag(&mut self) -> u64 {
@@ -328,29 +514,48 @@ impl Communicator {
         self.bcast_with(root, payload, BcastAlgorithm::Flat)
     }
 
+    /// Fallible [`Communicator::bcast`].
+    pub fn try_bcast(&mut self, root: usize, payload: Payload) -> CommResult<Payload> {
+        self.try_bcast_with(root, payload, BcastAlgorithm::Flat)
+    }
+
     /// Broadcast with an explicit algorithm. `Flat` has the root send
     /// `p - 1` messages sequentially (latency `O(p)` at the root);
     /// `Binomial` forwards along a binomial tree (`O(log p)` rounds), the
     /// usual MPI choice for larger communicators. Results are identical;
     /// only the virtual-time profile differs.
     pub fn bcast_with(&mut self, root: usize, payload: Payload, algo: BcastAlgorithm) -> Payload {
+        self.try_bcast_with(root, payload, algo)
+            .unwrap_or_else(|e| panic!("bcast from root {root} failed: {e}"))
+    }
+
+    /// Fallible [`Communicator::bcast_with`]. On failure the collective is
+    /// *not* transactional: some ranks may already hold the payload while
+    /// others got an error — the caller must treat the whole attempt as
+    /// void (re-partition and retry, as `multiply_with_recovery` does).
+    pub fn try_bcast_with(
+        &mut self,
+        root: usize,
+        payload: Payload,
+        algo: BcastAlgorithm,
+    ) -> CommResult<Payload> {
         assert!(root < self.size(), "bcast root {root} out of range");
         let tag = self.next_coll_tag();
         let p = self.size();
         if p == 1 {
-            return payload;
+            return Ok(payload);
         }
         match algo {
             BcastAlgorithm::Flat => {
                 if self.rank == root {
                     for dst in 0..p {
                         if dst != root {
-                            self.send_internal(dst, tag, payload.clone());
+                            self.try_send_internal(dst, tag, payload.clone())?;
                         }
                     }
-                    payload
+                    Ok(payload)
                 } else {
-                    self.recv_internal(root, tag)
+                    self.try_recv_internal(root, tag)
                 }
             }
             BcastAlgorithm::Binomial => {
@@ -364,7 +569,7 @@ impl Communicator {
                 } else {
                     let parent_rel = rel & (rel - 1);
                     let parent = (parent_rel + root) % p;
-                    self.recv_internal(parent, tag)
+                    self.try_recv_internal(parent, tag)?
                 };
                 let limit = if rel == 0 {
                     p // any bit
@@ -381,9 +586,9 @@ impl Communicator {
                 }
                 for &b in bits.iter().rev() {
                     let child = (rel + b + root) % p;
-                    self.send_internal(child, tag, data.clone());
+                    self.try_send_internal(child, tag, data.clone())?;
                 }
-                data
+                Ok(data)
             }
         }
     }
@@ -391,59 +596,97 @@ impl Communicator {
     /// Gather: every rank contributes a payload; the root receives all of
     /// them indexed by rank and returns `Some(vec)`, others return `None`.
     pub fn gather(&mut self, root: usize, payload: Payload) -> Option<Vec<Payload>> {
+        self.try_gather(root, payload)
+            .unwrap_or_else(|e| panic!("gather to root {root} failed: {e}"))
+    }
+
+    /// Fallible [`Communicator::gather`].
+    pub fn try_gather(
+        &mut self,
+        root: usize,
+        payload: Payload,
+    ) -> CommResult<Option<Vec<Payload>>> {
         assert!(root < self.size(), "gather root {root} out of range");
         let tag = self.next_coll_tag();
         if self.rank == root {
             let mut out: Vec<Option<Payload>> = (0..self.size()).map(|_| None).collect();
             out[root] = Some(payload);
-            for src in 0..self.size() {
-                if src != root {
-                    out[src] = Some(self.recv_internal(src, tag));
-                }
+            for src in (0..self.size()).filter(|&s| s != root) {
+                out[src] = Some(self.try_recv_internal(src, tag)?);
             }
-            Some(out.into_iter().map(Option::unwrap).collect())
+            Ok(Some(out.into_iter().map(Option::unwrap).collect()))
         } else {
-            self.send_internal(root, tag, payload);
-            None
+            self.try_send_internal(root, tag, payload)?;
+            Ok(None)
         }
     }
 
     /// All-gather of `u64` metadata (used by `split` and the partition
     /// distribution phase).
     pub fn allgather_u64(&mut self, data: &[u64]) -> Vec<Vec<u64>> {
-        let gathered = self.gather(0, Payload::U64(data.to_vec()));
+        self.try_allgather_u64(data)
+            .unwrap_or_else(|e| panic!("allgather_u64 failed: {e}"))
+    }
+
+    /// Fallible [`Communicator::allgather_u64`].
+    pub fn try_allgather_u64(&mut self, data: &[u64]) -> CommResult<Vec<Vec<u64>>> {
+        let gathered = self.try_gather(0, Payload::U64(data.to_vec()))?;
         let flat: Vec<u64> = match gathered {
-            Some(parts) => parts.into_iter().flat_map(Payload::into_u64).collect(),
+            Some(parts) => {
+                let mut flat = Vec::new();
+                for p in parts {
+                    flat.extend(p.try_into_u64()?);
+                }
+                flat
+            }
             None => Vec::new(),
         };
-        let out = self.bcast(0, Payload::U64(flat)).into_u64();
+        let out = self.try_bcast(0, Payload::U64(flat))?.try_into_u64()?;
         let each = data.len();
         assert_eq!(out.len(), each * self.size(), "ragged allgather_u64");
-        out.chunks(each).map(|c| c.to_vec()).collect()
+        Ok(out.chunks(each).map(|c| c.to_vec()).collect())
     }
 
     /// All-gather of `f64` vectors of uniform length.
     pub fn allgather_f64(&mut self, data: &[f64]) -> Vec<Vec<f64>> {
-        let gathered = self.gather(0, Payload::F64(data.to_vec()));
+        self.try_allgather_f64(data)
+            .unwrap_or_else(|e| panic!("allgather_f64 failed: {e}"))
+    }
+
+    /// Fallible [`Communicator::allgather_f64`].
+    pub fn try_allgather_f64(&mut self, data: &[f64]) -> CommResult<Vec<Vec<f64>>> {
+        let gathered = self.try_gather(0, Payload::F64(data.to_vec()))?;
         let flat: Vec<f64> = match gathered {
-            Some(parts) => parts.into_iter().flat_map(Payload::into_f64).collect(),
+            Some(parts) => {
+                let mut flat = Vec::new();
+                for p in parts {
+                    flat.extend(p.try_into_f64()?);
+                }
+                flat
+            }
             None => Vec::new(),
         };
-        let out = self.bcast(0, Payload::F64(flat)).into_f64();
+        let out = self.try_bcast(0, Payload::F64(flat))?.try_into_f64()?;
         let each = data.len();
         assert_eq!(out.len(), each * self.size(), "ragged allgather_f64");
-        out.chunks(each).map(|c| c.to_vec()).collect()
+        Ok(out.chunks(each).map(|c| c.to_vec()).collect())
     }
 
     /// All-reduce over `f64` vectors. Reduction is performed in rank order,
     /// so results are bit-deterministic.
     pub fn allreduce_f64(&mut self, data: &[f64], op: ReduceOp) -> Vec<f64> {
-        let parts = self.allgather_f64(data);
+        self.try_allreduce_f64(data, op)
+            .unwrap_or_else(|e| panic!("allreduce_f64 failed: {e}"))
+    }
+
+    /// Fallible [`Communicator::allreduce_f64`].
+    pub fn try_allreduce_f64(&mut self, data: &[f64], op: ReduceOp) -> CommResult<Vec<f64>> {
+        let parts = self.try_allgather_f64(data)?;
         let mut acc = parts[0].clone();
         for p in &parts[1..] {
             op.apply(&mut acc, p);
         }
-        acc
+        Ok(acc)
     }
 
     /// Scatter: the root distributes one payload to each rank (index =
@@ -454,6 +697,18 @@ impl Communicator {
     /// Panics if the root's vector length differs from the communicator
     /// size, or a non-root passes `Some`.
     pub fn scatter(&mut self, root: usize, payloads: Option<Vec<Payload>>) -> Payload {
+        self.try_scatter(root, payloads)
+            .unwrap_or_else(|e| panic!("scatter from root {root} failed: {e}"))
+    }
+
+    /// Fallible [`Communicator::scatter`]. Shape violations (wrong payload
+    /// count, non-root passing `Some`) still panic — they are programming
+    /// errors, not platform faults.
+    pub fn try_scatter(
+        &mut self,
+        root: usize,
+        payloads: Option<Vec<Payload>>,
+    ) -> CommResult<Payload> {
         assert!(root < self.size(), "scatter root {root} out of range");
         let tag = self.next_coll_tag();
         if self.rank == root {
@@ -462,13 +717,13 @@ impl Communicator {
             let mine = payloads[root].clone();
             for (dst, p) in payloads.drain(..).enumerate() {
                 if dst != root {
-                    self.send_internal(dst, tag, p);
+                    self.try_send_internal(dst, tag, p)?;
                 }
             }
-            mine
+            Ok(mine)
         } else {
             assert!(payloads.is_none(), "non-root passed scatter payloads");
-            self.recv_internal(root, tag)
+            self.try_recv_internal(root, tag)
         }
     }
 
@@ -476,13 +731,30 @@ impl Communicator {
     /// all ranks' vectors (in rank order, so results are deterministic);
     /// others return `None`.
     pub fn reduce_f64(&mut self, root: usize, data: &[f64], op: ReduceOp) -> Option<Vec<f64>> {
-        let parts = self.gather(root, Payload::F64(data.to_vec()))?;
-        let mut iter = parts.into_iter().map(Payload::into_f64);
-        let mut acc = iter.next().expect("empty gather");
-        for p in iter {
-            op.apply(&mut acc, &p);
+        self.try_reduce_f64(root, data, op)
+            .unwrap_or_else(|e| panic!("reduce_f64 to root {root} failed: {e}"))
+    }
+
+    /// Fallible [`Communicator::reduce_f64`].
+    pub fn try_reduce_f64(
+        &mut self,
+        root: usize,
+        data: &[f64],
+        op: ReduceOp,
+    ) -> CommResult<Option<Vec<f64>>> {
+        let parts = match self.try_gather(root, Payload::F64(data.to_vec()))? {
+            Some(parts) => parts,
+            None => return Ok(None),
+        };
+        let mut acc: Option<Vec<f64>> = None;
+        for p in parts {
+            let v = p.try_into_f64()?;
+            match &mut acc {
+                None => acc = Some(v),
+                Some(a) => op.apply(a, &v),
+            }
         }
-        Some(acc)
+        Ok(Some(acc.expect("empty gather")))
     }
 
     /// Combined send and receive (like `MPI_Sendrecv`): ships `payload`
@@ -493,13 +765,32 @@ impl Communicator {
         self.recv(src, tag)
     }
 
+    /// Fallible [`Communicator::sendrecv`].
+    pub fn try_sendrecv(
+        &self,
+        dst: usize,
+        src: usize,
+        tag: u64,
+        payload: Payload,
+    ) -> CommResult<Payload> {
+        self.try_send(dst, tag, payload)?;
+        self.try_recv(src, tag)
+    }
+
     /// Barrier: no rank leaves before every rank has entered. Virtual
     /// clocks are synchronized to the latest participant (plus the small
     /// control-message cost).
     pub fn barrier(&mut self) {
+        self.try_barrier()
+            .unwrap_or_else(|e| panic!("barrier failed: {e}"));
+    }
+
+    /// Fallible [`Communicator::barrier`].
+    pub fn try_barrier(&mut self) -> CommResult<()> {
         // Gather an empty message to rank 0, then broadcast it back.
-        self.gather(0, Payload::U64(Vec::new()));
-        self.bcast(0, Payload::U64(Vec::new()));
+        self.try_gather(0, Payload::U64(Vec::new()))?;
+        self.try_bcast(0, Payload::U64(Vec::new()))?;
+        Ok(())
     }
 
     /// Builds a sub-communicator from an explicitly known member list
@@ -516,7 +807,9 @@ impl Communicator {
     ///
     /// # Panics
     /// Panics if `members` is not strictly increasing or contains an
-    /// out-of-range rank.
+    /// out-of-range rank. These stay panics in the fault-tolerant API too:
+    /// the member list is derived locally from the partition spec, so a
+    /// bad list is a bug, not a platform fault.
     pub fn subgroup(&self, members: &[usize], label: u64) -> Option<Communicator> {
         assert!(!members.is_empty(), "empty subgroup");
         for w in members.windows(2) {
@@ -546,16 +839,22 @@ impl Communicator {
     /// and is what builds SummaGen's per-sub-partition-row and -column
     /// communicators.
     pub fn split(&mut self, color: Option<u64>, key: u64) -> Option<Communicator> {
+        self.try_split(color, key)
+            .unwrap_or_else(|e| panic!("split failed: {e}"))
+    }
+
+    /// Fallible [`Communicator::split`]. The color/key exchange is a
+    /// collective, so it fails like one when a member is dead.
+    pub fn try_split(&mut self, color: Option<u64>, key: u64) -> CommResult<Option<Communicator>> {
         let split_seq = self.split_seq;
         self.split_seq += 1;
         // Exchange (participates, color, key) triples.
-        let mine = [
-            u64::from(color.is_some()),
-            color.unwrap_or(0),
-            key,
-        ];
-        let all = self.allgather_u64(&mine);
-        let my_color = color?;
+        let mine = [u64::from(color.is_some()), color.unwrap_or(0), key];
+        let all = self.try_allgather_u64(&mine)?;
+        let my_color = match color {
+            Some(c) => c,
+            None => return Ok(None),
+        };
         let mut members: Vec<(u64, usize)> = all
             .iter()
             .enumerate()
@@ -569,7 +868,7 @@ impl Communicator {
             .position(|&g| g == self.global_rank())
             .expect("rank missing from its own split group");
         let child_id = mix(mix(self.comm_id ^ mix(split_seq)) ^ mix(my_color));
-        Some(Communicator::new(
+        Ok(Some(Communicator::new(
             child_id,
             new_rank,
             Arc::new(group),
@@ -577,7 +876,7 @@ impl Communicator {
             Arc::clone(&self.mailbox),
             Arc::clone(&self.clock),
             Arc::clone(&self.stats),
-        ))
+        )))
     }
 }
 
@@ -1048,5 +1347,139 @@ mod tests {
             })
         };
         assert_eq!(run(), run());
+    }
+
+    // ---- fault-tolerance behavior ----------------------------------------
+
+    #[test]
+    fn try_recv_times_out_with_typed_error() {
+        let out = Universe::new(2, ZeroCost)
+            .recv_timeout(Duration::from_millis(30))
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    // Never send.
+                    Ok(Payload::U64(vec![]))
+                } else {
+                    comm.try_recv(0, 3)
+                }
+            });
+        match &out[1] {
+            Err(CommError::Timeout { src, tag, .. }) => {
+                assert_eq!(*src, Some(0));
+                assert_eq!(*tag, 3);
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn survivor_sees_peer_failed_when_sender_resigns() {
+        let out = Universe::new(2, ZeroCost)
+            .recv_timeout(Duration::from_secs(30))
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.resign();
+                    Ok(Payload::U64(vec![]))
+                } else {
+                    // Without the death notice this would block 30 s; the
+                    // notice turns it into a fast typed error.
+                    let t0 = Instant::now();
+                    let r = comm.try_recv(0, 3);
+                    assert!(t0.elapsed() < Duration::from_secs(5), "did not fail fast");
+                    r
+                }
+            });
+        assert_eq!(out[1], Err(CommError::PeerFailed { rank: 0 }));
+    }
+
+    #[test]
+    fn message_sent_before_death_is_still_delivered() {
+        let out = Universe::new(2, ZeroCost).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 4, Payload::U64(vec![77]));
+                comm.resign();
+                0
+            } else {
+                // Give the peer time to die first: its final message must
+                // survive the death notice.
+                std::thread::sleep(Duration::from_millis(20));
+                comm.try_recv(0, 4).unwrap().into_u64()[0]
+            }
+        });
+        assert_eq!(out[1], 77);
+    }
+
+    #[test]
+    fn send_to_dead_rank_fails_fast() {
+        let out = Universe::new(2, ZeroCost).run(|comm| {
+            if comm.rank() == 0 {
+                comm.resign();
+                Ok(())
+            } else {
+                std::thread::sleep(Duration::from_millis(20));
+                comm.try_send(0, 1, Payload::U64(vec![1]))
+            }
+        });
+        match &out[1] {
+            Err(CommError::PeerFailed { rank: 0 }) | Err(CommError::ChannelClosed { rank: 0 }) => {}
+            other => panic!("expected fast failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_message_times_out_but_counts_as_sent() {
+        let plan = crate::FaultPlan::new().drop_message(0, 1, 0);
+        let out = Universe::new(2, ZeroCost)
+            .recv_timeout(Duration::from_millis(30))
+            .with_faults(plan)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.try_send(1, 9, Payload::U64(vec![5])).unwrap();
+                    (comm.traffic().msgs_sent, Ok(Payload::U64(vec![])))
+                } else {
+                    (0, comm.try_recv(0, 9))
+                }
+            });
+        assert_eq!(out[0].0, 1, "dropped message still counted at sender");
+        assert!(
+            matches!(out[1].1, Err(CommError::Timeout { .. })),
+            "got {:?}",
+            out[1].1
+        );
+    }
+
+    #[test]
+    fn delayed_message_arrives_late_in_virtual_time() {
+        let plan = crate::FaultPlan::new().delay_message(0, 1, 0, 2.5);
+        let late = Universe::new(2, ZeroCost)
+            .with_faults(plan)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 0, Payload::U64(vec![1]));
+                } else {
+                    comm.recv(0, 0);
+                }
+                comm.now()
+            });
+        let on_time = Universe::new(2, ZeroCost).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, Payload::U64(vec![1]));
+            } else {
+                comm.recv(0, 0);
+            }
+            comm.now()
+        });
+        assert!((late[1] - on_time[1] - 2.5).abs() < 1e-12, "late {late:?} vs {on_time:?}");
+    }
+
+    #[test]
+    fn slow_rank_stretches_compute_time() {
+        let plan = crate::FaultPlan::new().slow_rank(1, 3.0);
+        let out = Universe::new(2, ZeroCost).with_faults(plan).run(|comm| {
+            comm.advance_compute(1.0);
+            comm.now()
+        });
+        assert!((out[0] - 1.0).abs() < 1e-12);
+        assert!((out[1] - 3.0).abs() < 1e-12);
     }
 }

@@ -1,0 +1,277 @@
+//! Typed errors for the communication runtime.
+//!
+//! Every blocking operation on [`crate::Communicator`] has a `try_`
+//! variant returning [`CommResult`]; the historical infallible methods are
+//! thin wrappers that panic on error. The taxonomy separates the three
+//! conditions a *correct* program can still hit on a faulty platform —
+//! a failed peer, a timeout, and a closed inbox — from the one that is
+//! always a programming error at the call site (payload type mismatch).
+
+use std::fmt;
+use std::time::Duration;
+
+/// Result alias for fallible communicator operations.
+pub type CommResult<T> = Result<T, CommError>;
+
+/// Why a communication operation could not complete.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommError {
+    /// A rank this operation depends on has died (panicked, was killed by
+    /// fault injection, or resigned). `rank` is the universe-global rank
+    /// of the failed peer.
+    PeerFailed {
+        /// Universe-global rank of the dead peer.
+        rank: usize,
+    },
+    /// No matching message arrived within the configured receive timeout
+    /// (see `Universe::recv_timeout`). Usually a deadlock — e.g. mismatched
+    /// collective participation — or a dropped message.
+    Timeout {
+        /// Universe-global source rank being waited on, if the receive was
+        /// source-specific.
+        src: Option<usize>,
+        /// The tag being waited on.
+        tag: u64,
+        /// The wall-clock budget that elapsed.
+        waited: Duration,
+    },
+    /// The destination rank's inbox is closed (the rank already died).
+    ChannelClosed {
+        /// Universe-global rank of the unreachable destination.
+        rank: usize,
+    },
+    /// A payload of one type was extracted as another.
+    PayloadType {
+        /// The variant the caller asked for.
+        expected: &'static str,
+        /// The variant actually carried.
+        got: &'static str,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::PeerFailed { rank } => write!(f, "peer rank {rank} failed"),
+            CommError::Timeout { src, tag, waited } => match src {
+                // Keep the historical panic wording ("(deadlock?)") so
+                // long-standing test expectations remain valid.
+                Some(s) => write!(
+                    f,
+                    "recv timed out waiting for src {s} tag {tag} after {waited:?} (deadlock?)"
+                ),
+                None => write!(
+                    f,
+                    "recv timed out waiting for tag {tag} after {waited:?} (deadlock?)"
+                ),
+            },
+            CommError::ChannelClosed { rank } => {
+                write!(f, "rank {rank} is unreachable (inbox closed)")
+            }
+            CommError::PayloadType { expected, got } => {
+                write!(f, "expected {expected} payload, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+impl CommError {
+    /// The universe-global rank whose death caused this error, if the
+    /// error identifies one. Recovery uses this to exclude the rank from
+    /// the next attempt.
+    pub fn failed_rank(&self) -> Option<usize> {
+        match self {
+            CommError::PeerFailed { rank } | CommError::ChannelClosed { rank } => Some(*rank),
+            _ => None,
+        }
+    }
+}
+
+/// Why a rank terminated abnormally inside `Universe::try_run`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FailureCause {
+    /// The rank's closure panicked; carries the panic message if it was a
+    /// string.
+    Panic(String),
+    /// The fault plan killed the rank at its `op`-th communication
+    /// operation.
+    InjectedKill {
+        /// Zero-based index of the point-to-point operation at which the
+        /// kill fired.
+        op: u64,
+    },
+    /// The rank's closure returned a typed error.
+    Error(CommError),
+}
+
+impl fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureCause::Panic(msg) => write!(f, "panicked: {msg}"),
+            FailureCause::InjectedKill { op } => write!(f, "killed by fault plan at op {op}"),
+            FailureCause::Error(e) => write!(f, "returned error: {e}"),
+        }
+    }
+}
+
+/// One abnormally-terminated rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailedRank {
+    /// Universe-global rank.
+    pub rank: usize,
+    /// What happened to it.
+    pub cause: FailureCause,
+}
+
+/// Aggregate outcome of a `Universe::try_run` in which at least one rank
+/// did not return `Ok`. Ranks that died *and* ranks that merely observed
+/// the death (returned `Err(PeerFailed)`) both appear; use
+/// [`RankFailure::root_failed_ranks`] to separate cause from effect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankFailure {
+    /// Every rank that panicked, was killed, or returned an error, sorted
+    /// by rank.
+    pub failed: Vec<FailedRank>,
+}
+
+impl RankFailure {
+    /// The ranks that actually died — panicked, were kill-injected, or are
+    /// named as the dead peer by a survivor's `PeerFailed`/`ChannelClosed`
+    /// error — deduplicated and sorted. Ranks that only *reported* a
+    /// timeout are excluded: a timeout does not identify a culprit.
+    pub fn root_failed_ranks(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = Vec::new();
+        for fr in &self.failed {
+            match &fr.cause {
+                FailureCause::Panic(_) | FailureCause::InjectedKill { .. } => out.push(fr.rank),
+                FailureCause::Error(e) => {
+                    if let Some(r) = e.failed_rank() {
+                        out.push(r);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The ranks that genuinely crashed, judged by each rank's *own*
+    /// terminal cause: panics, injected kills, and errors originating at
+    /// the rank (e.g. a payload-type mismatch). Excluded are ranks that
+    /// merely resigned after observing someone else's death (`PeerFailed`,
+    /// `ChannelClosed`) or starved on a `Timeout` — a resignation triggers
+    /// its own death notice, so third parties may name such a rank dead
+    /// even though it was a victim, not a cause. Recovery policies that
+    /// shrink a device pool over survivors should use this, not
+    /// [`RankFailure::root_failed_ranks`].
+    pub fn crashed_ranks(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .failed
+            .iter()
+            .filter(|fr| match &fr.cause {
+                FailureCause::Panic(_) | FailureCause::InjectedKill { .. } => true,
+                FailureCause::Error(
+                    CommError::PeerFailed { .. }
+                    | CommError::ChannelClosed { .. }
+                    | CommError::Timeout { .. },
+                ) => false,
+                FailureCause::Error(_) => true,
+            })
+            .map(|fr| fr.rank)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Whether every failure is a timeout (no identified dead rank) — the
+    /// signature of a deadlock or dropped message rather than a crash.
+    pub fn all_timeouts(&self) -> bool {
+        !self.failed.is_empty()
+            && self.failed.iter().all(|fr| {
+                matches!(
+                    &fr.cause,
+                    FailureCause::Error(CommError::Timeout { .. })
+                )
+            })
+    }
+}
+
+impl fmt::Display for RankFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} rank(s) failed:", self.failed.len())?;
+        for fr in &self.failed {
+            write!(f, " [rank {} {}]", fr.rank, fr.cause)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for RankFailure {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_keeps_deadlock_wording() {
+        let e = CommError::Timeout {
+            src: Some(2),
+            tag: 7,
+            waited: Duration::from_secs(1),
+        };
+        let s = e.to_string();
+        assert!(s.contains("recv timed out waiting for src 2 tag 7"));
+        assert!(s.contains("(deadlock?)"));
+        let e = CommError::Timeout {
+            src: None,
+            tag: 9,
+            waited: Duration::from_secs(1),
+        };
+        assert!(e.to_string().contains("waiting for tag 9"));
+    }
+
+    #[test]
+    fn root_ranks_separate_cause_from_effect() {
+        let rf = RankFailure {
+            failed: vec![
+                FailedRank {
+                    rank: 0,
+                    cause: FailureCause::Error(CommError::PeerFailed { rank: 1 }),
+                },
+                FailedRank {
+                    rank: 1,
+                    cause: FailureCause::InjectedKill { op: 3 },
+                },
+                FailedRank {
+                    rank: 2,
+                    cause: FailureCause::Error(CommError::PeerFailed { rank: 1 }),
+                },
+            ],
+        };
+        assert_eq!(rf.root_failed_ranks(), vec![1]);
+        assert!(!rf.all_timeouts());
+    }
+
+    #[test]
+    fn all_timeouts_detects_deadlock_signature() {
+        let timeout = || {
+            FailureCause::Error(CommError::Timeout {
+                src: None,
+                tag: 0,
+                waited: Duration::from_millis(5),
+            })
+        };
+        let rf = RankFailure {
+            failed: vec![
+                FailedRank { rank: 0, cause: timeout() },
+                FailedRank { rank: 2, cause: timeout() },
+            ],
+        };
+        assert!(rf.all_timeouts());
+        assert!(rf.root_failed_ranks().is_empty());
+    }
+}

@@ -1,0 +1,293 @@
+//! Deterministic, seeded fault injection for the runtime.
+//!
+//! A [`FaultPlan`] is a declarative description of what goes wrong during
+//! a run: ranks killed at their N-th communication operation, specific
+//! messages dropped or delayed, ranks computing slower than modeled. The
+//! plan is attached to a `Universe` via `Universe::with_faults`; the
+//! runtime consults it at well-defined points (every point-to-point send
+//! and receive, every compute advance), so a given `(plan, program)` pair
+//! fails *identically* on every execution — chaos tests are reproducible
+//! byte for byte.
+//!
+//! Kills are delivered as panics carrying an [`InjectedKill`] payload.
+//! `Universe::try_run` recognizes the payload, records the death as
+//! `FailureCause::InjectedKill`, and runs the death-notice protocol that
+//! unblocks the victim's peers.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::sync::Mutex;
+
+/// Panic payload used by injected kills. Public so tests can assert on it;
+/// user code never constructs one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedKill {
+    /// Universe-global rank being killed.
+    pub rank: usize,
+    /// Zero-based index of the p2p operation at which the kill fired.
+    pub op: u64,
+}
+
+/// What the injector decides about one message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum MsgAction {
+    /// Deliver normally.
+    Deliver,
+    /// Silently discard (the receiver will time out).
+    Drop,
+    /// Deliver, but with this many extra virtual seconds of latency.
+    Delay(f64),
+}
+
+/// A kill directive: rank `rank` panics when it starts its `at_op`-th
+/// (zero-based) point-to-point operation. A rank that performs no
+/// communication never reaches its trigger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillSpec {
+    /// Universe-global rank to kill.
+    pub rank: usize,
+    /// Zero-based p2p operation index that triggers the kill.
+    pub at_op: u64,
+}
+
+/// A per-message directive keyed by `(src, dst, nth)`: the `nth`
+/// (zero-based) message from `src` to `dst` is dropped or delayed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MsgFault {
+    /// Universe-global sender.
+    pub src: usize,
+    /// Universe-global receiver.
+    pub dst: usize,
+    /// Zero-based index among messages from `src` to `dst`.
+    pub nth: u64,
+    /// Extra virtual latency in seconds; `None` means drop entirely.
+    pub delay: Option<f64>,
+}
+
+/// A declarative fault schedule. Build with the chaining methods, or
+/// derive a pseudo-random one from a seed with [`FaultPlan::seeded`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Ranks to kill and when.
+    pub kills: Vec<KillSpec>,
+    /// Messages to drop or delay.
+    pub msg_faults: Vec<MsgFault>,
+    /// `(rank, factor)`: multiply the rank's compute-time advances by
+    /// `factor` (a straggler at `factor > 1`).
+    pub slowdowns: Vec<(usize, f64)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Kills `rank` at its `at_op`-th (zero-based) p2p operation.
+    pub fn kill_rank(mut self, rank: usize, at_op: u64) -> Self {
+        self.kills.push(KillSpec { rank, at_op });
+        self
+    }
+
+    /// Drops the `nth` (zero-based) message from `src` to `dst`.
+    pub fn drop_message(mut self, src: usize, dst: usize, nth: u64) -> Self {
+        self.msg_faults.push(MsgFault {
+            src,
+            dst,
+            nth,
+            delay: None,
+        });
+        self
+    }
+
+    /// Delays the `nth` (zero-based) message from `src` to `dst` by
+    /// `secs` extra virtual seconds.
+    pub fn delay_message(mut self, src: usize, dst: usize, nth: u64, secs: f64) -> Self {
+        assert!(secs >= 0.0 && secs.is_finite(), "invalid delay {secs}");
+        self.msg_faults.push(MsgFault {
+            src,
+            dst,
+            nth,
+            delay: Some(secs),
+        });
+        self
+    }
+
+    /// Multiplies `rank`'s compute-time advances by `factor`.
+    pub fn slow_rank(mut self, rank: usize, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor.is_finite(), "invalid factor {factor}");
+        self.slowdowns.push((rank, factor));
+        self
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.kills.is_empty() && self.msg_faults.is_empty() && self.slowdowns.is_empty()
+    }
+
+    /// Derives a deterministic pseudo-random plan for a universe of
+    /// `nprocs` ranks: always one kill, plus (depending on seed bits) one
+    /// message delay and one straggler. The same seed always produces the
+    /// same plan.
+    pub fn seeded(seed: u64, nprocs: usize) -> Self {
+        assert!(nprocs > 0, "seeded plan needs at least one rank");
+        let r0 = mix(seed);
+        let r1 = mix(r0);
+        let r2 = mix(r1);
+        let victim = (r0 % nprocs as u64) as usize;
+        let mut plan = FaultPlan::new().kill_rank(victim, r1 % 24);
+        if r2 & 1 == 1 && nprocs >= 2 {
+            let src = (r2 >> 1) as usize % nprocs;
+            let dst = (src + 1 + (r2 >> 9) as usize % (nprocs - 1)) % nprocs;
+            plan = plan.delay_message(src, dst, (r2 >> 17) % 4, 1e-3);
+        }
+        if r2 & 2 == 2 {
+            plan = plan.slow_rank((r2 >> 3) as usize % nprocs, 2.5);
+        }
+        plan
+    }
+}
+
+fn mix(mut x: u64) -> u64 {
+    // splitmix64 finalizer — same generator the communicator uses for
+    // deterministic child ids.
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Runtime state threading a [`FaultPlan`] through one `Universe`
+/// execution: per-rank operation counters and per-edge message counters.
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    /// Per-rank count of p2p operations performed so far.
+    ops: Vec<AtomicU64>,
+    /// Per-(src, dst) count of messages sent so far.
+    msg_counts: Mutex<HashMap<(usize, usize), u64>>,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan, nprocs: usize) -> Self {
+        Self {
+            plan,
+            ops: (0..nprocs).map(|_| AtomicU64::new(0)).collect(),
+            msg_counts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Called at the start of every p2p operation on `rank`. Returns the
+    /// operation index, and panics with [`InjectedKill`] if the plan says
+    /// this is the rank's moment to die.
+    pub(crate) fn before_op(&self, rank: usize) -> u64 {
+        let op = self.ops[rank].fetch_add(1, Ordering::Relaxed);
+        for k in &self.plan.kills {
+            if k.rank == rank && k.at_op == op {
+                std::panic::panic_any(InjectedKill { rank, op });
+            }
+        }
+        op
+    }
+
+    /// Called for every message about to be enqueued.
+    pub(crate) fn on_message(&self, src: usize, dst: usize) -> MsgAction {
+        let nth = {
+            let mut counts = self.msg_counts.lock();
+            let c = counts.entry((src, dst)).or_insert(0);
+            let nth = *c;
+            *c += 1;
+            nth
+        };
+        for mf in &self.plan.msg_faults {
+            if mf.src == src && mf.dst == dst && mf.nth == nth {
+                return match mf.delay {
+                    None => MsgAction::Drop,
+                    Some(secs) => MsgAction::Delay(secs),
+                };
+            }
+        }
+        MsgAction::Deliver
+    }
+
+    /// The compute-time multiplier for `rank` (1.0 when not slowed).
+    pub(crate) fn compute_factor(&self, rank: usize) -> f64 {
+        self.plan
+            .slowdowns
+            .iter()
+            .find(|(r, _)| *r == rank)
+            .map_or(1.0, |&(_, f)| f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn builder_accumulates_directives() {
+        let plan = FaultPlan::new()
+            .kill_rank(1, 5)
+            .drop_message(0, 2, 3)
+            .delay_message(2, 0, 0, 0.5)
+            .slow_rank(2, 3.0);
+        assert_eq!(plan.kills, vec![KillSpec { rank: 1, at_op: 5 }]);
+        assert_eq!(plan.msg_faults.len(), 2);
+        assert_eq!(plan.slowdowns, vec![(2, 3.0)]);
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_in_range() {
+        for seed in 0..64u64 {
+            let a = FaultPlan::seeded(seed, 3);
+            let b = FaultPlan::seeded(seed, 3);
+            assert_eq!(a, b, "seed {seed} not deterministic");
+            assert_eq!(a.kills.len(), 1);
+            assert!(a.kills[0].rank < 3);
+            for mf in &a.msg_faults {
+                assert!(mf.src < 3 && mf.dst < 3 && mf.src != mf.dst);
+            }
+            for &(r, f) in &a.slowdowns {
+                assert!(r < 3 && f > 1.0);
+            }
+        }
+        assert_ne!(FaultPlan::seeded(1, 3), FaultPlan::seeded(2, 3));
+    }
+
+    #[test]
+    fn kill_fires_exactly_at_op() {
+        let st = FaultState::new(FaultPlan::new().kill_rank(0, 2), 2);
+        assert_eq!(st.before_op(0), 0);
+        assert_eq!(st.before_op(0), 1);
+        let killed = catch_unwind(AssertUnwindSafe(|| st.before_op(0)));
+        let payload = killed.unwrap_err();
+        let ik = payload.downcast_ref::<InjectedKill>().expect("kill payload");
+        assert_eq!(*ik, InjectedKill { rank: 0, op: 2 });
+        // Other ranks are unaffected.
+        assert_eq!(st.before_op(1), 0);
+    }
+
+    #[test]
+    fn message_faults_hit_the_nth_edge_message() {
+        let st = FaultState::new(
+            FaultPlan::new().drop_message(0, 1, 1).delay_message(1, 0, 0, 0.25),
+            2,
+        );
+        assert_eq!(st.on_message(0, 1), MsgAction::Deliver); // nth = 0
+        assert_eq!(st.on_message(0, 1), MsgAction::Drop); // nth = 1
+        assert_eq!(st.on_message(0, 1), MsgAction::Deliver); // nth = 2
+        assert_eq!(st.on_message(1, 0), MsgAction::Delay(0.25));
+        assert_eq!(st.on_message(1, 0), MsgAction::Deliver);
+    }
+
+    #[test]
+    fn slowdown_factor_defaults_to_one() {
+        let st = FaultState::new(FaultPlan::new().slow_rank(1, 4.0), 3);
+        assert_eq!(st.compute_factor(0), 1.0);
+        assert_eq!(st.compute_factor(1), 4.0);
+        assert_eq!(st.compute_factor(2), 1.0);
+    }
+}

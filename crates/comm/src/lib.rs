@@ -6,9 +6,9 @@
 //! machinery SummaGen needs — ranks, communicators, `split` (the paper's
 //! `get_subp_comm` builds row/column communicators), point-to-point
 //! send/receive, broadcast, barrier, gather, and all-reduce — on top of OS
-//! threads and crossbeam channels.
+//! threads and an in-crate channel implementation.
 //!
-//! Two things distinguish it from a plain channel wrapper:
+//! Three things distinguish it from a plain channel wrapper:
 //!
 //! * **Virtual clocks.** Every rank carries a [`VirtualClock`]. Communication
 //!   operations advance clocks according to a pluggable [`CostModel`] — the
@@ -20,13 +20,26 @@
 //!   tens of gigabytes) a message can carry only its element count. The cost
 //!   model and traffic accounting see the same byte counts either way, so
 //!   timed experiments and numeric correctness runs share one code path.
+//! * **Fault tolerance.** Every blocking operation has a fallible `try_`
+//!   variant returning [`CommResult`]; a deterministic [`FaultPlan`] can
+//!   kill ranks, drop or delay messages, and slow clocks at seeded trigger
+//!   points; and [`Universe::try_run`] catches per-rank panics, runs a
+//!   death-notice protocol that unblocks the victim's peers within
+//!   milliseconds, and reports the aggregate [`RankFailure`].
 
 pub mod clock;
 pub mod comm;
+pub mod error;
+pub mod fault;
 pub mod message;
 pub mod universe;
 
+mod chan;
+mod sync;
+
 pub use clock::{ClockSnapshot, CostModel, HockneyModel, TraceEvent, TraceKind, TwoLevelTopology, VirtualClock, ZeroCost};
 pub use comm::{BcastAlgorithm, Communicator, ReduceOp, TrafficStats};
+pub use error::{CommError, CommResult, FailedRank, FailureCause, RankFailure};
+pub use fault::{FaultPlan, InjectedKill, KillSpec, MsgFault};
 pub use message::Payload;
-pub use universe::Universe;
+pub use universe::{Universe, DEFAULT_RECV_TIMEOUT};

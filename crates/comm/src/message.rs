@@ -35,6 +35,15 @@ impl Payload {
         self.elems() * 8
     }
 
+    /// The variant name, for error reporting.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Payload::F64(_) => "F64",
+            Payload::U64(_) => "U64",
+            Payload::Phantom { .. } => "Phantom",
+        }
+    }
+
     /// Extracts an `f64` payload.
     ///
     /// # Panics
@@ -54,6 +63,28 @@ impl Payload {
         match self {
             Payload::U64(v) => v,
             other => panic!("expected U64 payload, got {other:?}"),
+        }
+    }
+
+    /// Fallible variant of [`Payload::into_f64`].
+    pub fn try_into_f64(self) -> crate::error::CommResult<Vec<f64>> {
+        match self {
+            Payload::F64(v) => Ok(v),
+            other => Err(crate::error::CommError::PayloadType {
+                expected: "F64",
+                got: other.kind(),
+            }),
+        }
+    }
+
+    /// Fallible variant of [`Payload::into_u64`].
+    pub fn try_into_u64(self) -> crate::error::CommResult<Vec<u64>> {
+        match self {
+            Payload::U64(v) => Ok(v),
+            other => Err(crate::error::CommError::PayloadType {
+                expected: "U64",
+                got: other.kind(),
+            }),
         }
     }
 
@@ -105,5 +136,25 @@ mod tests {
     #[should_panic(expected = "expected F64")]
     fn into_f64_rejects_phantom() {
         Payload::Phantom { elems: 1 }.into_f64();
+    }
+
+    #[test]
+    fn try_into_reports_typed_mismatch() {
+        use crate::error::CommError;
+        assert_eq!(Payload::U64(vec![3]).try_into_u64().unwrap(), vec![3]);
+        assert_eq!(
+            Payload::Phantom { elems: 1 }.try_into_f64(),
+            Err(CommError::PayloadType {
+                expected: "F64",
+                got: "Phantom"
+            })
+        );
+        assert_eq!(
+            Payload::F64(vec![]).try_into_u64(),
+            Err(CommError::PayloadType {
+                expected: "U64",
+                got: "F64"
+            })
+        );
     }
 }

@@ -1,0 +1,76 @@
+//! A `Mutex` wrapper that ignores poisoning.
+//!
+//! Every lock in this crate protects per-rank state (mailbox, clock,
+//! traffic counters) that is only ever touched by its owning rank thread,
+//! or channel internals whose invariants hold at every await point. When a
+//! rank is killed by fault injection the panic may unwind through a held
+//! lock; the poison flag would then turn every later diagnostic access
+//! into a second panic. Clearing it is safe here precisely because no
+//! cross-thread invariant spans a critical section.
+
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard, WaitTimeoutResult};
+use std::time::Duration;
+
+/// `std::sync::Mutex` with parking_lot-style `lock()` (no poison result).
+#[derive(Debug, Default)]
+pub(crate) struct Mutex<T>(StdMutex<T>);
+
+impl<T> Mutex<T> {
+    pub(crate) fn new(value: T) -> Self {
+        Self(StdMutex::new(value))
+    }
+
+    pub(crate) fn lock(&self) -> MutexGuard<'_, T> {
+        match self.0.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// `std::sync::Condvar` whose waits shed poison the same way.
+#[derive(Debug, Default)]
+pub(crate) struct Condvar(StdCondvar);
+
+impl Condvar {
+    pub(crate) fn new() -> Self {
+        Self(StdCondvar::new())
+    }
+
+    pub(crate) fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub(crate) fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    pub(crate) fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        match self.0.wait_timeout(guard, dur) {
+            Ok(pair) => pair,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_recovers_from_poison() {
+        let m = Arc::new(Mutex::new(5));
+        let m2 = Arc::clone(&m);
+        let _ = catch_unwind(AssertUnwindSafe(move || {
+            let _g = m2.lock();
+            panic!("poison it");
+        }));
+        assert_eq!(*m.lock(), 5);
+    }
+}

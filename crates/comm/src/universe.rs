@@ -1,14 +1,37 @@
 //! The [`Universe`]: spawns one OS thread per rank and hands each a root
 //! [`Communicator`], the analogue of `MPI_COMM_WORLD`.
+//!
+//! Two entry points share the spawning machinery:
+//!
+//! * [`Universe::run`] — the historical infallible API: any rank panic
+//!   propagates as a `"rank panicked"` panic at the call site.
+//! * [`Universe::try_run`] — the fault-tolerant API: each rank's closure
+//!   returns `Result<R, CommError>`, rank panics (including injected
+//!   kills from a [`FaultPlan`]) are caught with `catch_unwind`, and the
+//!   aggregate outcome is `Result<Vec<R>, RankFailure>`.
+//!
+//! When a rank dies under `try_run`, the *death-notice protocol* runs
+//! before its thread exits: the rank's death flag is set, its inbox is
+//! closed (senders fail fast), and a control envelope is posted to every
+//! survivor so blocked receives wake up and observe the flag. Survivors
+//! therefore see `CommError::PeerFailed` in milliseconds instead of
+//! hanging until the receive timeout.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Once};
+use std::time::Duration;
 
-use crossbeam::channel::unbounded;
-use parking_lot::Mutex;
-
+use crate::chan::channel;
 use crate::clock::{CostModel, VirtualClock};
 use crate::comm::{Communicator, Mailbox, Shared, TrafficStats};
+use crate::error::{CommError, FailedRank, FailureCause, RankFailure};
+use crate::fault::{FaultPlan, FaultState, InjectedKill};
+use crate::sync::Mutex;
+
+/// Default blocking-receive timeout: generous enough for real runs, small
+/// enough that a deadlocked test suite still terminates.
+pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// A set of `p` ranks sharing a communication fabric and a cost model.
 ///
@@ -26,9 +49,27 @@ pub struct Universe {
     size: usize,
     cost: Arc<dyn CostModel>,
     traced: bool,
+    recv_timeout: Duration,
+    faults: Option<FaultPlan>,
 }
 
 static UNIVERSE_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+/// Injected kills are expected panics; keep them out of stderr so chaos
+/// sweeps don't bury real failures in noise. Installed once per process,
+/// delegating everything else to the previous hook.
+fn install_kill_silencer() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedKill>().is_some() {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
 
 impl Universe {
     /// Creates a universe of `size` ranks using `cost` to price transfers.
@@ -41,6 +82,8 @@ impl Universe {
             size,
             cost: Arc::new(cost),
             traced: false,
+            recv_timeout: DEFAULT_RECV_TIMEOUT,
+            faults: None,
         }
     }
 
@@ -52,37 +95,55 @@ impl Universe {
         self
     }
 
+    /// Sets how long a blocking receive waits for a matching message
+    /// before returning [`CommError::Timeout`] (default
+    /// [`DEFAULT_RECV_TIMEOUT`]). Tests exercising deadlocks or dropped
+    /// messages should set this to milliseconds.
+    ///
+    /// # Panics
+    /// Panics if `timeout` is zero.
+    pub fn recv_timeout(mut self, timeout: Duration) -> Self {
+        assert!(!timeout.is_zero(), "recv timeout must be positive");
+        self.recv_timeout = timeout;
+        self
+    }
+
+    /// Attaches a deterministic [`FaultPlan`] to the next run(s): kills,
+    /// message drops/delays, and compute slowdowns fire at the plan's
+    /// trigger points.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Number of ranks.
     pub fn size(&self) -> usize {
         self.size
     }
 
-    /// Runs `f` on every rank concurrently (one OS thread per rank) and
-    /// returns the per-rank results in rank order.
-    ///
-    /// Virtual clocks start at zero on every rank. Any panic inside a rank
-    /// propagates out of `run`.
-    pub fn run<R, F>(&self, f: F) -> Vec<R>
-    where
-        R: Send,
-        F: Fn(Communicator) -> R + Sync,
-    {
+    #[allow(clippy::type_complexity)]
+    fn build_shared(&self) -> (Arc<Shared>, Vec<crate::chan::Receiver<crate::message::Envelope>>) {
         let p = self.size;
         let mut senders = Vec::with_capacity(p);
         let mut receivers = Vec::with_capacity(p);
         for _ in 0..p {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             senders.push(tx);
             receivers.push(rx);
         }
         let shared = Arc::new(Shared {
             senders,
             cost: Arc::clone(&self.cost),
+            failed: (0..p).map(|_| AtomicBool::new(false)).collect(),
+            fault: self.faults.clone().map(|plan| FaultState::new(plan, p)),
+            recv_timeout: self.recv_timeout,
         });
-        let world_id = UNIVERSE_COUNTER.fetch_add(1, Ordering::Relaxed);
-        let group: Arc<Vec<usize>> = Arc::new((0..p).collect());
+        (shared, receivers)
+    }
 
-        let comms: Vec<Communicator> = receivers
+    fn build_comms(&self, shared: &Arc<Shared>, receivers: Vec<crate::chan::Receiver<crate::message::Envelope>>, world_id: u64) -> Vec<Communicator> {
+        let group: Arc<Vec<usize>> = Arc::new((0..self.size).collect());
+        receivers
             .into_iter()
             .enumerate()
             .map(|(rank, rx)| {
@@ -94,31 +155,128 @@ impl Universe {
                     world_id,
                     rank,
                     Arc::clone(&group),
-                    Arc::clone(&shared),
+                    Arc::clone(shared),
                     Arc::new(Mutex::new(Mailbox::new(rx))),
                     Arc::new(Mutex::new(clock)),
                     Arc::new(Mutex::new(TrafficStats::default())),
                 )
             })
-            .collect();
+            .collect()
+    }
 
-        std::thread::scope(|scope| {
+    /// Runs `f` on every rank concurrently (one OS thread per rank) and
+    /// returns the per-rank results in rank order.
+    ///
+    /// Virtual clocks start at zero on every rank. Any panic inside a rank
+    /// propagates out of `run` as a `"rank panicked"` panic. For typed
+    /// error handling and rank-failure recovery use [`Universe::try_run`].
+    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Communicator) -> R + Sync,
+    {
+        match self.launch(|comm| Ok(f(comm))) {
+            Ok(results) => results,
+            Err(failure) => panic!("rank panicked: {failure}"),
+        }
+    }
+
+    /// Fault-tolerant run: each rank's closure returns
+    /// `Result<R, CommError>`. Rank panics — including kills injected by
+    /// a [`FaultPlan`] — are caught, the dead rank's peers are unblocked
+    /// via the death-notice protocol, and the aggregate outcome reports
+    /// every abnormal rank. `Ok` is returned only when *all* ranks
+    /// returned `Ok`.
+    pub fn try_run<R, F>(&self, f: F) -> Result<Vec<R>, RankFailure>
+    where
+        R: Send,
+        F: Fn(Communicator) -> Result<R, CommError> + Sync,
+    {
+        self.launch(f)
+    }
+
+    fn launch<R, F>(&self, f: F) -> Result<Vec<R>, RankFailure>
+    where
+        R: Send,
+        F: Fn(Communicator) -> Result<R, CommError> + Sync,
+    {
+        install_kill_silencer();
+        let (shared, receivers) = self.build_shared();
+        let world_id = UNIVERSE_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let comms = self.build_comms(&shared, receivers, world_id);
+
+        let outcomes: Vec<Result<R, FailureCause>> = std::thread::scope(|scope| {
             let handles: Vec<_> = comms
                 .into_iter()
-                .map(|comm| scope.spawn(|| f(comm)))
+                .enumerate()
+                .map(|(rank, comm)| {
+                    let shared = Arc::clone(&shared);
+                    let f = &f;
+                    scope.spawn(move || {
+                        let result = catch_unwind(AssertUnwindSafe(|| f(comm)));
+                        match result {
+                            Ok(Ok(value)) => Ok(value),
+                            Ok(Err(err)) => {
+                                // The rank bowed out with a typed error: it
+                                // will never send again, so unblock peers.
+                                shared.death_notice(rank);
+                                Err(FailureCause::Error(err))
+                            }
+                            Err(payload) => {
+                                shared.death_notice(rank);
+                                if let Some(kill) = payload.downcast_ref::<InjectedKill>() {
+                                    Err(FailureCause::InjectedKill { op: kill.op })
+                                } else {
+                                    Err(FailureCause::Panic(panic_message(payload.as_ref())))
+                                }
+                            }
+                        }
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("rank panicked"))
+                .map(|h| match h.join() {
+                    Ok(outcome) => outcome,
+                    // The supervisor closure itself cannot panic (it
+                    // catches the user closure), so a join error means the
+                    // thread was torn down abnormally.
+                    Err(_) => Err(FailureCause::Panic("rank thread vanished".into())),
+                })
                 .collect()
-        })
+        });
+
+        let mut values = Vec::with_capacity(self.size);
+        let mut failed = Vec::new();
+        for (rank, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok(v) => values.push(v),
+                Err(cause) => failed.push(FailedRank { rank, cause }),
+            }
+        }
+        if failed.is_empty() {
+            Ok(values)
+        } else {
+            Err(RankFailure { failed })
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ZeroCost;
+    use crate::{FaultPlan, Payload, ZeroCost};
 
     #[test]
     fn single_rank_universe_runs() {
@@ -158,5 +316,111 @@ mod tests {
         let b = u.run(|comm| comm.now());
         assert_eq!(a, vec![1.0, 1.0]);
         assert_eq!(b, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn try_run_returns_all_ok_results() {
+        let out = Universe::new(3, ZeroCost)
+            .try_run(|comm| Ok(comm.rank() * 2))
+            .unwrap();
+        assert_eq!(out, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn try_run_catches_rank_panic_and_unblocks_peers() {
+        let err = Universe::new(3, ZeroCost)
+            .recv_timeout(Duration::from_secs(30))
+            .try_run(|mut comm| {
+                if comm.rank() == 1 {
+                    panic!("boom at rank 1");
+                }
+                // Survivors block in a collective involving rank 1; the
+                // death notice must fail them fast.
+                comm.try_bcast(1, Payload::U64(vec![9]))?;
+                Ok(comm.rank())
+            })
+            .unwrap_err();
+        let ranks: Vec<usize> = err.failed.iter().map(|f| f.rank).collect();
+        assert_eq!(ranks, vec![0, 1, 2]);
+        assert!(matches!(&err.failed[1].cause, FailureCause::Panic(m) if m.contains("boom")));
+        assert_eq!(err.root_failed_ranks(), vec![1]);
+    }
+
+    #[test]
+    fn try_run_reports_injected_kill() {
+        let plan = FaultPlan::new().kill_rank(2, 0);
+        let err = Universe::new(3, ZeroCost)
+            .with_faults(plan)
+            .recv_timeout(Duration::from_secs(30))
+            .try_run(|mut comm| {
+                comm.try_bcast(2, Payload::U64(vec![1]))?;
+                Ok(())
+            })
+            .unwrap_err();
+        let killed: Vec<_> = err
+            .failed
+            .iter()
+            .filter(|f| matches!(f.cause, FailureCause::InjectedKill { .. }))
+            .map(|f| f.rank)
+            .collect();
+        assert_eq!(killed, vec![2]);
+        assert_eq!(err.root_failed_ranks(), vec![2]);
+    }
+
+    #[test]
+    fn try_run_partial_errors_keep_other_results_out() {
+        // One rank returns a typed error; try_run reports it and does not
+        // pretend the run succeeded.
+        let err = Universe::new(2, ZeroCost)
+            .recv_timeout(Duration::from_millis(50))
+            .try_run(|comm| {
+                if comm.rank() == 0 {
+                    Err(CommError::PeerFailed { rank: 99 })
+                } else {
+                    Ok(comm.rank())
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err.failed.len(), 1);
+        assert_eq!(err.failed[0].rank, 0);
+    }
+
+    #[test]
+    fn run_still_panics_on_rank_panic() {
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            Universe::new(2, ZeroCost)
+                .recv_timeout(Duration::from_millis(100))
+                .run(|comm| {
+                    if comm.rank() == 0 {
+                        panic!("deliberate");
+                    }
+                    comm.rank()
+                })
+        }));
+        let msg = panic_message(result.unwrap_err().as_ref());
+        assert!(msg.contains("rank panicked"), "got: {msg}");
+    }
+
+    #[test]
+    fn seeded_fault_plans_give_reproducible_failures() {
+        let run = || {
+            Universe::new(3, ZeroCost)
+                .with_faults(FaultPlan::seeded(7, 3))
+                .recv_timeout(Duration::from_millis(200))
+                .try_run(|mut comm| {
+                    for _ in 0..8 {
+                        comm.try_barrier()?;
+                    }
+                    Ok(comm.rank())
+                })
+        };
+        let a = run();
+        let b = run();
+        match (&a, &b) {
+            (Err(ea), Err(eb)) => {
+                assert_eq!(ea.root_failed_ranks(), eb.root_failed_ranks());
+            }
+            other => panic!("seeded kill must fail both runs, got {other:?}"),
+        }
     }
 }

@@ -56,7 +56,7 @@ pub fn caps_multiply_with_cost(
     let n = a.rows();
     assert_eq!((a.rows(), a.cols()), (n, n), "A must be square");
     assert_eq!((b.rows(), b.cols()), (n, n), "B must be square");
-    assert!(n >= 2 && n % 2 == 0, "need even n >= 2 (got {n})");
+    assert!(n >= 2 && n.is_multiple_of(2), "need even n >= 2 (got {n})");
     let h = n / 2;
 
     let universe = Universe::new(7, cost);

@@ -104,9 +104,8 @@ impl BlockCyclic {
     pub fn assemble(&self, n: usize, parts: &[DenseMatrix]) -> DenseMatrix {
         assert_eq!(parts.len(), self.nprocs(), "part count");
         let mut out = DenseMatrix::zeros(n, n);
-        for proc in 0..self.nprocs() {
+        for (proc, local) in parts.iter().enumerate() {
             let (pi, pj) = (proc / self.pc, proc % self.pc);
-            let local = &parts[proc];
             assert_eq!(
                 (local.rows(), local.cols()),
                 self.local_shape(n, proc),

@@ -1,8 +1,15 @@
-//! Running SummaGen end-to-end on real matrices.
+//! Running SummaGen end-to-end on real matrices, with optional recovery
+//! from rank failures.
 
-use summagen_comm::{ClockSnapshot, CostModel, HockneyModel, TrafficStats, Universe, ZeroCost};
+use std::fmt;
+use std::time::Duration;
+
+use summagen_comm::{
+    ClockSnapshot, CostModel, FaultPlan, HockneyModel, RankFailure, TrafficStats, Universe,
+    ZeroCost, DEFAULT_RECV_TIMEOUT,
+};
 use summagen_matrix::{DenseMatrix, GemmKernel};
-use summagen_partition::PartitionSpec;
+use summagen_partition::{beaumont_column_layout, proportional_areas, PartitionSpec, Shape};
 
 use crate::rankdata::{assemble, distribute};
 use crate::stages::{horizontal_a, local_compute, vertical_b, StageData, Workspace};
@@ -41,10 +48,19 @@ pub struct RunResult {
     pub comp_time: f64,
     /// Max over ranks of attributed communication time.
     pub comm_time: f64,
+    /// Populated by [`multiply_with_recovery`] when at least one retry was
+    /// needed; `None` for undisturbed runs.
+    pub recovery: Option<RecoveryReport>,
 }
 
 /// Multiplies `A × B` with SummaGen under the given partition, with free
 /// communication (pure correctness run).
+///
+/// # Panics
+///
+/// Panics if any rank fails (a bug in the worker closure, not an expected
+/// condition — no faults are injected on this path). Callers that need to
+/// handle failure as a value should use [`multiply_with_recovery`].
 ///
 /// ```
 /// use summagen_core::{multiply, ExecutionMode};
@@ -88,22 +104,41 @@ fn run_real(
     mode: ExecutionMode,
     cost: impl CostModel,
 ) -> RunResult {
+    try_run_real(spec, a, b, mode, cost, None, DEFAULT_RECV_TIMEOUT)
+        .unwrap_or_else(|failure| panic!("rank panicked: {failure}"))
+}
+
+/// One fallible execution attempt: runs the three stages under `try_run`,
+/// so a dying rank surfaces as `Err(RankFailure)` instead of a panic or a
+/// silent hang.
+fn try_run_real(
+    spec: &PartitionSpec,
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    mode: ExecutionMode,
+    cost: impl CostModel,
+    faults: Option<FaultPlan>,
+    recv_timeout: Duration,
+) -> Result<RunResult, RankFailure> {
     let rank_data = distribute(spec, a, b);
-    let universe = Universe::new(spec.nprocs, cost);
-    let results = universe.run(|comm| {
+    let mut universe = Universe::new(spec.nprocs, cost).recv_timeout(recv_timeout);
+    if let Some(plan) = faults {
+        universe = universe.with_faults(plan);
+    }
+    let results = universe.try_run(|comm| {
         let rank = comm.rank();
         let mut state = StageData::Real {
             data: &rank_data[rank],
             ws: Workspace::for_rank(spec, rank),
             kernel: mode.kernel(),
         };
-        horizontal_a(&comm, spec, rank, &mut state);
-        vertical_b(&comm, spec, rank, &mut state);
+        horizontal_a(&comm, spec, rank, &mut state)?;
+        vertical_b(&comm, spec, rank, &mut state)?;
         // Real runs do not model device speeds: computation advances the
         // clock by zero (timing studies use `simulate`).
         let (blocks, _flops) = local_compute(&comm, spec, rank, &mut state, |_| 0.0);
-        (blocks, comm.clock_snapshot(), comm.traffic())
-    });
+        Ok((blocks, comm.clock_snapshot(), comm.traffic()))
+    })?;
 
     let mut blocks = Vec::with_capacity(spec.nprocs);
     let mut clocks = Vec::with_capacity(spec.nprocs);
@@ -117,13 +152,186 @@ fn run_real(
     let exec_time = clocks.iter().map(|c| c.now).fold(0.0, f64::max);
     let comp_time = clocks.iter().map(|c| c.comp_time).fold(0.0, f64::max);
     let comm_time = clocks.iter().map(|c| c.comm_time).fold(0.0, f64::max);
-    RunResult {
+    Ok(RunResult {
         c,
         clocks,
         traffic,
         exec_time,
         comp_time,
         comm_time,
+        recovery: None,
+    })
+}
+
+/// Policy knobs for [`multiply_with_recovery`].
+#[derive(Debug, Clone)]
+pub struct RecoveryOptions {
+    /// Maximum number of executions (the first try plus retries).
+    pub max_attempts: usize,
+    /// Virtual-clock seconds charged per retry, modelling failure
+    /// detection plus restart of the surviving ranks.
+    pub retry_backoff: f64,
+    /// Receive timeout applied to every attempt. Tests injecting faults
+    /// should use milliseconds so deadlocks resolve quickly.
+    pub recv_timeout: Duration,
+}
+
+impl Default for RecoveryOptions {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            retry_backoff: 0.5,
+            recv_timeout: DEFAULT_RECV_TIMEOUT,
+        }
+    }
+}
+
+/// What [`multiply_with_recovery`] did to complete a run.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Total executions performed (1 = no failure observed).
+    pub attempts: usize,
+    /// Device indices (into the caller's `rel_speeds`) dropped after they
+    /// were identified as failure root causes.
+    pub failed_devices: Vec<usize>,
+    /// Device indices that performed the successful attempt.
+    pub surviving_devices: Vec<usize>,
+    /// Fraction of the `C` area each surviving device computed in the
+    /// successful attempt (sums to 1).
+    pub final_loads: Vec<f64>,
+    /// Virtual seconds added to `exec_time` by retry backoff.
+    pub backoff_time: f64,
+}
+
+/// Why [`multiply_with_recovery`] gave up.
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// The attempt budget ran out; `last` is the terminal failure.
+    AttemptsExhausted {
+        /// Executions performed.
+        attempts: usize,
+        /// The failure that ended the final attempt.
+        last: RankFailure,
+    },
+    /// Every device was identified as a failure root cause.
+    AllDevicesFailed {
+        /// Executions performed.
+        attempts: usize,
+    },
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::AttemptsExhausted { attempts, last } => {
+                write!(f, "recovery gave up after {attempts} attempts: {last}")
+            }
+            RecoveryError::AllDevicesFailed { attempts } => {
+                write!(f, "all devices failed after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+/// Builds a partition for the surviving device set: the requested paper
+/// shape while three devices remain (the shapes are three-processor
+/// constructions), otherwise Beaumont's column-based layout, which handles
+/// any processor count including one.
+fn survivor_spec(shape: Shape, n: usize, speeds: &[f64]) -> PartitionSpec {
+    if speeds.len() == 3 {
+        shape.build(n, &proportional_areas(n, speeds))
+    } else {
+        beaumont_column_layout(n, speeds)
+    }
+}
+
+/// Multiplies `A × B` with SummaGen, recovering from rank failures by
+/// re-partitioning over the surviving devices — the ULFM-style
+/// shrink-and-retry strategy.
+///
+/// Each attempt `i` runs under `attempt_faults[i]` (attempts past the end
+/// of the slice run fault-free; pass `&[]` for a fully undisturbed run).
+/// When an attempt fails:
+///
+/// * *crashed* ranks (per [`RankFailure::crashed_ranks`]: panicked,
+///   kill-injected, or named dead by a peer — excluding ranks that merely
+///   starved on a timeout) map back to devices, which are removed from
+///   the pool before the matrix is re-partitioned over the survivors;
+/// * failures identifying no crashed rank (timeouts, dropped messages)
+///   retry the same device set unchanged;
+/// * every retry charges `opts.retry_backoff` virtual seconds, added to
+///   the final `exec_time` (the failed attempt's own clocks are lost with
+///   its universe).
+///
+/// On success, `RunResult::recovery` is `Some` iff at least one retry
+/// happened. Errors only when the attempt budget is exhausted or no
+/// devices remain.
+#[allow(clippy::too_many_arguments)]
+pub fn multiply_with_recovery(
+    shape: Shape,
+    rel_speeds: &[f64],
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    mode: ExecutionMode,
+    cost: impl CostModel + Clone,
+    attempt_faults: &[FaultPlan],
+    opts: &RecoveryOptions,
+) -> Result<RunResult, RecoveryError> {
+    assert!(!rel_speeds.is_empty(), "need at least one device");
+    assert!(opts.max_attempts > 0, "need at least one attempt");
+    assert_eq!(a.rows(), b.rows(), "A and B must share dimension n");
+    let n = a.rows();
+
+    let mut devices: Vec<usize> = (0..rel_speeds.len()).collect();
+    let mut failed_devices: Vec<usize> = Vec::new();
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        let speeds: Vec<f64> = devices.iter().map(|&d| rel_speeds[d]).collect();
+        let spec = survivor_spec(shape, n, &speeds);
+        let faults = attempt_faults
+            .get(attempt - 1)
+            .filter(|p| !p.is_empty())
+            .cloned();
+        match try_run_real(&spec, a, b, mode, cost.clone(), faults, opts.recv_timeout) {
+            Ok(mut result) => {
+                let backoff_time = (attempt - 1) as f64 * opts.retry_backoff;
+                result.exec_time += backoff_time;
+                if attempt > 1 {
+                    let area = (n * n) as f64;
+                    result.recovery = Some(RecoveryReport {
+                        attempts: attempt,
+                        failed_devices: failed_devices.clone(),
+                        surviving_devices: devices.clone(),
+                        final_loads: spec.areas().iter().map(|&a| a as f64 / area).collect(),
+                        backoff_time,
+                    });
+                }
+                return Ok(result);
+            }
+            Err(failure) => {
+                if attempt >= opts.max_attempts {
+                    return Err(RecoveryError::AttemptsExhausted {
+                        attempts: attempt,
+                        last: failure,
+                    });
+                }
+                let roots = failure.crashed_ranks();
+                if roots.is_empty() {
+                    // Timeouts without an identified crash: nothing to
+                    // shrink, so retry the same device set.
+                    continue;
+                }
+                let mut dropped: Vec<usize> = roots.iter().map(|&r| devices[r]).collect();
+                devices.retain(|d| !dropped.contains(d));
+                failed_devices.append(&mut dropped);
+                if devices.is_empty() {
+                    return Err(RecoveryError::AllDevicesFailed { attempts: attempt });
+                }
+            }
+        }
     }
 }
 
@@ -285,6 +493,158 @@ mod tests {
         let a = random_matrix(n, n, 15);
         let b = random_matrix(n, n, 16);
         let res = multiply(&spec, &a, &b, ExecutionMode::Real);
+        assert!(approx_eq(&res.c, &reference(&a, &b), gemm_tolerance(n) * 100.0));
+    }
+
+    fn fast_opts() -> RecoveryOptions {
+        RecoveryOptions {
+            max_attempts: 3,
+            retry_backoff: 0.25,
+            recv_timeout: Duration::from_millis(500),
+        }
+    }
+
+    #[test]
+    fn undisturbed_recovery_run_reports_no_recovery() {
+        let n = 32;
+        let a = random_matrix(n, n, 21);
+        let b = random_matrix(n, n, 22);
+        let res = multiply_with_recovery(
+            Shape::SquareCorner,
+            &[1.0, 2.0, 0.9],
+            &a,
+            &b,
+            ExecutionMode::Real,
+            ZeroCost,
+            &[],
+            &fast_opts(),
+        )
+        .expect("fault-free run succeeds");
+        assert!(res.recovery.is_none());
+        assert!(approx_eq(&res.c, &reference(&a, &b), gemm_tolerance(n) * 100.0));
+    }
+
+    #[test]
+    fn recovery_drops_killed_rank_and_repartitions() {
+        let n = 32;
+        let a = random_matrix(n, n, 23);
+        let b = random_matrix(n, n, 24);
+        let plan = FaultPlan::new().kill_rank(1, 2);
+        let res = multiply_with_recovery(
+            Shape::SquareCorner,
+            &[1.0, 2.0, 0.9],
+            &a,
+            &b,
+            ExecutionMode::Real,
+            ZeroCost,
+            &[plan],
+            &fast_opts(),
+        )
+        .expect("recovery succeeds after dropping the dead rank");
+        let rep = res.recovery.as_ref().expect("a retry happened");
+        assert_eq!(rep.attempts, 2);
+        assert_eq!(rep.failed_devices, vec![1]);
+        assert_eq!(rep.surviving_devices, vec![0, 2]);
+        assert_eq!(rep.final_loads.len(), 2);
+        assert!((rep.final_loads.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((rep.backoff_time - 0.25).abs() < 1e-12);
+        assert!(res.exec_time >= 0.25);
+        assert!(approx_eq(&res.c, &reference(&a, &b), gemm_tolerance(n) * 100.0));
+    }
+
+    #[test]
+    fn recovery_survives_cascading_failures_down_to_one_device() {
+        let n = 30;
+        let a = random_matrix(n, n, 25);
+        let b = random_matrix(n, n, 26);
+        // Attempt 1 kills rank 0 (3 devices), attempt 2 kills rank 1 of
+        // the shrunken 2-device universe.
+        let faults = vec![
+            FaultPlan::new().kill_rank(0, 1),
+            FaultPlan::new().kill_rank(1, 1),
+        ];
+        let res = multiply_with_recovery(
+            Shape::BlockRectangle,
+            &[1.0, 2.0, 0.9],
+            &a,
+            &b,
+            ExecutionMode::Real,
+            ZeroCost,
+            &faults,
+            &fast_opts(),
+        )
+        .expect("recovery succeeds on the last surviving device");
+        let rep = res.recovery.as_ref().expect("retries happened");
+        assert_eq!(rep.attempts, 3);
+        assert_eq!(rep.failed_devices, vec![0, 2]);
+        assert_eq!(rep.surviving_devices, vec![1]);
+        assert_eq!(rep.final_loads, vec![1.0]);
+        assert!(approx_eq(&res.c, &reference(&a, &b), gemm_tolerance(n) * 100.0));
+    }
+
+    #[test]
+    fn recovery_exhausts_attempt_budget_with_typed_error() {
+        let n = 24;
+        let a = random_matrix(n, n, 27);
+        let b = random_matrix(n, n, 28);
+        // Kill a rank on every attempt the budget allows.
+        let faults = vec![
+            FaultPlan::new().kill_rank(0, 0),
+            FaultPlan::new().kill_rank(0, 0),
+        ];
+        let opts = RecoveryOptions {
+            max_attempts: 2,
+            ..fast_opts()
+        };
+        let err = multiply_with_recovery(
+            Shape::SquareCorner,
+            &[1.0, 2.0, 0.9],
+            &a,
+            &b,
+            ExecutionMode::Real,
+            ZeroCost,
+            &faults,
+            &opts,
+        )
+        .expect_err("budget of 2 cannot absorb 2 failing attempts");
+        match err {
+            RecoveryError::AttemptsExhausted { attempts, last } => {
+                assert_eq!(attempts, 2);
+                assert_eq!(last.root_failed_ranks(), vec![0]);
+            }
+            other => panic!("expected AttemptsExhausted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn recovery_retries_same_devices_after_pure_timeout() {
+        let n = 24;
+        let a = random_matrix(n, n, 29);
+        let b = random_matrix(n, n, 30);
+        // Drop rank 0's first broadcast panel: the receivers time out
+        // without an identified culprit, so attempt 2 reuses all three
+        // devices and succeeds.
+        let faults = vec![FaultPlan::new().drop_message(0, 1, 0)];
+        let opts = RecoveryOptions {
+            max_attempts: 2,
+            retry_backoff: 0.25,
+            recv_timeout: Duration::from_millis(200),
+        };
+        let res = multiply_with_recovery(
+            Shape::SquareCorner,
+            &[1.0, 2.0, 0.9],
+            &a,
+            &b,
+            ExecutionMode::Real,
+            ZeroCost,
+            &faults,
+            &opts,
+        )
+        .expect("retry after timeout succeeds");
+        let rep = res.recovery.as_ref().expect("a retry happened");
+        assert_eq!(rep.attempts, 2);
+        assert!(rep.failed_devices.is_empty());
+        assert_eq!(rep.surviving_devices, vec![0, 1, 2]);
         assert!(approx_eq(&res.c, &reference(&a, &b), gemm_tolerance(n) * 100.0));
     }
 }

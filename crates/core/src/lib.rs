@@ -38,7 +38,10 @@ pub mod summa;
 pub use caps::{caps_multiply, caps_multiply_with_cost, CapsResult};
 pub use cyclic::{summa_cyclic_multiply, summa_cyclic_multiply_with_cost, BlockCyclic};
 pub use commopt::{cannon_multiply, cannon_multiply_with_cost, summa25d_multiply, summa25d_multiply_with_cost, GridRunResult};
-pub use executor::{multiply, multiply_with_cost, ExecutionMode, RunResult};
+pub use executor::{
+    multiply, multiply_with_cost, multiply_with_recovery, ExecutionMode, RecoveryError,
+    RecoveryOptions, RecoveryReport, RunResult,
+};
 pub use panelled::{multiply_panelled, multiply_panelled_with_cost, peak_workspace_elems, simulate_panelled};
 pub use rankdata::{assemble, distribute, RankMatrices};
 pub use simulate::{metered_energy_from_timelines, simulate, simulate_traced, simulate_with_energy, SimReport};

@@ -14,6 +14,13 @@
 //! `O((h + w) · max_t width_t)`, and communication overlaps computation
 //! across panels — the natural next step the paper's Section VII
 //! contemplates for large problem sizes.
+//!
+//! This variant uses the infallible collective API: it is not wired into
+//! fault injection or [`crate::multiply_with_recovery`], and its
+//! `expect`/`unwrap` calls assert the same partition-validation
+//! invariants documented in [`crate::stages`] (every cell has an owner,
+//! owners hold their blocks, participants belong to their own
+//! row/column communicators).
 
 use summagen_comm::{Communicator, CostModel, Payload, Universe, ZeroCost};
 use summagen_matrix::{gemm_blocked, DenseMatrix, GemmKernel};
@@ -68,6 +75,7 @@ pub fn multiply_panelled_with_cost(
         exec_time,
         comp_time,
         comm_time,
+        recovery: None,
     }
 }
 
@@ -216,7 +224,7 @@ fn run_rank_panelled(
 
         // --- Gather the A blocks (bi, t) for rows this rank occupies.
         let mut a_panel: Vec<Option<DenseMatrix>> = vec![None; spec.grid_rows];
-        for bi in 0..spec.grid_rows {
+        for (bi, panel_slot) in a_panel.iter_mut().enumerate() {
             if !spec.row_contains(rank, bi) {
                 continue;
             }
@@ -247,12 +255,12 @@ fn run_rank_panelled(
                 };
                 row_comm.bcast(root, payload).into_f64()
             };
-            a_panel[bi] = Some(DenseMatrix::from_vec(h, kb, blk_data));
+            *panel_slot = Some(DenseMatrix::from_vec(h, kb, blk_data));
         }
 
         // --- Gather the B rows [k0, k1) for columns this rank occupies.
         let mut b_panel: Vec<Option<DenseMatrix>> = vec![None; spec.grid_cols];
-        for bj in 0..spec.grid_cols {
+        for (bj, panel_slot) in b_panel.iter_mut().enumerate() {
             if !spec.col_contains(rank, bj) {
                 continue;
             }
@@ -298,7 +306,7 @@ fn run_rank_panelled(
                 };
                 panel.set_submatrix(lo - k0, 0, &DenseMatrix::from_vec(rows, w, slice_data));
             }
-            b_panel[bj] = Some(panel);
+            *panel_slot = Some(panel);
         }
 
         // --- Accumulate the panel's contribution to every owned block.

@@ -70,8 +70,10 @@ pub fn simulate(spec: &PartitionSpec, platform: &Platform, cost: impl CostModel)
     let results = universe.run(|comm| {
         let rank = comm.rank();
         let mut state = StageData::Phantom;
-        horizontal_a(&comm, spec, rank, &mut state);
-        vertical_b(&comm, spec, rank, &mut state);
+        // No faults are injected on simulation runs, so a stage error here
+        // is a runtime bug: fail loudly rather than report bogus timings.
+        horizontal_a(&comm, spec, rank, &mut state).expect("horizontal A stage failed");
+        vertical_b(&comm, spec, rank, &mut state).expect("vertical B stage failed");
         let proc = &platform.processors[rank];
         let area = areas[rank] as f64;
         let (_, flops) = local_compute(&comm, spec, rank, &mut state, |blk| {
@@ -114,8 +116,8 @@ pub fn simulate_traced(
     let results = universe.run(|comm| {
         let rank = comm.rank();
         let mut state = StageData::Phantom;
-        horizontal_a(&comm, spec, rank, &mut state);
-        vertical_b(&comm, spec, rank, &mut state);
+        horizontal_a(&comm, spec, rank, &mut state).expect("horizontal A stage failed");
+        vertical_b(&comm, spec, rank, &mut state).expect("vertical B stage failed");
         let proc = &platform.processors[rank];
         let area = areas[rank] as f64;
         local_compute(&comm, spec, rank, &mut state, |blk| {

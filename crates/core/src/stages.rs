@@ -1,7 +1,19 @@
 //! The three SummaGen stages (Figures 2, 3 and 4 of the paper),
 //! generalized to arbitrary grids and processor counts.
+//!
+//! # Panic policy
+//!
+//! Communication failures (a peer dying mid-broadcast, a timeout, a typed
+//! payload mismatch) are *expected* at this layer and surface as
+//! [`summagen_comm::CommError`] through the `CommResult` return values.
+//! The remaining `expect`s in this module assert structural invariants
+//! that [`PartitionSpec`] validation establishes before any stage runs —
+//! every grid cell has exactly one owner, an owner's blocks exist in its
+//! [`RankMatrices`], and a row/column participant is always a member of
+//! the communicator built from its own participant list. Violating one of
+//! these is a partitioner bug, not a runtime condition, so they panic.
 
-use summagen_comm::{Communicator, Payload};
+use summagen_comm::{CommResult, Communicator, Payload};
 use summagen_matrix::{copy_block, DenseMatrix, GemmKernel};
 use summagen_partition::{PartitionSpec, ProcBlock};
 
@@ -33,17 +45,17 @@ impl Workspace {
         let n = spec.n;
         let mut wa_row_off = vec![None; spec.grid_rows];
         let mut local_rows = 0;
-        for bi in 0..spec.grid_rows {
+        for (bi, off) in wa_row_off.iter_mut().enumerate() {
             if spec.row_contains(rank, bi) {
-                wa_row_off[bi] = Some(local_rows);
+                *off = Some(local_rows);
                 local_rows += spec.heights[bi];
             }
         }
         let mut wb_col_off = vec![None; spec.grid_cols];
         let mut local_cols = 0;
-        for bj in 0..spec.grid_cols {
+        for (bj, off) in wb_col_off.iter_mut().enumerate() {
             if spec.col_contains(rank, bj) {
-                wb_col_off[bj] = Some(local_cols);
+                *off = Some(local_cols);
                 local_cols += spec.widths[bj];
             }
         }
@@ -88,12 +100,15 @@ fn col_participants(spec: &PartitionSpec, bj: usize) -> Vec<usize> {
 /// Stage 1 (Fig. 2): horizontal communications of `A`. After this call,
 /// every rank holds (or, in phantom mode, has paid the communication cost
 /// for) all `A` elements of every sub-partition row it participates in.
+///
+/// Returns `Err` if a broadcast fails — typically because a participating
+/// rank died mid-stage, surfaced as [`summagen_comm::CommError::PeerFailed`].
 pub(crate) fn horizontal_a(
     comm: &Communicator,
     spec: &PartitionSpec,
     rank: usize,
     state: &mut StageData<'_>,
-) {
+) -> CommResult<()> {
     for bi in 0..spec.grid_rows {
         if !spec.row_contains(rank, bi) {
             continue;
@@ -131,12 +146,13 @@ pub(crate) fn horizontal_a(
                 StageData::Real { .. } => Payload::F64(Vec::new()),
                 StageData::Phantom => Payload::Phantom { elems: blk.area() },
             };
-            let received = row_comm.bcast(root, payload);
+            let received = row_comm.try_bcast(root, payload)?;
             if let StageData::Real { ws, .. } = state {
-                stash_wa(spec, ws, &blk, &received.into_f64());
+                stash_wa(spec, ws, &blk, &received.try_into_f64()?);
             }
         }
     }
+    Ok(())
 }
 
 /// Stage 2 (Fig. 3): vertical communications of `B`, symmetric to stage 1
@@ -146,7 +162,7 @@ pub(crate) fn vertical_b(
     spec: &PartitionSpec,
     rank: usize,
     state: &mut StageData<'_>,
-) {
+) -> CommResult<()> {
     for bj in 0..spec.grid_cols {
         if !spec.col_contains(rank, bj) {
             continue;
@@ -182,12 +198,13 @@ pub(crate) fn vertical_b(
                 StageData::Real { .. } => Payload::F64(Vec::new()),
                 StageData::Phantom => Payload::Phantom { elems: blk.area() },
             };
-            let received = col_comm.bcast(root, payload);
+            let received = col_comm.try_bcast(root, payload)?;
             if let StageData::Real { ws, .. } = state {
-                stash_wb(spec, ws, &blk, &received.into_f64());
+                stash_wb(spec, ws, &blk, &received.try_into_f64()?);
             }
         }
     }
+    Ok(())
 }
 
 /// Stage 3 (Fig. 4): local computations, one DGEMM per owned sub-partition

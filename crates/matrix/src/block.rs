@@ -95,6 +95,7 @@ pub fn copy_block(dst: &mut [f64], dst_ld: usize, src: &[f64], src_ld: usize, h:
 }
 
 #[cfg(test)]
+#[allow(clippy::identity_op)] // spelled-out row*ld + col indexing
 mod tests {
     use super::*;
     use crate::DenseMatrix;

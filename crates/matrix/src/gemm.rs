@@ -48,6 +48,7 @@ impl GemmKernel {
     }
 }
 
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS dgemm signature
 fn check_dims(
     m: usize,
     n: usize,
@@ -210,6 +211,7 @@ pub fn gemm_parallel(
 }
 
 #[cfg(test)]
+#[allow(clippy::identity_op, clippy::erasing_op)] // spelled-out row*ld + col indexing
 mod tests {
     use super::*;
     use crate::{deterministic_matrix, gemm_tolerance, random_matrix, DenseMatrix};

@@ -64,8 +64,9 @@ mod proptests {
     use crate::{gemm_tolerance, max_abs_diff, DenseMatrix};
     use proptest::prelude::*;
 
-    fn mul(kernel: fn(usize, usize, usize, f64, &[f64], usize, &[f64], usize, f64, &mut [f64], usize),
-           a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    type GemmFn = fn(usize, usize, usize, f64, &[f64], usize, &[f64], usize, f64, &mut [f64], usize);
+
+    fn mul(kernel: GemmFn, a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
         let mut c = DenseMatrix::zeros(a.rows(), b.cols());
         kernel(
             a.rows(), b.cols(), a.cols(), 1.0,

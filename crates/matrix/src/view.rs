@@ -180,6 +180,7 @@ impl<'a> MatrixViewMut<'a> {
 }
 
 #[cfg(test)]
+#[allow(clippy::identity_op)] // spelled-out row*ld + col indexing
 mod tests {
     use super::*;
     use crate::{approx_eq, gemm_tolerance, random_matrix};

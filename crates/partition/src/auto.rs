@@ -107,7 +107,7 @@ pub fn auto_layout(
     for cand in candidates {
         let refined = push_optimize(&cand, speeds, opts.alpha, opts.beta, 10).spec;
         let cost = objective(&refined, speeds, &opts);
-        if best.as_ref().map_or(true, |(_, c)| cost < *c) {
+        if best.as_ref().is_none_or(|(_, c)| cost < *c) {
             best = Some((refined, cost));
         }
     }

@@ -99,6 +99,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // the orderings ARE the test
     fn guarantees_are_ordered() {
         // Note the subtlety the paper's Section I records: 2/√3 ≈ 1.1547
         // is *numerically* slightly above the 1.15 of Fügenschuh et al.,

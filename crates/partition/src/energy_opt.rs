@@ -39,8 +39,8 @@ pub fn energy_optimal_areas(n: usize, fpms: &[DiscreteFpm], powers: &[f64]) -> V
     let inf = f64::INFINITY;
     // dp[c] = minimal total energy assigning c steps to procs 0..=i.
     let mut dp = vec![inf; g + 1];
-    for k in 1..=g {
-        dp[k] = powers[0] * fpms[0].times[k];
+    for (k, slot) in dp.iter_mut().enumerate().skip(1) {
+        *slot = powers[0] * fpms[0].times[k];
     }
     let mut choices: Vec<Vec<usize>> = vec![(0..=g).collect()];
     for (i, fpm) in fpms.iter().enumerate().skip(1) {

@@ -126,7 +126,7 @@ fn guillotine(rect: Rect, f: f64) -> (Rect, Rect) {
 
 /// Two-processor base case: square corner when the ratio warrants it and
 /// the square fits; guillotine cut otherwise.
-fn split_two(rect: Rect, a: (usize, f64), b: (usize, f64), zones: &mut Vec<Vec<Rect>>) {
+fn split_two(rect: Rect, a: (usize, f64), b: (usize, f64), zones: &mut [Vec<Rect>]) {
     // Ensure `a` is the bigger share.
     let (big, small) = if a.1 >= b.1 { (a, b) } else { (b, a) };
     let ratio = big.1 / small.1;
@@ -221,9 +221,8 @@ fn rects_to_spec(n: usize, p: usize, zones: &[Vec<Rect>]) -> PartitionSpec {
     // erase a very small zone). Give a missing processor the cell closest
     // to its zone, stolen from a processor owning several cells.
     let mut widths = widths;
-    let mut xcuts = xcuts;
     let mut gc = gc;
-    for proc in 0..p {
+    for (proc, zone) in zones.iter().enumerate() {
         if owners.contains(&proc) {
             continue;
         }
@@ -253,7 +252,7 @@ fn rects_to_spec(n: usize, p: usize, zones: &[Vec<Rect>]) -> PartitionSpec {
             gc += 1;
         }
         let (zx, zy) = {
-            let r = zones[proc].first().expect("zone with no rectangles");
+            let r = zone.first().expect("zone with no rectangles");
             (r.x + r.w / 2.0, r.y + r.h / 2.0)
         };
         let mut best: Option<(f64, usize)> = None;

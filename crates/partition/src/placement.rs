@@ -112,7 +112,7 @@ pub fn optimal_placement(traffic: &[Vec<u64>], node_sizes: &[usize]) -> (Vec<usi
         let p = traffic.len();
         if rank == p {
             let c = cost_so_far(traffic, node_of, p);
-            if best.as_ref().map_or(true, |(_, bc)| c < *bc) {
+            if best.as_ref().is_none_or(|(_, bc)| c < *bc) {
                 *best = Some((node_of.clone(), c));
             }
             return;

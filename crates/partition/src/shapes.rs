@@ -14,7 +14,7 @@ use crate::spec::PartitionSpec;
 
 /// The four partition shapes studied in the paper, plus two members of the
 /// DeFlumere six-candidate family implemented as extensions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Shape {
     /// Fig. 1a: two squares in opposite corners, the rest non-rectangular.
     SquareCorner,
@@ -83,6 +83,42 @@ impl Shape {
             Shape::OneDRectangular => one_d_rectangular(n, areas),
             Shape::RectangleCorner => rectangle_corner(n, areas),
             Shape::LRectangle => l_rectangle(n, areas),
+        }
+    }
+
+    /// Serializes as a JSON string literal (e.g. `"BlockRectangle"`),
+    /// matching what a derived serializer would produce for a unit variant.
+    pub fn to_json(&self) -> String {
+        format!("\"{}\"", self.variant_name())
+    }
+
+    /// Parses the output of [`Shape::to_json`]. Accepts the variant name
+    /// with or without surrounding quotes.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let name = s.trim().trim_matches('"');
+        for shape in [
+            Shape::SquareCorner,
+            Shape::SquareRectangle,
+            Shape::BlockRectangle,
+            Shape::OneDRectangular,
+            Shape::RectangleCorner,
+            Shape::LRectangle,
+        ] {
+            if shape.variant_name() == name {
+                return Ok(shape);
+            }
+        }
+        Err(format!("unknown shape {name:?}"))
+    }
+
+    fn variant_name(&self) -> &'static str {
+        match self {
+            Shape::SquareCorner => "SquareCorner",
+            Shape::SquareRectangle => "SquareRectangle",
+            Shape::BlockRectangle => "BlockRectangle",
+            Shape::OneDRectangular => "OneDRectangular",
+            Shape::RectangleCorner => "RectangleCorner",
+            Shape::LRectangle => "LRectangle",
         }
     }
 }

@@ -21,11 +21,14 @@
 //!   contention, and the out-of-core penalty.
 //! * [`energy`] — the dynamic/static energy accounting of Section VI-C,
 //!   including a 1 Hz WattsUp-style sampled meter.
+//! * [`failure`] — exponential device-failure models (MTBF, survival,
+//!   restart-from-scratch makespan) backing the fault-tolerant executor.
 //! * [`stats`] — the Student's t-test measurement protocol (repeat until
 //!   the sample mean is within a 95 % CI at 2.5 % precision).
 
 pub mod device;
 pub mod energy;
+pub mod failure;
 pub mod measurement;
 pub mod ooc;
 pub mod profile;
@@ -34,6 +37,9 @@ pub mod stats;
 
 pub use device::{AbstractProcessor, DeviceKind, DeviceSpec, Platform};
 pub use energy::{dynamic_energy, EnergyMeter, PowerModel};
+pub use failure::{
+    degraded_capacity, expected_runtime_with_restarts, fleet_rate, fleet_survival, FailureModel,
+};
 pub use ooc::OutOfCoreModel;
 pub use profile::{abs_cpu_profile, abs_gpu_profile, abs_phi_profile, hclserver1};
 pub use speed::{AkimaSpline, ConstantSpeed, SpeedFunction, TabulatedSpeed};

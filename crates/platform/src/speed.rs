@@ -289,7 +289,7 @@ mod tests {
         for i in 0..=50 {
             let x = i as f64 * 0.1;
             let v = s.flops(x);
-            assert!(v >= 0.9 && v <= 10.6, "overshoot at {x}: {v}");
+            assert!((0.9..=10.6).contains(&v), "overshoot at {x}: {v}");
         }
     }
 

@@ -175,6 +175,7 @@ impl ChiSquaredTest {
 
 /// Inverse CDF of the standard normal (Acklam-style rational
 /// approximation, adequate for bin-edge computation).
+#[allow(clippy::excessive_precision)] // canonical published coefficients
 fn normal_quantile(p: f64) -> f64 {
     assert!((0.0..1.0).contains(&p) && p > 0.0, "quantile arg {p}");
     // Beasley-Springer-Moro.
@@ -324,7 +325,7 @@ mod tests {
             },
             || {
                 k += 1;
-                10.0 + if k % 2 == 0 { 1.0 } else { -1.0 }
+                10.0 + if k.is_multiple_of(2) { 1.0 } else { -1.0 }
             },
         );
         assert!(stats.reps > 5, "needed {} reps", stats.reps);

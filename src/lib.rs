@@ -22,10 +22,13 @@ pub use summagen_platform as platform;
 
 /// The most common imports, re-exported flat.
 pub mod prelude {
-    pub use summagen_comm::{Communicator, HockneyModel, Payload, Universe, ZeroCost};
+    pub use summagen_comm::{
+        CommError, CommResult, Communicator, FaultPlan, HockneyModel, Payload, RankFailure,
+        Universe, ZeroCost,
+    };
     pub use summagen_core::{
-        multiply, multiply_with_cost, simulate, simulate_with_energy, ExecutionMode, RunResult,
-        SimReport,
+        multiply, multiply_with_cost, multiply_with_recovery, simulate, simulate_with_energy,
+        ExecutionMode, RecoveryOptions, RecoveryReport, RunResult, SimReport,
     };
     pub use summagen_matrix::{random_matrix, DenseMatrix, GemmKernel};
     pub use summagen_partition::{

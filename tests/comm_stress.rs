@@ -1,9 +1,14 @@
 //! Stress and property tests for the message-passing runtime: randomized
-//! collective schedules, overlapping subgroups, and conservation
-//! invariants under concurrency.
+//! collective schedules, overlapping subgroups, conservation invariants
+//! under concurrency, and failure propagation (panics mid-collective,
+//! mismatched participation) under short timeouts.
+
+use std::time::{Duration, Instant};
 
 use proptest::prelude::*;
-use summagen_comm::{BcastAlgorithm, Payload, ReduceOp, Universe, ZeroCost};
+use summagen_comm::{
+    BcastAlgorithm, CommError, CommResult, FailureCause, Payload, ReduceOp, Universe, ZeroCost,
+};
 
 #[test]
 fn many_interleaved_subgroups() {
@@ -88,6 +93,116 @@ fn collectives_with_empty_payloads() {
     });
     assert_eq!(out[0], (0, Some(4)));
     assert_eq!(out[1], (0, None));
+}
+
+#[test]
+fn panic_mid_broadcast_propagates_to_survivors() {
+    // Rank 1 panics between two collective rounds. The survivors must
+    // observe `PeerFailed(1)` on the next round instead of hanging until
+    // the receive timeout.
+    let t0 = Instant::now();
+    let failure = Universe::new(4, ZeroCost)
+        .recv_timeout(Duration::from_millis(250))
+        .try_run(|mut comm| -> CommResult<u64> {
+            let v = comm.try_bcast(0, Payload::U64(vec![11]))?;
+            if comm.rank() == 1 {
+                panic!("simulated accelerator fault");
+            }
+            comm.try_bcast(2, Payload::U64(vec![22]))?;
+            Ok(v.try_into_u64()?[0])
+        })
+        .expect_err("rank 1 panics");
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "propagation took {:?}",
+        t0.elapsed()
+    );
+    assert_eq!(failure.crashed_ranks(), vec![1]);
+    let panicked = failure
+        .failed
+        .iter()
+        .find(|fr| fr.rank == 1)
+        .expect("rank 1 recorded");
+    match &panicked.cause {
+        FailureCause::Panic(msg) => assert!(msg.contains("simulated accelerator fault")),
+        other => panic!("want Panic cause, got {other:?}"),
+    }
+    for fr in failure.failed.iter().filter(|fr| fr.rank != 1) {
+        assert_eq!(
+            fr.cause,
+            FailureCause::Error(CommError::PeerFailed { rank: 1 }),
+            "rank {} saw the wrong error",
+            fr.rank
+        );
+    }
+}
+
+#[test]
+fn mismatched_collective_participation_times_out_cleanly() {
+    // Rank 2 skips the broadcast every other rank joins: the root's
+    // message to rank 2 is never consumed and ranks waiting on rank 2's
+    // participation in the follow-up gather starve. With a millisecond
+    // timeout this resolves as typed `Timeout`s, not a 60 s hang.
+    let t0 = Instant::now();
+    let failure = Universe::new(3, ZeroCost)
+        .recv_timeout(Duration::from_millis(200))
+        .try_run(|mut comm| -> CommResult<()> {
+            if comm.rank() != 2 {
+                comm.try_bcast(0, Payload::U64(vec![5]))?;
+                comm.try_gather(0, Payload::U64(vec![comm.rank() as u64]))?;
+            }
+            Ok(())
+        })
+        .expect_err("the gather can never complete without rank 2");
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "deadlock took {:?} to detect",
+        t0.elapsed()
+    );
+    // Nobody crashed — the failure is pure starvation, so a recovery
+    // policy must not evict anyone.
+    assert!(failure.crashed_ranks().is_empty());
+    let timed_out = failure
+        .failed
+        .iter()
+        .filter(|fr| {
+            matches!(
+                fr.cause,
+                FailureCause::Error(CommError::Timeout { .. })
+            )
+        })
+        .count();
+    assert!(timed_out >= 1, "at least one rank must report Timeout");
+}
+
+#[test]
+fn send_to_dead_rank_fails_fast() {
+    // After rank 1 dies, sends towards it must fail immediately with a
+    // typed error instead of queueing into the void.
+    let failure = Universe::new(2, ZeroCost)
+        .recv_timeout(Duration::from_millis(250))
+        .try_run(|comm| -> CommResult<()> {
+            if comm.rank() == 1 {
+                panic!("rank 1 dies before receiving");
+            }
+            // Rank 0: keep sending until the death notice lands, then
+            // verify the error names the dead peer.
+            for i in 0..1000u64 {
+                if let Err(e) = comm.try_send(1, 0, Payload::U64(vec![i])) {
+                    match e {
+                        CommError::PeerFailed { rank } | CommError::ChannelClosed { rank } => {
+                            assert_eq!(rank, 1);
+                            return Err(e);
+                        }
+                        other => panic!("unexpected error {other}"),
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            panic!("send to dead rank never failed");
+        })
+        .expect_err("both ranks end abnormally");
+    assert_eq!(failure.crashed_ranks(), vec![1]);
 }
 
 proptest! {

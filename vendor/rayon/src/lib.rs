@@ -1,0 +1,126 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The workspace uses exactly one rayon API — `par_chunks_mut(..).enumerate()
+//! .for_each(..)` in the parallel GEMM kernel — so this shim implements that
+//! one pipeline on std scoped threads. Work is split into contiguous runs of
+//! chunks, one per hardware thread, which matches the row-panel access
+//! pattern of the kernel (each chunk is one `C` row).
+
+/// Everything the workspace imports via `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::ParallelSliceMut;
+}
+
+/// Mutable parallel slice splitting (the subset of rayon's trait).
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks of `size`.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ParChunksMut { data: self, size }
+    }
+}
+
+/// Pending parallel chunk iteration.
+pub struct ParChunksMut<'a, T> {
+    data: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index, like `ParallelIterator::enumerate`.
+    pub fn enumerate(self) -> EnumeratedParChunksMut<'a, T> {
+        EnumeratedParChunksMut {
+            data: self.data,
+            size: self.size,
+        }
+    }
+
+    /// Applies `f` to every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Send + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// Enumerated variant of [`ParChunksMut`].
+pub struct EnumeratedParChunksMut<'a, T> {
+    data: &'a mut [T],
+    size: usize,
+}
+
+impl<T: Send> EnumeratedParChunksMut<'_, T> {
+    /// Applies `f` to every `(index, chunk)` pair across worker threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Send + Sync,
+    {
+        let mut chunks: Vec<(usize, &mut [T])> =
+            self.data.chunks_mut(self.size).enumerate().collect();
+        if chunks.is_empty() {
+            return;
+        }
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(chunks.len());
+        if workers <= 1 {
+            for item in chunks {
+                f(item);
+            }
+            return;
+        }
+        // Contiguous runs keep each worker streaming through adjacent rows.
+        let per = chunks.len().div_ceil(workers);
+        let f = &f;
+        std::thread::scope(|scope| {
+            while !chunks.is_empty() {
+                let take = per.min(chunks.len());
+                let batch: Vec<(usize, &mut [T])> = chunks.drain(..take).collect();
+                scope.spawn(move || {
+                    for item in batch {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_cover_every_element_once() {
+        let mut v = vec![0u64; 10_000];
+        v.par_chunks_mut(17).enumerate().for_each(|(i, chunk)| {
+            for (k, x) in chunk.iter_mut().enumerate() {
+                *x = (i * 17 + k) as u64;
+            }
+        });
+        for (k, &x) in v.iter().enumerate() {
+            assert_eq!(x, k as u64);
+        }
+    }
+
+    #[test]
+    fn short_tail_chunk_is_delivered() {
+        let mut v = [0u8; 10];
+        let mut seen = Vec::new();
+        v.par_chunks_mut(4).enumerate().for_each(|(i, chunk)| {
+            // Single-threaded determinism is not guaranteed; record lengths
+            // via the data itself.
+            chunk[0] = (10 * (i + 1) + chunk.len()) as u8;
+        });
+        for c in v.chunks(4) {
+            seen.push(c[0]);
+        }
+        assert_eq!(seen, vec![14, 24, 32]);
+    }
+}
