@@ -15,11 +15,17 @@ fn bench_kernels(c: &mut Criterion) {
             bch.iter(|| {
                 let mut cm = DenseMatrix::zeros(n, n);
                 gemm_naive(
-                    n, n, n, 1.0,
-                    a.as_slice(), n,
-                    b.as_slice(), n,
+                    n,
+                    n,
+                    n,
+                    1.0,
+                    a.as_slice(),
+                    n,
+                    b.as_slice(),
+                    n,
                     0.0,
-                    cm.as_mut_slice(), n,
+                    cm.as_mut_slice(),
+                    n,
                 );
                 cm
             })
@@ -28,11 +34,17 @@ fn bench_kernels(c: &mut Criterion) {
             bch.iter(|| {
                 let mut cm = DenseMatrix::zeros(n, n);
                 gemm_blocked(
-                    n, n, n, 1.0,
-                    a.as_slice(), n,
-                    b.as_slice(), n,
+                    n,
+                    n,
+                    n,
+                    1.0,
+                    a.as_slice(),
+                    n,
+                    b.as_slice(),
+                    n,
                     0.0,
-                    cm.as_mut_slice(), n,
+                    cm.as_mut_slice(),
+                    n,
                 );
                 cm
             })
@@ -41,11 +53,17 @@ fn bench_kernels(c: &mut Criterion) {
             bch.iter(|| {
                 let mut cm = DenseMatrix::zeros(n, n);
                 gemm_parallel(
-                    n, n, n, 1.0,
-                    a.as_slice(), n,
-                    b.as_slice(), n,
+                    n,
+                    n,
+                    n,
+                    1.0,
+                    a.as_slice(),
+                    n,
+                    b.as_slice(),
+                    n,
                     0.0,
-                    cm.as_mut_slice(), n,
+                    cm.as_mut_slice(),
+                    n,
                 );
                 cm
             })
@@ -61,9 +79,7 @@ fn bench_fast_and_ooc(c: &mut Criterion) {
     let b = random_matrix(n, n, 6);
     let mut group = c.benchmark_group("strassen_and_ooc");
     group.sample_size(10);
-    group.bench_function("strassen_192", |bch| {
-        bch.iter(|| strassen_multiply(&a, &b))
-    });
+    group.bench_function("strassen_192", |bch| bch.iter(|| strassen_multiply(&a, &b)));
     group.bench_function("ooc_gemm_192_tight", |bch| {
         bch.iter(|| {
             let mut cm = vec![0.0; n * n];

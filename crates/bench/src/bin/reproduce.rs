@@ -3,12 +3,13 @@
 //! ```text
 //! reproduce table1 | fig1 | fig5 | fig6 | fig7 | fig8 | summary
 //!           | crossover | nrrp | energyopt | summa | cluster | exact
-//!           | auto | fig5measured | verify | recovery | all
+//!           | auto | fig5measured | verify | recovery | trace | all
 //! ```
 //!
 //! Output is whitespace-aligned text: one row per problem size with one
 //! column per shape (for the figure commands), matching the series the
-//! paper plots.
+//! paper plots. `trace [--out DIR]` additionally writes Perfetto trace
+//! files and metrics summaries (default `target/trace`).
 
 use std::env;
 
@@ -17,12 +18,31 @@ use summagen_partition::ALL_FOUR_SHAPES;
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
-    let json = args.iter().any(|a| a == "--json");
-    let what = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .unwrap_or("all");
+    let mut json = false;
+    let mut out_dir = String::from("target/trace");
+    let mut what: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--out" => {
+                if let Some(v) = args.get(i + 1) {
+                    out_dir = v.clone();
+                    i += 1;
+                } else {
+                    eprintln!("--out requires a directory argument");
+                    std::process::exit(2);
+                }
+            }
+            a if !a.starts_with("--") && what.is_none() => what = Some(a.to_string()),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let what = what.as_deref().unwrap_or("all");
     if json {
         return emit_json(what);
     }
@@ -44,6 +64,7 @@ fn main() {
         "fig5measured" => fig5measured(),
         "verify" => verify(),
         "recovery" => recovery(),
+        "trace" => trace(&out_dir),
         "all" => {
             print!("{}", table1());
             println!();
@@ -65,10 +86,20 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown figure '{other}'; expected one of: table1 fig1 fig5 fig6 fig7 fig8 summary crossover nrrp energyopt summa cluster exact auto fig5measured verify recovery all"
+                "unknown figure '{other}'; expected one of: table1 fig1 fig5 fig6 fig7 fig8 summary crossover nrrp energyopt summa cluster exact auto fig5measured verify recovery trace all"
             );
             std::process::exit(2);
         }
+    }
+}
+
+/// Instrumented runs of the four paper shapes: Perfetto trace files,
+/// metrics summaries, and critical-path tables (see `tracecmd`).
+fn trace(out_dir: &str) {
+    use summagen_bench::tracecmd;
+    if let Err(e) = tracecmd::run_trace(tracecmd::TRACE_N, std::path::Path::new(out_dir)) {
+        eprintln!("trace export to '{out_dir}' failed: {e}");
+        std::process::exit(1);
     }
 }
 
@@ -82,7 +113,10 @@ fn shape_header() -> String {
 
 fn fig5() {
     println!("\nFIGURE 5 — speed functions of the abstract processors (TFLOPs)");
-    println!("{:>8}{:>12}{:>12}{:>12}", "x", "AbsCPU", "AbsGPU", "AbsXeonPhi");
+    println!(
+        "{:>8}{:>12}{:>12}{:>12}",
+        "x", "AbsCPU", "AbsGPU", "AbsXeonPhi"
+    );
     for (x, s) in fig5_series(2_048) {
         println!(
             "{x:>8}{:>12.4}{:>12.4}{:>12.4}",
@@ -93,11 +127,7 @@ fn fig5() {
     }
 }
 
-fn print_shape_table(
-    title: &str,
-    points: &[ShapePoint],
-    metric: impl Fn(&ShapePoint) -> f64,
-) {
+fn print_shape_table(title: &str, points: &[ShapePoint], metric: impl Fn(&ShapePoint) -> f64) {
     println!("\n{title}");
     println!("{}", shape_header());
     let ns: std::collections::BTreeSet<usize> = points.iter().map(|p| p.n).collect();
@@ -195,7 +225,10 @@ fn summary() {
 
 fn crossover() {
     println!("\nABLATION — square corner vs 1D rectangular total half-perimeter (n = 4096)");
-    println!("{:>8}{:>16}{:>16}{:>10}", "ratio", "square corner", "1D rect", "winner");
+    println!(
+        "{:>8}{:>16}{:>16}{:>10}",
+        "ratio", "square corner", "1D rect", "winner"
+    );
     for (r, sc, od) in crossover_series(4_096) {
         println!(
             "{r:>8.1}{sc:>16}{od:>16}{:>10}",
@@ -205,7 +238,9 @@ fn crossover() {
 }
 
 fn nrrp() {
-    println!("\nABLATION — NRRP vs column-based vs best named shape, total half-perimeter (n = 768)");
+    println!(
+        "\nABLATION — NRRP vs column-based vs best named shape, total half-perimeter (n = 768)"
+    );
     println!(
         "{:>18}{:>10}{:>10}{:>12}{:>12}{:>10}",
         "speeds", "NRRP", "columns", "best shape", "lower bnd", "NRRP/LB"
@@ -230,8 +265,13 @@ fn energyopt() {
 }
 
 fn summa() {
-    println!("\nABLATION — SummaGen (block rectangle, speed-aware) vs classic SUMMA (1x3, equal blocks)");
-    println!("{:>8}{:>16}{:>16}{:>10}", "N", "SummaGen (s)", "SUMMA (s)", "speedup");
+    println!(
+        "\nABLATION — SummaGen (block rectangle, speed-aware) vs classic SUMMA (1x3, equal blocks)"
+    );
+    println!(
+        "{:>8}{:>16}{:>16}{:>10}",
+        "N", "SummaGen (s)", "SUMMA (s)", "speedup"
+    );
     for (n, sg, classic) in summa_comparison() {
         println!("{n:>8}{sg:>16.3}{classic:>16.3}{:>10.2}", classic / sg);
     }
@@ -239,7 +279,10 @@ fn summa() {
 
 fn cluster() {
     println!("\nFUTURE WORK — SummaGen across a two-HCLServer1 cluster (N = 16384, 1D over 6 processors)");
-    println!("{:>18}{:>12}{:>12}{:>12}", "topology", "exec (s)", "comp (s)", "comm (s)");
+    println!(
+        "{:>18}{:>12}{:>12}{:>12}",
+        "topology", "exec (s)", "comp (s)", "comm (s)"
+    );
     for (label, exec, comp, comm) in cluster_experiment(16_384) {
         println!("{label:>18}{exec:>12.3}{comp:>12.3}{comm:>12.3}");
     }
@@ -248,7 +291,9 @@ fn cluster() {
 fn exact() {
     use summagen_partition::{exact_three_processor_optimum, proportional_areas, CostSummary};
     use summagen_platform::speed::{ConstantSpeed, SpeedFunction};
-    println!("\nABLATION — §V heuristics vs the exact three-processor optimum (n = 32, speeds 1:2:0.9)");
+    println!(
+        "\nABLATION — §V heuristics vs the exact three-processor optimum (n = 32, speeds 1:2:0.9)"
+    );
     let sp = [
         ConstantSpeed::new(1.0e9),
         ConstantSpeed::new(2.0e9),
@@ -278,9 +323,11 @@ fn exact() {
 }
 
 /// Machine-readable output: `reproduce <figure> --json` prints a JSON
-/// document with the same series the text tables show.
+/// document with the same series the text tables show, stamped with the
+/// standard provenance header (`schema_version`, `git_commit`,
+/// `run_config`).
 fn emit_json(what: &str) {
-    use summagen_bench::json::Json;
+    use summagen_bench::json::{with_metadata, Json};
     let doc = match what {
         "fig5" => Json::obj([
             ("figure", Json::from("fig5")),
@@ -298,7 +345,11 @@ fn emit_json(what: &str) {
             ),
         ]),
         "fig6" | "fig7" => {
-            let points = if what == "fig6" { fig6_series() } else { fig7_series() };
+            let points = if what == "fig6" {
+                fig6_series()
+            } else {
+                fig7_series()
+            };
             Json::obj([
                 ("figure", Json::from(what)),
                 (
@@ -363,7 +414,20 @@ fn emit_json(what: &str) {
             std::process::exit(2);
         }
     };
-    println!("{}", doc.pretty());
+    let mut config = vec![
+        (
+            "command".to_string(),
+            Json::from(format!("reproduce {what} --json")),
+        ),
+        (
+            "cpm_speeds".to_string(),
+            Json::arr(CPM_SPEEDS.iter().copied().map(Json::from)),
+        ),
+    ];
+    if what == "fig7" {
+        config.push(("fpm_grid_steps".to_string(), Json::from(FPM_GRID_STEPS)));
+    }
+    println!("{}", with_metadata(doc, Json::Obj(config)).pretty());
 }
 
 fn auto_gen() {
@@ -373,7 +437,9 @@ fn auto_gen() {
     use summagen_platform::speed::SpeedFunction;
 
     println!("\nEXTENSION — automatic subp/subph/subpw generation (Section IV: \"we believe that");
-    println!("these arrays can be generated automatically\") vs the named shapes, N = 8192, real FPMs");
+    println!(
+        "these arrays can be generated automatically\") vs the named shapes, N = 8192, real FPMs"
+    );
     let platform = hclserver1();
     let speeds: Vec<&dyn SpeedFunction> = platform
         .processors
@@ -399,7 +465,9 @@ fn auto_gen() {
 }
 
 fn fig5measured() {
-    println!("\nMETHODOLOGY — Fig. 5 profiles rebuilt via the measurement protocol (3% timer noise)");
+    println!(
+        "\nMETHODOLOGY — Fig. 5 profiles rebuilt via the measurement protocol (3% timer noise)"
+    );
     println!(
         "{:>12}{:>8}{:>14}{:>12}{:>12}",
         "device", "sizes", "worst err", "mean reps", "normality"
@@ -422,8 +490,7 @@ fn recovery() {
     use summagen_core::{multiply_with_recovery, ExecutionMode, RecoveryOptions};
     use summagen_matrix::{gemm_naive, max_abs_diff, random_matrix, DenseMatrix};
     use summagen_platform::{
-        degraded_capacity, expected_runtime_with_restarts, fleet_survival, DeviceKind,
-        FailureModel,
+        degraded_capacity, expected_runtime_with_restarts, fleet_survival, DeviceKind, FailureModel,
     };
 
     let n = 32;
@@ -431,11 +498,17 @@ fn recovery() {
     let b = random_matrix(n, n, 42);
     let mut want = DenseMatrix::zeros(n, n);
     gemm_naive(
-        n, n, n, 1.0,
-        a.as_slice(), n,
-        b.as_slice(), n,
+        n,
+        n,
+        n,
+        1.0,
+        a.as_slice(),
+        n,
+        b.as_slice(),
+        n,
         0.0,
-        want.as_mut_slice(), n,
+        want.as_mut_slice(),
+        n,
     );
     let opts = RecoveryOptions {
         max_attempts: 3,
@@ -511,7 +584,11 @@ fn recovery() {
         "    expected makespan with restart-from-scratch: {:.1} s (vs {work:.0} s failure-free)",
         expected_runtime_with_restarts(work, &models)
     );
-    for (name, m) in [("AbsCPU", models[0]), ("AbsGPU", models[1]), ("AbsXeonPhi", models[2])] {
+    for (name, m) in [
+        ("AbsCPU", models[0]),
+        ("AbsGPU", models[1]),
+        ("AbsXeonPhi", models[2]),
+    ] {
         println!(
             "    {name:<12} MTBF {:>9.0} s   P(fail during run) {:.4}",
             m.mtbf_seconds,
@@ -538,18 +615,27 @@ fn verify() {
     let b = random_matrix(n, n, 2);
     let mut want = DenseMatrix::zeros(n, n);
     gemm_naive(
-        n, n, n, 1.0,
-        a.as_slice(), n,
-        b.as_slice(), n,
+        n,
+        n,
+        n,
+        1.0,
+        a.as_slice(),
+        n,
+        b.as_slice(),
+        n,
         0.0,
-        want.as_mut_slice(), n,
+        want.as_mut_slice(),
+        n,
     );
 
     println!("\nVERIFY — every algorithm vs the sequential reference (n = {n})");
     let check = |name: &str, c: &DenseMatrix| {
         let err = max_abs_diff(c, &want);
         let ok = err < 1e-9;
-        println!("  [{}] {name:<40} max err {err:.2e}", if ok { "ok" } else { "FAIL" });
+        println!(
+            "  [{}] {name:<40} max err {err:.2e}",
+            if ok { "ok" } else { "FAIL" }
+        );
         assert!(ok, "{name} failed verification");
     };
 

@@ -225,7 +225,11 @@ pub fn summarize(cpm: &[ShapePoint], fpm: &[ShapePoint]) -> Summary {
     let mut energy_spreads = Vec::new();
     let mut fractions = Vec::new();
     let mut peak = (0.0_f64, Shape::SquareCorner, 0usize);
-    for n in cpm.iter().map(|p| p.n).collect::<std::collections::BTreeSet<_>>() {
+    for n in cpm
+        .iter()
+        .map(|p| p.n)
+        .collect::<std::collections::BTreeSet<_>>()
+    {
         let points: Vec<&ShapePoint> = cpm.iter().filter(|p| p.n == n).collect();
         let times: Vec<f64> = points.iter().map(|p| p.report.exec_time).collect();
         let spread = percent_spread(&times);
@@ -302,9 +306,7 @@ pub fn crossover_series(n: usize) -> Vec<(f64, usize, usize)> {
 /// named shapes, by total half-perimeter, against the `2·Σ√aᵢ` lower
 /// bound. Returns `(label, nrrp, columns, best_shape, lower_bound)` rows.
 pub fn nrrp_comparison(n: usize) -> Vec<(String, usize, usize, usize, f64)> {
-    use summagen_partition::{
-        beaumont_column_layout, half_perimeter_lower_bound, nrrp_layout,
-    };
+    use summagen_partition::{beaumont_column_layout, half_perimeter_lower_bound, nrrp_layout};
     let cases: Vec<(&str, Vec<f64>)> = vec![
         ("1:1:1", vec![1.0, 1.0, 1.0]),
         ("1:2:0.9 (paper)", vec![1.0, 2.0, 0.9]),
@@ -326,7 +328,9 @@ pub fn nrrp_comparison(n: usize) -> Vec<(String, usize, usize, usize, f64)> {
                     .min()
                     .unwrap()
             } else {
-                Shape::OneDRectangular.build(n, &areas).total_half_perimeter()
+                Shape::OneDRectangular
+                    .build(n, &areas)
+                    .total_half_perimeter()
             };
             (label.to_string(), nrrp, cols, best_shape, lb)
         })
@@ -408,7 +412,11 @@ pub fn cluster_experiment(n: usize) -> Vec<(String, f64, f64, f64)> {
     let inter = summagen_comm::HockneyModel::from_latency_bandwidth(2e-5, 1.0e9);
 
     let mut out = Vec::new();
-    for (label, ranks_per_node) in [("one node", 6usize), ("two nodes (3+3)", 3), ("six nodes", 1)] {
+    for (label, ranks_per_node) in [
+        ("one node", 6usize),
+        ("two nodes (3+3)", 3),
+        ("six nodes", 1),
+    ] {
         let topo = TwoLevelTopology::uniform(6, ranks_per_node, intra, inter);
         let r = simulate(&spec, &platform, topo);
         out.push((label.to_string(), r.exec_time, r.comp_time, r.comm_time));
@@ -475,7 +483,10 @@ mod tests {
         assert_eq!(back, spec);
         let shape_json = Shape::BlockRectangle.to_json();
         assert_eq!(shape_json, "\"BlockRectangle\"");
-        assert_eq!(Shape::from_json(&shape_json).unwrap(), Shape::BlockRectangle);
+        assert_eq!(
+            Shape::from_json(&shape_json).unwrap(),
+            Shape::BlockRectangle
+        );
     }
 
     #[test]

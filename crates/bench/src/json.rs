@@ -23,7 +23,12 @@ pub enum Json {
 impl Json {
     /// Builds an object from `(key, value)` pairs, preserving order.
     pub fn obj<K: Into<String>, V: Into<Json>>(pairs: impl IntoIterator<Item = (K, V)>) -> Json {
-        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v.into())).collect())
+        Json::Obj(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        )
     }
 
     /// Builds an array from values.
@@ -114,6 +119,43 @@ impl Json {
     }
 }
 
+/// Version of the machine-readable output schema. Bump whenever a key is
+/// renamed, removed, or changes meaning, so downstream plotting scripts
+/// can detect documents they do not understand.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// The git commit the binary's source tree was at, or `"unknown"` when
+/// the repository (or git itself) is unavailable — machine-readable
+/// output must never fail just because provenance is missing.
+pub fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Prepends the standard provenance header — `schema_version`, the git
+/// commit, and the run configuration — to a JSON document. Non-object
+/// documents are wrapped under a `"data"` key so the header always sits
+/// at the top level.
+pub fn with_metadata(doc: Json, run_config: Json) -> Json {
+    let mut pairs = vec![
+        ("schema_version".to_string(), Json::from(SCHEMA_VERSION)),
+        ("git_commit".to_string(), Json::from(git_commit())),
+        ("run_config".to_string(), run_config),
+    ];
+    match doc {
+        Json::Obj(body) => pairs.extend(body),
+        other => pairs.push(("data".to_string(), other)),
+    }
+    Json::Obj(pairs)
+}
+
 fn pad(out: &mut String, indent: usize) {
     for _ in 0..indent {
         out.push_str("  ");
@@ -185,7 +227,10 @@ mod tests {
             ("n", Json::from(1024usize)),
             (
                 "series",
-                Json::arr([Json::obj([("x", Json::from(1.5f64)), ("ok", Json::from(true))])]),
+                Json::arr([Json::obj([
+                    ("x", Json::from(1.5f64)),
+                    ("ok", Json::from(true)),
+                ])]),
             ),
             ("empty", Json::Arr(vec![])),
             ("note", Json::from(Option::<&str>::None)),
@@ -198,6 +243,35 @@ mod tests {
         assert!(s.contains("\"note\": null"));
         assert!(s.starts_with("{\n"));
         assert!(s.ends_with('}'));
+    }
+
+    #[test]
+    fn metadata_header_leads_the_document() {
+        let doc = with_metadata(
+            Json::obj([("series", Json::arr([Json::from(1.0f64)]))]),
+            Json::obj([("figure", Json::from("fig6"))]),
+        );
+        let Json::Obj(pairs) = &doc else {
+            panic!("expected object")
+        };
+        let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            ["schema_version", "git_commit", "run_config", "series"]
+        );
+        let s = doc.pretty();
+        assert!(s.contains("\"schema_version\": 1"));
+        assert!(s.contains("\"figure\": \"fig6\""));
+        // git_commit is a 40-hex SHA in a checkout, "unknown" otherwise;
+        // either way it is a non-empty string.
+        assert!(!git_commit().is_empty());
+    }
+
+    #[test]
+    fn metadata_wraps_non_object_documents() {
+        let doc = with_metadata(Json::arr([Json::from(1usize)]), Json::Null);
+        let s = doc.pretty();
+        assert!(s.contains("\"data\": ["));
     }
 
     #[test]

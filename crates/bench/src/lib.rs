@@ -7,5 +7,6 @@
 
 pub mod experiments;
 pub mod json;
+pub mod tracecmd;
 
 pub use experiments::*;

@@ -30,7 +30,12 @@ pub struct TwoLevelTopology {
 impl TwoLevelTopology {
     /// Creates a topology with `ranks_per_node` consecutive ranks per
     /// node.
-    pub fn uniform(nranks: usize, ranks_per_node: usize, intra: HockneyModel, inter: HockneyModel) -> Self {
+    pub fn uniform(
+        nranks: usize,
+        ranks_per_node: usize,
+        intra: HockneyModel,
+        inter: HockneyModel,
+    ) -> Self {
         assert!(ranks_per_node > 0, "empty nodes");
         Self {
             node_of: (0..nranks).map(|r| r / ranks_per_node).collect(),

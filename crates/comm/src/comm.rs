@@ -9,7 +9,7 @@
 //! (a *death notice* wakes their blocked receives) instead of hanging
 //! until the receive timeout.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -18,6 +18,7 @@ use crate::clock::{ClockSnapshot, CostModel, VirtualClock};
 use crate::error::{CommError, CommResult};
 use crate::fault::{FaultState, MsgAction};
 use crate::message::{Envelope, Payload};
+use crate::span::{CollectiveOp, EventSink, MsgOutcome, SpanKind, SpanRecord};
 use crate::sync::Mutex;
 
 /// Per-rank traffic accounting, aggregated over all communicators the rank
@@ -100,9 +101,10 @@ impl Mailbox {
     }
 
     fn take_match(&mut self, src: Option<usize>, comm_id: u64, tag: u64) -> Option<Envelope> {
-        let pos = self.pending.iter().position(|e| {
-            e.comm_id == comm_id && e.tag == tag && src.is_none_or(|s| e.src == s)
-        })?;
+        let pos = self
+            .pending
+            .iter()
+            .position(|e| e.comm_id == comm_id && e.tag == tag && src.is_none_or(|s| e.src == s))?;
         Some(self.pending.remove(pos))
     }
 
@@ -186,6 +188,14 @@ pub(crate) struct Shared {
     pub fault: Option<FaultState>,
     /// How long a blocking receive waits before declaring a deadlock.
     pub recv_timeout: Duration,
+    /// Structured-event sink, if the universe was built with one
+    /// (`Universe::with_event_sink`). `None` keeps every hook to a single
+    /// branch on the hot path.
+    pub sink: Option<Arc<dyn EventSink>>,
+    /// Per-global-rank send sequence counters, advanced only when a sink
+    /// is installed. Each rank's counter is touched only by its own
+    /// thread, so the sequence stream is deterministic.
+    pub send_seq: Vec<AtomicU64>,
 }
 
 impl Shared {
@@ -205,6 +215,7 @@ impl Shared {
                     comm_id: CONTROL_COMM,
                     tag: 0,
                     arrival: 0.0,
+                    seq: 0,
                     payload: Payload::U64(Vec::new()),
                 });
             }
@@ -304,6 +315,13 @@ impl Communicator {
         self.clock.lock().snapshot()
     }
 
+    /// Handle to this rank's clock, so the universe supervisor can stamp
+    /// a `RankDeath` span after the rank's closure has consumed the
+    /// communicator.
+    pub(crate) fn clock_handle(&self) -> Arc<Mutex<VirtualClock>> {
+        Arc::clone(&self.clock)
+    }
+
     /// Snapshot of this rank's traffic counters.
     pub fn traffic(&self) -> TrafficStats {
         *self.stats.lock()
@@ -362,7 +380,10 @@ impl Communicator {
     /// if the destination rank has died.
     pub fn try_send(&self, dst: usize, tag: u64, payload: Payload) -> CommResult<()> {
         assert!(dst < self.size(), "send dst {dst} out of range");
-        assert!(tag < COLLECTIVE_TAG_BASE, "tag {tag} reserved for collectives");
+        assert!(
+            tag < COLLECTIVE_TAG_BASE,
+            "tag {tag} reserved for collectives"
+        );
         self.try_send_internal(dst, tag, payload)
     }
 
@@ -376,23 +397,43 @@ impl Communicator {
             .shared
             .cost
             .transfer_time_between(self.global_rank(), dst_global, bytes);
-        let arrival = {
+        let (start, arrival) = {
             let mut clock = self.clock.lock();
+            let start = clock.now();
             clock.advance_comm(cost);
-            clock.now()
+            (start, clock.now())
         };
         {
             let mut s = self.stats.lock();
             s.msgs_sent += 1;
             s.bytes_sent += bytes as u64;
         }
-        let action = self
-            .shared
-            .fault
-            .as_ref()
-            .map_or(MsgAction::Deliver, |fs| {
-                fs.on_message(self.global_rank(), dst_global)
+        let action = self.shared.fault.as_ref().map_or(MsgAction::Deliver, |fs| {
+            fs.on_message(self.global_rank(), dst_global)
+        });
+        let seq = match &self.shared.sink {
+            Some(_) => self.shared.send_seq[self.global_rank()].fetch_add(1, Ordering::Relaxed),
+            None => 0,
+        };
+        if let Some(sink) = &self.shared.sink {
+            let outcome = match action {
+                MsgAction::Deliver => MsgOutcome::Delivered,
+                MsgAction::Drop => MsgOutcome::Dropped,
+                MsgAction::Delay(_) => MsgOutcome::Delayed,
+            };
+            sink.record(SpanRecord {
+                rank: self.global_rank(),
+                start,
+                end: arrival,
+                kind: SpanKind::Send {
+                    dst: dst_global,
+                    tag,
+                    bytes: bytes as u64,
+                    seq,
+                    outcome,
+                },
             });
+        }
         let extra = match action {
             // A dropped message costs the sender the same as a delivered
             // one (the NIC pushed the bytes); it just never arrives.
@@ -408,6 +449,7 @@ impl Communicator {
             comm_id: self.comm_id,
             tag,
             arrival: arrival + extra,
+            seq,
             payload,
         };
         self.shared.senders[dst_global]
@@ -431,7 +473,10 @@ impl Communicator {
     /// configured receive timeout.
     pub fn try_recv(&self, src: usize, tag: u64) -> CommResult<Payload> {
         assert!(src < self.size(), "recv src {src} out of range");
-        assert!(tag < COLLECTIVE_TAG_BASE, "tag {tag} reserved for collectives");
+        assert!(
+            tag < COLLECTIVE_TAG_BASE,
+            "tag {tag} reserved for collectives"
+        );
         self.try_recv_internal(src, tag)
     }
 
@@ -448,11 +493,29 @@ impl Communicator {
             &[src_global],
             self.global_rank(),
         )?;
-        self.clock.lock().wait_until(env.arrival);
+        let (start, end) = {
+            let mut clock = self.clock.lock();
+            let start = clock.now();
+            clock.wait_until(env.arrival);
+            (start, clock.now())
+        };
         {
             let mut s = self.stats.lock();
             s.msgs_recv += 1;
             s.bytes_recv += env.payload.bytes() as u64;
+        }
+        if let Some(sink) = &self.shared.sink {
+            sink.record(SpanRecord {
+                rank: self.global_rank(),
+                start,
+                end,
+                kind: SpanKind::Recv {
+                    src: src_global,
+                    tag,
+                    bytes: env.payload.bytes() as u64,
+                    seq: env.seq,
+                },
+            });
         }
         Ok(env.payload)
     }
@@ -472,7 +535,10 @@ impl Communicator {
     /// runtime cannot know whether the dead rank was the intended sender,
     /// so it fails conservatively.
     pub fn try_recv_any(&self, tag: u64) -> CommResult<(usize, Payload)> {
-        assert!(tag < COLLECTIVE_TAG_BASE, "tag {tag} reserved for collectives");
+        assert!(
+            tag < COLLECTIVE_TAG_BASE,
+            "tag {tag} reserved for collectives"
+        );
         if let Some(fs) = &self.shared.fault {
             fs.before_op(self.global_rank());
         }
@@ -486,11 +552,29 @@ impl Communicator {
             &watch,
             me,
         )?;
-        self.clock.lock().wait_until(env.arrival);
+        let (start, end) = {
+            let mut clock = self.clock.lock();
+            let start = clock.now();
+            clock.wait_until(env.arrival);
+            (start, clock.now())
+        };
         {
             let mut s = self.stats.lock();
             s.msgs_recv += 1;
             s.bytes_recv += env.payload.bytes() as u64;
+        }
+        if let Some(sink) = &self.shared.sink {
+            sink.record(SpanRecord {
+                rank: me,
+                start,
+                end,
+                kind: SpanKind::Recv {
+                    src: env.src,
+                    tag,
+                    bytes: env.payload.bytes() as u64,
+                    seq: env.seq,
+                },
+            });
         }
         let local = self
             .group
@@ -498,6 +582,57 @@ impl Communicator {
             .position(|&g| g == env.src)
             .expect("sender not in this communicator");
         Ok((local, env.payload))
+    }
+
+    /// Whether the universe was built with an event sink
+    /// (`Universe::with_event_sink`). Layers above comm gate their own
+    /// span bookkeeping on this so an untraced run skips even the
+    /// clock reads needed to timestamp a span.
+    pub fn tracing_enabled(&self) -> bool {
+        self.shared.sink.is_some()
+    }
+
+    /// Delivers a span to the universe's event sink, if one is installed.
+    /// This is how the algorithm layers (stages, GEMM wrappers) report
+    /// events without depending on the trace crate. Call only from this
+    /// rank's own thread (which is the only place a `Communicator` is
+    /// reachable from anyway).
+    pub fn emit(&self, start: f64, end: f64, kind: SpanKind) {
+        if let Some(sink) = &self.shared.sink {
+            sink.record(SpanRecord {
+                rank: self.global_rank(),
+                start,
+                end,
+                kind,
+            });
+        }
+    }
+
+    /// Runs a collective body and, when tracing, encloses it in a
+    /// `Collective` span. The span is emitted only on success — a failed
+    /// collective leaves its partial sends/recvs as leaf evidence instead.
+    fn with_collective_span<T>(
+        &mut self,
+        op: CollectiveOp,
+        root: usize,
+        body: impl FnOnce(&mut Self) -> CommResult<T>,
+    ) -> CommResult<T> {
+        if self.shared.sink.is_none() {
+            return body(self);
+        }
+        let start = self.clock.lock().now();
+        let out = body(self)?;
+        let end = self.clock.lock().now();
+        self.emit(
+            start,
+            end,
+            SpanKind::Collective {
+                op,
+                root,
+                comm_size: self.size(),
+            },
+        );
+        Ok(out)
     }
 
     fn next_coll_tag(&mut self) -> u64 {
@@ -541,56 +676,58 @@ impl Communicator {
     ) -> CommResult<Payload> {
         assert!(root < self.size(), "bcast root {root} out of range");
         let tag = self.next_coll_tag();
-        let p = self.size();
-        if p == 1 {
-            return Ok(payload);
-        }
-        match algo {
-            BcastAlgorithm::Flat => {
-                if self.rank == root {
-                    for dst in 0..p {
-                        if dst != root {
-                            self.try_send_internal(dst, tag, payload.clone())?;
+        self.with_collective_span(CollectiveOp::Bcast, root, |comm| {
+            let p = comm.size();
+            if p == 1 {
+                return Ok(payload);
+            }
+            match algo {
+                BcastAlgorithm::Flat => {
+                    if comm.rank == root {
+                        for dst in 0..p {
+                            if dst != root {
+                                comm.try_send_internal(dst, tag, payload.clone())?;
+                            }
                         }
+                        Ok(payload)
+                    } else {
+                        comm.try_recv_internal(root, tag)
                     }
-                    Ok(payload)
-                } else {
-                    self.try_recv_internal(root, tag)
+                }
+                BcastAlgorithm::Binomial => {
+                    // Work in rank space relative to the root. The tree:
+                    // parent(rel) clears rel's lowest set bit; node rel's
+                    // children are rel + b for b = 1, 2, 4, … below rel's
+                    // lowest set bit (all bits for the root).
+                    let rel = (comm.rank + p - root) % p;
+                    let data = if rel == 0 {
+                        payload
+                    } else {
+                        let parent_rel = rel & (rel - 1);
+                        let parent = (parent_rel + root) % p;
+                        comm.try_recv_internal(parent, tag)?
+                    };
+                    let limit = if rel == 0 {
+                        p // any bit
+                    } else {
+                        rel & rel.wrapping_neg() // lowest set bit of rel
+                    };
+                    // Send to larger children first so deep subtrees start
+                    // earliest (the standard binomial schedule).
+                    let mut bits = Vec::new();
+                    let mut b = 1;
+                    while b < limit && rel + b < p {
+                        bits.push(b);
+                        b <<= 1;
+                    }
+                    for &b in bits.iter().rev() {
+                        let child = (rel + b + root) % p;
+                        comm.try_send_internal(child, tag, data.clone())?;
+                    }
+                    Ok(data)
                 }
             }
-            BcastAlgorithm::Binomial => {
-                // Work in rank space relative to the root. The tree:
-                // parent(rel) clears rel's lowest set bit; node rel's
-                // children are rel + b for b = 1, 2, 4, … below rel's
-                // lowest set bit (all bits for the root).
-                let rel = (self.rank + p - root) % p;
-                let data = if rel == 0 {
-                    payload
-                } else {
-                    let parent_rel = rel & (rel - 1);
-                    let parent = (parent_rel + root) % p;
-                    self.try_recv_internal(parent, tag)?
-                };
-                let limit = if rel == 0 {
-                    p // any bit
-                } else {
-                    rel & rel.wrapping_neg() // lowest set bit of rel
-                };
-                // Send to larger children first so deep subtrees start
-                // earliest (the standard binomial schedule).
-                let mut bits = Vec::new();
-                let mut b = 1;
-                while b < limit && rel + b < p {
-                    bits.push(b);
-                    b <<= 1;
-                }
-                for &b in bits.iter().rev() {
-                    let child = (rel + b + root) % p;
-                    self.try_send_internal(child, tag, data.clone())?;
-                }
-                Ok(data)
-            }
-        }
+        })
     }
 
     /// Gather: every rank contributes a payload; the root receives all of
@@ -608,17 +745,19 @@ impl Communicator {
     ) -> CommResult<Option<Vec<Payload>>> {
         assert!(root < self.size(), "gather root {root} out of range");
         let tag = self.next_coll_tag();
-        if self.rank == root {
-            let mut out: Vec<Option<Payload>> = (0..self.size()).map(|_| None).collect();
-            out[root] = Some(payload);
-            for src in (0..self.size()).filter(|&s| s != root) {
-                out[src] = Some(self.try_recv_internal(src, tag)?);
+        self.with_collective_span(CollectiveOp::Gather, root, |comm| {
+            if comm.rank == root {
+                let mut out: Vec<Option<Payload>> = (0..comm.size()).map(|_| None).collect();
+                out[root] = Some(payload);
+                for src in (0..comm.size()).filter(|&s| s != root) {
+                    out[src] = Some(comm.try_recv_internal(src, tag)?);
+                }
+                Ok(Some(out.into_iter().map(Option::unwrap).collect()))
+            } else {
+                comm.try_send_internal(root, tag, payload)?;
+                Ok(None)
             }
-            Ok(Some(out.into_iter().map(Option::unwrap).collect()))
-        } else {
-            self.try_send_internal(root, tag, payload)?;
-            Ok(None)
-        }
+        })
     }
 
     /// All-gather of `u64` metadata (used by `split` and the partition
@@ -711,20 +850,22 @@ impl Communicator {
     ) -> CommResult<Payload> {
         assert!(root < self.size(), "scatter root {root} out of range");
         let tag = self.next_coll_tag();
-        if self.rank == root {
-            let mut payloads = payloads.expect("root must provide payloads");
-            assert_eq!(payloads.len(), self.size(), "scatter payload count");
-            let mine = payloads[root].clone();
-            for (dst, p) in payloads.drain(..).enumerate() {
-                if dst != root {
-                    self.try_send_internal(dst, tag, p)?;
+        self.with_collective_span(CollectiveOp::Scatter, root, |comm| {
+            if comm.rank == root {
+                let mut payloads = payloads.expect("root must provide payloads");
+                assert_eq!(payloads.len(), comm.size(), "scatter payload count");
+                let mine = payloads[root].clone();
+                for (dst, p) in payloads.drain(..).enumerate() {
+                    if dst != root {
+                        comm.try_send_internal(dst, tag, p)?;
+                    }
                 }
+                Ok(mine)
+            } else {
+                assert!(payloads.is_none(), "non-root passed scatter payloads");
+                comm.try_recv_internal(root, tag)
             }
-            Ok(mine)
-        } else {
-            assert!(payloads.is_none(), "non-root passed scatter payloads");
-            self.try_recv_internal(root, tag)
-        }
+        })
     }
 
     /// Reduce to the root: the root returns the elementwise reduction of
@@ -787,10 +928,12 @@ impl Communicator {
 
     /// Fallible [`Communicator::barrier`].
     pub fn try_barrier(&mut self) -> CommResult<()> {
-        // Gather an empty message to rank 0, then broadcast it back.
-        self.try_gather(0, Payload::U64(Vec::new()))?;
-        self.try_bcast(0, Payload::U64(Vec::new()))?;
-        Ok(())
+        self.with_collective_span(CollectiveOp::Barrier, 0, |comm| {
+            // Gather an empty message to rank 0, then broadcast it back.
+            comm.try_gather(0, Payload::U64(Vec::new()))?;
+            comm.try_bcast(0, Payload::U64(Vec::new()))?;
+            Ok(())
+        })
     }
 
     /// Builds a sub-communicator from an explicitly known member list
@@ -965,7 +1108,10 @@ mod tests {
             (gathered, sum, max)
         });
         for (gathered, sum, max) in out {
-            assert_eq!(gathered, vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 4.0]]);
+            assert_eq!(
+                gathered,
+                vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 4.0]]
+            );
             assert_eq!(sum, 3.0);
             assert_eq!(max, 2.0);
         }
@@ -1199,7 +1345,11 @@ mod tests {
     fn flat_and_binomial_agree_on_payload() {
         let out = Universe::new(6, ZeroCost).run(|mut comm| {
             let a = comm
-                .bcast_with(2, Payload::U64(vec![comm.rank() as u64]), BcastAlgorithm::Flat)
+                .bcast_with(
+                    2,
+                    Payload::U64(vec![comm.rank() as u64]),
+                    BcastAlgorithm::Flat,
+                )
                 .into_u64();
             let b = comm
                 .bcast_with(
@@ -1277,8 +1427,16 @@ mod tests {
         });
         // 8000 bytes at beta=1e-6 s/B plus alpha=1e-3 -> 9e-3 s.
         let expect = 1e-3 + 8000.0 * 1e-6;
-        assert!((out[0].now - expect).abs() < 1e-12, "sender clock {}", out[0].now);
-        assert!((out[1].now - expect).abs() < 1e-12, "receiver clock {}", out[1].now);
+        assert!(
+            (out[0].now - expect).abs() < 1e-12,
+            "sender clock {}",
+            out[0].now
+        );
+        assert!(
+            (out[1].now - expect).abs() < 1e-12,
+            "receiver clock {}",
+            out[1].now
+        );
         assert_eq!(out[0].comp_time, 0.0);
         assert!(out[0].comm_time > 0.0);
     }
@@ -1451,16 +1609,14 @@ mod tests {
     #[test]
     fn delayed_message_arrives_late_in_virtual_time() {
         let plan = crate::FaultPlan::new().delay_message(0, 1, 0, 2.5);
-        let late = Universe::new(2, ZeroCost)
-            .with_faults(plan)
-            .run(|comm| {
-                if comm.rank() == 0 {
-                    comm.send(1, 0, Payload::U64(vec![1]));
-                } else {
-                    comm.recv(0, 0);
-                }
-                comm.now()
-            });
+        let late = Universe::new(2, ZeroCost).with_faults(plan).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, Payload::U64(vec![1]));
+            } else {
+                comm.recv(0, 0);
+            }
+            comm.now()
+        });
         let on_time = Universe::new(2, ZeroCost).run(|comm| {
             if comm.rank() == 0 {
                 comm.send(1, 0, Payload::U64(vec![1]));
@@ -1469,7 +1625,10 @@ mod tests {
             }
             comm.now()
         });
-        assert!((late[1] - on_time[1] - 2.5).abs() < 1e-12, "late {late:?} vs {on_time:?}");
+        assert!(
+            (late[1] - on_time[1] - 2.5).abs() < 1e-12,
+            "late {late:?} vs {on_time:?}"
+        );
     }
 
     #[test]

@@ -191,12 +191,10 @@ impl RankFailure {
     /// signature of a deadlock or dropped message rather than a crash.
     pub fn all_timeouts(&self) -> bool {
         !self.failed.is_empty()
-            && self.failed.iter().all(|fr| {
-                matches!(
-                    &fr.cause,
-                    FailureCause::Error(CommError::Timeout { .. })
-                )
-            })
+            && self
+                .failed
+                .iter()
+                .all(|fr| matches!(&fr.cause, FailureCause::Error(CommError::Timeout { .. })))
     }
 }
 
@@ -267,8 +265,14 @@ mod tests {
         };
         let rf = RankFailure {
             failed: vec![
-                FailedRank { rank: 0, cause: timeout() },
-                FailedRank { rank: 2, cause: timeout() },
+                FailedRank {
+                    rank: 0,
+                    cause: timeout(),
+                },
+                FailedRank {
+                    rank: 2,
+                    cause: timeout(),
+                },
             ],
         };
         assert!(rf.all_timeouts());

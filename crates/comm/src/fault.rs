@@ -116,7 +116,10 @@ impl FaultPlan {
 
     /// Multiplies `rank`'s compute-time advances by `factor`.
     pub fn slow_rank(mut self, rank: usize, factor: f64) -> Self {
-        assert!(factor > 0.0 && factor.is_finite(), "invalid factor {factor}");
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "invalid factor {factor}"
+        );
         self.slowdowns.push((rank, factor));
         self
     }
@@ -264,7 +267,9 @@ mod tests {
         assert_eq!(st.before_op(0), 1);
         let killed = catch_unwind(AssertUnwindSafe(|| st.before_op(0)));
         let payload = killed.unwrap_err();
-        let ik = payload.downcast_ref::<InjectedKill>().expect("kill payload");
+        let ik = payload
+            .downcast_ref::<InjectedKill>()
+            .expect("kill payload");
         assert_eq!(*ik, InjectedKill { rank: 0, op: 2 });
         // Other ranks are unaffected.
         assert_eq!(st.before_op(1), 0);
@@ -273,7 +278,9 @@ mod tests {
     #[test]
     fn message_faults_hit_the_nth_edge_message() {
         let st = FaultState::new(
-            FaultPlan::new().drop_message(0, 1, 1).delay_message(1, 0, 0, 0.25),
+            FaultPlan::new()
+                .drop_message(0, 1, 1)
+                .delay_message(1, 0, 0, 0.25),
             2,
         );
         assert_eq!(st.on_message(0, 1), MsgAction::Deliver); // nth = 0

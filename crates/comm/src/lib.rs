@@ -26,20 +26,31 @@
 //!   points; and [`Universe::try_run`] catches per-rank panics, runs a
 //!   death-notice protocol that unblocks the victim's peers within
 //!   milliseconds, and reports the aggregate [`RankFailure`].
+//!
+//! The runtime can additionally report every send, receive, collective,
+//! GEMM, stage, and rank death as a typed [`SpanRecord`] to an
+//! [`EventSink`] installed with [`Universe::with_event_sink`] — see the
+//! [`span`] module and the `summagen-trace` crate, which turns the stream
+//! into Perfetto timelines and critical-path reports.
 
 pub mod clock;
 pub mod comm;
 pub mod error;
 pub mod fault;
 pub mod message;
+pub mod span;
 pub mod universe;
 
 mod chan;
 mod sync;
 
-pub use clock::{ClockSnapshot, CostModel, HockneyModel, TraceEvent, TraceKind, TwoLevelTopology, VirtualClock, ZeroCost};
+pub use clock::{
+    ClockSnapshot, CostModel, HockneyModel, TraceEvent, TraceKind, TwoLevelTopology, VirtualClock,
+    ZeroCost,
+};
 pub use comm::{BcastAlgorithm, Communicator, ReduceOp, TrafficStats};
 pub use error::{CommError, CommResult, FailedRank, FailureCause, RankFailure};
 pub use fault::{FaultPlan, InjectedKill, KillSpec, MsgFault};
 pub use message::Payload;
-pub use universe::{Universe, DEFAULT_RECV_TIMEOUT};
+pub use span::{CollectiveOp, EventSink, MsgOutcome, SpanKind, SpanRecord, StageLabel};
+pub use universe::{Universe, DEFAULT_RECV_TIMEOUT, RECV_TIMEOUT_ENV};

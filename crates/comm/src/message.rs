@@ -105,6 +105,10 @@ pub(crate) struct Envelope {
     pub tag: u64,
     /// Virtual time at which the message is fully delivered.
     pub arrival: f64,
+    /// Per-sender message sequence number, assigned only when an event
+    /// sink is installed (see `span::SpanKind::Send`); 0 otherwise. Lets
+    /// the trace layer match a `Recv` span to the `Send` that fed it.
+    pub seq: u64,
     /// The data.
     pub payload: Payload,
 }

@@ -1,0 +1,292 @@
+//! Structured span events and the [`EventSink`] hook the runtime reports
+//! them through.
+//!
+//! This is the *vocabulary* of the tracing subsystem: the comm layer (and
+//! the algorithm layers above it) describe what happened — a send, a
+//! receive, a collective, a GEMM, a SummaGen stage, a rank death — as
+//! [`SpanRecord`]s stamped with virtual-clock start/end times, and hand
+//! them to whatever [`EventSink`] the universe was built with
+//! (`Universe::with_event_sink`). The default is *no* sink: every hook is
+//! a single `Option` check, so an untraced run pays nothing.
+//!
+//! The recorder itself (per-rank lock-free ring buffers), the aggregation
+//! pass, and the Perfetto/JSON exporters live in the `summagen-trace`
+//! crate; keeping only the vocabulary here means `summagen-comm` stays
+//! dependency-free and the trace crate depends on comm, not vice versa.
+
+/// What a recorded span represents.
+///
+/// `Send`/`Recv`/`Gemm` are the *leaf* events that tile a rank's busy
+/// time; `Collective` and `Stage` are enclosing annotations (their
+/// intervals contain leaf events) and are excluded from time accounting
+/// and the happens-before DAG; `RankDeath` marks the instant a rank left
+/// the computation abnormally.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpanKind {
+    /// A point-to-point send (including those inside collectives). The
+    /// interval covers the sender-side link occupation.
+    Send {
+        /// Destination global rank.
+        dst: usize,
+        /// Message tag (collective tags are above `1 << 48`).
+        tag: u64,
+        /// Wire bytes.
+        bytes: u64,
+        /// Per-sender message sequence number — the receiver's matching
+        /// `Recv` span carries the same `(src, seq)`, which is how the
+        /// critical-path pass reconstructs cross-rank edges.
+        seq: u64,
+        /// What fault injection did to the message.
+        outcome: MsgOutcome,
+    },
+    /// A point-to-point receive. The interval covers the time the
+    /// receiver was blocked waiting for the message (zero-length when the
+    /// message had already arrived).
+    Recv {
+        /// Source global rank.
+        src: usize,
+        /// Message tag.
+        tag: u64,
+        /// Wire bytes.
+        bytes: u64,
+        /// The sender's sequence number for this message.
+        seq: u64,
+    },
+    /// An enclosing collective operation on some communicator.
+    Collective {
+        /// Which collective.
+        op: CollectiveOp,
+        /// Root rank (communicator-local); 0 for rootless ops.
+        root: usize,
+        /// Communicator size.
+        comm_size: usize,
+    },
+    /// One local GEMM kernel invocation (or its phantom stand-in).
+    Gemm {
+        /// Rows of the local `C` block.
+        m: usize,
+        /// Columns of the local `C` block.
+        n: usize,
+        /// Inner dimension.
+        k: usize,
+        /// Floating-point operations (`2·m·n·k`).
+        flops: f64,
+        /// Wall-clock nanoseconds the real kernel took (0 in phantom
+        /// mode, where no kernel runs).
+        kernel_ns: u64,
+    },
+    /// An enclosing SummaGen algorithm stage.
+    Stage {
+        /// Which stage.
+        stage: StageLabel,
+    },
+    /// The rank left the computation abnormally at this instant.
+    RankDeath {
+        /// Classified cause: `"injected-kill"`, `"panic"`, or `"error"`.
+        cause: &'static str,
+    },
+}
+
+impl SpanKind {
+    /// Short label for display and export.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpanKind::Send { .. } => "send",
+            SpanKind::Recv { .. } => "recv",
+            SpanKind::Collective { op, .. } => op.label(),
+            SpanKind::Gemm { .. } => "gemm",
+            SpanKind::Stage { stage } => stage.label(),
+            SpanKind::RankDeath { .. } => "rank-death",
+        }
+    }
+
+    /// Whether this span is a leaf event (tiles busy time and joins the
+    /// happens-before DAG) rather than an enclosing annotation.
+    pub fn is_leaf(&self) -> bool {
+        matches!(
+            self,
+            SpanKind::Send { .. } | SpanKind::Recv { .. } | SpanKind::Gemm { .. }
+        )
+    }
+}
+
+/// The collective operations the runtime annotates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectiveOp {
+    /// Broadcast (flat or binomial).
+    Bcast,
+    /// Gather to root.
+    Gather,
+    /// Scatter from root.
+    Scatter,
+    /// Barrier (gather + bcast of empty messages).
+    Barrier,
+}
+
+impl CollectiveOp {
+    /// Short label for display and export.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CollectiveOp::Bcast => "bcast",
+            CollectiveOp::Gather => "gather",
+            CollectiveOp::Scatter => "scatter",
+            CollectiveOp::Barrier => "barrier",
+        }
+    }
+}
+
+/// What fault injection did to a sent message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgOutcome {
+    /// Delivered normally.
+    Delivered,
+    /// Silently dropped by the fault plan (the sender still paid for it).
+    Dropped,
+    /// Delivered late by the fault plan.
+    Delayed,
+}
+
+impl MsgOutcome {
+    /// Short label for display and export.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MsgOutcome::Delivered => "delivered",
+            MsgOutcome::Dropped => "dropped",
+            MsgOutcome::Delayed => "delayed",
+        }
+    }
+}
+
+/// The SummaGen stages (and the classic-SUMMA panel loop) that emit
+/// enclosing [`SpanKind::Stage`] spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageLabel {
+    /// Stage 1: horizontal communications of `A`.
+    HorizontalA,
+    /// Stage 2: vertical communications of `B`.
+    VerticalB,
+    /// Stage 3: local computations.
+    LocalCompute,
+    /// One iteration of the classic-SUMMA panel loop.
+    SummaPanel,
+}
+
+impl StageLabel {
+    /// Short label for display and export.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StageLabel::HorizontalA => "horizontal-a",
+            StageLabel::VerticalB => "vertical-b",
+            StageLabel::LocalCompute => "local-compute",
+            StageLabel::SummaPanel => "summa-panel",
+        }
+    }
+}
+
+/// One recorded span: what happened on which rank over which virtual
+/// interval. Wall-clock stamping is the recorder's job (it is
+/// nondeterministic and must stay out of the canonical event stream).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Universe-global rank the event happened on.
+    pub rank: usize,
+    /// Virtual-clock start (seconds).
+    pub start: f64,
+    /// Virtual-clock end (seconds); `end == start` for instantaneous
+    /// events.
+    pub end: f64,
+    /// What happened.
+    pub kind: SpanKind,
+}
+
+impl SpanRecord {
+    /// Interval length in virtual seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Where the runtime delivers [`SpanRecord`]s.
+///
+/// Implementations must be cheap and wait-free on the record path: every
+/// rank thread calls [`EventSink::record`] from inside its communication
+/// hot path. `summagen-trace`'s `TraceRecorder` (one single-writer ring
+/// buffer per rank) is the canonical implementation.
+///
+/// # Threading contract
+///
+/// `record` is called concurrently from all rank threads, but for a given
+/// `SpanRecord::rank` only ever from that rank's own thread — per-rank
+/// storage therefore needs no writer-side synchronization.
+pub trait EventSink: Send + Sync {
+    /// Delivers one span. Called from the recording rank's own thread.
+    fn record(&self, span: SpanRecord);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_classification() {
+        assert!(SpanKind::Send {
+            dst: 1,
+            tag: 0,
+            bytes: 8,
+            seq: 0,
+            outcome: MsgOutcome::Delivered
+        }
+        .is_leaf());
+        assert!(SpanKind::Recv {
+            src: 0,
+            tag: 0,
+            bytes: 8,
+            seq: 0
+        }
+        .is_leaf());
+        assert!(SpanKind::Gemm {
+            m: 1,
+            n: 1,
+            k: 1,
+            flops: 2.0,
+            kernel_ns: 0
+        }
+        .is_leaf());
+        assert!(!SpanKind::Collective {
+            op: CollectiveOp::Bcast,
+            root: 0,
+            comm_size: 3
+        }
+        .is_leaf());
+        assert!(!SpanKind::Stage {
+            stage: StageLabel::HorizontalA
+        }
+        .is_leaf());
+        assert!(!SpanKind::RankDeath { cause: "panic" }.is_leaf());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(CollectiveOp::Barrier.label(), "barrier");
+        assert_eq!(StageLabel::VerticalB.label(), "vertical-b");
+        assert_eq!(MsgOutcome::Dropped.label(), "dropped");
+        assert_eq!(
+            SpanKind::Stage {
+                stage: StageLabel::LocalCompute
+            }
+            .label(),
+            "local-compute"
+        );
+    }
+
+    #[test]
+    fn duration_is_end_minus_start() {
+        let s = SpanRecord {
+            rank: 0,
+            start: 1.5,
+            end: 2.0,
+            kind: SpanKind::RankDeath { cause: "error" },
+        };
+        assert!((s.duration() - 0.5).abs() < 1e-15);
+    }
+}

@@ -27,11 +27,29 @@ use crate::clock::{CostModel, VirtualClock};
 use crate::comm::{Communicator, Mailbox, Shared, TrafficStats};
 use crate::error::{CommError, FailedRank, FailureCause, RankFailure};
 use crate::fault::{FaultPlan, FaultState, InjectedKill};
+use crate::span::{EventSink, SpanKind, SpanRecord};
 use crate::sync::Mutex;
 
 /// Default blocking-receive timeout: generous enough for real runs, small
-/// enough that a deadlocked test suite still terminates.
+/// enough that a deadlocked test suite still terminates. Overridable per
+/// process via the `SUMMAGEN_RECV_TIMEOUT_MS` environment variable (CI
+/// machines can be slow enough that chaos tests need more headroom).
 pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Environment variable holding the default receive timeout in
+/// milliseconds. Read afresh by every [`Universe::new`]; ignored when
+/// unset, unparseable, or zero.
+pub const RECV_TIMEOUT_ENV: &str = "SUMMAGEN_RECV_TIMEOUT_MS";
+
+fn default_recv_timeout() -> Duration {
+    match std::env::var(RECV_TIMEOUT_ENV) {
+        Ok(v) => match v.trim().parse::<u64>() {
+            Ok(ms) if ms > 0 => Duration::from_millis(ms),
+            _ => DEFAULT_RECV_TIMEOUT,
+        },
+        Err(_) => DEFAULT_RECV_TIMEOUT,
+    }
+}
 
 /// A set of `p` ranks sharing a communication fabric and a cost model.
 ///
@@ -51,6 +69,7 @@ pub struct Universe {
     traced: bool,
     recv_timeout: Duration,
     faults: Option<FaultPlan>,
+    sink: Option<Arc<dyn EventSink>>,
 }
 
 static UNIVERSE_COUNTER: AtomicU64 = AtomicU64::new(1);
@@ -82,8 +101,9 @@ impl Universe {
             size,
             cost: Arc::new(cost),
             traced: false,
-            recv_timeout: DEFAULT_RECV_TIMEOUT,
+            recv_timeout: default_recv_timeout(),
             faults: None,
+            sink: None,
         }
     }
 
@@ -116,13 +136,28 @@ impl Universe {
         self
     }
 
+    /// Installs a structured-event sink: every send, receive, collective,
+    /// and rank death in subsequent runs is reported as a
+    /// [`SpanRecord`]. Without a sink (the default) the instrumentation
+    /// hooks cost a single branch each. `summagen-trace`'s `TraceRecorder`
+    /// is the canonical sink.
+    pub fn with_event_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
     /// Number of ranks.
     pub fn size(&self) -> usize {
         self.size
     }
 
     #[allow(clippy::type_complexity)]
-    fn build_shared(&self) -> (Arc<Shared>, Vec<crate::chan::Receiver<crate::message::Envelope>>) {
+    fn build_shared(
+        &self,
+    ) -> (
+        Arc<Shared>,
+        Vec<crate::chan::Receiver<crate::message::Envelope>>,
+    ) {
         let p = self.size;
         let mut senders = Vec::with_capacity(p);
         let mut receivers = Vec::with_capacity(p);
@@ -137,11 +172,18 @@ impl Universe {
             failed: (0..p).map(|_| AtomicBool::new(false)).collect(),
             fault: self.faults.clone().map(|plan| FaultState::new(plan, p)),
             recv_timeout: self.recv_timeout,
+            sink: self.sink.clone(),
+            send_seq: (0..p).map(|_| AtomicU64::new(0)).collect(),
         });
         (shared, receivers)
     }
 
-    fn build_comms(&self, shared: &Arc<Shared>, receivers: Vec<crate::chan::Receiver<crate::message::Envelope>>, world_id: u64) -> Vec<Communicator> {
+    fn build_comms(
+        &self,
+        shared: &Arc<Shared>,
+        receivers: Vec<crate::chan::Receiver<crate::message::Envelope>>,
+        world_id: u64,
+    ) -> Vec<Communicator> {
         let group: Arc<Vec<usize>> = Arc::new((0..self.size).collect());
         receivers
             .into_iter()
@@ -211,8 +253,23 @@ impl Universe {
                 .enumerate()
                 .map(|(rank, comm)| {
                     let shared = Arc::clone(&shared);
+                    let clock = comm.clock_handle();
                     let f = &f;
                     scope.spawn(move || {
+                        // Stamps an abnormal exit on this rank's own thread
+                        // (keeping the sink's single-writer-per-rank
+                        // contract) at the rank's final virtual time.
+                        let record_death = |cause: &'static str| {
+                            if let Some(sink) = &shared.sink {
+                                let t = clock.lock().now();
+                                sink.record(SpanRecord {
+                                    rank,
+                                    start: t,
+                                    end: t,
+                                    kind: SpanKind::RankDeath { cause },
+                                });
+                            }
+                        };
                         let result = catch_unwind(AssertUnwindSafe(|| f(comm)));
                         match result {
                             Ok(Ok(value)) => Ok(value),
@@ -220,13 +277,16 @@ impl Universe {
                                 // The rank bowed out with a typed error: it
                                 // will never send again, so unblock peers.
                                 shared.death_notice(rank);
+                                record_death("error");
                                 Err(FailureCause::Error(err))
                             }
                             Err(payload) => {
                                 shared.death_notice(rank);
                                 if let Some(kill) = payload.downcast_ref::<InjectedKill>() {
+                                    record_death("injected-kill");
                                     Err(FailureCause::InjectedKill { op: kill.op })
                                 } else {
+                                    record_death("panic");
                                     Err(FailureCause::Panic(panic_message(payload.as_ref())))
                                 }
                             }
@@ -399,6 +459,126 @@ mod tests {
         }));
         let msg = panic_message(result.unwrap_err().as_ref());
         assert!(msg.contains("rank panicked"), "got: {msg}");
+    }
+
+    #[test]
+    fn recv_timeout_env_var_sets_default() {
+        std::env::set_var(RECV_TIMEOUT_ENV, "90000");
+        let configured = Universe::new(1, ZeroCost);
+        std::env::set_var(RECV_TIMEOUT_ENV, "not-a-number");
+        let garbage = Universe::new(1, ZeroCost);
+        std::env::remove_var(RECV_TIMEOUT_ENV);
+        let unset = Universe::new(1, ZeroCost);
+
+        let t = configured.run(|comm| comm.recv_timeout());
+        assert_eq!(t, vec![Duration::from_millis(90_000)]);
+        let t = garbage.run(|comm| comm.recv_timeout());
+        assert_eq!(t, vec![DEFAULT_RECV_TIMEOUT]);
+        let t = unset.run(|comm| comm.recv_timeout());
+        assert_eq!(t, vec![DEFAULT_RECV_TIMEOUT]);
+        // An explicit builder call still wins over the compiled default.
+        let t = Universe::new(1, ZeroCost)
+            .recv_timeout(Duration::from_millis(123))
+            .run(|comm| comm.recv_timeout());
+        assert_eq!(t, vec![Duration::from_millis(123)]);
+    }
+
+    struct VecSink(std::sync::Mutex<Vec<SpanRecord>>);
+
+    impl VecSink {
+        fn new() -> Arc<Self> {
+            Arc::new(VecSink(std::sync::Mutex::new(Vec::new())))
+        }
+
+        fn spans(&self) -> Vec<SpanRecord> {
+            self.0.lock().unwrap().clone()
+        }
+    }
+
+    impl EventSink for VecSink {
+        fn record(&self, span: SpanRecord) {
+            self.0.lock().unwrap().push(span);
+        }
+    }
+
+    #[test]
+    fn event_sink_sees_sends_recvs_and_collectives() {
+        use crate::span::{CollectiveOp, SpanKind};
+        let sink = VecSink::new();
+        Universe::new(3, ZeroCost)
+            .with_event_sink(sink.clone())
+            .run(|mut comm| {
+                comm.bcast(0, Payload::U64(vec![5]));
+            });
+        let spans = sink.spans();
+        let sends: Vec<_> = spans
+            .iter()
+            .filter(|s| matches!(s.kind, SpanKind::Send { .. }))
+            .collect();
+        let recvs: Vec<_> = spans
+            .iter()
+            .filter(|s| matches!(s.kind, SpanKind::Recv { .. }))
+            .collect();
+        let colls: Vec<_> = spans
+            .iter()
+            .filter(|s| matches!(s.kind, SpanKind::Collective { .. }))
+            .collect();
+        // Flat bcast on 3 ranks: root sends twice, each non-root
+        // receives once, and every rank closes a Collective span.
+        assert_eq!(sends.len(), 2);
+        assert_eq!(recvs.len(), 2);
+        assert_eq!(colls.len(), 3);
+        assert!(colls.iter().all(|s| matches!(
+            s.kind,
+            SpanKind::Collective {
+                op: CollectiveOp::Bcast,
+                root: 0,
+                comm_size: 3
+            }
+        )));
+        // Every Recv matches a Send by (src, seq).
+        for r in &recvs {
+            let SpanKind::Recv { src, seq, .. } = r.kind else {
+                unreachable!()
+            };
+            assert!(sends.iter().any(|s| {
+                s.rank == src
+                    && matches!(s.kind, SpanKind::Send { dst, seq: sseq, .. }
+                        if dst == r.rank && sseq == seq)
+            }));
+        }
+    }
+
+    #[test]
+    fn event_sink_records_injected_kill_as_rank_death() {
+        use crate::span::SpanKind;
+        let sink = VecSink::new();
+        let err = Universe::new(3, ZeroCost)
+            .with_faults(FaultPlan::new().kill_rank(2, 0))
+            .with_event_sink(sink.clone())
+            .recv_timeout(Duration::from_secs(30))
+            .try_run(|mut comm| {
+                comm.try_bcast(2, Payload::U64(vec![1]))?;
+                Ok(())
+            })
+            .unwrap_err();
+        assert_eq!(err.root_failed_ranks(), vec![2]);
+        // Every rank that left abnormally records a death: rank 2 from
+        // the injected kill, the survivors from the PeerFailed errors
+        // the death notice turned their bcast into.
+        let mut deaths: Vec<(usize, &'static str)> = sink
+            .spans()
+            .into_iter()
+            .filter_map(|s| match s.kind {
+                SpanKind::RankDeath { cause } => Some((s.rank, cause)),
+                _ => None,
+            })
+            .collect();
+        deaths.sort_unstable();
+        assert_eq!(
+            deaths,
+            vec![(0, "error"), (1, "error"), (2, "injected-kill")]
+        );
     }
 
     #[test]

@@ -145,11 +145,17 @@ mod tests {
         let n = a.rows();
         let mut c = DenseMatrix::zeros(n, n);
         gemm_naive(
-            n, n, n, 1.0,
-            a.as_slice(), n,
-            b.as_slice(), n,
+            n,
+            n,
+            n,
+            1.0,
+            a.as_slice(),
+            n,
+            b.as_slice(),
+            n,
             0.0,
-            c.as_mut_slice(), n,
+            c.as_mut_slice(),
+            n,
         );
         c
     }

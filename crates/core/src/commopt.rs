@@ -123,12 +123,7 @@ fn assemble_grid(
 /// # Panics
 /// Panics unless `q | n`, `c | q` (each layer gets an equal share of the
 /// steps) and `c ≥ 1`.
-pub fn summa25d_multiply(
-    a: &DenseMatrix,
-    b: &DenseMatrix,
-    q: usize,
-    c: usize,
-) -> GridRunResult {
+pub fn summa25d_multiply(a: &DenseMatrix, b: &DenseMatrix, q: usize, c: usize) -> GridRunResult {
     summa25d_multiply_with_cost(a, b, q, c, ZeroCost)
 }
 
@@ -250,7 +245,15 @@ pub fn summa25d_multiply_with_cost(
             }
         }
         (
-            (i, j, if k == 0 { c_blk } else { DenseMatrix::zeros(0, 0) }),
+            (
+                i,
+                j,
+                if k == 0 {
+                    c_blk
+                } else {
+                    DenseMatrix::zeros(0, 0)
+                },
+            ),
             comm.clock_snapshot(),
             comm.traffic(),
         )
@@ -286,11 +289,17 @@ mod tests {
         let n = a.rows();
         let mut c = DenseMatrix::zeros(n, n);
         gemm_naive(
-            n, n, n, 1.0,
-            a.as_slice(), n,
-            b.as_slice(), n,
+            n,
+            n,
+            n,
+            1.0,
+            a.as_slice(),
+            n,
+            b.as_slice(),
+            n,
             0.0,
-            c.as_mut_slice(), n,
+            c.as_mut_slice(),
+            n,
         );
         c
     }
@@ -324,7 +333,10 @@ mod tests {
         let bytes: Vec<u64> = r.traffic.iter().map(|t| t.bytes_sent).collect();
         let max = *bytes.iter().max().unwrap();
         let min = *bytes.iter().min().unwrap();
-        assert_eq!(max, min, "Cannon load should be perfectly balanced: {bytes:?}");
+        assert_eq!(
+            max, min,
+            "Cannon load should be perfectly balanced: {bytes:?}"
+        );
         // Each rank ships 2 blocks per step for q-1 steps.
         assert_eq!(max, (2 * (4 - 1) * 8 * 8 * 8) as u64);
     }
@@ -371,8 +383,7 @@ mod tests {
         let cannon = cannon_multiply(&a, &b, 4);
         let rep = summa25d_multiply(&a, &b, 4, 2);
         let avg_sent = |r: &GridRunResult| {
-            r.traffic.iter().map(|t| t.bytes_sent).sum::<u64>() as f64
-                / r.traffic.len() as f64
+            r.traffic.iter().map(|t| t.bytes_sent).sum::<u64>() as f64 / r.traffic.len() as f64
         };
         assert!(
             avg_sent(&rep) < avg_sent(&cannon),

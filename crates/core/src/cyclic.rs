@@ -232,11 +232,17 @@ mod tests {
         let n = a.rows();
         let mut c = DenseMatrix::zeros(n, n);
         gemm_naive(
-            n, n, n, 1.0,
-            a.as_slice(), n,
-            b.as_slice(), n,
+            n,
+            n,
+            n,
+            1.0,
+            a.as_slice(),
+            n,
+            b.as_slice(),
+            n,
             0.0,
-            c.as_mut_slice(), n,
+            c.as_mut_slice(),
+            n,
         );
         c
     }
@@ -274,18 +280,27 @@ mod tests {
 
     #[test]
     fn distribute_assemble_roundtrip() {
-        for (n, nb, pr, pc) in [(12usize, 2, 2, 2), (13, 3, 2, 3), (16, 5, 3, 2), (9, 4, 1, 2)] {
+        for (n, nb, pr, pc) in [
+            (12usize, 2, 2, 2),
+            (13, 3, 2, 3),
+            (16, 5, 3, 2),
+            (9, 4, 1, 2),
+        ] {
             let d = BlockCyclic::new(nb, pr, pc);
             let m = random_matrix(n, n, 42);
-            let parts: Vec<DenseMatrix> =
-                (0..d.nprocs()).map(|p| d.local_part(&m, p)).collect();
+            let parts: Vec<DenseMatrix> = (0..d.nprocs()).map(|p| d.local_part(&m, p)).collect();
             assert_eq!(d.assemble(n, &parts), m, "n={n} nb={nb} {pr}x{pc}");
         }
     }
 
     #[test]
     fn summa_cyclic_correct() {
-        for (n, nb, pr, pc) in [(16usize, 4, 2, 2), (18, 3, 2, 3), (20, 6, 2, 2), (15, 4, 3, 1)] {
+        for (n, nb, pr, pc) in [
+            (16usize, 4, 2, 2),
+            (18, 3, 2, 3),
+            (20, 6, 2, 2),
+            (15, 4, 3, 1),
+        ] {
             let a = random_matrix(n, n, 1);
             let b = random_matrix(n, n, 2);
             let d = BlockCyclic::new(nb, pr, pc);

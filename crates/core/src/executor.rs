@@ -2,11 +2,12 @@
 //! from rank failures.
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 use summagen_comm::{
-    ClockSnapshot, CostModel, FaultPlan, HockneyModel, RankFailure, TrafficStats, Universe,
-    ZeroCost, DEFAULT_RECV_TIMEOUT,
+    ClockSnapshot, CostModel, EventSink, FaultPlan, HockneyModel, RankFailure, TrafficStats,
+    Universe, ZeroCost, DEFAULT_RECV_TIMEOUT,
 };
 use summagen_matrix::{DenseMatrix, GemmKernel};
 use summagen_partition::{beaumont_column_layout, proportional_areas, PartitionSpec, Shape};
@@ -97,6 +98,34 @@ pub fn multiply_with_cost(
     run_real(spec, a, b, mode, cost)
 }
 
+/// Like [`multiply_with_cost`] but reporting every runtime event — sends,
+/// receives, collectives, per-block GEMMs (with measured kernel times),
+/// stages — to `sink`. Use a `summagen_trace::TraceRecorder` as the sink
+/// to get Perfetto export and critical-path analysis of the real run.
+///
+/// # Panics
+/// Panics if any rank fails, like [`multiply`].
+pub fn multiply_traced(
+    spec: &PartitionSpec,
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    mode: ExecutionMode,
+    cost: impl CostModel,
+    sink: Arc<dyn EventSink>,
+) -> RunResult {
+    try_run_real(
+        spec,
+        a,
+        b,
+        mode,
+        cost,
+        None,
+        DEFAULT_RECV_TIMEOUT,
+        Some(sink),
+    )
+    .unwrap_or_else(|failure| panic!("rank panicked: {failure}"))
+}
+
 fn run_real(
     spec: &PartitionSpec,
     a: &DenseMatrix,
@@ -104,13 +133,14 @@ fn run_real(
     mode: ExecutionMode,
     cost: impl CostModel,
 ) -> RunResult {
-    try_run_real(spec, a, b, mode, cost, None, DEFAULT_RECV_TIMEOUT)
+    try_run_real(spec, a, b, mode, cost, None, DEFAULT_RECV_TIMEOUT, None)
         .unwrap_or_else(|failure| panic!("rank panicked: {failure}"))
 }
 
 /// One fallible execution attempt: runs the three stages under `try_run`,
 /// so a dying rank surfaces as `Err(RankFailure)` instead of a panic or a
 /// silent hang.
+#[allow(clippy::too_many_arguments)]
 fn try_run_real(
     spec: &PartitionSpec,
     a: &DenseMatrix,
@@ -119,11 +149,15 @@ fn try_run_real(
     cost: impl CostModel,
     faults: Option<FaultPlan>,
     recv_timeout: Duration,
+    sink: Option<Arc<dyn EventSink>>,
 ) -> Result<RunResult, RankFailure> {
     let rank_data = distribute(spec, a, b);
     let mut universe = Universe::new(spec.nprocs, cost).recv_timeout(recv_timeout);
     if let Some(plan) = faults {
         universe = universe.with_faults(plan);
+    }
+    if let Some(sink) = sink {
+        universe = universe.with_event_sink(sink);
     }
     let results = universe.try_run(|comm| {
         let rank = comm.rank();
@@ -295,7 +329,16 @@ pub fn multiply_with_recovery(
             .get(attempt - 1)
             .filter(|p| !p.is_empty())
             .cloned();
-        match try_run_real(&spec, a, b, mode, cost.clone(), faults, opts.recv_timeout) {
+        match try_run_real(
+            &spec,
+            a,
+            b,
+            mode,
+            cost.clone(),
+            faults,
+            opts.recv_timeout,
+            None,
+        ) {
             Ok(mut result) => {
                 let backoff_time = (attempt - 1) as f64 * opts.retry_backoff;
                 result.exec_time += backoff_time;
@@ -374,7 +417,11 @@ mod tests {
         let a = random_matrix(16, 16, 1);
         let b = random_matrix(16, 16, 2);
         let res = multiply(&fig1a(), &a, &b, ExecutionMode::Real);
-        assert!(approx_eq(&res.c, &reference(&a, &b), gemm_tolerance(16) * 100.0));
+        assert!(approx_eq(
+            &res.c,
+            &reference(&a, &b),
+            gemm_tolerance(16) * 100.0
+        ));
     }
 
     #[test]
@@ -430,7 +477,11 @@ mod tests {
         let a = random_matrix(n, n, 7);
         let b = random_matrix(n, n, 8);
         let res = multiply(&spec, &a, &b, ExecutionMode::Real);
-        assert!(approx_eq(&res.c, &reference(&a, &b), gemm_tolerance(n) * 100.0));
+        assert!(approx_eq(
+            &res.c,
+            &reference(&a, &b),
+            gemm_tolerance(n) * 100.0
+        ));
         // One rank => no messages at all.
         assert_eq!(res.traffic[0].msgs_sent, 0);
     }
@@ -443,7 +494,11 @@ mod tests {
         let a = random_matrix(n, n, 9);
         let b = random_matrix(n, n, 10);
         let res = multiply(&spec, &a, &b, ExecutionMode::Real);
-        assert!(approx_eq(&res.c, &reference(&a, &b), gemm_tolerance(n) * 100.0));
+        assert!(approx_eq(
+            &res.c,
+            &reference(&a, &b),
+            gemm_tolerance(n) * 100.0
+        ));
     }
 
     #[test]
@@ -465,7 +520,11 @@ mod tests {
         );
         assert!(res.comm_time > 0.0);
         assert!(res.exec_time >= res.comm_time);
-        assert!(approx_eq(&res.c, &reference(&a, &b), gemm_tolerance(n) * 100.0));
+        assert!(approx_eq(
+            &res.c,
+            &reference(&a, &b),
+            gemm_tolerance(n) * 100.0
+        ));
         // Every rank moved some bytes.
         for t in &res.traffic {
             assert!(t.bytes_sent + t.bytes_recv > 0);
@@ -493,7 +552,11 @@ mod tests {
         let a = random_matrix(n, n, 15);
         let b = random_matrix(n, n, 16);
         let res = multiply(&spec, &a, &b, ExecutionMode::Real);
-        assert!(approx_eq(&res.c, &reference(&a, &b), gemm_tolerance(n) * 100.0));
+        assert!(approx_eq(
+            &res.c,
+            &reference(&a, &b),
+            gemm_tolerance(n) * 100.0
+        ));
     }
 
     fn fast_opts() -> RecoveryOptions {
@@ -521,7 +584,11 @@ mod tests {
         )
         .expect("fault-free run succeeds");
         assert!(res.recovery.is_none());
-        assert!(approx_eq(&res.c, &reference(&a, &b), gemm_tolerance(n) * 100.0));
+        assert!(approx_eq(
+            &res.c,
+            &reference(&a, &b),
+            gemm_tolerance(n) * 100.0
+        ));
     }
 
     #[test]
@@ -549,7 +616,11 @@ mod tests {
         assert!((rep.final_loads.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!((rep.backoff_time - 0.25).abs() < 1e-12);
         assert!(res.exec_time >= 0.25);
-        assert!(approx_eq(&res.c, &reference(&a, &b), gemm_tolerance(n) * 100.0));
+        assert!(approx_eq(
+            &res.c,
+            &reference(&a, &b),
+            gemm_tolerance(n) * 100.0
+        ));
     }
 
     #[test]
@@ -579,7 +650,11 @@ mod tests {
         assert_eq!(rep.failed_devices, vec![0, 2]);
         assert_eq!(rep.surviving_devices, vec![1]);
         assert_eq!(rep.final_loads, vec![1.0]);
-        assert!(approx_eq(&res.c, &reference(&a, &b), gemm_tolerance(n) * 100.0));
+        assert!(approx_eq(
+            &res.c,
+            &reference(&a, &b),
+            gemm_tolerance(n) * 100.0
+        ));
     }
 
     #[test]
@@ -645,7 +720,11 @@ mod tests {
         assert_eq!(rep.attempts, 2);
         assert!(rep.failed_devices.is_empty());
         assert_eq!(rep.surviving_devices, vec![0, 1, 2]);
-        assert!(approx_eq(&res.c, &reference(&a, &b), gemm_tolerance(n) * 100.0));
+        assert!(approx_eq(
+            &res.c,
+            &reference(&a, &b),
+            gemm_tolerance(n) * 100.0
+        ));
     }
 }
 
@@ -660,11 +739,17 @@ mod proptests {
         let n = a.rows();
         let mut c = DenseMatrix::zeros(n, n);
         gemm_naive(
-            n, n, n, 1.0,
-            a.as_slice(), n,
-            b.as_slice(), n,
+            n,
+            n,
+            n,
+            1.0,
+            a.as_slice(),
+            n,
+            b.as_slice(),
+            n,
             0.0,
-            c.as_mut_slice(), n,
+            c.as_mut_slice(),
+            n,
         );
         c
     }

@@ -28,21 +28,32 @@
 pub mod caps;
 pub mod commopt;
 pub mod cyclic;
-pub mod panelled;
 pub mod executor;
+pub mod panelled;
 pub mod rankdata;
 pub mod simulate;
 pub mod stages;
 pub mod summa;
 
 pub use caps::{caps_multiply, caps_multiply_with_cost, CapsResult};
-pub use cyclic::{summa_cyclic_multiply, summa_cyclic_multiply_with_cost, BlockCyclic};
-pub use commopt::{cannon_multiply, cannon_multiply_with_cost, summa25d_multiply, summa25d_multiply_with_cost, GridRunResult};
-pub use executor::{
-    multiply, multiply_with_cost, multiply_with_recovery, ExecutionMode, RecoveryError,
-    RecoveryOptions, RecoveryReport, RunResult,
+pub use commopt::{
+    cannon_multiply, cannon_multiply_with_cost, summa25d_multiply, summa25d_multiply_with_cost,
+    GridRunResult,
 };
-pub use panelled::{multiply_panelled, multiply_panelled_with_cost, peak_workspace_elems, simulate_panelled};
+pub use cyclic::{summa_cyclic_multiply, summa_cyclic_multiply_with_cost, BlockCyclic};
+pub use executor::{
+    multiply, multiply_traced, multiply_with_cost, multiply_with_recovery, ExecutionMode,
+    RecoveryError, RecoveryOptions, RecoveryReport, RunResult,
+};
+pub use panelled::{
+    multiply_panelled, multiply_panelled_with_cost, peak_workspace_elems, simulate_panelled,
+};
 pub use rankdata::{assemble, distribute, RankMatrices};
-pub use simulate::{metered_energy_from_timelines, simulate, simulate_traced, simulate_with_energy, SimReport};
-pub use summa::{summa_multiply, summa_multiply_with_cost, summa_simulate, SummaResult};
+pub use simulate::{
+    metered_energy_from_timelines, simulate, simulate_instrumented, simulate_traced,
+    simulate_with_energy, SimReport,
+};
+pub use summa::{
+    summa_multiply, summa_multiply_with_cost, summa_simulate, summa_simulate_instrumented,
+    SummaResult,
+};

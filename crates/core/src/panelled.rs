@@ -320,18 +320,30 @@ fn run_rank_panelled(
             debug_assert_eq!(ap.cols(), bp.rows());
             match kernel {
                 GemmKernel::Naive => summagen_matrix::gemm_naive(
-                    blk.rows, blk.cols, kb, 1.0,
-                    ap.as_slice(), kb.max(1),
-                    bp.as_slice(), blk.cols.max(1),
+                    blk.rows,
+                    blk.cols,
+                    kb,
                     1.0,
-                    cmat.as_mut_slice(), blk.cols.max(1),
+                    ap.as_slice(),
+                    kb.max(1),
+                    bp.as_slice(),
+                    blk.cols.max(1),
+                    1.0,
+                    cmat.as_mut_slice(),
+                    blk.cols.max(1),
                 ),
                 _ => gemm_blocked(
-                    blk.rows, blk.cols, kb, 1.0,
-                    ap.as_slice(), kb.max(1),
-                    bp.as_slice(), blk.cols.max(1),
+                    blk.rows,
+                    blk.cols,
+                    kb,
                     1.0,
-                    cmat.as_mut_slice(), blk.cols.max(1),
+                    ap.as_slice(),
+                    kb.max(1),
+                    bp.as_slice(),
+                    blk.cols.max(1),
+                    1.0,
+                    cmat.as_mut_slice(),
+                    blk.cols.max(1),
                 ),
             }
         }
@@ -406,9 +418,8 @@ mod tests {
         let link = summagen_comm::HockneyModel::intra_node();
         let one_shot = crate::simulate::simulate(&spec, &platform, link);
         let panelled = simulate_panelled(&spec, &platform, link);
-        let bytes = |r: &crate::simulate::SimReport| {
-            r.traffic.iter().map(|t| t.bytes_sent).sum::<u64>()
-        };
+        let bytes =
+            |r: &crate::simulate::SimReport| r.traffic.iter().map(|t| t.bytes_sent).sum::<u64>();
         assert_eq!(bytes(&one_shot), bytes(&panelled));
         // Pipelining can only help or tie the end-to-end time (modulo
         // tiny extra latencies from the additional messages).

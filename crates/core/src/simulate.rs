@@ -8,7 +8,9 @@
 //! N = 38 416 would occupy ~35 GB and ~10¹³ flops, far beyond a test
 //! machine, but their *schedule* is cheap to execute.
 
-use summagen_comm::{ClockSnapshot, CostModel, TrafficStats, Universe};
+use std::sync::Arc;
+
+use summagen_comm::{ClockSnapshot, CostModel, EventSink, TrafficStats, Universe};
 use summagen_partition::PartitionSpec;
 use summagen_platform::energy::{EnergyMeter, MeterReading, PowerModel};
 use summagen_platform::Platform;
@@ -59,6 +61,28 @@ impl SimReport {
 /// # Panics
 /// Panics if the platform has fewer processors than the spec.
 pub fn simulate(spec: &PartitionSpec, platform: &Platform, cost: impl CostModel) -> SimReport {
+    simulate_with_sink(spec, platform, cost, None)
+}
+
+/// Like [`simulate`], additionally reporting every runtime event (sends,
+/// receives, collectives, per-block GEMMs, stages) to `sink` — typically
+/// a `summagen_trace::TraceRecorder`, whose finished trace yields Perfetto
+/// timelines and the schedule's critical path.
+pub fn simulate_instrumented(
+    spec: &PartitionSpec,
+    platform: &Platform,
+    cost: impl CostModel,
+    sink: Arc<dyn EventSink>,
+) -> SimReport {
+    simulate_with_sink(spec, platform, cost, Some(sink))
+}
+
+fn simulate_with_sink(
+    spec: &PartitionSpec,
+    platform: &Platform,
+    cost: impl CostModel,
+    sink: Option<Arc<dyn EventSink>>,
+) -> SimReport {
     assert!(
         platform.len() >= spec.nprocs,
         "platform has {} processors, spec wants {}",
@@ -66,7 +90,10 @@ pub fn simulate(spec: &PartitionSpec, platform: &Platform, cost: impl CostModel)
         spec.nprocs
     );
     let areas = spec.areas();
-    let universe = Universe::new(spec.nprocs, cost);
+    let mut universe = Universe::new(spec.nprocs, cost);
+    if let Some(sink) = sink {
+        universe = universe.with_event_sink(sink);
+    }
     let results = universe.run(|comm| {
         let rank = comm.rank();
         let mut state = StageData::Phantom;
@@ -132,8 +159,7 @@ pub fn simulate_traced(
 
     let clocks: Vec<ClockSnapshot> = results.iter().map(|r| r.0).collect();
     let traffic: Vec<TrafficStats> = results.iter().map(|r| r.1).collect();
-    let timelines: Vec<Vec<summagen_comm::TraceEvent>> =
-        results.into_iter().map(|r| r.2).collect();
+    let timelines: Vec<Vec<summagen_comm::TraceEvent>> = results.into_iter().map(|r| r.2).collect();
     let n = spec.n;
     let report = SimReport {
         n,
@@ -190,11 +216,11 @@ mod tests {
     use std::sync::Arc;
     use summagen_comm::HockneyModel;
     use summagen_partition::{proportional_areas, Shape, ALL_FOUR_SHAPES};
+    use summagen_platform::device::{HASWELL_E5_2670V3, NVIDIA_K40C, XEON_PHI_3120P};
     use summagen_platform::energy::hclserver1_power_model;
     use summagen_platform::profile::hclserver1;
     use summagen_platform::speed::ConstantSpeed;
     use summagen_platform::{AbstractProcessor, DeviceSpec, Platform};
-    use summagen_platform::device::{HASWELL_E5_2670V3, NVIDIA_K40C, XEON_PHI_3120P};
 
     fn constant_platform(speeds: &[f64]) -> Platform {
         let specs: [DeviceSpec; 3] = [HASWELL_E5_2670V3, NVIDIA_K40C, XEON_PHI_3120P];
@@ -350,8 +376,8 @@ mod tests {
             .unwrap();
         let (report, timelines) = simulate_traced(&spec, &platform, intra_node());
         let exact = metered_energy_from_timelines(&timelines, &power, report.exec_time);
-        let rel = (exact.dynamic_energy_j - approx.dynamic_energy_j).abs()
-            / approx.dynamic_energy_j;
+        let rel =
+            (exact.dynamic_energy_j - approx.dynamic_energy_j).abs() / approx.dynamic_energy_j;
         assert!(rel < 0.05, "timeline vs approx energy differ by {rel}");
     }
 

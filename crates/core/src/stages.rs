@@ -13,8 +13,8 @@
 //! the communicator built from its own participant list. Violating one of
 //! these is a partitioner bug, not a runtime condition, so they panic.
 
-use summagen_comm::{CommResult, Communicator, Payload};
-use summagen_matrix::{copy_block, DenseMatrix, GemmKernel};
+use summagen_comm::{CommResult, Communicator, Payload, SpanKind, StageLabel};
+use summagen_matrix::{copy_block, DenseMatrix, GemmKernel, GemmObserver};
 use summagen_partition::{PartitionSpec, ProcBlock};
 
 use crate::rankdata::RankMatrices;
@@ -109,6 +109,7 @@ pub(crate) fn horizontal_a(
     rank: usize,
     state: &mut StageData<'_>,
 ) -> CommResult<()> {
+    let stage_start = comm.tracing_enabled().then(|| comm.now());
     for bi in 0..spec.grid_rows {
         if !spec.row_contains(rank, bi) {
             continue;
@@ -152,6 +153,15 @@ pub(crate) fn horizontal_a(
             }
         }
     }
+    if let Some(t0) = stage_start {
+        comm.emit(
+            t0,
+            comm.now(),
+            SpanKind::Stage {
+                stage: StageLabel::HorizontalA,
+            },
+        );
+    }
     Ok(())
 }
 
@@ -163,6 +173,7 @@ pub(crate) fn vertical_b(
     rank: usize,
     state: &mut StageData<'_>,
 ) -> CommResult<()> {
+    let stage_start = comm.tracing_enabled().then(|| comm.now());
     for bj in 0..spec.grid_cols {
         if !spec.col_contains(rank, bj) {
             continue;
@@ -204,6 +215,15 @@ pub(crate) fn vertical_b(
             }
         }
     }
+    if let Some(t0) = stage_start {
+        comm.emit(
+            t0,
+            comm.now(),
+            SpanKind::Stage {
+                stage: StageLabel::VerticalB,
+            },
+        );
+    }
     Ok(())
 }
 
@@ -218,17 +238,29 @@ pub(crate) fn local_compute(
     block_compute_seconds: impl Fn(&ProcBlock) -> f64,
 ) -> (Vec<(ProcBlock, DenseMatrix)>, f64) {
     let n = spec.n;
+    let tracing = comm.tracing_enabled();
+    let stage_start = tracing.then(|| comm.now());
+    // Captures the kernel's wall-clock duration so the trace can carry
+    // both clock domains on one GEMM span.
+    struct NsProbe(std::cell::Cell<u64>);
+    impl GemmObserver for NsProbe {
+        fn on_gemm(&self, _m: usize, _n: usize, _k: usize, elapsed_ns: u64) {
+            self.0.set(elapsed_ns);
+        }
+    }
+    let probe = NsProbe(std::cell::Cell::new(0));
     let mut out = Vec::new();
     let mut total_flops = 0.0;
     for blk in spec.blocks_of(rank) {
         let flops = 2.0 * blk.rows as f64 * blk.cols as f64 * n as f64;
         total_flops += flops;
+        probe.0.set(0);
         match state {
             StageData::Real { ws, kernel, .. } => {
                 let a_off = ws.wa_row_off[blk.block_i].expect("WA row missing") * n;
                 let b_off = ws.wb_col_off[blk.block_j].expect("WB column missing");
                 let mut c = DenseMatrix::zeros(blk.rows, blk.cols);
-                kernel.run(
+                kernel.run_observed(
                     blk.rows,
                     blk.cols,
                     n,
@@ -240,12 +272,36 @@ pub(crate) fn local_compute(
                     0.0,
                     c.as_mut_slice(),
                     blk.cols,
+                    tracing.then_some(&probe as &dyn GemmObserver),
                 );
                 out.push((blk, c));
             }
             StageData::Phantom => {}
         }
+        let gemm_start = tracing.then(|| comm.now());
         comm.advance_compute(block_compute_seconds(&blk));
+        if let Some(t0) = gemm_start {
+            comm.emit(
+                t0,
+                comm.now(),
+                SpanKind::Gemm {
+                    m: blk.rows,
+                    n: blk.cols,
+                    k: n,
+                    flops,
+                    kernel_ns: probe.0.get(),
+                },
+            );
+        }
+    }
+    if let Some(t0) = stage_start {
+        comm.emit(
+            t0,
+            comm.now(),
+            SpanKind::Stage {
+                stage: StageLabel::LocalCompute,
+            },
+        );
     }
     (out, total_flops)
 }
@@ -265,7 +321,7 @@ fn owned_block(spec: &PartitionSpec, bi: usize, bj: usize) -> ProcBlock {
 /// Stores an `A` block (row-major `blk.rows × blk.cols`) into WA.
 fn stash_wa(spec: &PartitionSpec, ws: &mut Workspace, blk: &ProcBlock, src: &[f64]) {
     let n = spec.n;
-    let local = ws.wa_row_off[blk.block_i].expect("WA row missing") ;
+    let local = ws.wa_row_off[blk.block_i].expect("WA row missing");
     let dst_start = local * n + blk.col;
     copy_block(
         &mut ws.wa[dst_start..],

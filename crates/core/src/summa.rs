@@ -11,7 +11,12 @@
 //! broadcasts — comparing the two on the same virtual platform is the
 //! baseline ablation in `benches/ablations.rs` and `reproduce summa`.
 
-use summagen_comm::{ClockSnapshot, CostModel, HockneyModel, TrafficStats, Universe, ZeroCost};
+use std::sync::Arc;
+
+use summagen_comm::{
+    ClockSnapshot, CostModel, EventSink, HockneyModel, SpanKind, StageLabel, TrafficStats,
+    Universe, ZeroCost,
+};
 use summagen_matrix::{gemm_blocked, DenseMatrix};
 use summagen_platform::Platform;
 
@@ -149,11 +154,7 @@ pub fn summa_multiply_with_cost(
             k0 += kb;
         }
 
-        (
-            (r0, c0, c_local),
-            comm.clock_snapshot(),
-            comm.traffic(),
-        )
+        ((r0, c0, c_local), comm.clock_snapshot(), comm.traffic())
     });
 
     let mut c = DenseMatrix::zeros(n, n);
@@ -184,12 +185,43 @@ pub fn summa_simulate(
     platform: &Platform,
     hockney: HockneyModel,
 ) -> (f64, Vec<ClockSnapshot>) {
+    summa_simulate_with_sink(n, pr, pc, nb, platform, hockney, None)
+}
+
+/// Like [`summa_simulate`], additionally reporting every runtime event to
+/// `sink`, with one `summa-panel` stage span per panel-loop iteration —
+/// the pipelined schedule becomes directly comparable to SummaGen's
+/// three-stage traces in Perfetto.
+pub fn summa_simulate_instrumented(
+    n: usize,
+    pr: usize,
+    pc: usize,
+    nb: usize,
+    platform: &Platform,
+    hockney: HockneyModel,
+    sink: Arc<dyn EventSink>,
+) -> (f64, Vec<ClockSnapshot>) {
+    summa_simulate_with_sink(n, pr, pc, nb, platform, hockney, Some(sink))
+}
+
+fn summa_simulate_with_sink(
+    n: usize,
+    pr: usize,
+    pc: usize,
+    nb: usize,
+    platform: &Platform,
+    hockney: HockneyModel,
+    sink: Option<Arc<dyn EventSink>>,
+) -> (f64, Vec<ClockSnapshot>) {
     let p = pr * pc;
     assert!(platform.len() >= p, "platform too small for the grid");
     assert!(n >= pr && n >= pc && nb >= 1, "bad geometry");
     let rows = offsets(n, pr);
     let cols = offsets(n, pc);
-    let universe = Universe::new(p, hockney);
+    let mut universe = Universe::new(p, hockney);
+    if let Some(sink) = sink {
+        universe = universe.with_event_sink(sink);
+    }
     let clocks = universe.run(|comm| {
         let rank = comm.rank();
         let (pi, pj) = (rank / pc, rank % pc);
@@ -200,15 +232,40 @@ pub fn summa_simulate(
         let mut col_comm = comm.subgroup(&col_members, 2_000 + pj as u64).unwrap();
         let proc = &platform.processors[rank];
         let area = (mr * mc) as f64;
+        let tracing = comm.tracing_enabled();
 
         let mut k0 = 0;
         while k0 < n {
+            let panel_start = tracing.then(|| comm.now());
             let jk = cols.partition_point(|&c| c <= k0) - 1;
             let ik = rows.partition_point(|&r| r <= k0) - 1;
             let kb = nb.min(cols[jk + 1] - k0).min(rows[ik + 1] - k0).min(n - k0);
             row_comm.bcast(jk, summagen_comm::Payload::Phantom { elems: mr * kb });
             col_comm.bcast(ik, summagen_comm::Payload::Phantom { elems: kb * mc });
+            let gemm_start = tracing.then(|| comm.now());
             comm.advance_compute(proc.dgemm_time(mr, kb, mc, area));
+            if let Some(t0) = gemm_start {
+                comm.emit(
+                    t0,
+                    comm.now(),
+                    SpanKind::Gemm {
+                        m: mr,
+                        n: mc,
+                        k: kb,
+                        flops: 2.0 * mr as f64 * mc as f64 * kb as f64,
+                        kernel_ns: 0,
+                    },
+                );
+            }
+            if let Some(t0) = panel_start {
+                comm.emit(
+                    t0,
+                    comm.now(),
+                    SpanKind::Stage {
+                        stage: StageLabel::SummaPanel,
+                    },
+                );
+            }
             k0 += kb;
         }
         comm.clock_snapshot()
@@ -226,11 +283,17 @@ mod tests {
         let n = a.rows();
         let mut c = DenseMatrix::zeros(n, n);
         gemm_naive(
-            n, n, n, 1.0,
-            a.as_slice(), n,
-            b.as_slice(), n,
+            n,
+            n,
+            n,
+            1.0,
+            a.as_slice(),
+            n,
+            b.as_slice(),
+            n,
             0.0,
-            c.as_mut_slice(), n,
+            c.as_mut_slice(),
+            n,
         );
         c
     }
@@ -241,12 +304,21 @@ mod tests {
         let a = random_matrix(n, n, 1);
         let b = random_matrix(n, n, 2);
         let r = summa_multiply(&a, &b, 2, 2, 8);
-        assert!(approx_eq(&r.c, &reference(&a, &b), gemm_tolerance(n) * 100.0));
+        assert!(approx_eq(
+            &r.c,
+            &reference(&a, &b),
+            gemm_tolerance(n) * 100.0
+        ));
     }
 
     #[test]
     fn summa_rect_grids_and_odd_sizes() {
-        for (n, pr, pc, nb) in [(30usize, 3, 2, 4), (25, 1, 5, 7), (17, 2, 2, 16), (40, 4, 1, 3)] {
+        for (n, pr, pc, nb) in [
+            (30usize, 3, 2, 4),
+            (25, 1, 5, 7),
+            (17, 2, 2, 16),
+            (40, 4, 1, 3),
+        ] {
             let a = random_matrix(n, n, 10);
             let b = random_matrix(n, n, 11);
             let r = summa_multiply(&a, &b, pr, pc, nb);
@@ -263,7 +335,11 @@ mod tests {
         let a = random_matrix(n, n, 3);
         let b = random_matrix(n, n, 4);
         let r = summa_multiply(&a, &b, 1, 1, 4);
-        assert!(approx_eq(&r.c, &reference(&a, &b), gemm_tolerance(n) * 100.0));
+        assert!(approx_eq(
+            &r.c,
+            &reference(&a, &b),
+            gemm_tolerance(n) * 100.0
+        ));
         assert_eq!(r.traffic[0].msgs_sent, 0);
     }
 
@@ -292,14 +368,8 @@ mod tests {
     fn simulated_summa_runs_at_paper_scale() {
         use summagen_platform::profile::hclserver1;
         // 3 abstract processors in a 1x3 grid (degenerate but valid).
-        let (exec, clocks) = summa_simulate(
-            8_192,
-            1,
-            3,
-            512,
-            &hclserver1(),
-            HockneyModel::intra_node(),
-        );
+        let (exec, clocks) =
+            summa_simulate(8_192, 1, 3, 512, &hclserver1(), HockneyModel::intra_node());
         assert!(exec > 0.0);
         assert_eq!(clocks.len(), 3);
         assert!(clocks.iter().all(|c| c.comp_time > 0.0));

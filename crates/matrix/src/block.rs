@@ -156,7 +156,10 @@ mod tests {
         let src = vec![1.0, 2.0, 3.0, 4.0]; // 2x2, ld 2
         let mut dst = vec![0.0; 12]; // 3x4, ld 4; place at row 0 col 1
         copy_block(&mut dst[1..], 4, &src, 2, 2, 2);
-        assert_eq!(dst, vec![0.0, 1.0, 2.0, 0.0, 0.0, 3.0, 4.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(
+            dst,
+            vec![0.0, 1.0, 2.0, 0.0, 0.0, 3.0, 4.0, 0.0, 0.0, 0.0, 0.0, 0.0]
+        );
     }
 
     #[test]

@@ -46,6 +46,45 @@ impl GemmKernel {
             GemmKernel::Parallel => gemm_parallel(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc),
         }
     }
+
+    /// Runs the selected kernel and, if an observer is given, reports the
+    /// call's shape and wall-clock duration to it. With `None` this is
+    /// exactly [`GemmKernel::run`] — the timing branch costs nothing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_observed(
+        &self,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f64,
+        a: &[f64],
+        lda: usize,
+        b: &[f64],
+        ldb: usize,
+        beta: f64,
+        c: &mut [f64],
+        ldc: usize,
+        observer: Option<&dyn GemmObserver>,
+    ) {
+        match observer {
+            None => self.run(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc),
+            Some(obs) => {
+                let t0 = std::time::Instant::now();
+                self.run(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+                obs.on_gemm(m, n, k, t0.elapsed().as_nanos() as u64);
+            }
+        }
+    }
+}
+
+/// Callback for per-invocation kernel telemetry. The executor's tracing
+/// layer implements this to attach measured wall-clock kernel times to
+/// its virtual-time GEMM spans without this crate knowing about either
+/// clock.
+pub trait GemmObserver {
+    /// Called after each kernel invocation with the multiply shape and
+    /// the kernel's wall-clock duration in nanoseconds.
+    fn on_gemm(&self, m: usize, n: usize, k: usize, elapsed_ns: u64);
 }
 
 #[allow(clippy::too_many_arguments)] // mirrors the BLAS dgemm signature
@@ -203,11 +242,9 @@ pub fn gemm_parallel(
     // every `ldc`-sized chunk is one C row (the final one may be shorter but
     // still holds >= n elements of payload).
     let c = &mut c[..(m - 1) * ldc + n];
-    c.par_chunks_mut(ldc)
-        .enumerate()
-        .for_each(|(i, crow)| {
-            gemm_blocked(1, n, k, alpha, &a[i * lda..], lda, b, ldb, beta, crow, ldc);
-        });
+    c.par_chunks_mut(ldc).enumerate().for_each(|(i, crow)| {
+        gemm_blocked(1, n, k, alpha, &a[i * lda..], lda, b, ldb, beta, crow, ldc);
+    });
 }
 
 #[cfg(test)]
@@ -254,6 +291,57 @@ mod tests {
     }
 
     #[test]
+    fn observed_run_reports_shape_and_matches_plain_run() {
+        use std::cell::RefCell;
+        struct Probe(RefCell<Vec<(usize, usize, usize, u64)>>);
+        impl GemmObserver for Probe {
+            fn on_gemm(&self, m: usize, n: usize, k: usize, elapsed_ns: u64) {
+                self.0.borrow_mut().push((m, n, k, elapsed_ns));
+            }
+        }
+        let a = deterministic_matrix(9, 11);
+        let b = deterministic_matrix(11, 7);
+        let expected = mul_ref(&a, &b);
+        let probe = Probe(RefCell::new(Vec::new()));
+        let mut c = DenseMatrix::zeros(9, 7);
+        GemmKernel::Blocked.run_observed(
+            9,
+            7,
+            11,
+            1.0,
+            a.as_slice(),
+            11,
+            b.as_slice(),
+            7,
+            0.0,
+            c.as_mut_slice(),
+            7,
+            Some(&probe),
+        );
+        assert!(crate::approx_eq(&c, &expected, 1e-12));
+        let calls = probe.0.borrow();
+        assert_eq!(calls.len(), 1);
+        assert_eq!((calls[0].0, calls[0].1, calls[0].2), (9, 7, 11));
+        // Without an observer, run_observed is plain run.
+        let mut c2 = DenseMatrix::zeros(9, 7);
+        GemmKernel::Blocked.run_observed(
+            9,
+            7,
+            11,
+            1.0,
+            a.as_slice(),
+            11,
+            b.as_slice(),
+            7,
+            0.0,
+            c2.as_mut_slice(),
+            7,
+            None,
+        );
+        assert!(crate::approx_eq(&c2, &expected, 1e-12));
+    }
+
+    #[test]
     fn identity_is_neutral_for_all_kernels() {
         let a = deterministic_matrix(17, 17);
         let id = DenseMatrix::identity(17);
@@ -266,7 +354,13 @@ mod tests {
     #[test]
     fn blocked_matches_naive_on_awkward_sizes() {
         // Sizes straddling the tile boundaries (MC=64, KC=256, NC=512).
-        for (m, n, k) in [(1, 1, 1), (3, 5, 7), (64, 64, 64), (65, 63, 257), (130, 70, 300)] {
+        for (m, n, k) in [
+            (1, 1, 1),
+            (3, 5, 7),
+            (64, 64, 64),
+            (65, 63, 257),
+            (130, 70, 300),
+        ] {
             let a = random_matrix(m, k, 42);
             let b = random_matrix(k, n, 43);
             let c1 = mul_ref(&a, &b);
@@ -296,11 +390,17 @@ mod tests {
         let c0 = c.clone();
         let prod = mul_ref(&a, &b);
         gemm_blocked(
-            10, 10, 10, 2.0,
-            a.as_slice(), 10,
-            b.as_slice(), 10,
+            10,
+            10,
+            10,
+            2.0,
+            a.as_slice(),
+            10,
+            b.as_slice(),
+            10,
             0.5,
-            c.as_mut_slice(), 10,
+            c.as_mut_slice(),
+            10,
         );
         for i in 0..10 {
             for j in 0..10 {
@@ -319,11 +419,17 @@ mod tests {
         let mut c = DenseMatrix::zeros(8, 8);
         let (m, n, k) = (3, 2, 4);
         gemm_blocked(
-            m, n, k, 1.0,
-            &a.as_slice()[1 * 8 + 2..], 8,
-            &b.as_slice()[0 * 8 + 1..], 8,
+            m,
+            n,
+            k,
+            1.0,
+            &a.as_slice()[1 * 8 + 2..],
+            8,
+            &b.as_slice()[0 * 8 + 1..],
+            8,
             0.0,
-            &mut c.as_mut_slice()[2 * 8 + 3..], 8,
+            &mut c.as_mut_slice()[2 * 8 + 3..],
+            8,
         );
         let want = mul_ref(&a.submatrix(1, 2, m, k), &b.submatrix(0, 1, k, n));
         assert!(crate::approx_eq(&c.submatrix(2, 3, m, n), &want, 1e-10));
@@ -365,7 +471,19 @@ mod tests {
             e.scale(3.0);
             e
         };
-        gemm_blocked(5, 5, 5, 0.0, a.as_slice(), 5, b.as_slice(), 5, 3.0, c.as_mut_slice(), 5);
+        gemm_blocked(
+            5,
+            5,
+            5,
+            0.0,
+            a.as_slice(),
+            5,
+            b.as_slice(),
+            5,
+            3.0,
+            c.as_mut_slice(),
+            5,
+        );
         assert!(crate::approx_eq(&c, &expect, 1e-12));
     }
 }

@@ -64,16 +64,23 @@ mod proptests {
     use crate::{gemm_tolerance, max_abs_diff, DenseMatrix};
     use proptest::prelude::*;
 
-    type GemmFn = fn(usize, usize, usize, f64, &[f64], usize, &[f64], usize, f64, &mut [f64], usize);
+    type GemmFn =
+        fn(usize, usize, usize, f64, &[f64], usize, &[f64], usize, f64, &mut [f64], usize);
 
     fn mul(kernel: GemmFn, a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
         let mut c = DenseMatrix::zeros(a.rows(), b.cols());
         kernel(
-            a.rows(), b.cols(), a.cols(), 1.0,
-            a.as_slice(), a.cols(),
-            b.as_slice(), b.cols(),
+            a.rows(),
+            b.cols(),
+            a.cols(),
+            1.0,
+            a.as_slice(),
+            a.cols(),
+            b.as_slice(),
+            b.cols(),
             0.0,
-            c.as_mut_slice(), b.cols(),
+            c.as_mut_slice(),
+            b.cols(),
         );
         c
     }

@@ -21,7 +21,7 @@ pub mod view;
 
 pub use block::{copy_block, Block};
 pub use dense::DenseMatrix;
-pub use gemm::{gemm_blocked, gemm_naive, gemm_parallel, GemmKernel};
+pub use gemm::{gemm_blocked, gemm_naive, gemm_parallel, GemmKernel, GemmObserver};
 pub use gen::{deterministic_matrix, random_matrix, seeded_rng};
 pub use oocgemm::{ooc_gemm, OocStats};
 pub use ops::{add, all_finite, axpy, norm_inf, norm_max, norm_one, sub};

@@ -32,13 +32,7 @@ pub struct OocStats {
 /// # Panics
 /// Panics if the workspace cannot hold even a 1×1 tile with its panels
 /// (`workspace_elems < 3`), or if slice lengths are inconsistent.
-pub fn ooc_gemm(
-    n: usize,
-    a: &[f64],
-    b: &[f64],
-    c: &mut [f64],
-    workspace_elems: usize,
-) -> OocStats {
+pub fn ooc_gemm(n: usize, a: &[f64], b: &[f64], c: &mut [f64], workspace_elems: usize) -> OocStats {
     assert_eq!(a.len(), n * n, "A length");
     assert_eq!(b.len(), n * n, "B length");
     assert_eq!(c.len(), n * n, "C length");
@@ -125,11 +119,17 @@ mod tests {
         let n = a.rows();
         let mut c = DenseMatrix::zeros(n, n);
         gemm_naive(
-            n, n, n, 1.0,
-            a.as_slice(), n,
-            b.as_slice(), n,
+            n,
+            n,
+            n,
+            1.0,
+            a.as_slice(),
+            n,
+            b.as_slice(),
+            n,
             0.0,
-            c.as_mut_slice(), n,
+            c.as_mut_slice(),
+            n,
         );
         c
     }

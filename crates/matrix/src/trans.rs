@@ -18,7 +18,13 @@ pub enum Trans {
 
 /// Packs `op(src)` (where `src` is `rows × cols` with leading dimension
 /// `ld`) into a fresh contiguous row-major buffer of the operated shape.
-fn pack(src: &[f64], rows: usize, cols: usize, ld: usize, trans: Trans) -> (Vec<f64>, usize, usize) {
+fn pack(
+    src: &[f64],
+    rows: usize,
+    cols: usize,
+    ld: usize,
+    trans: Trans,
+) -> (Vec<f64>, usize, usize) {
     match trans {
         Trans::No => {
             let mut out = Vec::with_capacity(rows * cols);
@@ -215,10 +221,17 @@ mod tests {
             Trans::No,
             Trans::No,
             2.0,
-            a.as_slice(), 4, 4, 4,
-            b.as_slice(), 4, 4, 4,
+            a.as_slice(),
+            4,
+            4,
+            4,
+            b.as_slice(),
+            4,
+            4,
+            4,
             3.0,
-            c.as_mut_slice(), 4,
+            c.as_mut_slice(),
+            4,
         );
         let want = {
             let mut w = naive_mul(&a, &b);

@@ -238,11 +238,17 @@ mod tests {
         MatrixViewMut::of(&mut c).gemm(1.0, MatrixView::of(&a), MatrixView::of(&b), 0.0);
         let mut want = DenseMatrix::zeros(6, 4);
         crate::gemm::gemm_naive(
-            6, 4, 9, 1.0,
-            a.as_slice(), 9,
-            b.as_slice(), 4,
+            6,
+            4,
+            9,
+            1.0,
+            a.as_slice(),
+            9,
+            b.as_slice(),
+            4,
             0.0,
-            want.as_mut_slice(), 4,
+            want.as_mut_slice(),
+            4,
         );
         assert!(approx_eq(&c, &want, gemm_tolerance(9) * 100.0));
     }
@@ -265,11 +271,17 @@ mod tests {
             let sa = a.submatrix(0, 2, 3, 5);
             let sb = b.submatrix(1, 3, 5, 2);
             crate::gemm::gemm_naive(
-                3, 2, 5, 1.0,
-                sa.as_slice(), 5,
-                sb.as_slice(), 2,
+                3,
+                2,
+                5,
+                1.0,
+                sa.as_slice(),
+                5,
+                sb.as_slice(),
+                2,
                 0.0,
-                w.as_mut_slice(), 2,
+                w.as_mut_slice(),
+                2,
             );
             w
         };

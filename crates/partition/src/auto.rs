@@ -89,15 +89,16 @@ pub fn auto_layout(
 
     // Constant-equivalent speeds for the constructive seeds (evaluated at
     // the proportional areas).
-    let rough: Vec<f64> = speeds.iter().map(|s| s.flops((n * n) as f64 / p as f64)).collect();
+    let rough: Vec<f64> = speeds
+        .iter()
+        .map(|s| s.flops((n * n) as f64 / p as f64))
+        .collect();
     let areas = proportional_areas(n, &rough);
 
     // Candidate seeds: NRRP, Beaumont columns, and (for p = 3) the four
     // named shapes — each already push-refined.
-    let mut candidates: Vec<PartitionSpec> = vec![
-        nrrp_layout(n, &rough),
-        beaumont_column_layout(n, &rough),
-    ];
+    let mut candidates: Vec<PartitionSpec> =
+        vec![nrrp_layout(n, &rough), beaumont_column_layout(n, &rough)];
     if p == 3 {
         for shape in ALL_FOUR_SHAPES {
             candidates.push(shape.build(n, &areas));
@@ -243,7 +244,9 @@ mod tests {
 
     #[test]
     fn auto_layout_works_for_many_processors() {
-        let sp: Vec<ConstantSpeed> = (1..=6).map(|i| ConstantSpeed::new(i as f64 * 1e9)).collect();
+        let sp: Vec<ConstantSpeed> = (1..=6)
+            .map(|i| ConstantSpeed::new(i as f64 * 1e9))
+            .collect();
         let speeds = dyn_speeds(&sp);
         let opts = AutoOptions {
             iterations: 200,

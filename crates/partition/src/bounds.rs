@@ -55,7 +55,11 @@ mod tests {
         let areas = proportional_areas(n, &[1.0, 2.0, 0.9]);
         for shape in ALL_FOUR_SHAPES {
             let spec = shape.build(n, &areas);
-            assert!(approximation_ratio(&spec) >= 1.0 - 1e-12, "{}", shape.name());
+            assert!(
+                approximation_ratio(&spec) >= 1.0 - 1e-12,
+                "{}",
+                shape.name()
+            );
         }
     }
 
@@ -77,10 +81,7 @@ mod tests {
         ] {
             let spec = beaumont_column_layout(600, &speeds);
             let r = approximation_ratio(&spec);
-            assert!(
-                r <= RECTANGULAR_GUARANTEE + 0.05,
-                "{speeds:?}: ratio {r}"
-            );
+            assert!(r <= RECTANGULAR_GUARANTEE + 0.05, "{speeds:?}: ratio {r}");
         }
     }
 

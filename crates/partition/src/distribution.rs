@@ -324,8 +324,8 @@ mod tests {
         // And the solution beats the balanced one.
         let t_opt = partition_time(areas[0], n, &cliff).max(partition_time(areas[1], n, &steady));
         let balanced = balanced_fpm_areas(n, &[&cliff, &steady]);
-        let t_bal = partition_time(balanced[0], n, &cliff)
-            .max(partition_time(balanced[1], n, &steady));
+        let t_bal =
+            partition_time(balanced[0], n, &cliff).max(partition_time(balanced[1], n, &steady));
         assert!(
             t_opt <= t_bal * 1.01,
             "imbalancing ({t_opt}) should not lose to balanced ({t_bal})"

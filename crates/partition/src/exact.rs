@@ -132,12 +132,8 @@ pub fn exact_three_processor_optimum(
         for w2 in 1..n {
             for perm in PERMS {
                 let [pt, pl, pr] = perm;
-                let spec = PartitionSpec::new(
-                    vec![pt, pt, pl, pr],
-                    vec![h1, n - h1],
-                    vec![n - w2, w2],
-                    3,
-                );
+                let spec =
+                    PartitionSpec::new(vec![pt, pt, pl, pr], vec![h1, n - h1], vec![n - w2, w2], 3);
                 consider(spec, Shape::BlockRectangle, &mut candidates);
             }
         }
@@ -197,7 +193,10 @@ mod tests {
         let areas = res.spec.areas();
         let ideal = 24.0 * 24.0 / 3.0;
         for a in areas {
-            assert!((a as f64 - ideal).abs() / ideal < 0.05, "area {a} vs {ideal}");
+            assert!(
+                (a as f64 - ideal).abs() / ideal < 0.05,
+                "area {a} vs {ideal}"
+            );
         }
         assert!(res.candidates > 1_000);
     }
@@ -240,7 +239,11 @@ mod tests {
         for shape in crate::shapes::ALL_FOUR_SHAPES {
             let h = shape.build(n, &areas);
             let hc = CostSummary::analyze(&h, &ds, 1e-6, 1e-9).est_total_time;
-            assert!(hc >= exact.cost - 1e-15, "{} beat the exact search", shape.name());
+            assert!(
+                hc >= exact.cost - 1e-15,
+                "{} beat the exact search",
+                shape.name()
+            );
         }
     }
 

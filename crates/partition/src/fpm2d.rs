@@ -142,7 +142,10 @@ pub fn fpm_kl_layout(
     }
 
     // Integerize: widths then per-column heights.
-    let mut wi: Vec<usize> = widths.iter().map(|&w| w.round().max(1.0) as usize).collect();
+    let mut wi: Vec<usize> = widths
+        .iter()
+        .map(|&w| w.round().max(1.0) as usize)
+        .collect();
     fix_sum(&mut wi, n);
     let mut his: Vec<Vec<usize>> = heights
         .iter()
@@ -286,7 +289,14 @@ mod tests {
 
     #[test]
     fn layout_is_deterministic_and_valid() {
-        let s = [Flat(1.0e9), Flat(3.0e9), Flat(2.0e9), Flat(1.0e9), Flat(2.0e9), Flat(1.5e9)];
+        let s = [
+            Flat(1.0e9),
+            Flat(3.0e9),
+            Flat(2.0e9),
+            Flat(1.0e9),
+            Flat(2.0e9),
+            Flat(1.5e9),
+        ];
         let speeds: Vec<&dyn Speed2d> = s.iter().map(|x| x as _).collect();
         let a = fpm_kl_layout(90, 2, 3, &speeds, 15);
         let b = fpm_kl_layout(90, 2, 3, &speeds, 15);

@@ -38,15 +38,15 @@ pub mod two_proc;
 pub use auto::{auto_layout, AutoOptions};
 pub use bounds::{approximation_ratio, NRRP_GUARANTEE, RECTANGULAR_GUARANTEE};
 pub use columns::beaumont_column_layout;
+pub use cost::{comm_volume_elements, comp_times, half_perimeter_lower_bound, CostSummary};
+pub use distribution::{
+    balanced_fpm_areas, load_imbalancing_areas, proportional_areas, DiscreteFpm,
+};
 pub use energy_opt::energy_optimal_areas;
 pub use exact::{exact_three_processor_optimum, heuristic_accuracy, ExactResult};
 pub use fpm2d::{fpm_kl_layout, AspectAwareSpeed, Bilinear2d, Speed2d};
 pub use nrrp::nrrp_layout;
 pub use placement::{inter_node_traffic, optimal_placement, pairwise_traffic};
 pub use refine::{push_optimize, PushResult};
-pub use cost::{comm_volume_elements, comp_times, half_perimeter_lower_bound, CostSummary};
-pub use distribution::{
-    balanced_fpm_areas, load_imbalancing_areas, proportional_areas, DiscreteFpm,
-};
 pub use shapes::{Shape, ALL_FOUR_SHAPES};
 pub use spec::{PartitionSpec, ProcBlock, SpecError};

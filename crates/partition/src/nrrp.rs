@@ -228,9 +228,10 @@ fn rects_to_spec(n: usize, p: usize, zones: &[Vec<Rect>]) -> PartitionSpec {
         }
         // If no processor owns two cells yet, split the widest splittable
         // column so a donor cell exists.
-        if owners.iter().all(|&o| {
-            owners.iter().filter(|&&x| x == o).count() == 1
-        }) {
+        if owners
+            .iter()
+            .all(|&o| owners.iter().filter(|&&x| x == o).count() == 1)
+        {
             let bj = (0..gc)
                 .filter(|&j| widths[j] >= 2)
                 .max_by_key(|&j| widths[j])
@@ -309,7 +310,10 @@ mod tests {
         let frac = areas[1] as f64 / 1e6;
         assert!((frac - 0.1).abs() < 0.02, "slow fraction {frac}");
         let (h, w) = spec.covering_rectangles()[1];
-        assert!((h as i64 - w as i64).unsigned_abs() <= 2, "not square: {h}x{w}");
+        assert!(
+            (h as i64 - w as i64).unsigned_abs() <= 2,
+            "not square: {h}x{w}"
+        );
         // Fast processor's zone is non-rectangular.
         let (h0, w0) = spec.covering_rectangles()[0];
         assert!(h0 * w0 > areas[0]);

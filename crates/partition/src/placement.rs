@@ -201,7 +201,9 @@ mod tests {
         let (assign, cost) = optimal_placement(&t, &[2, 1]);
         // The isolated rank must be P0 or P2 (they talk only to P1; the
         // optimum cuts the cheaper of the two links).
-        let lone: Vec<usize> = (0..3).filter(|&r| assign.iter().filter(|&&x| x == assign[r]).count() == 1).collect();
+        let lone: Vec<usize> = (0..3)
+            .filter(|&r| assign.iter().filter(|&&x| x == assign[r]).count() == 1)
+            .collect();
         assert_eq!(lone.len(), 1);
         assert_ne!(lone[0], 1, "P1 is the hub and must stay with a partner");
         // Cost equals the cut link's two-way volume.

@@ -185,7 +185,11 @@ mod tests {
         let speeds = dyn_speeds(&sp);
         let r = push_optimize(&spec, &speeds, 1e-5, 4e-10, 50);
         assert!(r.moves_accepted > 0);
-        assert!(r.final_cost < r.initial_cost * 0.5, "only reached {}", r.final_cost);
+        assert!(
+            r.final_cost < r.initial_cost * 0.5,
+            "only reached {}",
+            r.final_cost
+        );
         // Near-balanced widths at the optimum.
         let w = &r.spec.widths;
         assert!(w.iter().all(|&x| (24..=40).contains(&x)), "widths {w:?}");

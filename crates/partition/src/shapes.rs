@@ -162,12 +162,7 @@ pub fn square_corner(n: usize, areas: &[f64]) -> PartitionSpec {
     let mid = n - n2 - n3;
     if mid == 0 {
         // Degenerate 2×2 grid: the squares meet on the diagonal.
-        PartitionSpec::new(
-            vec![i2, i1, i1, i3],
-            vec![n2, n3],
-            vec![n2, n3],
-            3,
-        )
+        PartitionSpec::new(vec![i2, i1, i1, i3], vec![n2, n3], vec![n2, n3], 3)
     } else {
         PartitionSpec::new(
             vec![i2, i1, i1, i1, i1, i1, i1, i1, i3],
@@ -192,12 +187,7 @@ pub fn square_rectangle(n: usize, areas: &[f64]) -> PartitionSpec {
     let top = n - n3;
     if left == 0 {
         // The square occupies the whole left column strip.
-        PartitionSpec::new(
-            vec![i1, i2, i3, i2],
-            vec![top, n3],
-            vec![n3, w2],
-            3,
-        )
+        PartitionSpec::new(vec![i1, i2, i3, i2], vec![top, n3], vec![n3, w2], 3)
     } else {
         PartitionSpec::new(
             vec![i1, i1, i2, i1, i3, i2],
@@ -219,12 +209,7 @@ pub fn block_rectangle(n: usize, areas: &[f64]) -> PartitionSpec {
     let h1 = clamp_dim(areas[i1] / n as f64, 1, n - 1);
     let h2 = n - h1;
     let w2 = clamp_dim(areas[i2] / h2 as f64, 1, n - 1);
-    PartitionSpec::new(
-        vec![i1, i1, i3, i2],
-        vec![h1, h2],
-        vec![n - w2, w2],
-        3,
-    )
+    PartitionSpec::new(vec![i1, i1, i3, i2], vec![h1, h2], vec![n - w2, w2], 3)
 }
 
 /// Fig. 1d. Full-height columns, one per processor, in processor order.
@@ -275,12 +260,7 @@ pub fn rectangle_corner(n: usize, areas: &[f64]) -> PartitionSpec {
     let w = clamp_dim((areas[i2] + areas[i3]) / n as f64, 1, n - 1);
     // Split the column between i2 (top) and i3 (bottom).
     let h2 = clamp_dim(areas[i2] / w as f64, 1, n - 1);
-    PartitionSpec::new(
-        vec![i1, i2, i1, i3],
-        vec![h2, n - h2],
-        vec![n - w, w],
-        3,
-    )
+    PartitionSpec::new(vec![i1, i2, i1, i3], vec![h2, n - h2], vec![n - w, w], 3)
 }
 
 /// Extension shape (DeFlumere candidate): the smallest area is a corner
@@ -391,11 +371,7 @@ mod tests {
         for shape in ALL_FOUR_SHAPES {
             let spec = shape.build(n, &areas);
             for (i, e) in area_errors(&spec, &areas).iter().enumerate() {
-                assert!(
-                    *e < 0.05,
-                    "{}: processor {i} area error {e}",
-                    shape.name()
-                );
+                assert!(*e < 0.05, "{}: processor {i} area error {e}", shape.name());
             }
         }
     }

@@ -7,7 +7,6 @@
 //! paper). Heights `subph` and widths `subpw` give the row/column extents
 //! of the grid.
 
-
 /// A sub-partition assigned to a processor, with its grid position and the
 /// element-space block it covers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -166,12 +165,7 @@ impl PartitionSpec {
     /// Panics if the arrays are inconsistent: wrong lengths, zero extents,
     /// heights/widths not summing to `n`, owners out of range, or a
     /// processor owning nothing.
-    pub fn new(
-        owners: Vec<usize>,
-        heights: Vec<usize>,
-        widths: Vec<usize>,
-        nprocs: usize,
-    ) -> Self {
+    pub fn new(owners: Vec<usize>, heights: Vec<usize>, widths: Vec<usize>, nprocs: usize) -> Self {
         let grid_rows = heights.len();
         let grid_cols = widths.len();
         assert!(grid_rows > 0 && grid_cols > 0, "empty grid");
@@ -186,7 +180,10 @@ impl PartitionSpec {
             heights.iter().all(|&h| h > 0),
             "zero-height sub-partition row"
         );
-        assert!(widths.iter().all(|&w| w > 0), "zero-width sub-partition column");
+        assert!(
+            widths.iter().all(|&w| w > 0),
+            "zero-width sub-partition column"
+        );
         let n = heights.iter().sum::<usize>();
         assert_eq!(
             widths.iter().sum::<usize>(),
@@ -460,9 +457,7 @@ impl PartitionSpec {
                 }
                 (close + 2, vals)
             } else {
-                let end = r
-                    .find(|c: char| !c.is_ascii_digit())
-                    .unwrap_or(r.len());
+                let end = r.find(|c: char| !c.is_ascii_digit()).unwrap_or(r.len());
                 if end == 0 {
                     return Err(format!("expected integer value for key {key:?}"));
                 }
@@ -607,12 +602,7 @@ mod tests {
 
     #[test]
     fn fig1b_square_rectangle_arrays() {
-        let s = PartitionSpec::new(
-            vec![0, 0, 1, 0, 2, 1],
-            vec![12, 4],
-            vec![9, 4, 3],
-            3,
-        );
+        let s = PartitionSpec::new(vec![0, 0, 1, 0, 2, 1], vec![12, 4], vec![9, 4, 3], 3);
         assert_eq!(s.areas(), vec![192, 48, 16]);
         // P0 covers both rows and columns 0-1 (widths 9+4=13).
         assert_eq!(s.covering_rectangles()[0], (16, 13));

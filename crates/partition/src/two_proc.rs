@@ -104,7 +104,10 @@ mod tests {
         let sc = square_corner_2p(n, r);
         let areas = sc.areas();
         let frac = areas[1] as f64 / (n * n) as f64;
-        assert!((frac - 1.0 / (1.0 + r)).abs() < 0.01, "slow fraction {frac}");
+        assert!(
+            (frac - 1.0 / (1.0 + r)).abs() < 0.01,
+            "slow fraction {frac}"
+        );
         let st = straight_cut_2p(n, r);
         let frac = st.areas()[1] as f64 / (n * n) as f64;
         assert!((frac - 1.0 / (1.0 + r)).abs() < 0.01);

@@ -208,7 +208,8 @@ mod tests {
 
     #[test]
     fn table1_peaks_sum_to_paper_total() {
-        let total = HASWELL_E5_2670V3.peak_flops + NVIDIA_K40C.peak_flops + XEON_PHI_3120P.peak_flops;
+        let total =
+            HASWELL_E5_2670V3.peak_flops + NVIDIA_K40C.peak_flops + XEON_PHI_3120P.peak_flops;
         assert!((total - 2.5e12).abs() < 1e6, "total peak {total}");
     }
 

@@ -40,8 +40,8 @@ pub use energy::{dynamic_energy, EnergyMeter, PowerModel};
 pub use failure::{
     degraded_capacity, expected_runtime_with_restarts, fleet_rate, fleet_survival, FailureModel,
 };
+pub use measurement::{build_fpm_via_protocol, MeasuredPoint, NoisyTimer};
 pub use ooc::OutOfCoreModel;
 pub use profile::{abs_cpu_profile, abs_gpu_profile, abs_phi_profile, hclserver1};
 pub use speed::{AkimaSpline, ConstantSpeed, SpeedFunction, TabulatedSpeed};
-pub use measurement::{build_fpm_via_protocol, MeasuredPoint, NoisyTimer};
 pub use stats::{measure_to_confidence, pearson_normality_test, MeasurementProtocol, SampleStats};

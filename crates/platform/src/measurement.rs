@@ -25,7 +25,10 @@ pub struct NoisyTimer<'a> {
 impl<'a> NoisyTimer<'a> {
     /// Creates a timer with the given relative noise (e.g. 0.02 = 2 %).
     pub fn new(truth: &'a dyn SpeedFunction, noise_sd: f64, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&noise_sd), "unreasonable noise {noise_sd}");
+        assert!(
+            (0.0..1.0).contains(&noise_sd),
+            "unreasonable noise {noise_sd}"
+        );
         Self {
             truth,
             rng: StdRng::seed_from_u64(seed),
@@ -39,7 +42,10 @@ impl<'a> NoisyTimer<'a> {
         let true_time = flops / self.truth.flops_at_square(x);
         // Approximately normal multiplicative noise (sum of 4 uniforms),
         // clamped so times stay positive.
-        let u: f64 = (0..4).map(|_| self.rng.random_range(-0.5..0.5)).sum::<f64>() / 2.0;
+        let u: f64 = (0..4)
+            .map(|_| self.rng.random_range(-0.5..0.5))
+            .sum::<f64>()
+            / 2.0;
         (true_time * (1.0 + self.noise_sd * u * 3.46)).max(true_time * 0.5)
     }
 }
@@ -73,9 +79,7 @@ pub fn build_fpm_via_protocol(
         let speed = 2.0 * x * x * x / stats.mean;
         points.push(MeasuredPoint { x, stats, speed });
     }
-    let table = TabulatedSpeed::from_square_sizes(
-        points.iter().map(|p| (p.x, p.speed)).collect(),
-    );
+    let table = TabulatedSpeed::from_square_sizes(points.iter().map(|p| (p.x, p.speed)).collect());
     (table, points)
 }
 
@@ -130,7 +134,12 @@ mod tests {
             let (_, pts) = build_fpm_via_protocol(&truth, &[2048.0], noise, 11, protocol);
             pts[0].stats.reps
         };
-        assert!(reps(0.15) > reps(0.01), "noisy {} quiet {}", reps(0.15), reps(0.01));
+        assert!(
+            reps(0.15) > reps(0.01),
+            "noisy {} quiet {}",
+            reps(0.15),
+            reps(0.01)
+        );
     }
 
     #[test]

@@ -21,9 +21,7 @@
 
 use std::sync::Arc;
 
-use crate::device::{
-    AbstractProcessor, Platform, HASWELL_E5_2670V3, NVIDIA_K40C, XEON_PHI_3120P,
-};
+use crate::device::{AbstractProcessor, Platform, HASWELL_E5_2670V3, NVIDIA_K40C, XEON_PHI_3120P};
 use crate::ooc::OutOfCoreModel;
 use crate::speed::TabulatedSpeed;
 
@@ -69,17 +67,9 @@ fn ramp(x: f64, x0: f64) -> f64 {
     x2 / (x2 + x0 * x0)
 }
 
-fn build_profile(
-    xs: &[f64],
-    raw: impl Fn(f64) -> f64,
-    plateau_target: f64,
-) -> TabulatedSpeed {
+fn build_profile(xs: &[f64], raw: impl Fn(f64) -> f64, plateau_target: f64) -> TabulatedSpeed {
     let calib = plateau_target / raw(CALIBRATION_X);
-    TabulatedSpeed::from_square_sizes(
-        xs.iter()
-            .map(|&x| (x, (raw(x) * calib).max(1e9)))
-            .collect(),
-    )
+    TabulatedSpeed::from_square_sizes(xs.iter().map(|&x| (x, (raw(x) * calib).max(1e9))).collect())
 }
 
 /// Full speed function of AbsCPU (22 Haswell cores running multithreaded
@@ -100,8 +90,11 @@ pub fn abs_cpu_profile() -> TabulatedSpeed {
 pub fn abs_gpu_profile() -> TabulatedSpeed {
     let xs = sample_grid();
     // ZZGemmOOC overlaps staging with computation well: mild OOC penalty.
-    let ooc = OutOfCoreModel::new(NVIDIA_K40C.memory_bytes, NVIDIA_K40C.link_bandwidth.unwrap())
-        .with_kernel_efficiency(0.97);
+    let ooc = OutOfCoreModel::new(
+        NVIDIA_K40C.memory_bytes,
+        NVIDIA_K40C.link_bandwidth.unwrap(),
+    )
+    .with_kernel_efficiency(0.97);
     let raw = |x: f64| {
         let amp = 0.06 * (-x / 7_000.0).exp() + 0.006;
         let kernel = ramp(x, 1_600.0) * (1.0 + amp * ripple(x, 23));
@@ -127,7 +120,11 @@ pub fn abs_phi_profile() -> TabulatedSpeed {
     let raw = |x: f64| {
         // Smooth up to ~13760, maximum variations in [12800, 19200]
         // (paper, Section VI-B), growing again for out-of-card sizes.
-        let window = if (12_800.0..=19_200.0).contains(&x) { 0.05 } else { 0.0 };
+        let window = if (12_800.0..=19_200.0).contains(&x) {
+            0.05
+        } else {
+            0.0
+        };
         let ooc_turbulence = if x > 13_824.0 { 0.035 } else { 0.0 };
         let amp = 0.01 + window + ooc_turbulence;
         let kernel = ramp(x, 1_200.0) * (1.0 + amp * ripple(x, 37));

@@ -269,7 +269,11 @@ mod tests {
         for &(x, y) in &pts {
             // At interior knots the spline passes through the data; at the
             // boundaries we clamp.
-            assert!((s.flops(x) - y).abs() < 1e-9, "at {x}: {} vs {y}", s.flops(x));
+            assert!(
+                (s.flops(x) - y).abs() < 1e-9,
+                "at {x}: {} vs {y}",
+                s.flops(x)
+            );
         }
     }
 

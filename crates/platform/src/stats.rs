@@ -137,8 +137,8 @@ pub fn percent_spread(values: &[f64]) -> f64 {
 /// freedom (upper critical values).
 const CHI2_95: [f64; 30] = [
     3.841, 5.991, 7.815, 9.488, 11.070, 12.592, 14.067, 15.507, 16.919, 18.307, 19.675, 21.026,
-    22.362, 23.685, 24.996, 26.296, 27.587, 28.869, 30.144, 31.410, 32.671, 33.924, 35.172,
-    36.415, 37.652, 38.885, 40.113, 41.337, 42.557, 43.773,
+    22.362, 23.685, 24.996, 26.296, 27.587, 28.869, 30.144, 31.410, 32.671, 33.924, 35.172, 36.415,
+    37.652, 38.885, 40.113, 41.337, 42.557, 43.773,
 ];
 
 /// 95 % chi-squared critical value for `df` degrees of freedom

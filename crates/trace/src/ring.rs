@@ -1,0 +1,216 @@
+//! A lock-free single-producer ring buffer for span records.
+//!
+//! Each rank thread owns exactly one ring (see
+//! [`crate::recorder::TraceRecorder`]): only that thread ever writes, so
+//! the write path is a plain slot store plus one atomic counter bump —
+//! no CAS loops, no locks, nothing that could perturb the schedule being
+//! measured. When the ring fills it overwrites the *oldest* entries and
+//! counts how many were lost, so a bounded recorder degrades to "most
+//! recent window" instead of failing.
+//!
+//! Readers (`drain`) run only after the producing thread has been joined;
+//! the `Release` store on the write counter paired with the reader's
+//! `Acquire` load — and, in practice, the stronger happens-before edge
+//! the thread join itself provides — makes every written slot visible.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fixed-capacity overwrite-oldest ring written by exactly one thread.
+///
+/// `Sync` is asserted manually: the safety argument is the single-writer
+/// discipline documented on [`RingBuffer::push`] plus join-synchronized
+/// reads ([`RingBuffer::drain`]).
+pub struct RingBuffer<T> {
+    slots: Box<[UnsafeCell<Option<T>>]>,
+    /// Total values ever pushed (not an index); `written % capacity` is
+    /// the next slot. Stored with `Release` so a reader that `Acquire`s
+    /// it sees every slot the count covers.
+    written: AtomicU64,
+}
+
+// SAFETY: `push` is documented to be called from a single producer
+// thread per ring, and `drain` only after that producer has stopped
+// (joined). Under that protocol no slot is accessed concurrently.
+unsafe impl<T: Send> Sync for RingBuffer<T> {}
+
+impl<T> RingBuffer<T> {
+    /// Creates a ring holding at most `capacity` values.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring buffer capacity must be positive");
+        let slots: Vec<UnsafeCell<Option<T>>> =
+            (0..capacity).map(|_| UnsafeCell::new(None)).collect();
+        Self {
+            slots: slots.into_boxed_slice(),
+            written: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Appends a value, overwriting the oldest entry when full.
+    ///
+    /// # Safety contract (enforced by the caller, not the compiler)
+    /// Must only ever be called from one thread per ring — the recorder
+    /// guarantees this by giving each rank its own ring and the comm
+    /// layer by emitting a rank's spans only from that rank's thread.
+    pub fn push(&self, value: T) {
+        let n = self.written.load(Ordering::Relaxed);
+        let idx = (n % self.slots.len() as u64) as usize;
+        // SAFETY: single-producer discipline (see above) means no other
+        // thread reads or writes this slot until after we bump `written`
+        // and the producer thread is joined.
+        unsafe {
+            *self.slots[idx].get() = Some(value);
+        }
+        self.written.store(n + 1, Ordering::Release);
+    }
+
+    /// Total values ever pushed, including any that were overwritten.
+    pub fn pushed(&self) -> u64 {
+        self.written.load(Ordering::Acquire)
+    }
+
+    /// How many values were lost to overwriting.
+    pub fn dropped(&self) -> u64 {
+        self.pushed().saturating_sub(self.slots.len() as u64)
+    }
+
+    /// Clones out the surviving values, oldest first, without consuming
+    /// them.
+    ///
+    /// # Safety contract (enforced by the caller, not the compiler)
+    /// Must only be called after the producer thread has stopped pushing
+    /// and been joined (the recorder reads traces only after
+    /// `Universe::run`/`try_run` returns, which joins every rank thread).
+    pub fn snapshot(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let n = self.written.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let kept = n.min(cap);
+        let mut out = Vec::with_capacity(kept as usize);
+        for i in 0..kept {
+            let idx = ((n - kept + i) % cap) as usize;
+            // SAFETY: quiescence contract above — no concurrent writer.
+            if let Some(v) = unsafe { (*self.slots[idx].get()).clone() } {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Removes and returns the surviving values, oldest first.
+    ///
+    /// Requires exclusive access (`&mut self`), which the recorder obtains
+    /// only after every producer thread has been joined — that join is the
+    /// synchronization point making all writes visible here.
+    pub fn drain(&mut self) -> Vec<T> {
+        let n = self.written.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let kept = n.min(cap);
+        let mut out = Vec::with_capacity(kept as usize);
+        for i in 0..kept {
+            // Oldest surviving entry is at `n - kept`, then in push order.
+            let idx = ((n - kept + i) % cap) as usize;
+            // SAFETY: `&mut self` gives exclusive access to every slot.
+            if let Some(v) = unsafe { (*self.slots[idx].get()).take() } {
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+impl<T> std::fmt::Debug for RingBuffer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RingBuffer")
+            .field("capacity", &self.capacity())
+            .field("pushed", &self.pushed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_then_drain_in_order() {
+        let mut ring = RingBuffer::new(8);
+        for i in 0..5 {
+            ring.push(i);
+        }
+        assert_eq!(ring.pushed(), 5);
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(ring.drain(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn overflow_keeps_most_recent_window() {
+        let mut ring = RingBuffer::new(4);
+        for i in 0..10 {
+            ring.push(i);
+        }
+        assert_eq!(ring.pushed(), 10);
+        assert_eq!(ring.dropped(), 6);
+        assert_eq!(ring.drain(), vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn snapshot_does_not_consume() {
+        let mut ring = RingBuffer::new(4);
+        ring.push(7);
+        ring.push(8);
+        assert_eq!(ring.snapshot(), vec![7, 8]);
+        assert_eq!(ring.snapshot(), vec![7, 8]);
+        assert_eq!(ring.drain(), vec![7, 8]);
+    }
+
+    #[test]
+    fn drain_empties_the_ring() {
+        let mut ring = RingBuffer::new(4);
+        ring.push(1);
+        assert_eq!(ring.drain(), vec![1]);
+        assert_eq!(ring.drain(), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn exact_fill_drops_nothing() {
+        let mut ring = RingBuffer::new(3);
+        for i in 0..3 {
+            ring.push(i);
+        }
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(ring.drain(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        RingBuffer::<i32>::new(0);
+    }
+
+    #[test]
+    fn cross_thread_visibility_after_join() {
+        let ring = std::sync::Arc::new(RingBuffer::new(1024));
+        let producer = {
+            let ring = std::sync::Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..1000 {
+                    ring.push(i);
+                }
+            })
+        };
+        producer.join().unwrap();
+        let mut ring = std::sync::Arc::try_unwrap(ring).unwrap();
+        assert_eq!(ring.drain().len(), 1000);
+    }
+}

@@ -1,0 +1,76 @@
+//! Ignored-by-default micro-benchmark guarding the "zero overhead when
+//! disabled" property: with no sink installed every instrumentation hook
+//! in the comm hot path is a single `Option` branch.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo test --release -p summagen-trace --test overhead -- --ignored --nocapture
+//! ```
+
+use std::time::{Duration, Instant};
+
+use summagen_comm::{Payload, Universe, ZeroCost};
+use summagen_trace::TraceRecorder;
+
+const ITERS: u64 = 20_000;
+const REPS: usize = 5;
+
+fn pingpong_wall_time(universe: &Universe) -> Duration {
+    let t0 = Instant::now();
+    universe.run(|comm| {
+        for i in 0..ITERS {
+            if comm.rank() == 0 {
+                comm.send(1, 0, Payload::U64(vec![i]));
+                comm.recv(1, 1);
+            } else {
+                comm.recv(0, 0);
+                comm.send(0, 1, Payload::U64(vec![i]));
+            }
+        }
+    });
+    t0.elapsed()
+}
+
+fn best_of(universe: &Universe) -> Duration {
+    (0..REPS)
+        .map(|_| pingpong_wall_time(universe))
+        .min()
+        .unwrap()
+}
+
+#[test]
+#[ignore = "benchmark: run explicitly with --ignored --nocapture"]
+fn disabled_tracing_has_no_measurable_overhead() {
+    let disabled = Universe::new(2, ZeroCost);
+    let recorder = TraceRecorder::with_capacity(2, 1 << 17);
+    let enabled = Universe::new(2, ZeroCost).with_event_sink(recorder.clone());
+
+    // Warm up thread spawning and allocator before timing anything.
+    pingpong_wall_time(&disabled);
+    let t_disabled = best_of(&disabled);
+    let t_enabled = best_of(&enabled);
+
+    let msgs = 2 * ITERS;
+    let per_msg = |d: Duration| d.as_nanos() as f64 / msgs as f64;
+    println!(
+        "ping-pong x{ITERS}: no sink {:?} ({:.0} ns/msg), recorder {:?} ({:.0} ns/msg), ratio {:.3}",
+        t_disabled,
+        per_msg(t_disabled),
+        t_enabled,
+        per_msg(t_enabled),
+        t_enabled.as_secs_f64() / t_disabled.as_secs_f64(),
+    );
+    assert!(
+        recorder.finish().len() as u64 >= msgs,
+        "recorder should have captured every send and recv"
+    );
+    // The disabled path must never cost more than the enabled one (it
+    // does strictly less work); allow generous scheduler noise. Absolute
+    // regressions are caught by eyeballing the printed ns/msg against
+    // previous runs, which is what a micro-benchmark is for.
+    assert!(
+        t_disabled.as_secs_f64() <= t_enabled.as_secs_f64() * 1.5,
+        "disabled-tracing path slower than recording path: {t_disabled:?} vs {t_enabled:?}"
+    );
+}

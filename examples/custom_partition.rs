@@ -31,7 +31,10 @@ fn verify(spec: &PartitionSpec, label: &str) {
         n,
     );
     let err = max_abs_diff(&result.c, &reference);
-    println!("{label}: n = {n}, p = {}, max error = {err:.3e}", spec.nprocs);
+    println!(
+        "{label}: n = {n}, p = {}, max error = {err:.3e}",
+        spec.nprocs
+    );
     assert!(err < 1e-9);
 }
 

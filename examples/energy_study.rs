@@ -18,11 +18,11 @@ fn main() {
     let power = hclserver1_power_model();
     let link = HockneyModel::intra_node();
 
-    println!("static platform power: {} W (fans pinned at full speed)", power.static_power_w);
     println!(
-        "dynamic device powers: {:?} W\n",
-        power.compute_power_w
+        "static platform power: {} W (fans pinned at full speed)",
+        power.static_power_w
     );
+    println!("dynamic device powers: {:?} W\n", power.compute_power_w);
 
     println!(
         "{:>8}{:>18}{:>18}{:>18}{:>18}{:>10}",

@@ -52,6 +52,9 @@ fn main() {
         .iter()
         .map(|p| (p.speed - truth.flops_at_square(p.x)).abs() / truth.flops_at_square(p.x))
         .fold(0.0, f64::max);
-    println!("worst relative error of the measured profile: {:.2}%", worst * 100.0);
+    println!(
+        "worst relative error of the measured profile: {:.2}%",
+        worst * 100.0
+    );
     let _ = table;
 }

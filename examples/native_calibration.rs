@@ -47,7 +47,10 @@ fn main() {
     };
 
     println!("measuring the native rayon-parallel GEMM (Student's-t protocol)...\n");
-    println!("{:>6}{:>8}{:>14}{:>12}{:>10}", "n", "reps", "mean t (s)", "GFLOP/s", "CI/mean");
+    println!(
+        "{:>6}{:>8}{:>14}{:>12}{:>10}",
+        "n", "reps", "mean t (s)", "GFLOP/s", "CI/mean"
+    );
     let sizes = [64usize, 96, 128, 192, 256, 384];
     let mut points = Vec::new();
     for &n in &sizes {
@@ -79,11 +82,7 @@ fn main() {
     let fpms: Vec<DiscreteFpm> = fracs
         .iter()
         .map(|&f| {
-            let scaled: Vec<(f64, f64)> = fpm
-                .points()
-                .iter()
-                .map(|&(a, s)| (a, s * f))
-                .collect();
+            let scaled: Vec<(f64, f64)> = fpm.points().iter().map(|&(a, s)| (a, s * f)).collect();
             DiscreteFpm::from_speed(&TabulatedSpeed::new(scaled), n, 64)
         })
         .collect();

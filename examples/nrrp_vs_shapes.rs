@@ -56,6 +56,9 @@ fn main() {
         want.as_mut_slice(),
         n,
     );
-    println!("max error through SummaGen: {:.3e}", max_abs_diff(&res.c, &want));
+    println!(
+        "max error through SummaGen: {:.3e}",
+        max_abs_diff(&res.c, &want)
+    );
     assert!(max_abs_diff(&res.c, &want) < 1e-9);
 }

@@ -30,7 +30,10 @@ fn main() {
     println!("\npartition layout (each digit = owning processor):");
     println!("{}", spec.element_map(32));
     println!("achieved areas: {:?}", spec.areas());
-    println!("half-perimeters (comm volume): {:?}", spec.half_perimeters());
+    println!(
+        "half-perimeters (comm volume): {:?}",
+        spec.half_perimeters()
+    );
 
     // Run SummaGen: three rank threads, real data movement, real DGEMM.
     let a = random_matrix(n, n, 42);

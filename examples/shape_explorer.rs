@@ -8,9 +8,7 @@
 //! cargo run --example shape_explorer 1 8 1
 //! ```
 
-use summagen_partition::{
-    half_perimeter_lower_bound, proportional_areas, Shape, ALL_FOUR_SHAPES,
-};
+use summagen_partition::{half_perimeter_lower_bound, proportional_areas, Shape, ALL_FOUR_SHAPES};
 
 fn main() {
     let args: Vec<f64> = std::env::args()
@@ -34,7 +32,10 @@ fn main() {
         .iter()
         .chain(&[Shape::RectangleCorner, Shape::LRectangle]);
     let lb = half_perimeter_lower_bound(&areas);
-    println!("{:<24}{:>14}{:>18}", "shape", "sum c(Z_i)", "vs lower bound");
+    println!(
+        "{:<24}{:>14}{:>18}",
+        "shape", "sum c(Z_i)", "vs lower bound"
+    );
     let mut best: Option<(Shape, usize)> = None;
     for &shape in all_shapes.clone() {
         let spec = shape.build(n, &areas);

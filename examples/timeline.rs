@@ -32,7 +32,10 @@ fn main() {
     // ASCII Gantt: 100 columns spanning [0, exec_time].
     const WIDTH: usize = 100;
     let names = ["AbsCPU", "AbsGPU", "AbsPhi"];
-    println!("legend: #=compute  -=comm  .=wait   ({WIDTH} cols = {:.2} s)", report.exec_time);
+    println!(
+        "legend: #=compute  -=comm  .=wait   ({WIDTH} cols = {:.2} s)",
+        report.exec_time
+    );
     for (rank, tl) in timelines.iter().enumerate() {
         let mut row = vec![' '; WIDTH];
         for e in tl {
@@ -47,7 +50,11 @@ fn main() {
                 *cell = ch;
             }
         }
-        println!("{:>7} |{}|", names.get(rank).unwrap_or(&"rank"), row.iter().collect::<String>());
+        println!(
+            "{:>7} |{}|",
+            names.get(rank).unwrap_or(&"rank"),
+            row.iter().collect::<String>()
+        );
     }
 
     let power = hclserver1_power_model();

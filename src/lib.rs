@@ -19,16 +19,18 @@ pub use summagen_core as core;
 pub use summagen_matrix as matrix;
 pub use summagen_partition as partition;
 pub use summagen_platform as platform;
+pub use summagen_trace as trace;
 
 /// The most common imports, re-exported flat.
 pub mod prelude {
     pub use summagen_comm::{
-        CommError, CommResult, Communicator, FaultPlan, HockneyModel, Payload, RankFailure,
-        Universe, ZeroCost,
+        CommError, CommResult, Communicator, EventSink, FaultPlan, HockneyModel, Payload,
+        RankFailure, SpanKind, SpanRecord, Universe, ZeroCost,
     };
     pub use summagen_core::{
-        multiply, multiply_with_cost, multiply_with_recovery, simulate, simulate_with_energy,
-        ExecutionMode, RecoveryOptions, RecoveryReport, RunResult, SimReport,
+        multiply, multiply_traced, multiply_with_cost, multiply_with_recovery, simulate,
+        simulate_instrumented, simulate_with_energy, ExecutionMode, RecoveryOptions,
+        RecoveryReport, RunResult, SimReport,
     };
     pub use summagen_matrix::{random_matrix, DenseMatrix, GemmKernel};
     pub use summagen_partition::{
@@ -37,4 +39,8 @@ pub mod prelude {
     };
     pub use summagen_platform::profile::hclserver1;
     pub use summagen_platform::{AbstractProcessor, Platform};
+    pub use summagen_trace::{
+        critical_path, metrics, perfetto_json, CriticalPath, RecordedTrace, TraceMetrics,
+        TraceRecorder,
+    };
 }

@@ -24,11 +24,17 @@ fn reference(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
     let n = a.rows();
     let mut c = DenseMatrix::zeros(n, n);
     gemm_naive(
-        n, n, n, 1.0,
-        a.as_slice(), n,
-        b.as_slice(), n,
+        n,
+        n,
+        n,
+        1.0,
+        a.as_slice(),
+        n,
+        b.as_slice(),
+        n,
         0.0,
-        c.as_mut_slice(), n,
+        c.as_mut_slice(),
+        n,
     );
     c
 }
@@ -50,7 +56,13 @@ enum Outcome {
     TypedError(String),
 }
 
-fn run_once(shape: summagen_partition::Shape, seed: u64, a: &DenseMatrix, b: &DenseMatrix, want: &DenseMatrix) -> Outcome {
+fn run_once(
+    shape: summagen_partition::Shape,
+    seed: u64,
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    want: &DenseMatrix,
+) -> Outcome {
     let plan = FaultPlan::seeded(seed, SPEEDS.len());
     match multiply_with_recovery(
         shape,
@@ -165,11 +177,7 @@ fn survivors_observe_peer_failed_without_hanging() {
         t0.elapsed()
     );
     assert_eq!(failure.crashed_ranks(), vec![1]);
-    let survivor_errors: Vec<_> = failure
-        .failed
-        .iter()
-        .filter(|fr| fr.rank != 1)
-        .collect();
+    let survivor_errors: Vec<_> = failure.failed.iter().filter(|fr| fr.rank != 1).collect();
     assert!(
         !survivor_errors.is_empty(),
         "at least one survivor must have observed the death"
@@ -315,7 +323,11 @@ fn stragglers_and_delays_do_not_affect_correctness() {
             &chaos_opts(),
         )
         .unwrap_or_else(|e| panic!("{}: benign faults failed the run: {e}", shape.name()));
-        assert!(res.recovery.is_none(), "{}: delays must not force a retry", shape.name());
+        assert!(
+            res.recovery.is_none(),
+            "{}: delays must not force a retry",
+            shape.name()
+        );
         assert!(max_abs_diff(&res.c, &want) < TOL, "{}", shape.name());
     }
 }

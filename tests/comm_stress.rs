@@ -165,12 +165,7 @@ fn mismatched_collective_participation_times_out_cleanly() {
     let timed_out = failure
         .failed
         .iter()
-        .filter(|fr| {
-            matches!(
-                fr.cause,
-                FailureCause::Error(CommError::Timeout { .. })
-            )
-        })
+        .filter(|fr| matches!(fr.cause, FailureCause::Error(CommError::Timeout { .. })))
         .count();
     assert!(timed_out >= 1, "at least one rank must report Timeout");
 }

@@ -2,6 +2,7 @@
 //! shape construction → SummaGen execution) against a sequential
 //! reference, across shapes, sizes, processor counts and kernels.
 
+use summagen_comm::HockneyModel;
 use summagen_core::{multiply, multiply_with_cost, ExecutionMode};
 use summagen_matrix::{
     approx_eq, gemm_naive, gemm_tolerance, random_matrix, DenseMatrix, GemmKernel,
@@ -9,7 +10,6 @@ use summagen_matrix::{
 use summagen_partition::{
     beaumont_column_layout, proportional_areas, PartitionSpec, Shape, ALL_FOUR_SHAPES,
 };
-use summagen_comm::HockneyModel;
 
 fn reference(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
     let n = a.rows();

@@ -64,26 +64,26 @@ fn push_refined_layouts_stay_correct() {
     let a = random_matrix(n, n, 1);
     let b = random_matrix(n, n, 2);
     let res = multiply(&refined, &a, &b, ExecutionMode::Real);
-    assert!(approx_eq(&res.c, &reference(&a, &b), gemm_tolerance(n) * 100.0));
+    assert!(approx_eq(
+        &res.c,
+        &reference(&a, &b),
+        gemm_tolerance(n) * 100.0
+    ));
 }
 
 #[test]
 fn push_improves_an_unbalanced_start_end_to_end() {
+    use std::sync::Arc;
     use summagen_comm::HockneyModel;
     use summagen_core::simulate;
-    use summagen_platform::{AbstractProcessor, Platform};
     use summagen_platform::device::HASWELL_E5_2670V3;
-    use std::sync::Arc;
+    use summagen_platform::{AbstractProcessor, Platform};
 
     // Equal-speed platform, deliberately skewed 1D layout: the refined
     // layout must simulate faster.
     let n = 1024;
-    let spec = summagen_partition::PartitionSpec::new(
-        vec![0, 1, 2],
-        vec![n],
-        vec![n - 128, 64, 64],
-        3,
-    );
+    let spec =
+        summagen_partition::PartitionSpec::new(vec![0, 1, 2], vec![n], vec![n - 128, 64, 64], 3);
     let speeds_v = [
         ConstantSpeed::new(1.0e11),
         ConstantSpeed::new(1.0e11),
@@ -123,13 +123,20 @@ fn energy_optimal_areas_feed_the_shapes() {
     let a = random_matrix(n, n, 5);
     let b = random_matrix(n, n, 6);
     let res = multiply(&spec, &a, &b, ExecutionMode::Real);
-    assert!(approx_eq(&res.c, &reference(&a, &b), gemm_tolerance(n) * 100.0));
+    assert!(approx_eq(
+        &res.c,
+        &reference(&a, &b),
+        gemm_tolerance(n) * 100.0
+    ));
     // Sanity: it differs from the time-optimal distribution on this
     // platform (different objectives).
     let t_areas = load_imbalancing_areas(n, &fpms);
     assert_ne!(
         areas.iter().map(|&a| a.round() as i64).collect::<Vec<_>>(),
-        t_areas.iter().map(|&a| a.round() as i64).collect::<Vec<_>>()
+        t_areas
+            .iter()
+            .map(|&a| a.round() as i64)
+            .collect::<Vec<_>>()
     );
 }
 
@@ -167,7 +174,11 @@ fn auto_generated_layouts_run_through_summagen() {
     let a = random_matrix(n, n, 31);
     let b = random_matrix(n, n, 32);
     let res = multiply(&spec, &a, &b, ExecutionMode::Real);
-    assert!(approx_eq(&res.c, &reference(&a, &b), gemm_tolerance(n) * 100.0));
+    assert!(approx_eq(
+        &res.c,
+        &reference(&a, &b),
+        gemm_tolerance(n) * 100.0
+    ));
 }
 
 #[test]
@@ -245,7 +256,11 @@ fn two_proc_theory_holds_through_real_execution() {
             let a = random_matrix(n, n, 11);
             let b = random_matrix(n, n, 12);
             let res = multiply(&spec, &a, &b, ExecutionMode::Real);
-            assert!(approx_eq(&res.c, &reference(&a, &b), gemm_tolerance(n) * 100.0));
+            assert!(approx_eq(
+                &res.c,
+                &reference(&a, &b),
+                gemm_tolerance(n) * 100.0
+            ));
         }
     }
 }

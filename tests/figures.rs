@@ -3,8 +3,8 @@
 //! the paper plots (who wins, what grows, what ties).
 
 use summagen_bench::{
-    cluster_experiment, crossover_series, fig5_series, fig8_series, nrrp_comparison,
-    run_cpm_point, run_fpm_point, summa_comparison, CPM_SPEEDS,
+    cluster_experiment, crossover_series, fig5_series, fig8_series, nrrp_comparison, run_cpm_point,
+    run_fpm_point, summa_comparison, CPM_SPEEDS,
 };
 use summagen_partition::{Shape, ALL_FOUR_SHAPES};
 use summagen_platform::profile::hclserver1;
@@ -125,10 +125,7 @@ fn summa_gap_shrinks_with_homogeneity() {
     // measured speedups in the harness are >1 (heterogeneous node).
     for (n, sg, classic) in summa_comparison() {
         let speedup = classic / sg;
-        assert!(
-            (1.05..2.5).contains(&speedup),
-            "n = {n}: speedup {speedup}"
-        );
+        assert!((1.05..2.5).contains(&speedup), "n = {n}: speedup {speedup}");
     }
     let _ = CPM_SPEEDS;
 }

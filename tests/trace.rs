@@ -1,0 +1,156 @@
+//! Integration tests for the tracing subsystem: virtual-clock
+//! determinism (same shape + configuration ⇒ byte-identical canonical
+//! event stream and identical critical path), critical-path consistency
+//! with the executor's reported virtual time, and Perfetto export
+//! sanity.
+
+use std::sync::Arc;
+
+use summagen_comm::{HockneyModel, SpanKind, ZeroCost};
+use summagen_core::{multiply_traced, simulate_instrumented, ExecutionMode};
+use summagen_matrix::{gemm_naive, max_abs_diff, random_matrix, DenseMatrix};
+use summagen_partition::{proportional_areas, Shape, ALL_FOUR_SHAPES};
+use summagen_platform::profile::hclserver1;
+use summagen_trace::{critical_path, metrics, perfetto_json, RecordedTrace, TraceRecorder};
+
+fn traced_sim(n: usize, shape: Shape) -> (f64, RecordedTrace) {
+    let platform = hclserver1();
+    let areas = proportional_areas(n, &[1.0, 2.0, 0.9]);
+    let spec = shape.build(n, &areas);
+    let recorder = TraceRecorder::new(spec.nprocs);
+    let report = simulate_instrumented(
+        &spec,
+        &platform,
+        HockneyModel::intra_node(),
+        recorder.clone(),
+    );
+    (report.exec_time, recorder.finish())
+}
+
+#[test]
+fn same_config_produces_byte_identical_traces() {
+    for shape in [Shape::SquareCorner, Shape::OneDRectangular] {
+        let (t1, a) = traced_sim(2_048, shape);
+        let (t2, b) = traced_sim(2_048, shape);
+        assert_eq!(t1, t2, "{}: exec times differ", shape.name());
+        assert_eq!(
+            a.canonical_bytes(),
+            b.canonical_bytes(),
+            "{}: canonical event streams differ between identical runs",
+            shape.name()
+        );
+        assert_eq!(
+            critical_path(&a),
+            critical_path(&b),
+            "{}: critical paths differ between identical runs",
+            shape.name()
+        );
+    }
+}
+
+#[test]
+fn critical_path_makespan_matches_executor_time_for_all_shapes() {
+    for shape in ALL_FOUR_SHAPES {
+        let (exec_time, trace) = traced_sim(4_096, shape);
+        assert!(!trace.is_empty(), "{}: empty trace", shape.name());
+        let cp = critical_path(&trace);
+        let drift = (cp.makespan - exec_time).abs() / exec_time;
+        assert!(
+            drift < 1e-9,
+            "{}: critical-path makespan {} vs executor time {exec_time}",
+            shape.name(),
+            cp.makespan
+        );
+        // The path decomposition covers the makespan exactly.
+        let covered = cp.comp_time + cp.comm_time + cp.idle_time;
+        assert!(
+            (covered - cp.makespan).abs() < 1e-9 * cp.makespan.max(1.0),
+            "{}: decomposition {covered} vs makespan {}",
+            shape.name(),
+            cp.makespan
+        );
+        let m = metrics(&trace);
+        assert_eq!(m.makespan, cp.makespan, "{}", shape.name());
+        assert_eq!(m.dropped, 0, "{}: ring overflow", shape.name());
+        // Every rank computed something and talked to someone.
+        for r in &m.per_rank {
+            assert!(
+                r.comp_time > 0.0,
+                "{} rank {}: no compute",
+                shape.name(),
+                r.rank
+            );
+            assert!(
+                r.leaf_spans > 0,
+                "{} rank {}: no leaves",
+                shape.name(),
+                r.rank
+            );
+        }
+        assert!(!m.links.is_empty(), "{}: no link traffic", shape.name());
+    }
+}
+
+#[test]
+fn perfetto_export_names_every_rank_track() {
+    let (_, trace) = traced_sim(1_024, Shape::BlockRectangle);
+    let json = perfetto_json(&trace, "integration test");
+    assert!(json.contains("\"traceEvents\""));
+    for rank in 0..trace.nranks {
+        assert!(json.contains(&format!("\"name\":\"rank {rank} ops\"")));
+        assert!(json.contains(&format!("\"name\":\"rank {rank} phases\"")));
+    }
+    let balance = |open: char, close: char| {
+        json.chars().filter(|&c| c == open).count() == json.chars().filter(|&c| c == close).count()
+    };
+    assert!(balance('{', '}') && balance('[', ']'));
+}
+
+#[test]
+fn real_mode_traced_run_is_correct_and_records_kernel_times() {
+    let n = 64;
+    let areas = proportional_areas(n, &[1.0, 2.0, 0.9]);
+    let spec = Shape::SquareCorner.build(n, &areas);
+    let a = random_matrix(n, n, 11);
+    let b = random_matrix(n, n, 12);
+    let recorder = TraceRecorder::new(spec.nprocs);
+    let res = multiply_traced(
+        &spec,
+        &a,
+        &b,
+        ExecutionMode::Real,
+        ZeroCost,
+        recorder.clone() as Arc<_>,
+    );
+    let mut want = DenseMatrix::zeros(n, n);
+    gemm_naive(
+        n,
+        n,
+        n,
+        1.0,
+        a.as_slice(),
+        n,
+        b.as_slice(),
+        n,
+        0.0,
+        want.as_mut_slice(),
+        n,
+    );
+    assert!(
+        max_abs_diff(&res.c, &want) < 1e-9,
+        "traced run corrupted the result"
+    );
+
+    let trace = recorder.finish();
+    let kernel_ns: u64 = trace
+        .iter()
+        .filter_map(|ts| match ts.record.kind {
+            SpanKind::Gemm { kernel_ns, .. } => Some(kernel_ns),
+            _ => None,
+        })
+        .sum();
+    assert!(
+        kernel_ns > 0,
+        "real-mode GEMM spans must carry measured kernel times"
+    );
+}

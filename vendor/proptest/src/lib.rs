@@ -249,9 +249,7 @@ macro_rules! proptest {
 
 /// Everything the workspace imports via `proptest::prelude::*`.
 pub mod prelude {
-    pub use crate::{
-        prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
-    };
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy};
 }
 
 #[cfg(test)]

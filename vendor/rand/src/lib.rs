@@ -137,8 +137,8 @@ pub mod rngs {
 
 /// Everything the workspace imports via `rand::prelude::*`.
 pub mod prelude {
-    pub use crate::{Rng, RngCore, SeedableRng, SliceRandom};
     pub use crate::rngs::StdRng;
+    pub use crate::{Rng, RngCore, SeedableRng, SliceRandom};
 }
 
 #[cfg(test)]
