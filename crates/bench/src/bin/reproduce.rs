@@ -3,13 +3,15 @@
 //! ```text
 //! reproduce table1 | fig1 | fig5 | fig6 | fig7 | fig8 | summary
 //!           | crossover | nrrp | energyopt | summa | cluster | exact
-//!           | auto | fig5measured | verify | recovery | trace | all
+//!           | auto | fig5measured | verify | recovery | trace | abft | all
 //! ```
 //!
 //! Output is whitespace-aligned text: one row per problem size with one
 //! column per shape (for the figure commands), matching the series the
 //! paper plots. `trace [--out DIR]` additionally writes Perfetto trace
-//! files and metrics summaries (default `target/trace`).
+//! files and metrics summaries (default `target/trace`); `abft [--out
+//! DIR]` writes the ABFT overhead summaries and Perfetto traces of the
+//! checksum-protected runs (default `target/abft`).
 
 use std::env;
 
@@ -19,7 +21,7 @@ use summagen_partition::ALL_FOUR_SHAPES;
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut json = false;
-    let mut out_dir = String::from("target/trace");
+    let mut out_dir: Option<String> = None;
     let mut what: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -27,7 +29,7 @@ fn main() {
             "--json" => json = true,
             "--out" => {
                 if let Some(v) = args.get(i + 1) {
-                    out_dir = v.clone();
+                    out_dir = Some(v.clone());
                     i += 1;
                 } else {
                     eprintln!("--out requires a directory argument");
@@ -64,7 +66,8 @@ fn main() {
         "fig5measured" => fig5measured(),
         "verify" => verify(),
         "recovery" => recovery(),
-        "trace" => trace(&out_dir),
+        "trace" => trace(out_dir.as_deref().unwrap_or("target/trace")),
+        "abft" => abft(out_dir.as_deref().unwrap_or("target/abft")),
         "all" => {
             print!("{}", table1());
             println!();
@@ -86,7 +89,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown figure '{other}'; expected one of: table1 fig1 fig5 fig6 fig7 fig8 summary crossover nrrp energyopt summa cluster exact auto fig5measured verify recovery trace all"
+                "unknown figure '{other}'; expected one of: table1 fig1 fig5 fig6 fig7 fig8 summary crossover nrrp energyopt summa cluster exact auto fig5measured verify recovery trace abft all"
             );
             std::process::exit(2);
         }
@@ -99,6 +102,17 @@ fn trace(out_dir: &str) {
     use summagen_bench::tracecmd;
     if let Err(e) = tracecmd::run_trace(tracecmd::TRACE_N, std::path::Path::new(out_dir)) {
         eprintln!("trace export to '{out_dir}' failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Checksum-protected runs of the four paper shapes: ABFT overhead
+/// summaries and Perfetto traces of the resilience spans (see
+/// `resilience`).
+fn abft(out_dir: &str) {
+    use summagen_bench::resilience;
+    if let Err(e) = resilience::run_abft(resilience::ABFT_N, std::path::Path::new(out_dir)) {
+        eprintln!("abft export to '{out_dir}' failed: {e}");
         std::process::exit(1);
     }
 }
@@ -409,8 +423,14 @@ fn emit_json(what: &str) {
                 ),
             ])
         }
+        "recovery" => {
+            // The resilience module stamps its own run_config (seeds and
+            // grid size), so print and return directly.
+            println!("{}", summagen_bench::resilience::recovery_json(32).pretty());
+            return;
+        }
         other => {
-            eprintln!("--json supports: fig5 fig6 fig7 fig8 summary (got '{other}')");
+            eprintln!("--json supports: fig5 fig6 fig7 fig8 summary recovery (got '{other}')");
             std::process::exit(2);
         }
     };

@@ -7,6 +7,7 @@
 
 pub mod experiments;
 pub mod json;
+pub mod resilience;
 pub mod tracecmd;
 
 pub use experiments::*;

@@ -364,6 +364,18 @@ impl Communicator {
         self.clock.lock().advance_compute(dt * factor);
     }
 
+    /// The `(elem, delta)` local-block corruptions the fault plan
+    /// schedules against this rank just before panel step `step`. The
+    /// executor applies them to its `C` accumulator between panel steps —
+    /// the comm layer cannot reach a rank's local memory, so delivery is
+    /// split: the plan describes, the executor injects. Empty without a
+    /// fault plan.
+    pub fn block_corruptions(&self, step: u64) -> Vec<(u64, f64)> {
+        self.shared.fault.as_ref().map_or_else(Vec::new, |fs| {
+            fs.block_corruptions(self.global_rank(), step)
+        })
+    }
+
     /// Point-to-point send. Blocking semantics are "buffered": the call
     /// advances the sender's clock by the full transfer time (the link is
     /// occupied), enqueues the message, and returns.
@@ -420,6 +432,7 @@ impl Communicator {
                 MsgAction::Deliver => MsgOutcome::Delivered,
                 MsgAction::Drop => MsgOutcome::Dropped,
                 MsgAction::Delay(_) => MsgOutcome::Delayed,
+                MsgAction::Corrupt { .. } => MsgOutcome::Corrupted,
             };
             sink.record(SpanRecord {
                 rank: self.global_rank(),
@@ -434,12 +447,26 @@ impl Communicator {
                 },
             });
         }
+        let mut payload = payload;
         let extra = match action {
             // A dropped message costs the sender the same as a delivered
             // one (the NIC pushed the bytes); it just never arrives.
             MsgAction::Drop => return Ok(()),
             MsgAction::Delay(secs) => secs,
             MsgAction::Deliver => 0.0,
+            MsgAction::Corrupt { elem, delta } => {
+                // Silent wire corruption: perturb one element of a numeric
+                // payload on its way out. Control/phantom traffic is left
+                // intact — corruption models flipped data bits, not a
+                // broken protocol.
+                if let Payload::F64(data) = &mut payload {
+                    if !data.is_empty() {
+                        let i = (elem % data.len() as u64) as usize;
+                        data[i] += delta;
+                    }
+                }
+                0.0
+            }
         };
         if self.shared.failed[dst_global].load(Ordering::SeqCst) {
             return Err(CommError::PeerFailed { rank: dst_global });

@@ -47,6 +47,17 @@ pub enum CommError {
         /// The variant actually carried.
         got: &'static str,
     },
+    /// An ABFT verification found corruption it could not locate and
+    /// correct (more than one damaged element, or inconsistent
+    /// residuals). An own-cause error: [`RankFailure::crashed_ranks`]
+    /// counts the reporting rank, so recovery drops its device rather
+    /// than risk a wrong product from it.
+    DataCorruption {
+        /// Universe-global rank that detected the corruption.
+        rank: usize,
+        /// Zero-based panel step at which verification failed.
+        step: u64,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -70,6 +81,12 @@ impl fmt::Display for CommError {
             }
             CommError::PayloadType { expected, got } => {
                 write!(f, "expected {expected} payload, got {got}")
+            }
+            CommError::DataCorruption { rank, step } => {
+                write!(
+                    f,
+                    "rank {rank} detected uncorrectable data corruption at panel step {step}"
+                )
             }
         }
     }
@@ -112,6 +129,22 @@ impl fmt::Display for FailureCause {
             FailureCause::Panic(msg) => write!(f, "panicked: {msg}"),
             FailureCause::InjectedKill { op } => write!(f, "killed by fault plan at op {op}"),
             FailureCause::Error(e) => write!(f, "returned error: {e}"),
+        }
+    }
+}
+
+impl FailureCause {
+    /// Stable label classifying the cause, used as the key for
+    /// per-cause counting in recovery artifacts.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            FailureCause::Panic(_) => "panic",
+            FailureCause::InjectedKill { .. } => "injected-kill",
+            FailureCause::Error(CommError::PeerFailed { .. }) => "peer-failed",
+            FailureCause::Error(CommError::Timeout { .. }) => "timeout",
+            FailureCause::Error(CommError::ChannelClosed { .. }) => "channel-closed",
+            FailureCause::Error(CommError::PayloadType { .. }) => "payload-type",
+            FailureCause::Error(CommError::DataCorruption { .. }) => "data-corruption",
         }
     }
 }
@@ -252,6 +285,54 @@ mod tests {
         };
         assert_eq!(rf.root_failed_ranks(), vec![1]);
         assert!(!rf.all_timeouts());
+    }
+
+    #[test]
+    fn data_corruption_is_an_own_cause_crash() {
+        let rf = RankFailure {
+            failed: vec![
+                FailedRank {
+                    rank: 0,
+                    cause: FailureCause::Error(CommError::DataCorruption { rank: 0, step: 3 }),
+                },
+                FailedRank {
+                    rank: 1,
+                    cause: FailureCause::Error(CommError::PeerFailed { rank: 0 }),
+                },
+            ],
+        };
+        // The detecting rank is treated as crashed (its data cannot be
+        // trusted), the resigning observer is not.
+        assert_eq!(rf.crashed_ranks(), vec![0]);
+        let msg = CommError::DataCorruption { rank: 0, step: 3 }.to_string();
+        assert!(msg.contains("uncorrectable"), "got: {msg}");
+        assert!(msg.contains("step 3"), "got: {msg}");
+    }
+
+    #[test]
+    fn cause_kind_labels_are_stable() {
+        assert_eq!(FailureCause::Panic("x".into()).kind_label(), "panic");
+        assert_eq!(
+            FailureCause::InjectedKill { op: 2 }.kind_label(),
+            "injected-kill"
+        );
+        assert_eq!(
+            FailureCause::Error(CommError::PeerFailed { rank: 1 }).kind_label(),
+            "peer-failed"
+        );
+        assert_eq!(
+            FailureCause::Error(CommError::Timeout {
+                src: None,
+                tag: 0,
+                waited: Duration::from_millis(1)
+            })
+            .kind_label(),
+            "timeout"
+        );
+        assert_eq!(
+            FailureCause::Error(CommError::DataCorruption { rank: 0, step: 0 }).kind_label(),
+            "data-corruption"
+        );
     }
 
     #[test]

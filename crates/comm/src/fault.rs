@@ -38,6 +38,14 @@ pub(crate) enum MsgAction {
     Drop,
     /// Deliver, but with this many extra virtual seconds of latency.
     Delay(f64),
+    /// Deliver, but perturb element `elem % len` of an `F64` payload by
+    /// adding `delta` (silent data corruption on the wire).
+    Corrupt {
+        /// Element index, reduced modulo the payload length.
+        elem: u64,
+        /// Additive perturbation applied to the element.
+        delta: f64,
+    },
 }
 
 /// A kill directive: rank `rank` panics when it starts its `at_op`-th
@@ -65,6 +73,42 @@ pub struct MsgFault {
     pub delay: Option<f64>,
 }
 
+/// A silent-data-corruption directive on the wire: element
+/// `elem % payload_len` of the `nth` (zero-based) `F64` message from
+/// `src` to `dst` is perturbed by adding `delta` before delivery.
+/// Non-`F64` payloads (control traffic, phantom messages) pass through
+/// untouched — corruption targets numeric panel data, not the protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MsgCorrupt {
+    /// Universe-global sender.
+    pub src: usize,
+    /// Universe-global receiver.
+    pub dst: usize,
+    /// Zero-based index among messages from `src` to `dst`.
+    pub nth: u64,
+    /// Element index within the payload, reduced modulo its length.
+    pub elem: u64,
+    /// Additive perturbation; must be finite and non-zero.
+    pub delta: f64,
+}
+
+/// A local-memory corruption directive: element `elem % block_len` of
+/// rank `rank`'s local `C` accumulator is perturbed by adding `delta`
+/// just before panel step `at_step` (zero-based). Delivery is the
+/// executor's job — it queries [`FaultPlan`] state between panel steps
+/// via `Communicator::block_corruptions`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockCorrupt {
+    /// Universe-global rank whose local block is corrupted.
+    pub rank: usize,
+    /// Zero-based panel step before which the corruption lands.
+    pub at_step: u64,
+    /// Element index within the rank's block, reduced modulo its length.
+    pub elem: u64,
+    /// Additive perturbation; must be finite and non-zero.
+    pub delta: f64,
+}
+
 /// A declarative fault schedule. Build with the chaining methods, or
 /// derive a pseudo-random one from a seed with [`FaultPlan::seeded`].
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -76,6 +120,10 @@ pub struct FaultPlan {
     /// `(rank, factor)`: multiply the rank's compute-time advances by
     /// `factor` (a straggler at `factor > 1`).
     pub slowdowns: Vec<(usize, f64)>,
+    /// Messages to corrupt in flight.
+    pub msg_corruptions: Vec<MsgCorrupt>,
+    /// Local blocks to corrupt between panel steps.
+    pub block_corruptions: Vec<BlockCorrupt>,
 }
 
 impl FaultPlan {
@@ -124,9 +172,53 @@ impl FaultPlan {
         self
     }
 
+    /// Perturbs element `elem % len` of the `nth` (zero-based) `F64`
+    /// message from `src` to `dst` by adding `delta`.
+    pub fn corrupt_message(
+        mut self,
+        src: usize,
+        dst: usize,
+        nth: u64,
+        elem: u64,
+        delta: f64,
+    ) -> Self {
+        assert!(
+            delta != 0.0 && delta.is_finite(),
+            "invalid corruption delta {delta}"
+        );
+        self.msg_corruptions.push(MsgCorrupt {
+            src,
+            dst,
+            nth,
+            elem,
+            delta,
+        });
+        self
+    }
+
+    /// Perturbs element `elem % block_len` of `rank`'s local `C`
+    /// accumulator by adding `delta` just before panel step `at_step`.
+    pub fn corrupt_block(mut self, rank: usize, at_step: u64, elem: u64, delta: f64) -> Self {
+        assert!(
+            delta != 0.0 && delta.is_finite(),
+            "invalid corruption delta {delta}"
+        );
+        self.block_corruptions.push(BlockCorrupt {
+            rank,
+            at_step,
+            elem,
+            delta,
+        });
+        self
+    }
+
     /// Whether the plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.kills.is_empty() && self.msg_faults.is_empty() && self.slowdowns.is_empty()
+        self.kills.is_empty()
+            && self.msg_faults.is_empty()
+            && self.slowdowns.is_empty()
+            && self.msg_corruptions.is_empty()
+            && self.block_corruptions.is_empty()
     }
 
     /// Derives a deterministic pseudo-random plan for a universe of
@@ -147,6 +239,39 @@ impl FaultPlan {
         }
         if r2 & 2 == 2 {
             plan = plan.slow_rank((r2 >> 3) as usize % nprocs, 2.5);
+        }
+        plan
+    }
+
+    /// Like [`FaultPlan::seeded`], but layered with deterministic
+    /// data-corruption directives: always one in-flight message
+    /// corruption, plus (depending on seed bits) one local-block
+    /// corruption. [`FaultPlan::seeded`] itself stays corruption-free so
+    /// the existing chaos seed grids keep their exact outcomes; protected
+    /// (ABFT) runs opt into corruption with this constructor.
+    pub fn seeded_with_corruption(seed: u64, nprocs: usize) -> Self {
+        let mut plan = Self::seeded(seed, nprocs);
+        let r3 = mix(mix(mix(mix(seed))));
+        let r4 = mix(r3);
+        // Magnitude spans junk-bit noise to catastrophic flips; sign
+        // alternates so corrections are exercised in both directions.
+        let delta = match (r3 >> 5) % 3 {
+            0 => 1.0,
+            1 => 1e3,
+            _ => 1e-3,
+        } * if r3 & 16 == 16 { -1.0 } else { 1.0 };
+        if nprocs >= 2 {
+            let src = (r3 >> 1) as usize % nprocs;
+            let dst = (src + 1 + (r3 >> 9) as usize % (nprocs - 1)) % nprocs;
+            plan = plan.corrupt_message(src, dst, (r3 >> 17) % 4, r3 >> 24, delta);
+        }
+        if r4 & 1 == 1 {
+            plan = plan.corrupt_block(
+                (r4 >> 1) as usize % nprocs,
+                (r4 >> 7) % 4,
+                r4 >> 13,
+                delta * 2.0,
+            );
         }
         plan
     }
@@ -210,6 +335,14 @@ impl FaultState {
                 };
             }
         }
+        for mc in &self.plan.msg_corruptions {
+            if mc.src == src && mc.dst == dst && mc.nth == nth {
+                return MsgAction::Corrupt {
+                    elem: mc.elem,
+                    delta: mc.delta,
+                };
+            }
+        }
         MsgAction::Deliver
     }
 
@@ -220,6 +353,19 @@ impl FaultState {
             .iter()
             .find(|(r, _)| *r == rank)
             .map_or(1.0, |&(_, f)| f)
+    }
+
+    /// The `(elem, delta)` corruptions scheduled against `rank`'s local
+    /// block just before panel step `step`. Stateless (unlike message
+    /// counters): the executor owns the panel counter and asks once per
+    /// step.
+    pub(crate) fn block_corruptions(&self, rank: usize, step: u64) -> Vec<(u64, f64)> {
+        self.plan
+            .block_corruptions
+            .iter()
+            .filter(|bc| bc.rank == rank && bc.at_step == step)
+            .map(|bc| (bc.elem, bc.delta))
+            .collect()
     }
 }
 
@@ -234,11 +380,34 @@ mod tests {
             .kill_rank(1, 5)
             .drop_message(0, 2, 3)
             .delay_message(2, 0, 0, 0.5)
-            .slow_rank(2, 3.0);
+            .slow_rank(2, 3.0)
+            .corrupt_message(0, 1, 2, 7, 1e3)
+            .corrupt_block(1, 3, 11, -1.0);
         assert_eq!(plan.kills, vec![KillSpec { rank: 1, at_op: 5 }]);
         assert_eq!(plan.msg_faults.len(), 2);
         assert_eq!(plan.slowdowns, vec![(2, 3.0)]);
+        assert_eq!(
+            plan.msg_corruptions,
+            vec![MsgCorrupt {
+                src: 0,
+                dst: 1,
+                nth: 2,
+                elem: 7,
+                delta: 1e3
+            }]
+        );
+        assert_eq!(
+            plan.block_corruptions,
+            vec![BlockCorrupt {
+                rank: 1,
+                at_step: 3,
+                elem: 11,
+                delta: -1.0
+            }]
+        );
         assert!(!plan.is_empty());
+        assert!(!FaultPlan::new().corrupt_message(0, 1, 0, 0, 1.0).is_empty());
+        assert!(!FaultPlan::new().corrupt_block(0, 0, 0, 1.0).is_empty());
         assert!(FaultPlan::new().is_empty());
     }
 
@@ -258,6 +427,79 @@ mod tests {
             }
         }
         assert_ne!(FaultPlan::seeded(1, 3), FaultPlan::seeded(2, 3));
+    }
+
+    #[test]
+    fn seeded_plans_carry_no_corruption() {
+        // The chaos seed grids feed `seeded` plans to the *unprotected*
+        // executor and assert exact outcomes — corruption directives must
+        // only appear in `seeded_with_corruption`.
+        for seed in 0..64u64 {
+            let plan = FaultPlan::seeded(seed, 3);
+            assert!(plan.msg_corruptions.is_empty(), "seed {seed}");
+            assert!(plan.block_corruptions.is_empty(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn seeded_with_corruption_extends_the_base_plan() {
+        for seed in 0..64u64 {
+            let base = FaultPlan::seeded(seed, 3);
+            let plan = FaultPlan::seeded_with_corruption(seed, 3);
+            assert_eq!(plan.kills, base.kills, "seed {seed}");
+            assert_eq!(plan.msg_faults, base.msg_faults, "seed {seed}");
+            assert_eq!(plan.slowdowns, base.slowdowns, "seed {seed}");
+            assert_eq!(
+                plan.msg_corruptions.len(),
+                1,
+                "seed {seed}: always one wire corruption"
+            );
+            let mc = plan.msg_corruptions[0];
+            assert!(mc.src < 3 && mc.dst < 3 && mc.src != mc.dst, "seed {seed}");
+            assert!(mc.delta != 0.0 && mc.delta.is_finite(), "seed {seed}");
+            for bc in &plan.block_corruptions {
+                assert!(bc.rank < 3, "seed {seed}");
+                assert!(bc.delta != 0.0 && bc.delta.is_finite(), "seed {seed}");
+            }
+            assert_eq!(plan, FaultPlan::seeded_with_corruption(seed, 3));
+        }
+    }
+
+    proptest::proptest! {
+        /// Satellite guarantee: identical seeds yield identical plans —
+        /// corruption directives included — both across repeated
+        /// construction and when many threads build the plan at once.
+        /// Seeded construction must not read any process-global mutable
+        /// state, or the chaos grids would stop being reproducible.
+        #[test]
+        fn prop_seeded_plans_identical_under_concurrent_use(
+            seed in 0u64..1u64 << 48,
+            nprocs in 2usize..9,
+        ) {
+            let base = FaultPlan::seeded(seed, nprocs);
+            let base_corrupt = FaultPlan::seeded_with_corruption(seed, nprocs);
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    std::thread::spawn(move || {
+                        (
+                            FaultPlan::seeded(seed, nprocs),
+                            FaultPlan::seeded_with_corruption(seed, nprocs),
+                        )
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (plain, corrupt) = h.join().expect("builder thread panicked");
+                proptest::prop_assert_eq!(&plain, &base);
+                proptest::prop_assert_eq!(&corrupt, &base_corrupt);
+            }
+            // And again on this thread, after the concurrent burst.
+            proptest::prop_assert_eq!(FaultPlan::seeded(seed, nprocs), base);
+            proptest::prop_assert_eq!(
+                FaultPlan::seeded_with_corruption(seed, nprocs),
+                base_corrupt
+            );
+        }
     }
 
     #[test]
@@ -288,6 +530,37 @@ mod tests {
         assert_eq!(st.on_message(0, 1), MsgAction::Deliver); // nth = 2
         assert_eq!(st.on_message(1, 0), MsgAction::Delay(0.25));
         assert_eq!(st.on_message(1, 0), MsgAction::Deliver);
+    }
+
+    #[test]
+    fn corruption_hits_the_nth_edge_message() {
+        let st = FaultState::new(FaultPlan::new().corrupt_message(0, 1, 1, 5, 2.0), 2);
+        assert_eq!(st.on_message(0, 1), MsgAction::Deliver); // nth = 0
+        assert_eq!(
+            st.on_message(0, 1),
+            MsgAction::Corrupt {
+                elem: 5,
+                delta: 2.0
+            }
+        );
+        assert_eq!(st.on_message(0, 1), MsgAction::Deliver); // nth = 2
+    }
+
+    #[test]
+    fn block_corruptions_are_keyed_by_rank_and_step() {
+        let st = FaultState::new(
+            FaultPlan::new()
+                .corrupt_block(1, 2, 3, 0.5)
+                .corrupt_block(1, 2, 9, -0.5)
+                .corrupt_block(0, 1, 0, 1.0),
+            2,
+        );
+        assert_eq!(st.block_corruptions(1, 2), vec![(3, 0.5), (9, -0.5)]);
+        assert_eq!(st.block_corruptions(0, 1), vec![(0, 1.0)]);
+        assert!(st.block_corruptions(0, 2).is_empty());
+        assert!(st.block_corruptions(1, 0).is_empty());
+        // Stateless: repeated queries return the same directives.
+        assert_eq!(st.block_corruptions(1, 2), vec![(3, 0.5), (9, -0.5)]);
     }
 
     #[test]

@@ -50,7 +50,9 @@ pub use clock::{
 };
 pub use comm::{BcastAlgorithm, Communicator, ReduceOp, TrafficStats};
 pub use error::{CommError, CommResult, FailedRank, FailureCause, RankFailure};
-pub use fault::{FaultPlan, InjectedKill, KillSpec, MsgFault};
+pub use fault::{BlockCorrupt, FaultPlan, InjectedKill, KillSpec, MsgCorrupt, MsgFault};
 pub use message::Payload;
-pub use span::{CollectiveOp, EventSink, MsgOutcome, SpanKind, SpanRecord, StageLabel};
-pub use universe::{Universe, DEFAULT_RECV_TIMEOUT, RECV_TIMEOUT_ENV};
+pub use span::{AbftLabel, CollectiveOp, EventSink, MsgOutcome, SpanKind, SpanRecord, StageLabel};
+pub use universe::{
+    recv_timeout_from_env, ConfigError, Universe, DEFAULT_RECV_TIMEOUT, RECV_TIMEOUT_ENV,
+};

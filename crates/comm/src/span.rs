@@ -80,6 +80,21 @@ pub enum SpanKind {
         /// Which stage.
         stage: StageLabel,
     },
+    /// One ABFT resilience operation: checksum verification, in-place
+    /// correction, checkpoint write, or rollback to a checkpoint. A leaf
+    /// event — resilience time tiles the rank's busy time alongside
+    /// communication and GEMMs, which is exactly what the overhead
+    /// accounting needs to see.
+    Abft {
+        /// Which resilience operation.
+        op: AbftLabel,
+        /// Zero-based panel step the operation belongs to.
+        step: u64,
+        /// Elements touched: verified elements for a verify, corrected
+        /// elements for a correct, snapshot elements for a
+        /// checkpoint/rollback.
+        elems: u64,
+    },
     /// The rank left the computation abnormally at this instant.
     RankDeath {
         /// Classified cause: `"injected-kill"`, `"panic"`, or `"error"`.
@@ -96,6 +111,7 @@ impl SpanKind {
             SpanKind::Collective { op, .. } => op.label(),
             SpanKind::Gemm { .. } => "gemm",
             SpanKind::Stage { stage } => stage.label(),
+            SpanKind::Abft { op, .. } => op.label(),
             SpanKind::RankDeath { .. } => "rank-death",
         }
     }
@@ -105,7 +121,10 @@ impl SpanKind {
     pub fn is_leaf(&self) -> bool {
         matches!(
             self,
-            SpanKind::Send { .. } | SpanKind::Recv { .. } | SpanKind::Gemm { .. }
+            SpanKind::Send { .. }
+                | SpanKind::Recv { .. }
+                | SpanKind::Gemm { .. }
+                | SpanKind::Abft { .. }
         )
     }
 }
@@ -144,6 +163,9 @@ pub enum MsgOutcome {
     Dropped,
     /// Delivered late by the fault plan.
     Delayed,
+    /// Delivered with an element silently perturbed by the fault plan.
+    /// Only the trace knows — the receiver sees a plausible payload.
+    Corrupted,
 }
 
 impl MsgOutcome {
@@ -153,6 +175,32 @@ impl MsgOutcome {
             MsgOutcome::Delivered => "delivered",
             MsgOutcome::Dropped => "dropped",
             MsgOutcome::Delayed => "delayed",
+            MsgOutcome::Corrupted => "corrupted",
+        }
+    }
+}
+
+/// The ABFT resilience operations that emit [`SpanKind::Abft`] spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbftLabel {
+    /// Checksum-residual verification of a panel-step `C` update.
+    Verify,
+    /// In-place correction of a located single-element error.
+    Correct,
+    /// Panel-boundary snapshot of the verified `C` accumulator.
+    Checkpoint,
+    /// Restoring the `C` accumulator from the last checkpoint.
+    Rollback,
+}
+
+impl AbftLabel {
+    /// Short label for display and export.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AbftLabel::Verify => "abft-verify",
+            AbftLabel::Correct => "abft-correct",
+            AbftLabel::Checkpoint => "abft-checkpoint",
+            AbftLabel::Rollback => "abft-rollback",
         }
     }
 }
@@ -262,6 +310,12 @@ mod tests {
             stage: StageLabel::HorizontalA
         }
         .is_leaf());
+        assert!(SpanKind::Abft {
+            op: AbftLabel::Verify,
+            step: 0,
+            elems: 16
+        }
+        .is_leaf());
         assert!(!SpanKind::RankDeath { cause: "panic" }.is_leaf());
     }
 
@@ -270,12 +324,26 @@ mod tests {
         assert_eq!(CollectiveOp::Barrier.label(), "barrier");
         assert_eq!(StageLabel::VerticalB.label(), "vertical-b");
         assert_eq!(MsgOutcome::Dropped.label(), "dropped");
+        assert_eq!(MsgOutcome::Corrupted.label(), "corrupted");
+        assert_eq!(AbftLabel::Verify.label(), "abft-verify");
+        assert_eq!(AbftLabel::Correct.label(), "abft-correct");
+        assert_eq!(AbftLabel::Checkpoint.label(), "abft-checkpoint");
+        assert_eq!(AbftLabel::Rollback.label(), "abft-rollback");
         assert_eq!(
             SpanKind::Stage {
                 stage: StageLabel::LocalCompute
             }
             .label(),
             "local-compute"
+        );
+        assert_eq!(
+            SpanKind::Abft {
+                op: AbftLabel::Checkpoint,
+                step: 2,
+                elems: 64
+            }
+            .label(),
+            "abft-checkpoint"
         );
     }
 

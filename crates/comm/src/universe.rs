@@ -37,17 +37,64 @@ use crate::sync::Mutex;
 pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// Environment variable holding the default receive timeout in
-/// milliseconds. Read afresh by every [`Universe::new`]; ignored when
-/// unset, unparseable, or zero.
+/// milliseconds. Read afresh by every [`Universe::new`]. A set-but-invalid
+/// value is a configuration error, not a silent no-op: [`Universe::new`]
+/// logs a warning and keeps [`DEFAULT_RECV_TIMEOUT`]; callers that want
+/// the typed error use [`recv_timeout_from_env`].
 pub const RECV_TIMEOUT_ENV: &str = "SUMMAGEN_RECV_TIMEOUT_MS";
 
-fn default_recv_timeout() -> Duration {
+/// A malformed runtime configuration value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `SUMMAGEN_RECV_TIMEOUT_MS` was set but is not a positive integer
+    /// number of milliseconds.
+    InvalidRecvTimeout {
+        /// The raw value found in the environment.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::InvalidRecvTimeout { value } => write!(
+                f,
+                "{RECV_TIMEOUT_ENV}={value:?} is not a positive integer millisecond count"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Reads the receive-timeout override from the environment.
+///
+/// Returns `Ok(None)` when [`RECV_TIMEOUT_ENV`] is unset, `Ok(Some(d))`
+/// for a positive integer millisecond count, and a typed
+/// [`ConfigError`] when the variable is set but unusable (unparseable,
+/// zero, or non-UTF-8) — a set value the runtime would ignore is a
+/// misconfiguration the caller should hear about.
+pub fn recv_timeout_from_env() -> Result<Option<Duration>, ConfigError> {
     match std::env::var(RECV_TIMEOUT_ENV) {
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(v)) => Err(ConfigError::InvalidRecvTimeout {
+            value: v.to_string_lossy().into_owned(),
+        }),
         Ok(v) => match v.trim().parse::<u64>() {
-            Ok(ms) if ms > 0 => Duration::from_millis(ms),
-            _ => DEFAULT_RECV_TIMEOUT,
+            Ok(ms) if ms > 0 => Ok(Some(Duration::from_millis(ms))),
+            _ => Err(ConfigError::InvalidRecvTimeout { value: v }),
         },
-        Err(_) => DEFAULT_RECV_TIMEOUT,
+    }
+}
+
+fn default_recv_timeout() -> Duration {
+    match recv_timeout_from_env() {
+        Ok(Some(d)) => d,
+        Ok(None) => DEFAULT_RECV_TIMEOUT,
+        Err(e) => {
+            eprintln!("warning: {e}; using default {DEFAULT_RECV_TIMEOUT:?}");
+            DEFAULT_RECV_TIMEOUT
+        }
     }
 }
 
@@ -465,10 +512,31 @@ mod tests {
     fn recv_timeout_env_var_sets_default() {
         std::env::set_var(RECV_TIMEOUT_ENV, "90000");
         let configured = Universe::new(1, ZeroCost);
+        assert_eq!(
+            recv_timeout_from_env(),
+            Ok(Some(Duration::from_millis(90_000)))
+        );
+        // A set-but-unusable value is a typed config error, never a
+        // silent fallback; `Universe::new` still constructs (warning +
+        // default) so a bad environment cannot brick every caller.
         std::env::set_var(RECV_TIMEOUT_ENV, "not-a-number");
         let garbage = Universe::new(1, ZeroCost);
+        let err = recv_timeout_from_env().expect_err("garbage must be a typed error");
+        assert_eq!(
+            err,
+            ConfigError::InvalidRecvTimeout {
+                value: "not-a-number".into()
+            }
+        );
+        assert!(err.to_string().contains(RECV_TIMEOUT_ENV));
+        std::env::set_var(RECV_TIMEOUT_ENV, "0");
+        assert!(
+            recv_timeout_from_env().is_err(),
+            "zero is not a usable timeout"
+        );
         std::env::remove_var(RECV_TIMEOUT_ENV);
         let unset = Universe::new(1, ZeroCost);
+        assert_eq!(recv_timeout_from_env(), Ok(None));
 
         let t = configured.run(|comm| comm.recv_timeout());
         assert_eq!(t, vec![Duration::from_millis(90_000)]);

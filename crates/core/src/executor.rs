@@ -26,7 +26,7 @@ pub enum ExecutionMode {
 }
 
 impl ExecutionMode {
-    fn kernel(&self) -> GemmKernel {
+    pub(crate) fn kernel(&self) -> GemmKernel {
         match self {
             ExecutionMode::Real => GemmKernel::default(),
             ExecutionMode::RealWith(k) => *k,
@@ -235,6 +235,25 @@ pub struct RecoveryReport {
     pub final_loads: Vec<f64>,
     /// Virtual seconds added to `exec_time` by retry backoff.
     pub backoff_time: f64,
+    /// Failure causes observed across the failed attempts, keyed by
+    /// [`summagen_comm::FailureCause::kind_label`] and sorted by label.
+    /// Every abnormal rank of every failed attempt contributes one count,
+    /// so victims (`peer-failed`, `timeout`) appear alongside root causes.
+    pub failure_causes: Vec<(String, usize)>,
+    /// Fraction of the plan's k-dimension the successful attempt had to
+    /// execute: always 1.0 here (full restart). The checkpointed
+    /// executor ([`crate::multiply_abft`]) reports less when it resumes
+    /// mid-plan, which makes the two recovery styles comparable from
+    /// artifacts.
+    pub recompute_fraction: f64,
+}
+
+/// Collapses a cause tally into the sorted `(label, count)` form stored
+/// in [`RecoveryReport::failure_causes`].
+pub(crate) fn cause_counts(
+    tally: &std::collections::BTreeMap<String, usize>,
+) -> Vec<(String, usize)> {
+    tally.iter().map(|(k, v)| (k.clone(), *v)).collect()
 }
 
 /// Why [`multiply_with_recovery`] gave up.
@@ -273,7 +292,7 @@ impl std::error::Error for RecoveryError {}
 /// shape while three devices remain (the shapes are three-processor
 /// constructions), otherwise Beaumont's column-based layout, which handles
 /// any processor count including one.
-fn survivor_spec(shape: Shape, n: usize, speeds: &[f64]) -> PartitionSpec {
+pub(crate) fn survivor_spec(shape: Shape, n: usize, speeds: &[f64]) -> PartitionSpec {
     if speeds.len() == 3 {
         shape.build(n, &proportional_areas(n, speeds))
     } else {
@@ -320,6 +339,7 @@ pub fn multiply_with_recovery(
 
     let mut devices: Vec<usize> = (0..rel_speeds.len()).collect();
     let mut failed_devices: Vec<usize> = Vec::new();
+    let mut causes: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
     let mut attempt = 0;
     loop {
         attempt += 1;
@@ -350,11 +370,17 @@ pub fn multiply_with_recovery(
                         surviving_devices: devices.clone(),
                         final_loads: spec.areas().iter().map(|&a| a as f64 / area).collect(),
                         backoff_time,
+                        failure_causes: cause_counts(&causes),
+                        // Full restart: the retry recomputed everything.
+                        recompute_fraction: 1.0,
                     });
                 }
                 return Ok(result);
             }
             Err(failure) => {
+                for fr in &failure.failed {
+                    *causes.entry(fr.cause.kind_label().to_string()).or_default() += 1;
+                }
                 if attempt >= opts.max_attempts {
                     return Err(RecoveryError::AttemptsExhausted {
                         attempts: attempt,
@@ -615,6 +641,13 @@ mod tests {
         assert_eq!(rep.final_loads.len(), 2);
         assert!((rep.final_loads.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!((rep.backoff_time - 0.25).abs() < 1e-12);
+        // The killed rank contributes an injected-kill count; survivors
+        // that resigned appear as victims. Full restart => fraction 1.
+        assert!(rep
+            .failure_causes
+            .iter()
+            .any(|(label, count)| label == "injected-kill" && *count == 1));
+        assert!((rep.recompute_fraction - 1.0).abs() < 1e-12);
         assert!(res.exec_time >= 0.25);
         assert!(approx_eq(
             &res.c,

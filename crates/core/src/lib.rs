@@ -25,6 +25,7 @@
 //!   time from `summagen-platform`. This is how the paper-scale
 //!   experiments (N up to 38 416) run.
 
+pub mod abft;
 pub mod caps;
 pub mod commopt;
 pub mod cyclic;
@@ -35,6 +36,7 @@ pub mod simulate;
 pub mod stages;
 pub mod summa;
 
+pub use abft::{multiply_abft, multiply_abft_traced, AbftOptions, AbftReport, AbftRunResult};
 pub use caps::{caps_multiply, caps_multiply_with_cost, CapsResult};
 pub use commopt::{
     cannon_multiply, cannon_multiply_with_cost, summa25d_multiply, summa25d_multiply_with_cost,

@@ -9,6 +9,7 @@
 //! directly into slices of the local `C` partition, exactly like the
 //! `localDgemm` call in Fig. 4 of the paper.
 
+pub mod abft;
 pub mod block;
 pub mod dense;
 pub mod gemm;
@@ -19,6 +20,9 @@ pub mod strassen;
 pub mod trans;
 pub mod view;
 
+pub use abft::{
+    abft_tolerance, augment_a, augment_b, strip_checksums, verify_and_correct, AbftVerdict,
+};
 pub use block::{copy_block, Block};
 pub use dense::DenseMatrix;
 pub use gemm::{gemm_blocked, gemm_naive, gemm_parallel, GemmKernel, GemmObserver};

@@ -24,7 +24,10 @@ pub struct RankMetrics {
     pub comp_time: f64,
     /// Virtual seconds in send/recv leaf spans.
     pub comm_time: f64,
-    /// `makespan − comp − comm`, clamped at zero.
+    /// Virtual seconds in ABFT leaf spans (verify/correct/checkpoint/
+    /// rollback) — the per-rank resilience overhead.
+    pub abft_time: f64,
+    /// `makespan − comp − comm − abft`, clamped at zero.
     pub idle_time: f64,
     /// Total floating-point operations across the rank's GEMM spans.
     pub gemm_flops: f64,
@@ -85,6 +88,7 @@ pub fn metrics(trace: &RecordedTrace) -> TraceMetrics {
             rank,
             comp_time: 0.0,
             comm_time: 0.0,
+            abft_time: 0.0,
             idle_time: 0.0,
             gemm_flops: 0.0,
             leaf_spans: 0,
@@ -108,10 +112,14 @@ pub fn metrics(trace: &RecordedTrace) -> TraceMetrics {
                     m.gemm_flops += flops;
                     m.leaf_spans += 1;
                 }
+                SpanKind::Abft { .. } => {
+                    m.abft_time += r.duration();
+                    m.leaf_spans += 1;
+                }
                 _ => {}
             }
         }
-        m.idle_time = (makespan - m.comp_time - m.comm_time).max(0.0);
+        m.idle_time = (makespan - m.comp_time - m.comm_time - m.abft_time).max(0.0);
         per_rank.push(m);
     }
     TraceMetrics {
@@ -201,6 +209,10 @@ fn describe(record: &SpanRecord) -> (&'static str, String) {
             src, bytes, seq, ..
         } => ("recv", format!("recv <- r{src} ({bytes} B, seq {seq})")),
         SpanKind::Gemm { m, n, k, .. } => ("gemm", format!("gemm {m}x{n}x{k}")),
+        SpanKind::Abft { op, step, elems } => (
+            "abft",
+            format!("{} step {step} ({elems} elems)", op.label()),
+        ),
         other => ("other", other.label().to_string()),
     }
 }
@@ -307,7 +319,9 @@ pub fn critical_path(trace: &RecordedTrace) -> CriticalPath {
         }
         let contrib = (seg.end - seg.start.max(t)).max(0.0);
         match seg.kind {
-            "gemm" => comp += contrib,
+            // ABFT work is rank-local busy time, so it counts with
+            // computation rather than the wire.
+            "gemm" | "abft" => comp += contrib,
             _ => comm += contrib,
         }
         t = t.max(seg.end);
@@ -377,6 +391,19 @@ mod tests {
         }
     }
 
+    fn abft(rank: usize, start: f64, end: f64) -> SpanRecord {
+        SpanRecord {
+            rank,
+            start,
+            end,
+            kind: SpanKind::Abft {
+                op: summagen_comm::span::AbftLabel::Verify,
+                step: 0,
+                elems: 64,
+            },
+        }
+    }
+
     #[test]
     fn metrics_accumulate_per_rank_and_link() {
         let r = rec(2);
@@ -391,6 +418,26 @@ mod tests {
         assert_eq!(m.per_rank[1].gemm_flops, 1024.0);
         assert_eq!(m.links.len(), 1);
         assert_eq!((m.links[0].src, m.links[0].dst, m.links[0].msgs), (0, 1, 1));
+    }
+
+    #[test]
+    fn abft_spans_count_as_resilience_time_not_idle() {
+        let r = rec(1);
+        r.record(gemm(0, 0.0, 2.0));
+        r.record(abft(0, 2.0, 2.5));
+        let m = metrics(&r.finish());
+        assert_eq!(m.makespan, 2.5);
+        assert_eq!(m.per_rank[0].comp_time, 2.0);
+        assert_eq!(m.per_rank[0].abft_time, 0.5);
+        assert_eq!(m.per_rank[0].idle_time, 0.0);
+        assert_eq!(m.per_rank[0].leaf_spans, 2);
+        // And on the critical path it contributes busy time, not comm.
+        let cp = critical_path(&r.finish());
+        assert_eq!(cp.makespan, 2.5);
+        let kinds: Vec<_> = cp.segments.iter().map(|s| s.kind).collect();
+        assert_eq!(kinds, vec!["gemm", "abft"]);
+        assert!((cp.comp_time - 2.5).abs() < 1e-12);
+        assert!(cp.segments[1].detail.contains("abft-verify"));
     }
 
     #[test]

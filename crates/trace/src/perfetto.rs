@@ -92,6 +92,13 @@ fn event_json(ts: &TraceSpan) -> String {
             "stage",
             format!("{{\"stage\":\"{}\"}}", stage.label()),
         ),
+        // ABFT resilience work is a leaf op: it shares the op track so
+        // verify/checkpoint time visibly tiles against sends and GEMMs.
+        SpanKind::Abft { op, step, elems } => (
+            r.rank * 2,
+            "abft",
+            format!("{{\"op\":\"{}\",\"step\":{step},\"elems\":{elems}}}", op.label()),
+        ),
         SpanKind::RankDeath { cause } => {
             // Instant event ("i"), thread-scoped.
             return format!(
@@ -175,8 +182,21 @@ mod tests {
             end: 2.0e-3,
             kind: SpanKind::RankDeath { cause: "panic" },
         });
+        rec.record(SpanRecord {
+            rank: 0,
+            start: 3.0e-3,
+            end: 3.1e-3,
+            kind: SpanKind::Abft {
+                op: summagen_comm::span::AbftLabel::Verify,
+                step: 4,
+                elems: 256,
+            },
+        });
         let json = perfetto_json(&rec.finish(), "unit test");
         assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"name\":\"abft-verify\""));
+        assert!(json.contains("\"cat\":\"abft\""));
+        assert!(json.contains("\"step\":4"));
         assert!(json.contains("\"name\":\"rank 0 ops\""));
         assert!(json.contains("\"name\":\"rank 1 phases\""));
         // 1.5 ms -> 1500 µs duration on the sender's op track.

@@ -211,6 +211,12 @@ fn push_kind(out: &mut Vec<u8>, kind: &SpanKind) {
             out.push(5);
             out.extend_from_slice(cause.as_bytes());
         }
+        SpanKind::Abft { op, step, elems } => {
+            out.push(6);
+            out.extend_from_slice(op.label().as_bytes());
+            push_u64(out, *step);
+            push_u64(out, *elems);
+        }
     }
 }
 
@@ -287,6 +293,32 @@ mod tests {
         let b = TraceRecorder::new(1);
         b.record(gemm(456));
         assert_eq!(a.finish().canonical_bytes(), b.finish().canonical_bytes());
+    }
+
+    #[test]
+    fn canonical_bytes_cover_abft_spans() {
+        use summagen_comm::span::AbftLabel;
+        let abft = |op, step| SpanRecord {
+            rank: 0,
+            start: 0.0,
+            end: 1.0,
+            kind: SpanKind::Abft {
+                op,
+                step,
+                elems: 64,
+            },
+        };
+        let a = TraceRecorder::new(1);
+        a.record(abft(AbftLabel::Verify, 2));
+        let b = TraceRecorder::new(1);
+        b.record(abft(AbftLabel::Verify, 2));
+        assert_eq!(a.finish().canonical_bytes(), b.finish().canonical_bytes());
+        let c = TraceRecorder::new(1);
+        c.record(abft(AbftLabel::Checkpoint, 2));
+        assert_ne!(a.finish().canonical_bytes(), c.finish().canonical_bytes());
+        let d = TraceRecorder::new(1);
+        d.record(abft(AbftLabel::Verify, 3)); // different step
+        assert_ne!(a.finish().canonical_bytes(), d.finish().canonical_bytes());
     }
 
     #[test]
