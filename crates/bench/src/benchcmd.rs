@@ -1,0 +1,406 @@
+//! The `reproduce bench` subcommand: the performance-regression harness.
+//!
+//! For each of the four paper shapes this runs the virtual-time pipeline
+//! with the metrics registry installed and captures one schema-stamped
+//! `BENCH_<shape>.json` document per shape:
+//!
+//! * the CPM phantom run at [`BENCH_N`] (makespan, achieved GFLOP/s,
+//!   communication fraction, and the registry's histogram quantiles for
+//!   send / receive-wait / broadcast latency and per-block GEMM time);
+//! * the FPM point at [`BENCH_FPM_N`] through the load-imbalancing
+//!   partitioner;
+//! * the ABFT overhead pair at [`resilience::ABFT_N`] (protected vs
+//!   unprotected makespan, resilience-time share, checkpoints).
+//!
+//! Every number is derived from the **virtual** clock, so two runs of
+//! the same source tree produce byte-identical metric values — which is
+//! what makes committed baselines meaningful: `bench --check <dir>`
+//! reruns the harness and compares every numeric leaf against the
+//! baseline document within a relative tolerance, exiting nonzero on
+//! any regression. A folded-stack flamegraph (`flame_<shape>.folded`)
+//! of each CPM run rides along for "where did the time go" triage.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+use summagen_comm::RuntimeMetrics;
+use summagen_core::{simulate_observed, SimReport};
+use summagen_partition::{proportional_areas, Shape, ALL_FOUR_SHAPES};
+use summagen_platform::profile::hclserver1;
+use summagen_trace::{folded_stacks, TraceRecorder};
+
+use crate::json::{with_metadata, Json, SCHEMA_VERSION};
+use crate::resilience::{self, AbftShapeRun};
+use crate::{link_model, run_fpm_point, CPM_SPEEDS};
+
+/// Problem size of the CPM regression run: the paper's smallest
+/// Figure 6/8 point, large enough to exercise every communicator.
+pub const BENCH_N: usize = 25_600;
+
+/// Problem size of the FPM regression point (load-imbalancing
+/// partitioner over the discrete speed functions).
+pub const BENCH_FPM_N: usize = 8_192;
+
+/// Default relative tolerance of `bench --check`. Virtual-time runs are
+/// deterministic, so this only needs to absorb float formatting and
+/// cross-platform libm noise — 1 % is generous.
+pub const DEFAULT_CHECK_TOLERANCE: f64 = 0.01;
+
+/// Everything measured about one shape's regression runs.
+#[derive(Debug)]
+pub struct BenchShapeRun {
+    /// Shape that was run.
+    pub shape: Shape,
+    /// The CPM phantom run at [`BENCH_N`].
+    pub cpm: SimReport,
+    /// Metrics registry populated by the CPM run.
+    pub metrics: Arc<RuntimeMetrics>,
+    /// Folded-stack flamegraph of the CPM run (virtual-ns weights).
+    pub folded: String,
+    /// The FPM point at [`BENCH_FPM_N`].
+    pub fpm: SimReport,
+    /// Protected-vs-unprotected ABFT overhead runs.
+    pub abft: AbftShapeRun,
+}
+
+/// Runs the three regression scenarios for one shape.
+pub fn bench_shape(shape: Shape) -> BenchShapeRun {
+    let platform = hclserver1();
+    let areas = proportional_areas(BENCH_N, &CPM_SPEEDS);
+    let spec = shape.build(BENCH_N, &areas);
+    let metrics = RuntimeMetrics::fresh();
+    let recorder = TraceRecorder::new(spec.nprocs);
+    let cpm = simulate_observed(
+        &spec,
+        &platform,
+        link_model(),
+        Some(recorder.clone()),
+        Some(metrics.clone()),
+    );
+    let folded = folded_stacks(&recorder.finish());
+    let fpm = run_fpm_point(BENCH_FPM_N, shape, &platform);
+    let abft = resilience::abft_shape_run(resilience::ABFT_N, shape);
+    BenchShapeRun {
+        shape,
+        cpm,
+        metrics,
+        folded,
+        fpm,
+        abft,
+    }
+}
+
+/// The schema-stamped regression document for one shape.
+pub fn bench_json(run: &BenchShapeRun) -> Json {
+    let m = &run.metrics;
+    let cpm = &run.cpm;
+    let doc = Json::obj([
+        (
+            "cpm",
+            Json::obj([
+                ("makespan_s", Json::from(cpm.exec_time)),
+                ("comp_time_s", Json::from(cpm.comp_time)),
+                ("comm_time_s", Json::from(cpm.comm_time)),
+                (
+                    "comm_fraction",
+                    Json::from(cpm.comm_time / cpm.exec_time.max(1e-300)),
+                ),
+                ("gflops", Json::from(cpm.achieved_flops() / 1e9)),
+            ]),
+        ),
+        (
+            "fpm",
+            Json::obj([
+                ("makespan_s", Json::from(run.fpm.exec_time)),
+                ("gflops", Json::from(run.fpm.achieved_flops() / 1e9)),
+            ]),
+        ),
+        (
+            "abft",
+            Json::obj([
+                ("protected_s", Json::from(run.abft.exec_protected)),
+                ("unprotected_s", Json::from(run.abft.exec_unprotected)),
+                ("slowdown_pct", Json::from(run.abft.slowdown_pct)),
+                ("overhead_pct", Json::from(run.abft.overhead_pct)),
+                ("checkpoints", Json::from(run.abft.checkpoints)),
+                ("abft_spans", Json::from(run.abft.abft_spans)),
+            ]),
+        ),
+        (
+            "comm",
+            Json::obj([
+                ("send_msgs", Json::from(m.send_msgs.get())),
+                ("send_bytes", Json::from(m.send_bytes.get())),
+                ("bcast_bytes", Json::from(m.bcast_bytes.get())),
+                ("send_seconds", hist_quantiles(&m.send_seconds)),
+                ("recv_wait_seconds", hist_quantiles(&m.recv_wait_seconds)),
+                ("bcast_seconds", hist_quantiles(&m.bcast_seconds)),
+            ]),
+        ),
+        (
+            "gemm",
+            Json::obj([
+                ("ops", Json::from(m.gemm.ops.get())),
+                ("flops", Json::from(m.gemm.flops.get())),
+                ("virtual_seconds", hist_quantiles(&m.gemm.virtual_seconds)),
+                ("virtual_gflops", hist_quantiles(&m.gemm.virtual_gflops)),
+            ]),
+        ),
+    ]);
+    with_metadata(
+        doc,
+        Json::obj([
+            ("command", Json::from("reproduce bench")),
+            ("shape", Json::from(run.shape.name())),
+            ("cpm_n", Json::from(BENCH_N)),
+            ("fpm_n", Json::from(BENCH_FPM_N)),
+            ("abft_n", Json::from(resilience::ABFT_N)),
+            (
+                "cpm_speeds",
+                Json::arr(CPM_SPEEDS.iter().copied().map(Json::from)),
+            ),
+        ]),
+    )
+}
+
+/// `{count, p50, p95, p99}` for one of the registry's histograms; the
+/// quantile estimates are bucket upper bounds (≤ 6.25 % relative error)
+/// and fully deterministic on the virtual clock.
+fn hist_quantiles(h: &summagen_metrics::Histogram) -> Json {
+    Json::obj([
+        ("count", Json::from(h.count())),
+        ("p50", Json::from(h.quantile(0.50))),
+        ("p95", Json::from(h.quantile(0.95))),
+        ("p99", Json::from(h.quantile(0.99))),
+    ])
+}
+
+fn shape_slug(shape: Shape) -> String {
+    shape.name().replace(' ', "-")
+}
+
+/// Runs all four shapes, writing `BENCH_<shape>.json` and
+/// `flame_<shape>.folded` into `out_dir` and printing a summary table.
+pub fn run_bench(out_dir: &Path) -> io::Result<()> {
+    fs::create_dir_all(out_dir)?;
+    println!(
+        "\nBENCH — regression harness (CPM N = {BENCH_N}, FPM N = {BENCH_FPM_N}, \
+         ABFT N = {}), output in {}",
+        resilience::ABFT_N,
+        out_dir.display()
+    );
+    println!(
+        "{:>20} {:>12} {:>10} {:>8} {:>10} {:>12}",
+        "shape", "makespan(s)", "GFLOP/s", "comm%", "abft+%", "p99 send(s)"
+    );
+    for shape in ALL_FOUR_SHAPES {
+        let run = bench_shape(shape);
+        let slug = shape_slug(shape);
+        fs::write(
+            out_dir.join(format!("BENCH_{slug}.json")),
+            bench_json(&run).pretty(),
+        )?;
+        fs::write(out_dir.join(format!("flame_{slug}.folded")), &run.folded)?;
+        println!(
+            "{:>20} {:>12.4} {:>10.1} {:>7.2}% {:>9.2}% {:>12.3e}",
+            shape.name(),
+            run.cpm.exec_time,
+            run.cpm.achieved_flops() / 1e9,
+            100.0 * run.cpm.comm_time / run.cpm.exec_time.max(1e-300),
+            run.abft.slowdown_pct,
+            run.metrics.send_seconds.quantile(0.99),
+        );
+    }
+    Ok(())
+}
+
+/// One `--check` violation, human-readable.
+pub type CheckViolation = String;
+
+/// Flattens every numeric leaf of a document into `(dotted.path, value)`
+/// pairs. Array elements use their index as the path component.
+fn numeric_leaves(prefix: &str, v: &Json, out: &mut Vec<(String, f64)>) {
+    match v {
+        Json::Num(x) => out.push((prefix.to_string(), *x)),
+        Json::Obj(pairs) => {
+            for (k, v) in pairs {
+                let p = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                numeric_leaves(&p, v, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                numeric_leaves(&format!("{prefix}.{i}"), v, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Compares a fresh document against a baseline: every numeric leaf of
+/// the baseline must exist in the fresh document and agree within
+/// relative tolerance `tol` (absolute for values near zero). The
+/// provenance `git_commit` is a string and is naturally ignored;
+/// `schema_version` must match exactly.
+pub fn compare_docs(label: &str, baseline: &Json, fresh: &Json, tol: f64) -> Vec<CheckViolation> {
+    let mut violations = Vec::new();
+    let base_schema = baseline.get("schema_version").and_then(Json::as_f64);
+    if base_schema != Some(SCHEMA_VERSION as f64) {
+        violations.push(format!(
+            "{label}: baseline schema_version {base_schema:?} != {SCHEMA_VERSION} — \
+             refresh the baseline (see EXPERIMENTS.md)"
+        ));
+        return violations;
+    }
+    let mut base_leaves = Vec::new();
+    numeric_leaves("", baseline, &mut base_leaves);
+    let mut fresh_leaves = Vec::new();
+    numeric_leaves("", fresh, &mut fresh_leaves);
+    let fresh_map: std::collections::BTreeMap<&str, f64> =
+        fresh_leaves.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    for (path, want) in &base_leaves {
+        let Some(&got) = fresh_map.get(path.as_str()) else {
+            violations.push(format!("{label}: metric '{path}' missing from fresh run"));
+            continue;
+        };
+        let scale = want.abs().max(1e-12);
+        let rel = (got - want).abs() / scale;
+        if rel > tol {
+            violations.push(format!(
+                "{label}: '{path}' regressed — baseline {want}, fresh {got} \
+                 ({:+.2}% vs tolerance ±{:.2}%)",
+                100.0 * (got - want) / scale,
+                100.0 * tol
+            ));
+        }
+    }
+    violations
+}
+
+/// Reruns the harness and checks each shape's fresh document against
+/// `BENCH_<shape>.json` in `baseline_dir`. Returns all violations; an
+/// empty list means the run is within tolerance.
+pub fn check_bench(baseline_dir: &Path, tol: f64) -> io::Result<Vec<CheckViolation>> {
+    let mut violations = Vec::new();
+    println!(
+        "\nBENCH CHECK — fresh run vs baselines in {} (tolerance ±{:.2}%)",
+        baseline_dir.display(),
+        100.0 * tol
+    );
+    for shape in ALL_FOUR_SHAPES {
+        let slug = shape_slug(shape);
+        let path = baseline_dir.join(format!("BENCH_{slug}.json"));
+        let text = fs::read_to_string(&path)?;
+        let baseline = Json::parse(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{path:?}: {e}")))?;
+        let fresh = bench_json(&bench_shape(shape));
+        let v = compare_docs(shape.name(), &baseline, &fresh, tol);
+        println!(
+            "  {:<20} {}",
+            shape.name(),
+            if v.is_empty() {
+                "ok".to_string()
+            } else {
+                format!("{} violation(s)", v.len())
+            }
+        );
+        violations.extend(v);
+    }
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_json_is_deterministic_and_parseable() {
+        let a = bench_json(&bench_shape(Shape::SquareCorner));
+        let b = bench_json(&bench_shape(Shape::SquareCorner));
+        // Virtual-time determinism: identical documents run-to-run.
+        assert_eq!(a.pretty(), b.pretty());
+        let parsed = Json::parse(&a.pretty()).expect("own output parses");
+        assert!(
+            parsed
+                .path("cpm.makespan_s")
+                .and_then(Json::as_f64)
+                .unwrap()
+                > 0.0
+        );
+        assert!(parsed.path("gemm.flops").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(
+            parsed
+                .path("comm.send_seconds.count")
+                .and_then(Json::as_f64)
+                .unwrap()
+                > 0.0
+        );
+        assert_eq!(
+            parsed.get("schema_version").and_then(Json::as_f64),
+            Some(SCHEMA_VERSION as f64)
+        );
+    }
+
+    #[test]
+    fn compare_accepts_identical_and_rejects_perturbed() {
+        let doc = bench_json(&bench_shape(Shape::OneDRectangular));
+        assert!(compare_docs("self", &doc, &doc, 0.0).is_empty());
+
+        // Perturb one metric by 10%: must be flagged at 5% tolerance.
+        let perturbed = perturb(&doc, "cpm.makespan_s", 1.10);
+        let v = compare_docs("perturbed", &perturbed, &doc, 0.05);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("cpm.makespan_s"));
+
+        // A missing metric is also a violation.
+        let mut extra = doc.clone();
+        if let Json::Obj(pairs) = &mut extra {
+            pairs.push(("invented".to_string(), Json::from(1.0f64)));
+        }
+        let v = compare_docs("missing", &extra, &doc, 0.05);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("invented"));
+    }
+
+    #[test]
+    fn compare_rejects_schema_mismatch() {
+        let doc = Json::obj([("schema_version", Json::from(999u32))]);
+        let v = compare_docs("schema", &doc, &doc, 0.05);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("schema_version"));
+    }
+
+    /// Returns a copy of `doc` with the numeric leaf at `path` scaled.
+    fn perturb(doc: &Json, path: &str, factor: f64) -> Json {
+        fn walk(v: &Json, parts: &[&str], factor: f64) -> Json {
+            match v {
+                Json::Obj(pairs) => Json::Obj(
+                    pairs
+                        .iter()
+                        .map(|(k, val)| {
+                            if parts.first() == Some(&k.as_str()) {
+                                if parts.len() == 1 {
+                                    let x = val.as_f64().expect("numeric leaf");
+                                    (k.clone(), Json::Num(x * factor))
+                                } else {
+                                    (k.clone(), walk(val, &parts[1..], factor))
+                                }
+                            } else {
+                                (k.clone(), val.clone())
+                            }
+                        })
+                        .collect(),
+                ),
+                other => other.clone(),
+            }
+        }
+        let parts: Vec<&str> = path.split('.').collect();
+        walk(doc, &parts, factor)
+    }
+}

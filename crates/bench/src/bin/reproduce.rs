@@ -3,7 +3,8 @@
 //! ```text
 //! reproduce table1 | fig1 | fig5 | fig6 | fig7 | fig8 | summary
 //!           | crossover | nrrp | energyopt | summa | cluster | exact
-//!           | auto | fig5measured | verify | recovery | trace | abft | all
+//!           | auto | fig5measured | verify | recovery | trace | abft
+//!           | bench | all
 //! ```
 //!
 //! Output is whitespace-aligned text: one row per problem size with one
@@ -11,7 +12,13 @@
 //! paper plots. `trace [--out DIR]` additionally writes Perfetto trace
 //! files and metrics summaries (default `target/trace`); `abft [--out
 //! DIR]` writes the ABFT overhead summaries and Perfetto traces of the
-//! checksum-protected runs (default `target/abft`).
+//! checksum-protected runs (default `target/abft`); `bench [--out DIR]`
+//! writes the schema-stamped `BENCH_<shape>.json` regression documents
+//! and folded-stack flamegraphs (default `target/bench`), and `bench
+//! --check DIR [--tol FRACTION]` instead reruns the harness and compares
+//! against the baselines in DIR, exiting nonzero on any regression.
+//! `all` runs every text command plus the trace, recovery, abft, and
+//! bench exporters.
 
 use std::env;
 
@@ -22,6 +29,8 @@ fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut json = false;
     let mut out_dir: Option<String> = None;
+    let mut check_dir: Option<String> = None;
+    let mut tol: Option<f64> = None;
     let mut what: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -35,6 +44,25 @@ fn main() {
                     eprintln!("--out requires a directory argument");
                     std::process::exit(2);
                 }
+            }
+            "--check" => {
+                if let Some(v) = args.get(i + 1) {
+                    check_dir = Some(v.clone());
+                    i += 1;
+                } else {
+                    eprintln!("--check requires a baseline directory argument");
+                    std::process::exit(2);
+                }
+            }
+            "--tol" => {
+                match args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) {
+                    Some(v) if v >= 0.0 => tol = Some(v),
+                    _ => {
+                        eprintln!("--tol requires a non-negative fraction (e.g. 0.05)");
+                        std::process::exit(2);
+                    }
+                }
+                i += 1;
             }
             a if !a.starts_with("--") && what.is_none() => what = Some(a.to_string()),
             other => {
@@ -68,6 +96,11 @@ fn main() {
         "recovery" => recovery(),
         "trace" => trace(out_dir.as_deref().unwrap_or("target/trace")),
         "abft" => abft(out_dir.as_deref().unwrap_or("target/abft")),
+        "bench" => bench(
+            out_dir.as_deref().unwrap_or("target/bench"),
+            check_dir.as_deref(),
+            tol,
+        ),
         "all" => {
             print!("{}", table1());
             println!();
@@ -86,10 +119,13 @@ fn main() {
             auto_gen();
             fig5measured();
             recovery();
+            trace(out_dir.as_deref().unwrap_or("target/trace"));
+            abft(out_dir.as_deref().unwrap_or("target/abft"));
+            bench(out_dir.as_deref().unwrap_or("target/bench"), None, tol);
         }
         other => {
             eprintln!(
-                "unknown figure '{other}'; expected one of: table1 fig1 fig5 fig6 fig7 fig8 summary crossover nrrp energyopt summa cluster exact auto fig5measured verify recovery trace abft all"
+                "unknown figure '{other}'; expected one of: table1 fig1 fig5 fig6 fig7 fig8 summary crossover nrrp energyopt summa cluster exact auto fig5measured verify recovery trace abft bench all"
             );
             std::process::exit(2);
         }
@@ -114,6 +150,41 @@ fn abft(out_dir: &str) {
     if let Err(e) = resilience::run_abft(resilience::ABFT_N, std::path::Path::new(out_dir)) {
         eprintln!("abft export to '{out_dir}' failed: {e}");
         std::process::exit(1);
+    }
+}
+
+/// Regression harness: writes `BENCH_<shape>.json` + flamegraphs, or —
+/// with `--check DIR` — reruns and compares against committed baselines,
+/// exiting nonzero on any out-of-tolerance metric (see `benchcmd`).
+fn bench(out_dir: &str, check_dir: Option<&str>, tol: Option<f64>) {
+    use summagen_bench::benchcmd;
+    let tol = tol.unwrap_or(benchcmd::DEFAULT_CHECK_TOLERANCE);
+    match check_dir {
+        Some(dir) => match benchcmd::check_bench(std::path::Path::new(dir), tol) {
+            Ok(violations) if violations.is_empty() => {
+                println!(
+                    "bench check passed: all metrics within ±{:.2}%",
+                    100.0 * tol
+                );
+            }
+            Ok(violations) => {
+                eprintln!("bench check FAILED ({} violations):", violations.len());
+                for v in &violations {
+                    eprintln!("  {v}");
+                }
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("bench check against '{dir}' failed to run: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            if let Err(e) = benchcmd::run_bench(std::path::Path::new(out_dir)) {
+                eprintln!("bench export to '{out_dir}' failed: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }
 

@@ -32,6 +32,23 @@ pub fn link_model() -> HockneyModel {
     HockneyModel::intra_node()
 }
 
+/// Extracts a report's dynamic-energy reading, panicking with the run's
+/// shape and size on a miss — `simulate_with_energy` always populates
+/// the reading, so an absent one is a harness wiring bug and the message
+/// should say exactly which experiment point hit it.
+pub fn dynamic_energy_j(r: &SimReport, shape: Shape, n: usize) -> f64 {
+    r.energy
+        .as_ref()
+        .unwrap_or_else(|| {
+            panic!(
+                "no energy reading for {} at N = {n}: the point was simulated \
+                 without an energy meter (use simulate_with_energy)",
+                shape.name()
+            )
+        })
+        .dynamic_energy_j
+}
+
 /// One data point of a shape-comparison figure.
 #[derive(Debug, Clone)]
 pub struct ShapePoint {
@@ -186,7 +203,7 @@ pub fn fig8_series() -> Vec<(usize, Shape, f64)> {
         }
         for shape in ALL_FOUR_SHAPES {
             let r = run_cpm_point(n, shape, &platform);
-            out.push((n, shape, r.energy.unwrap().dynamic_energy_j));
+            out.push((n, shape, dynamic_energy_j(&r, shape, n)));
         }
     }
     out
@@ -358,7 +375,7 @@ pub fn energy_vs_time_partition() -> Vec<(usize, TimeEnergy, TimeEnergy)> {
         let run = |areas: &[f64]| {
             let spec = Shape::SquareRectangle.build(n, areas);
             let r = simulate_with_energy(&spec, &platform, link_model(), &power);
-            (r.exec_time, r.energy.unwrap().dynamic_energy_j)
+            (r.exec_time, dynamic_energy_j(&r, Shape::SquareRectangle, n))
         };
         let t_areas = load_imbalancing_areas(n, &fpms);
         let e_areas = energy_optimal_areas(n, &fpms, &power.compute_power_w);
@@ -517,7 +534,7 @@ mod tests {
         let platform = hclserver1();
         let r = run_cpm_point(25_600, Shape::SquareCorner, &platform);
         assert!(r.exec_time > 0.0);
-        assert!(r.energy.unwrap().dynamic_energy_j > 0.0);
+        assert!(dynamic_energy_j(&r, Shape::SquareCorner, 25_600) > 0.0);
     }
 
     #[test]

@@ -1,10 +1,11 @@
-//! Minimal JSON document builder used by the `reproduce --json` output.
+//! Minimal JSON document builder and parser used by the `reproduce`
+//! machine-readable output.
 //!
-//! The build environment has no crates.io access, so instead of `serde_json`
-//! the harness emits its machine-readable output through this small value
-//! type. It only needs to *produce* JSON (the consumers are plotting
-//! scripts), so there is no parser here; `PartitionSpec::from_json` in
-//! `summagen-partition` covers the one place the workspace reads JSON back.
+//! The build environment has no crates.io access, so instead of
+//! `serde_json` the harness emits its machine-readable output through
+//! this small value type. [`Json::parse`] is the matching reader — it
+//! exists for `bench --check`, which loads committed `BENCH_*.json`
+//! baselines back in to compare against a fresh run.
 
 use std::fmt::Write as _;
 
@@ -42,6 +43,60 @@ impl Json {
         let mut out = String::new();
         self.write(&mut out, 0);
         out
+    }
+
+    /// Parses a JSON document. Covers everything [`Json::pretty`] can
+    /// emit (and standard JSON generally); numbers become `f64`, which
+    /// is exact for the integer range the harness uses.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing content at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object member lookup; `None` on non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Walks a `.`-separated path of object keys (`"metrics.makespan_s"`).
+    pub fn path(&self, path: &str) -> Option<&Json> {
+        path.split('.').try_fold(self, |v, key| v.get(key))
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
     }
 
     fn write(&self, out: &mut String, indent: usize) {
@@ -116,6 +171,185 @@ impl Json {
                 out.push('}');
             }
         }
+    }
+}
+
+/// Recursive-descent JSON reader over the raw bytes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            // Surrogate pairs don't occur in harness output;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {:?}", other.map(|c| c as char))),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // byte boundaries are trustworthy).
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid number {text:?} at byte {start}"))
     }
 }
 
@@ -272,6 +506,54 @@ mod tests {
         let doc = with_metadata(Json::arr([Json::from(1usize)]), Json::Null);
         let s = doc.pretty();
         assert!(s.contains("\"data\": ["));
+    }
+
+    #[test]
+    fn parse_round_trips_pretty_output() {
+        let doc = with_metadata(
+            Json::obj([
+                ("makespan_s", Json::from(12.375f64)),
+                ("shapes", Json::arr(["square-corner", "block-rectangle"])),
+                ("nested", Json::obj([("p99", Json::from(1.5e-3f64))])),
+                ("note", Json::from("quote \" backslash \\ newline \n")),
+                ("flag", Json::from(true)),
+                ("missing", Json::Null),
+            ]),
+            Json::obj([("n", Json::from(25_600usize))]),
+        );
+        let parsed = Json::parse(&doc.pretty()).expect("round trip");
+        assert_eq!(parsed, doc);
+        assert_eq!(
+            parsed.path("nested.p99").and_then(Json::as_f64),
+            Some(1.5e-3)
+        );
+        assert_eq!(
+            parsed
+                .get("shapes")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(2)
+        );
+        assert_eq!(
+            parsed.path("run_config.n").and_then(Json::as_f64),
+            Some(25_600.0)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("{\"a\": 1} extra").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn parse_handles_numbers_and_escapes() {
+        let v = Json::parse("{\"x\": -1.25e2, \"s\": \"a\\u0041\\n\"}").unwrap();
+        assert_eq!(v.get("x").and_then(Json::as_f64), Some(-125.0));
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("aA\n"));
     }
 
     #[test]

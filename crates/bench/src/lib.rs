@@ -5,6 +5,7 @@
 //! The heavy lifting lives in [`experiments`]; the `reproduce` binary and
 //! the criterion benches are thin wrappers over it.
 
+pub mod benchcmd;
 pub mod experiments;
 pub mod json;
 pub mod resilience;

@@ -20,6 +20,7 @@ use crate::fault::{FaultState, MsgAction};
 use crate::message::{Envelope, Payload};
 use crate::span::{CollectiveOp, EventSink, MsgOutcome, SpanKind, SpanRecord};
 use crate::sync::Mutex;
+use summagen_metrics::RuntimeMetrics;
 
 /// Per-rank traffic accounting, aggregated over all communicators the rank
 /// participates in.
@@ -196,6 +197,11 @@ pub(crate) struct Shared {
     /// is installed. Each rank's counter is touched only by its own
     /// thread, so the sequence stream is deterministic.
     pub send_seq: Vec<AtomicU64>,
+    /// Aggregate metrics bundle, if the universe was built with one
+    /// (`Universe::with_metrics`). Like `sink`, `None` keeps every hook
+    /// to a single branch; the handles themselves are wait-free, so
+    /// recording needs no per-rank ownership discipline.
+    pub metrics: Option<Arc<RuntimeMetrics>>,
 }
 
 impl Shared {
@@ -420,6 +426,11 @@ impl Communicator {
             s.msgs_sent += 1;
             s.bytes_sent += bytes as u64;
         }
+        if let Some(m) = &self.shared.metrics {
+            m.send_msgs.inc();
+            m.send_bytes.add(bytes as u64);
+            m.send_seconds.observe(arrival - start);
+        }
         let action = self.shared.fault.as_ref().map_or(MsgAction::Deliver, |fs| {
             fs.on_message(self.global_rank(), dst_global)
         });
@@ -531,6 +542,11 @@ impl Communicator {
             s.msgs_recv += 1;
             s.bytes_recv += env.payload.bytes() as u64;
         }
+        if let Some(m) = &self.shared.metrics {
+            m.recv_msgs.inc();
+            m.recv_bytes.add(env.payload.bytes() as u64);
+            m.recv_wait_seconds.observe(end - start);
+        }
         if let Some(sink) = &self.shared.sink {
             sink.record(SpanRecord {
                 rank: self.global_rank(),
@@ -590,6 +606,11 @@ impl Communicator {
             s.msgs_recv += 1;
             s.bytes_recv += env.payload.bytes() as u64;
         }
+        if let Some(m) = &self.shared.metrics {
+            m.recv_msgs.inc();
+            m.recv_bytes.add(env.payload.bytes() as u64);
+            m.recv_wait_seconds.observe(end - start);
+        }
         if let Some(sink) = &self.shared.sink {
             sink.record(SpanRecord {
                 rank: me,
@@ -619,6 +640,15 @@ impl Communicator {
         self.shared.sink.is_some()
     }
 
+    /// The universe's aggregate-metrics bundle, if one was installed
+    /// (`Universe::with_metrics`). Layers above comm record their own
+    /// counters and histograms through this — the same pattern as
+    /// [`Communicator::emit`] for spans, without a metrics-crate
+    /// dependency cycle.
+    pub fn metrics(&self) -> Option<&Arc<RuntimeMetrics>> {
+        self.shared.metrics.as_ref()
+    }
+
     /// Delivers a span to the universe's event sink, if one is installed.
     /// This is how the algorithm layers (stages, GEMM wrappers) report
     /// events without depending on the trace crate. Call only from this
@@ -635,8 +665,9 @@ impl Communicator {
         }
     }
 
-    /// Runs a collective body and, when tracing, encloses it in a
-    /// `Collective` span. The span is emitted only on success — a failed
+    /// Runs a collective body and, when observed, encloses it in a
+    /// `Collective` span (sink) and/or records its per-participant
+    /// duration (metrics). Both fire only on success — a failed
     /// collective leaves its partial sends/recvs as leaf evidence instead.
     fn with_collective_span<T>(
         &mut self,
@@ -644,21 +675,35 @@ impl Communicator {
         root: usize,
         body: impl FnOnce(&mut Self) -> CommResult<T>,
     ) -> CommResult<T> {
-        if self.shared.sink.is_none() {
+        if self.shared.sink.is_none() && self.shared.metrics.is_none() {
             return body(self);
         }
         let start = self.clock.lock().now();
         let out = body(self)?;
         let end = self.clock.lock().now();
-        self.emit(
-            start,
-            end,
-            SpanKind::Collective {
-                op,
-                root,
-                comm_size: self.size(),
-            },
-        );
+        if self.shared.sink.is_some() {
+            self.emit(
+                start,
+                end,
+                SpanKind::Collective {
+                    op,
+                    root,
+                    comm_size: self.size(),
+                },
+            );
+        }
+        if let Some(m) = &self.shared.metrics {
+            let label = match op {
+                CollectiveOp::Bcast => "bcast",
+                CollectiveOp::Gather => "gather",
+                CollectiveOp::Scatter => "scatter",
+                CollectiveOp::Barrier => "barrier",
+            };
+            if let Some((ops, seconds)) = m.collective(label) {
+                ops.inc();
+                seconds.observe(end - start);
+            }
+        }
         Ok(out)
     }
 
@@ -703,7 +748,7 @@ impl Communicator {
     ) -> CommResult<Payload> {
         assert!(root < self.size(), "bcast root {root} out of range");
         let tag = self.next_coll_tag();
-        self.with_collective_span(CollectiveOp::Bcast, root, |comm| {
+        let out = self.with_collective_span(CollectiveOp::Bcast, root, |comm| {
             let p = comm.size();
             if p == 1 {
                 return Ok(payload);
@@ -754,7 +799,13 @@ impl Communicator {
                     Ok(data)
                 }
             }
-        })
+        })?;
+        // Every participant ends the bcast holding the root's payload, so
+        // byte accounting is per-rank delivered volume.
+        if let Some(m) = &self.shared.metrics {
+            m.bcast_bytes.add(out.bytes() as u64);
+        }
+        Ok(out)
     }
 
     /// Gather: every rank contributes a payload; the root receives all of

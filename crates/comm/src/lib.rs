@@ -31,7 +31,10 @@
 //! GEMM, stage, and rank death as a typed [`SpanRecord`] to an
 //! [`EventSink`] installed with [`Universe::with_event_sink`] — see the
 //! [`span`] module and the `summagen-trace` crate, which turns the stream
-//! into Perfetto timelines and critical-path reports.
+//! into Perfetto timelines and critical-path reports. Orthogonally, a
+//! [`RuntimeMetrics`] bundle installed with [`Universe::with_metrics`]
+//! aggregates the same activity into wait-free counters and latency
+//! histograms (`summagen-metrics`), exportable as Prometheus text.
 
 pub mod clock;
 pub mod comm;
@@ -56,3 +59,8 @@ pub use span::{AbftLabel, CollectiveOp, EventSink, MsgOutcome, SpanKind, SpanRec
 pub use universe::{
     recv_timeout_from_env, ConfigError, Universe, DEFAULT_RECV_TIMEOUT, RECV_TIMEOUT_ENV,
 };
+
+// Aggregate metrics live below comm (same layering as the span
+// vocabulary): re-export the bundle type `Universe::with_metrics` takes so
+// callers need not name the metrics crate separately.
+pub use summagen_metrics::RuntimeMetrics;

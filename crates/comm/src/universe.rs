@@ -29,6 +29,7 @@ use crate::error::{CommError, FailedRank, FailureCause, RankFailure};
 use crate::fault::{FaultPlan, FaultState, InjectedKill};
 use crate::span::{EventSink, SpanKind, SpanRecord};
 use crate::sync::Mutex;
+use summagen_metrics::RuntimeMetrics;
 
 /// Default blocking-receive timeout: generous enough for real runs, small
 /// enough that a deadlocked test suite still terminates. Overridable per
@@ -117,6 +118,7 @@ pub struct Universe {
     recv_timeout: Duration,
     faults: Option<FaultPlan>,
     sink: Option<Arc<dyn EventSink>>,
+    metrics: Option<Arc<RuntimeMetrics>>,
 }
 
 static UNIVERSE_COUNTER: AtomicU64 = AtomicU64::new(1);
@@ -151,6 +153,7 @@ impl Universe {
             recv_timeout: default_recv_timeout(),
             faults: None,
             sink: None,
+            metrics: None,
         }
     }
 
@@ -193,6 +196,16 @@ impl Universe {
         self
     }
 
+    /// Installs an aggregate-metrics bundle: sends, receives, collectives,
+    /// GEMMs, panel steps, and ABFT events in subsequent runs bump the
+    /// bundle's wait-free counters and histograms
+    /// (`summagen_metrics::RuntimeMetrics`). Without one (the default)
+    /// every hook is a single branch, exactly like the event sink.
+    pub fn with_metrics(mut self, metrics: Arc<RuntimeMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
     /// Number of ranks.
     pub fn size(&self) -> usize {
         self.size
@@ -221,6 +234,7 @@ impl Universe {
             recv_timeout: self.recv_timeout,
             sink: self.sink.clone(),
             send_seq: (0..p).map(|_| AtomicU64::new(0)).collect(),
+            metrics: self.metrics.clone(),
         });
         (shared, receivers)
     }

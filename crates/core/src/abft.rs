@@ -278,11 +278,17 @@ fn verify_received(
             elems,
         },
     );
+    if let Some(m) = comm.metrics() {
+        m.abft_verifies.inc();
+    }
     match verdict {
         AbftVerdict::Clean => Ok(()),
         AbftVerdict::Corrected { .. } => {
             stats.detected += 1;
             stats.corrected += 1;
+            if let Some(m) = comm.metrics() {
+                m.abft_corrections.inc();
+            }
             let cs = comm.now();
             comm.advance_compute(opts.verify_cost);
             comm.emit(
@@ -358,6 +364,9 @@ fn run_rank_abft(
                 elems,
             },
         );
+        if let Some(m) = comm.metrics() {
+            m.abft_rollbacks.inc();
+        }
     }
 
     for t in 0..total_panels {
@@ -371,6 +380,9 @@ fn run_rank_abft(
             stats.first_panel = t as u64;
         }
         stats.panels_executed += 1;
+        if let Some(m) = comm.metrics() {
+            m.panel_steps.inc();
+        }
         let kb = k1 - lo;
 
         // --- Gather the A blocks (bi, t), column-sliced to [lo, k1).
@@ -562,6 +574,10 @@ fn run_rank_abft(
                 elems: c_elems,
             },
         );
+        if let Some(m) = comm.metrics() {
+            m.abft_verifies.inc();
+            m.abft_corrections.add(corrections);
+        }
         if corrections > 0 {
             let cs = comm.now();
             comm.advance_compute(opts.verify_cost * corrections as f64);
@@ -605,6 +621,9 @@ fn run_rank_abft(
                     elems: data_elems,
                 },
             );
+            if let Some(m) = comm.metrics() {
+                m.abft_checkpoints.inc();
+            }
             stats.checkpoints_written += 1;
         }
     }
@@ -631,6 +650,7 @@ fn try_run_abft(
     faults: Option<FaultPlan>,
     recv_timeout: Duration,
     sink: Option<Arc<dyn EventSink>>,
+    metrics: Option<Arc<summagen_comm::RuntimeMetrics>>,
     opts: &AbftOptions,
     resume: Option<(usize, Arc<DenseMatrix>)>,
     store: &CheckpointStore,
@@ -642,6 +662,9 @@ fn try_run_abft(
     }
     if let Some(sink) = sink {
         universe = universe.with_event_sink(sink);
+    }
+    if let Some(metrics) = metrics {
+        universe = universe.with_metrics(metrics);
     }
     let resume_k = resume.as_ref().map_or(0, |(k, _)| *k);
     let resume_c = resume.map(|(_, c)| c);
@@ -726,6 +749,7 @@ pub fn multiply_abft(
         opts,
         abft,
         None,
+        None,
     )
 }
 
@@ -758,6 +782,41 @@ pub fn multiply_abft_traced(
         opts,
         abft,
         Some(sink),
+        None,
+    )
+}
+
+/// [`multiply_abft`] with both observability channels optional: an event
+/// sink for per-event spans and/or a metrics bundle for aggregate
+/// counters and histograms (ABFT verifies/corrections/checkpoints/
+/// rollbacks, panel steps, GEMM throughput, comm volume). Either can be
+/// `None`; with both `None` this is exactly [`multiply_abft`].
+#[allow(clippy::too_many_arguments)]
+pub fn multiply_abft_observed(
+    shape: Shape,
+    rel_speeds: &[f64],
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    mode: ExecutionMode,
+    cost: impl CostModel + Clone,
+    attempt_faults: &[FaultPlan],
+    opts: &RecoveryOptions,
+    abft: &AbftOptions,
+    sink: Option<Arc<dyn EventSink>>,
+    metrics: Option<Arc<summagen_comm::RuntimeMetrics>>,
+) -> Result<AbftRunResult, RecoveryError> {
+    multiply_abft_inner(
+        shape,
+        rel_speeds,
+        a,
+        b,
+        mode,
+        cost,
+        attempt_faults,
+        opts,
+        abft,
+        sink,
+        metrics,
     )
 }
 
@@ -773,6 +832,7 @@ fn multiply_abft_inner(
     opts: &RecoveryOptions,
     abft: &AbftOptions,
     sink: Option<Arc<dyn EventSink>>,
+    metrics: Option<Arc<summagen_comm::RuntimeMetrics>>,
 ) -> Result<AbftRunResult, RecoveryError> {
     assert!(!rel_speeds.is_empty(), "need at least one device");
     assert!(opts.max_attempts > 0, "need at least one attempt");
@@ -805,6 +865,7 @@ fn multiply_abft_inner(
             faults,
             opts.recv_timeout,
             sink.clone(),
+            metrics.clone(),
             abft,
             resume,
             &store,
@@ -950,6 +1011,40 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn observed_run_counts_verifies_checkpoints_and_corrections() {
+        let n = 24;
+        let a = random_matrix(n, n, 41);
+        let b = random_matrix(n, n, 42);
+        let plan = FaultPlan::new().corrupt_block(2, 1, 5, 3.0);
+        let metrics = summagen_comm::RuntimeMetrics::fresh();
+        let res = multiply_abft_observed(
+            summagen_partition::Shape::SquareCorner,
+            &SPEEDS,
+            &a,
+            &b,
+            ExecutionMode::Real,
+            ZeroCost,
+            &[plan],
+            &fast_opts(),
+            &AbftOptions::default(),
+            None,
+            Some(metrics.clone()),
+        )
+        .expect("corrected run succeeds");
+        assert!(approx_eq(&res.run.c, &reference(&a, &b), 1e-9));
+        // The registry agrees with the run's own report.
+        assert!(metrics.abft_verifies.get() > 0);
+        assert_eq!(metrics.abft_corrections.get(), res.abft.corrected);
+        // Every rank writes its blocks at each completed boundary.
+        assert_eq!(
+            metrics.abft_checkpoints.get() as usize,
+            res.abft.checkpoints * SPEEDS.len()
+        );
+        assert_eq!(metrics.abft_rollbacks.get(), 0);
+        assert!(metrics.panel_steps.get() > 0);
     }
 
     #[test]

@@ -36,7 +36,10 @@ pub mod simulate;
 pub mod stages;
 pub mod summa;
 
-pub use abft::{multiply_abft, multiply_abft_traced, AbftOptions, AbftReport, AbftRunResult};
+pub use abft::{
+    multiply_abft, multiply_abft_observed, multiply_abft_traced, AbftOptions, AbftReport,
+    AbftRunResult,
+};
 pub use caps::{caps_multiply, caps_multiply_with_cost, CapsResult};
 pub use commopt::{
     cannon_multiply, cannon_multiply_with_cost, summa25d_multiply, summa25d_multiply_with_cost,
@@ -52,8 +55,8 @@ pub use panelled::{
 };
 pub use rankdata::{assemble, distribute, RankMatrices};
 pub use simulate::{
-    metered_energy_from_timelines, simulate, simulate_instrumented, simulate_traced,
-    simulate_with_energy, SimReport,
+    metered_energy_from_timelines, simulate, simulate_instrumented, simulate_observed,
+    simulate_traced, simulate_with_energy, SimReport,
 };
 pub use summa::{
     summa_multiply, summa_multiply_with_cost, summa_simulate, summa_simulate_instrumented,

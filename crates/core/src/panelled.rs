@@ -121,6 +121,9 @@ pub fn simulate_panelled(
         let area = areas[rank] as f64;
         for t in 0..spec.grid_cols {
             let kb = spec.widths[t];
+            if let Some(m) = comm.metrics() {
+                m.panel_steps.inc();
+            }
             // A blocks (bi, t).
             for bi in 0..spec.grid_rows {
                 if !spec.row_contains(rank, bi) {
@@ -221,6 +224,9 @@ fn run_rank_panelled(
         let k0 = spec.col_offset(t);
         let kb = spec.widths[t];
         let k1 = k0 + kb;
+        if let Some(m) = comm.metrics() {
+            m.panel_steps.inc();
+        }
 
         // --- Gather the A blocks (bi, t) for rows this rank occupies.
         let mut a_panel: Vec<Option<DenseMatrix>> = vec![None; spec.grid_rows];

@@ -61,7 +61,7 @@ impl SimReport {
 /// # Panics
 /// Panics if the platform has fewer processors than the spec.
 pub fn simulate(spec: &PartitionSpec, platform: &Platform, cost: impl CostModel) -> SimReport {
-    simulate_with_sink(spec, platform, cost, None)
+    simulate_observed(spec, platform, cost, None, None)
 }
 
 /// Like [`simulate`], additionally reporting every runtime event (sends,
@@ -74,14 +74,21 @@ pub fn simulate_instrumented(
     cost: impl CostModel,
     sink: Arc<dyn EventSink>,
 ) -> SimReport {
-    simulate_with_sink(spec, platform, cost, Some(sink))
+    simulate_observed(spec, platform, cost, Some(sink), None)
 }
 
-fn simulate_with_sink(
+/// Like [`simulate`], with both observability channels optional: an event
+/// sink for per-event spans and/or a [`summagen_comm::RuntimeMetrics`]
+/// bundle whose counters and histograms (message volume, collective
+/// latencies, panel steps, virtual GEMM throughput) aggregate across the
+/// whole run. Either can be `None`; with both `None` this is exactly
+/// [`simulate`].
+pub fn simulate_observed(
     spec: &PartitionSpec,
     platform: &Platform,
     cost: impl CostModel,
     sink: Option<Arc<dyn EventSink>>,
+    metrics: Option<Arc<summagen_comm::RuntimeMetrics>>,
 ) -> SimReport {
     assert!(
         platform.len() >= spec.nprocs,
@@ -93,6 +100,9 @@ fn simulate_with_sink(
     let mut universe = Universe::new(spec.nprocs, cost);
     if let Some(sink) = sink {
         universe = universe.with_event_sink(sink);
+    }
+    if let Some(metrics) = metrics {
+        universe = universe.with_metrics(metrics);
     }
     let results = universe.run(|comm| {
         let rank = comm.rank();
@@ -379,6 +389,36 @@ mod tests {
         let rel =
             (exact.dynamic_energy_j - approx.dynamic_energy_j).abs() / approx.dynamic_energy_j;
         assert!(rel < 0.05, "timeline vs approx energy differ by {rel}");
+    }
+
+    #[test]
+    fn metered_run_populates_metrics_without_changing_times() {
+        let n = 8_192;
+        let areas = proportional_areas(n, &[1.0, 2.0, 0.9]);
+        let spec = Shape::SquareCorner.build(n, &areas);
+        let platform = hclserver1();
+        let plain = simulate(&spec, &platform, intra_node());
+        let metrics = summagen_comm::RuntimeMetrics::fresh();
+        let metered =
+            simulate_observed(&spec, &platform, intra_node(), None, Some(metrics.clone()));
+        assert_eq!(plain.exec_time, metered.exec_time);
+        // One virtual GEMM record per owned sub-partition; flops match the
+        // report's total.
+        let blocks: usize = (0..spec.nprocs).map(|r| spec.blocks_of(r).len()).sum();
+        assert_eq!(metrics.gemm.ops.get(), blocks as u64);
+        let flops = metrics.gemm.flops.get() as f64;
+        let rel = (flops - metered.total_flops).abs() / metered.total_flops;
+        assert!(
+            rel < 0.05,
+            "metric flops {flops} vs {}",
+            metered.total_flops
+        );
+        // Message accounting agrees with the traffic counters.
+        let sent: u64 = metered.traffic.iter().map(|t| t.bytes_sent).sum();
+        assert_eq!(metrics.send_bytes.get(), sent);
+        assert!(metrics.send_msgs.get() > 0);
+        // The plain 3-stage schedule has no panel loop.
+        assert_eq!(metrics.panel_steps.get(), 0);
     }
 
     #[test]

@@ -239,6 +239,8 @@ pub(crate) fn local_compute(
 ) -> (Vec<(ProcBlock, DenseMatrix)>, f64) {
     let n = spec.n;
     let tracing = comm.tracing_enabled();
+    let metrics = comm.metrics();
+    let observing = tracing || metrics.is_some();
     let stage_start = tracing.then(|| comm.now());
     // Captures the kernel's wall-clock duration so the trace can carry
     // both clock domains on one GEMM span.
@@ -248,7 +250,25 @@ pub(crate) fn local_compute(
             self.0.set(elapsed_ns);
         }
     }
+    // One observer feeding both consumers: the probe (trace spans want the
+    // latest kernel_ns) and, when metered, the wall-clock GEMM histograms.
+    struct Fanout<'a> {
+        probe: &'a NsProbe,
+        telemetry: Option<&'a summagen_metrics::GemmTelemetry>,
+    }
+    impl GemmObserver for Fanout<'_> {
+        fn on_gemm(&self, m: usize, n: usize, k: usize, elapsed_ns: u64) {
+            self.probe.on_gemm(m, n, k, elapsed_ns);
+            if let Some(t) = self.telemetry {
+                t.on_gemm(m, n, k, elapsed_ns);
+            }
+        }
+    }
     let probe = NsProbe(std::cell::Cell::new(0));
+    let fanout = Fanout {
+        probe: &probe,
+        telemetry: metrics.map(|m| &m.gemm),
+    };
     let mut out = Vec::new();
     let mut total_flops = 0.0;
     for blk in spec.blocks_of(rank) {
@@ -272,26 +292,32 @@ pub(crate) fn local_compute(
                     0.0,
                     c.as_mut_slice(),
                     blk.cols,
-                    tracing.then_some(&probe as &dyn GemmObserver),
+                    observing.then_some(&fanout as &dyn GemmObserver),
                 );
                 out.push((blk, c));
             }
             StageData::Phantom => {}
         }
-        let gemm_start = tracing.then(|| comm.now());
+        let gemm_start = observing.then(|| comm.now());
         comm.advance_compute(block_compute_seconds(&blk));
         if let Some(t0) = gemm_start {
-            comm.emit(
-                t0,
-                comm.now(),
-                SpanKind::Gemm {
-                    m: blk.rows,
-                    n: blk.cols,
-                    k: n,
-                    flops,
-                    kernel_ns: probe.0.get(),
-                },
-            );
+            let t1 = comm.now();
+            if tracing {
+                comm.emit(
+                    t0,
+                    t1,
+                    SpanKind::Gemm {
+                        m: blk.rows,
+                        n: blk.cols,
+                        k: n,
+                        flops,
+                        kernel_ns: probe.0.get(),
+                    },
+                );
+            }
+            if let Some(m) = metrics {
+                m.gemm.record_virtual(flops, t1 - t0);
+            }
         }
     }
     if let Some(t0) = stage_start {

@@ -103,6 +103,9 @@ pub fn summa_multiply_with_cost(
         // Panel loop: panels never straddle an owner boundary.
         let mut k0 = 0;
         while k0 < n {
+            if let Some(m) = comm.metrics() {
+                m.panel_steps.inc();
+            }
             // Owner column of A panel / owner row of B panel.
             let jk = cols.partition_point(|&c| c <= k0) - 1;
             let ik = rows.partition_point(|&r| r <= k0) - 1;
@@ -236,6 +239,9 @@ fn summa_simulate_with_sink(
 
         let mut k0 = 0;
         while k0 < n {
+            if let Some(m) = comm.metrics() {
+                m.panel_steps.inc();
+            }
             let panel_start = tracing.then(|| comm.now());
             let jk = cols.partition_point(|&c| c <= k0) - 1;
             let ik = rows.partition_point(|&r| r <= k0) - 1;

@@ -87,6 +87,16 @@ pub trait GemmObserver {
     fn on_gemm(&self, m: usize, n: usize, k: usize, elapsed_ns: u64);
 }
 
+/// A metrics bundle's GEMM telemetry is directly usable as an observer:
+/// each invocation lands in the wall-clock kernel duration and GFLOP/s
+/// histograms. (Virtual-clock accounting stays with the executor, which
+/// owns the cost model.)
+impl GemmObserver for summagen_metrics::GemmTelemetry {
+    fn on_gemm(&self, m: usize, n: usize, k: usize, elapsed_ns: u64) {
+        self.record_kernel(m, n, k, elapsed_ns);
+    }
+}
+
 #[allow(clippy::too_many_arguments)] // mirrors the BLAS dgemm signature
 fn check_dims(
     m: usize,
@@ -485,5 +495,32 @@ mod tests {
             5,
         );
         assert!(crate::approx_eq(&c, &expect, 1e-12));
+    }
+
+    #[test]
+    fn gemm_telemetry_observes_kernel_invocations() {
+        let metrics = summagen_metrics::RuntimeMetrics::fresh();
+        let a = random_matrix(16, 16, 30);
+        let b = random_matrix(16, 16, 31);
+        let mut c = DenseMatrix::zeros(16, 16);
+        GemmKernel::Blocked.run_observed(
+            16,
+            16,
+            16,
+            1.0,
+            a.as_slice(),
+            16,
+            b.as_slice(),
+            16,
+            0.0,
+            c.as_mut_slice(),
+            16,
+            Some(&metrics.gemm as &dyn GemmObserver),
+        );
+        assert_eq!(metrics.gemm.kernel_seconds.count(), 1);
+        assert!(metrics.gemm.kernel_seconds.sum() > 0.0);
+        // Wall-clock telemetry must not claim virtual-side ops/flops.
+        assert_eq!(metrics.gemm.ops.get(), 0);
+        assert_eq!(metrics.gemm.flops.get(), 0);
     }
 }

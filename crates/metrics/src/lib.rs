@@ -1,0 +1,42 @@
+//! Aggregate performance metrics for the SummaGen runtime.
+//!
+//! Where `summagen-trace` records *individual* events (every send, every
+//! GEMM, with timestamps), this crate maintains the *aggregate* layer a
+//! long-running service exposes: monotonic counters, gauges, and
+//! log-linear histograms with quantile estimation, collected into a
+//! [`MetricsRegistry`] and rendered in Prometheus text exposition format.
+//!
+//! Design constraints, in order:
+//!
+//! * **Wait-free hot path.** Every rank of the thread runtime records into
+//!   the same handles concurrently. [`Counter::add`] and
+//!   [`Histogram::observe`] are single `fetch_add`s on relaxed atomics —
+//!   no locks, no CAS loops, no allocation. The registry's lock is taken
+//!   only at registration and snapshot time, never per observation.
+//! * **Zero cost when off.** The runtime carries an
+//!   `Option<Arc<RuntimeMetrics>>`; with `None` every instrumentation
+//!   hook is one branch, mirroring the trace crate's `EventSink` gating.
+//! * **Dependency-free.** Like the span vocabulary in `summagen-comm`,
+//!   this crate sits below every other crate in the workspace so the comm
+//!   runtime, the matrix kernels, and the algorithm layers can all record
+//!   into one registry without dependency cycles.
+//!
+//! Histograms are log-linear: each power-of-two octave is split into
+//! [`HIST_SUBDIVISIONS`] equal-width sub-buckets, so quantile estimates
+//! carry a bounded relative error (≤ 1/[`HIST_SUBDIVISIONS`], ~6%)
+//! across twenty decades of magnitude — the scheme HdrHistogram and
+//! DDSketch-style aggregators use.
+//!
+//! The conventional handle bundle the runtime is instrumented with lives
+//! in [`RuntimeMetrics`]; the Prometheus renderer in [`prometheus`].
+
+pub mod prometheus;
+pub mod registry;
+pub mod runtime;
+
+pub use registry::{
+    bucket_upper, Counter, FamilySnapshot, Gauge, Histogram, HistogramSnapshot, MetricKind,
+    MetricsRegistry, SeriesSnapshot, SeriesValue, HIST_BUCKETS, HIST_MAX_EXP, HIST_MIN_EXP,
+    HIST_SUBDIVISIONS,
+};
+pub use runtime::{GemmTelemetry, RuntimeMetrics};

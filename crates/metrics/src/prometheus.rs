@@ -1,0 +1,154 @@
+//! Prometheus text exposition (version 0.0.4) rendering.
+//!
+//! [`render`] snapshots a [`MetricsRegistry`] and produces the plain-text
+//! format every Prometheus-compatible scraper understands:
+//!
+//! ```text
+//! # HELP summagen_comm_sends_total Point-to-point messages sent.
+//! # TYPE summagen_comm_sends_total counter
+//! summagen_comm_sends_total 42
+//! ```
+//!
+//! Histograms are exposed with cumulative `_bucket{le="..."}` series. The
+//! internal layout has ~1000 fine-grained buckets; only the occupied ones
+//! are emitted (plus the mandatory `+Inf`), which keeps the exposition
+//! compact without losing any information — cumulative counts at omitted
+//! bounds are recoverable from the neighbouring emitted bounds.
+
+use crate::registry::{bucket_upper, FamilySnapshot, MetricsRegistry, SeriesValue};
+
+/// Formats an f64 the way Prometheus expects (`+Inf` for infinity).
+fn fmt_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn series_name(name: &str, suffix: &str, labels: &str, extra: Option<(&str, &str)>) -> String {
+    let mut all = String::new();
+    if !labels.is_empty() {
+        all.push_str(labels);
+    }
+    if let Some((k, v)) = extra {
+        if !all.is_empty() {
+            all.push(',');
+        }
+        all.push_str(&format!("{k}=\"{v}\""));
+    }
+    if all.is_empty() {
+        format!("{name}{suffix}")
+    } else {
+        format!("{name}{suffix}{{{all}}}")
+    }
+}
+
+fn render_family(out: &mut String, fam: &FamilySnapshot) {
+    let type_str = match fam.kind {
+        crate::MetricKind::Counter => "counter",
+        crate::MetricKind::Gauge => "gauge",
+        crate::MetricKind::Histogram => "histogram",
+    };
+    out.push_str(&format!("# HELP {} {}\n", fam.name, fam.help));
+    out.push_str(&format!("# TYPE {} {}\n", fam.name, type_str));
+    for s in &fam.series {
+        match &s.value {
+            SeriesValue::Counter(v) => {
+                out.push_str(&series_name(&fam.name, "", &s.labels, None));
+                out.push_str(&format!(" {v}\n"));
+            }
+            SeriesValue::Gauge(v) => {
+                out.push_str(&series_name(&fam.name, "", &s.labels, None));
+                out.push_str(&format!(" {}\n", fmt_f64(*v)));
+            }
+            SeriesValue::Histogram(h) => {
+                let mut cum = 0u64;
+                for (i, &c) in h.buckets.iter().enumerate() {
+                    cum += c;
+                    if c > 0 && i < h.buckets.len() - 1 {
+                        let le = fmt_f64(bucket_upper(i));
+                        out.push_str(&series_name(
+                            &fam.name,
+                            "_bucket",
+                            &s.labels,
+                            Some(("le", &le)),
+                        ));
+                        out.push_str(&format!(" {cum}\n"));
+                    }
+                }
+                out.push_str(&series_name(
+                    &fam.name,
+                    "_bucket",
+                    &s.labels,
+                    Some(("le", "+Inf")),
+                ));
+                out.push_str(&format!(" {cum}\n"));
+                out.push_str(&series_name(&fam.name, "_sum", &s.labels, None));
+                out.push_str(&format!(" {}\n", fmt_f64(h.sum)));
+                out.push_str(&series_name(&fam.name, "_count", &s.labels, None));
+                out.push_str(&format!(" {}\n", h.count));
+            }
+        }
+    }
+}
+
+/// Renders the registry's current state as Prometheus text exposition.
+pub fn render(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for fam in registry.snapshot() {
+        render_family(&mut out, &fam);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_counter_gauge_and_histogram() {
+        let reg = MetricsRegistry::new();
+        reg.counter("req_total", "requests served").add(7);
+        reg.gauge("temp_celsius", "temperature").set(21.5);
+        let h = reg.histogram("lat_seconds", "latency");
+        h.observe(0.001);
+        h.observe(0.002);
+        h.observe(0.100);
+        let text = render(&reg);
+        assert!(text.contains("# TYPE req_total counter"));
+        assert!(text.contains("req_total 7"));
+        assert!(text.contains("# TYPE temp_celsius gauge"));
+        assert!(text.contains("temp_celsius 21.5"));
+        assert!(text.contains("# TYPE lat_seconds histogram"));
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_seconds_count 3"));
+        // Cumulative bucket counts are non-decreasing in le order.
+        let cums: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("lat_seconds_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(cums.windows(2).all(|w| w[0] <= w[1]), "{cums:?}");
+    }
+
+    #[test]
+    fn labelled_series_merge_le_correctly() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram_with("coll_seconds", "collective latency", &[("op", "bcast")]);
+        h.observe(0.5);
+        let text = render(&reg);
+        assert!(
+            text.contains("coll_seconds_bucket{op=\"bcast\",le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("coll_seconds_count{op=\"bcast\"} 1"));
+    }
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        assert_eq!(render(&MetricsRegistry::new()), "");
+    }
+}

@@ -1,0 +1,575 @@
+//! Metric primitives and the name-keyed registry.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Sub-buckets per power-of-two octave (must be a power of two). 16
+/// sub-buckets bound the relative quantization error of a quantile
+/// estimate at 1/16 = 6.25%.
+pub const HIST_SUBDIVISIONS: usize = 16;
+const HIST_SUB_BITS: u32 = HIST_SUBDIVISIONS.trailing_zeros();
+
+/// Smallest tracked binary exponent: values below 2⁻⁴⁰ (~9·10⁻¹³ —
+/// sub-picosecond durations, sub-GFLOP/s throughputs) land in the
+/// underflow bucket.
+pub const HIST_MIN_EXP: i32 = -40;
+
+/// Largest tracked binary exponent: values at or above 2²⁴ (~1.7·10⁷)
+/// land in the overflow bucket.
+pub const HIST_MAX_EXP: i32 = 23;
+
+const HIST_OCTAVES: usize = (HIST_MAX_EXP - HIST_MIN_EXP + 1) as usize;
+
+/// Total bucket count: underflow + octaves × subdivisions + overflow.
+pub const HIST_BUCKETS: usize = HIST_OCTAVES * HIST_SUBDIVISIONS + 2;
+
+/// Fixed-point scale for the histogram running sum: one unit = 1 nano-unit
+/// of the observed quantity. A single `fetch_add` keeps `observe`
+/// wait-free where a CAS loop on f64 bits would spin under contention.
+const SUM_SCALE: f64 = 1e9;
+
+/// A monotonically increasing counter. `add` is a single relaxed
+/// `fetch_add` — safe to call from every rank thread concurrently.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time value (f64 bits in an atomic). Last writer wins.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Maps a positive finite value to its bucket index from its IEEE-754
+/// bit pattern: the (unbiased) exponent selects the octave, the top
+/// mantissa bits the linear sub-bucket. No floating-point math, no
+/// branches beyond the range clamps.
+fn bucket_index(v: f64) -> usize {
+    if v.is_nan() || v <= 0.0 {
+        return 0;
+    }
+    if v.is_infinite() {
+        return HIST_BUCKETS - 1;
+    }
+    let bits = v.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+    if exp < HIST_MIN_EXP {
+        return 0; // includes all subnormals
+    }
+    if exp > HIST_MAX_EXP {
+        return HIST_BUCKETS - 1;
+    }
+    let sub = ((bits >> (52 - HIST_SUB_BITS)) & (HIST_SUBDIVISIONS as u64 - 1)) as usize;
+    1 + (exp - HIST_MIN_EXP) as usize * HIST_SUBDIVISIONS + sub
+}
+
+/// Inclusive upper bound of bucket `idx` (`+Inf` for the overflow
+/// bucket). Bounds are strictly increasing across indices.
+pub fn bucket_upper(idx: usize) -> f64 {
+    if idx == 0 {
+        return (HIST_MIN_EXP as f64).exp2();
+    }
+    if idx >= HIST_BUCKETS - 1 {
+        return f64::INFINITY;
+    }
+    let i = idx - 1;
+    let octave = HIST_MIN_EXP + (i / HIST_SUBDIVISIONS) as i32;
+    let sub = i % HIST_SUBDIVISIONS;
+    (octave as f64).exp2() * (1.0 + (sub + 1) as f64 / HIST_SUBDIVISIONS as f64)
+}
+
+/// A log-linear histogram: fixed bucket layout, per-bucket atomic counts,
+/// wait-free `observe`, and quantile estimation with bounded relative
+/// error (one sub-bucket width, ≤ 6.25%).
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_fp: AtomicU64,
+}
+
+impl Histogram {
+    pub(crate) fn new() -> Self {
+        Self {
+            buckets: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_fp: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. NaN and non-positive values land in the
+    /// underflow bucket (they still count) and contribute zero to the sum.
+    pub fn observe(&self, v: f64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if v.is_finite() && v > 0.0 {
+            self.sum_fp
+                .fetch_add((v * SUM_SCALE) as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all (positive, finite) observations.
+    pub fn sum(&self) -> f64 {
+        self.sum_fp.load(Ordering::Relaxed) as f64 / SUM_SCALE
+    }
+
+    /// Estimates the `q`-quantile (`q` in [0, 1]) as the upper bound of
+    /// the bucket containing the target rank — a conservative (never
+    /// under-reporting) estimate within one sub-bucket width of the true
+    /// value. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        quantile_from_buckets(&counts, q)
+    }
+
+    /// Copies out the raw per-bucket counts (index `i` bounded above by
+    /// [`bucket_upper`]`(i)`).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// A consistent-enough copy for export (individual loads are relaxed;
+    /// a snapshot taken concurrently with observations may be mid-update
+    /// by a few counts, which is the usual Prometheus contract).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets: self.bucket_counts(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish()
+    }
+}
+
+fn quantile_from_buckets(counts: &[u64], q: f64) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+    let mut cum = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        cum += c;
+        if cum >= target {
+            return bucket_upper(i);
+        }
+    }
+    f64::INFINITY
+}
+
+/// What a registered name holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Point-in-time value.
+    Gauge,
+    /// Log-linear distribution.
+    Histogram,
+}
+
+#[derive(Clone)]
+enum MetricValue {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl MetricValue {
+    fn kind(&self) -> MetricKind {
+        match self {
+            MetricValue::Counter(_) => MetricKind::Counter,
+            MetricValue::Gauge(_) => MetricKind::Gauge,
+            MetricValue::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+struct Family {
+    help: String,
+    kind: MetricKind,
+    /// Rendered label set (`op="bcast"`, possibly empty) → series.
+    series: BTreeMap<String, MetricValue>,
+}
+
+/// Get-or-create registry of metric families keyed by name. Handles are
+/// `Arc`s: register once at startup, record through the handle on the hot
+/// path without touching the registry again.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+/// Renders a label set in Prometheus order-stable form: `k1="v1",k2="v2"`.
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    let mut sorted: Vec<_> = labels.to_vec();
+    sorted.sort_unstable();
+    sorted
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> MetricValue,
+    ) -> MetricValue {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        let key = render_labels(labels);
+        let mut families = self.families.lock().unwrap();
+        let value = make();
+        let fam = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind: value.kind(),
+            series: BTreeMap::new(),
+        });
+        assert!(
+            fam.kind == value.kind(),
+            "metric {name:?} already registered as {:?}, requested {:?}",
+            fam.kind,
+            value.kind()
+        );
+        fam.series.entry(key).or_insert(value).clone()
+    }
+
+    /// Gets or creates an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Gets or creates a counter with the given label set.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind
+    /// or is not a valid Prometheus metric name.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.get_or_insert(name, help, labels, || {
+            MetricValue::Counter(Arc::new(Counter::default()))
+        }) {
+            MetricValue::Counter(c) => c,
+            _ => unreachable!("kind checked by get_or_insert"),
+        }
+    }
+
+    /// Gets or creates an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Gets or creates a gauge with the given label set.
+    ///
+    /// # Panics
+    /// Panics on kind mismatch or invalid name, as for [`Self::counter_with`].
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.get_or_insert(name, help, labels, || {
+            MetricValue::Gauge(Arc::new(Gauge::default()))
+        }) {
+            MetricValue::Gauge(g) => g,
+            _ => unreachable!("kind checked by get_or_insert"),
+        }
+    }
+
+    /// Gets or creates an unlabelled histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Gets or creates a histogram with the given label set.
+    ///
+    /// # Panics
+    /// Panics on kind mismatch or invalid name, as for [`Self::counter_with`].
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        match self.get_or_insert(name, help, labels, || {
+            MetricValue::Histogram(Arc::new(Histogram::new()))
+        }) {
+            MetricValue::Histogram(h) => h,
+            _ => unreachable!("kind checked by get_or_insert"),
+        }
+    }
+
+    /// Snapshots every family, sorted by name, for export.
+    pub fn snapshot(&self) -> Vec<FamilySnapshot> {
+        let families = self.families.lock().unwrap();
+        families
+            .iter()
+            .map(|(name, fam)| FamilySnapshot {
+                name: name.clone(),
+                help: fam.help.clone(),
+                kind: fam.kind,
+                series: fam
+                    .series
+                    .iter()
+                    .map(|(labels, value)| SeriesSnapshot {
+                        labels: labels.clone(),
+                        value: match value {
+                            MetricValue::Counter(c) => SeriesValue::Counter(c.get()),
+                            MetricValue::Gauge(g) => SeriesValue::Gauge(g.get()),
+                            MetricValue::Histogram(h) => SeriesValue::Histogram(h.snapshot()),
+                        },
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+}
+
+/// One metric family (a name, its help text, and every label-series).
+#[derive(Debug, Clone)]
+pub struct FamilySnapshot {
+    /// Family name.
+    pub name: String,
+    /// Help text.
+    pub help: String,
+    /// Kind shared by every series of the family.
+    pub kind: MetricKind,
+    /// Series sorted by rendered label set.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+/// One series of a family.
+#[derive(Debug, Clone)]
+pub struct SeriesSnapshot {
+    /// Rendered label set (`op="bcast"`), empty for unlabelled series.
+    pub labels: String,
+    /// The captured value.
+    pub value: SeriesValue,
+}
+
+/// A captured metric value.
+#[derive(Debug, Clone)]
+pub enum SeriesValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// Captured histogram state: raw bucket counts plus count/sum.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of positive finite observations.
+    pub sum: f64,
+    /// Raw per-bucket counts (see [`bucket_upper`]).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Quantile estimate over the captured counts (see
+    /// [`Histogram::quantile`]).
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_from_buckets(&self.buckets, q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::default();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_last_writer_wins() {
+        let g = Gauge::default();
+        g.set(2.5);
+        g.set(-7.25);
+        assert_eq!(g.get(), -7.25);
+    }
+
+    #[test]
+    fn bucket_bounds_are_strictly_increasing() {
+        for i in 1..HIST_BUCKETS {
+            assert!(
+                bucket_upper(i) > bucket_upper(i - 1),
+                "bounds not increasing at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_index_respects_bounds() {
+        // Buckets are half-open [lower, upper): every observed value is
+        // below its bucket's upper bound and at or above the previous one.
+        for &v in &[1e-9, 0.5e-3, 1.0, 1.5, 3.25, 1000.0, 123456.0] {
+            let idx = bucket_index(v);
+            assert!(v < bucket_upper(idx), "{v} above bound of bucket {idx}");
+            assert!(v >= bucket_upper(idx - 1), "{v} below bucket {idx}");
+        }
+    }
+
+    #[test]
+    fn degenerate_values_land_in_edge_buckets() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-1.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(1e-300), 0);
+        assert_eq!(bucket_index(f64::INFINITY), HIST_BUCKETS - 1);
+        assert_eq!(bucket_index(1e30), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_relative_error() {
+        let h = Histogram::new();
+        // 1000 samples spread over three decades.
+        for i in 1..=1000u64 {
+            h.observe(i as f64 * 1e-3);
+        }
+        assert_eq!(h.count(), 1000);
+        let sum = h.sum();
+        assert!((sum - 500.5).abs() / 500.5 < 1e-6, "sum {sum}");
+        for &(q, exact) in &[(0.5, 0.5), (0.95, 0.95), (0.99, 0.99)] {
+            let est = h.quantile(q);
+            assert!(est >= exact, "p{q} estimate {est} under-reports {exact}");
+            assert!(
+                est <= exact * (1.0 + 1.0 / HIST_SUBDIVISIONS as f64) + 1e-12,
+                "p{q} estimate {est} beyond one sub-bucket of {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        assert_eq!(Histogram::new().quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn registry_returns_same_handle_for_same_name() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x_total", "a counter");
+        let b = reg.counter("x_total", "a counter");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn labelled_series_are_distinct() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter_with("ops_total", "ops", &[("op", "bcast")]);
+        let b = reg.counter_with("ops_total", "ops", &[("op", "gather")]);
+        a.add(3);
+        b.add(5);
+        assert_eq!(a.get(), 3);
+        assert_eq!(b.get(), 5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].series.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_collision_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x_total", "a counter");
+        reg.gauge("x_total", "now a gauge?");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_name_rejected() {
+        MetricsRegistry::new().counter("bad name!", "nope");
+    }
+
+    #[test]
+    fn concurrent_observations_are_not_lost() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let c = reg.counter("hits_total", "hits");
+        let h = reg.histogram("lat_seconds", "latency");
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let (c, h) = (Arc::clone(&c), Arc::clone(&h));
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        c.inc();
+                        h.observe((t * 10_000 + i) as f64 * 1e-6);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+        assert_eq!(h.count(), 80_000);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 80_000);
+    }
+}

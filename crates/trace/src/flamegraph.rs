@@ -1,0 +1,257 @@
+//! Folded-stack flamegraph export.
+//!
+//! Collapses a [`RecordedTrace`] into the `stack;frames weight` text
+//! format consumed by Brendan Gregg's `flamegraph.pl`, inferno, and
+//! speedscope. Each rank becomes a root frame; enclosing annotation
+//! spans (stages, collectives) become intermediate frames by virtual-time
+//! interval containment; leaf ops (sends, recvs, GEMMs, ABFT work)
+//! become the tips. Weights are **virtual nanoseconds**, so the rendered
+//! flame widths reproduce the Hockney-model schedule — where each rank's
+//! simulated time went — independent of the host that replayed it.
+//!
+//! An enclosing frame whose children do not tile it (e.g. the wait
+//! inside a collective) keeps the remainder as self time, so frame
+//! widths always sum correctly to the parent's duration.
+
+use std::collections::BTreeMap;
+
+use summagen_comm::span::SpanRecord;
+
+use crate::recorder::RecordedTrace;
+
+/// One open enclosing frame during the per-rank sweep.
+struct OpenFrame<'a> {
+    record: &'a SpanRecord,
+    /// Virtual seconds of this frame's *direct* children (nested
+    /// enclosers and leaves), for self-time computation.
+    covered: f64,
+}
+
+fn weight_ns(seconds: f64) -> u64 {
+    (seconds * 1e9).round() as u64
+}
+
+/// Folds a label into a frame name safe for the folded-stack grammar
+/// (no `;`, no whitespace).
+fn frame(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c == ';' || c.is_whitespace() {
+                '_'
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+fn add(stacks: &mut BTreeMap<String, u64>, stack: &[String], ns: u64) {
+    if ns > 0 {
+        *stacks.entry(stack.join(";")).or_insert(0) += ns;
+    }
+}
+
+/// Collapses `trace` into folded-stack lines (`frame;frame;... weight`),
+/// one per unique stack, weighted in virtual nanoseconds and sorted
+/// lexicographically (deterministic for identical traces).
+///
+/// Stacks are `rank_N` → enclosing stage → enclosing collective → leaf
+/// op, with nesting inferred from virtual-time interval containment
+/// within each rank. Instant events (rank deaths) and zero-duration
+/// spans carry no weight and are omitted.
+pub fn folded_stacks(trace: &RecordedTrace) -> String {
+    let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+    for (rank, spans) in trace.spans.iter().enumerate() {
+        fold_rank(rank, spans.iter().map(|ts| &ts.record), &mut stacks);
+    }
+    let mut out = String::new();
+    for (stack, ns) in &stacks {
+        out.push_str(stack);
+        out.push(' ');
+        out.push_str(&ns.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+fn fold_rank<'a>(
+    rank: usize,
+    spans: impl Iterator<Item = &'a SpanRecord>,
+    stacks: &mut BTreeMap<String, u64>,
+) {
+    // Sweep in start order; on ties, longer spans first so enclosers
+    // open before the spans they contain, and enclosers beat leaves.
+    let mut ordered: Vec<&SpanRecord> = spans.collect();
+    ordered.sort_by(|a, b| {
+        a.start
+            .total_cmp(&b.start)
+            .then(b.end.total_cmp(&a.end))
+            .then(a.kind.is_leaf().cmp(&b.kind.is_leaf()))
+    });
+
+    let root = format!("rank_{rank}");
+    let mut open: Vec<OpenFrame> = Vec::new();
+    let mut frames: Vec<String> = vec![root];
+
+    let close_until = |open: &mut Vec<OpenFrame>,
+                       frames: &mut Vec<String>,
+                       stacks: &mut BTreeMap<String, u64>,
+                       start: f64,
+                       end: f64| {
+        while let Some(top) = open.last() {
+            // Still containing the incoming interval? Keep it open.
+            if start >= top.record.start && end <= top.record.end {
+                break;
+            }
+            let top = open.pop().unwrap();
+            let self_time = top.record.duration() - top.covered;
+            add(stacks, frames, weight_ns(self_time));
+            frames.pop();
+        }
+    };
+
+    for r in ordered {
+        if r.kind.label() == "rank-death" {
+            continue; // instant event: no duration to attribute
+        }
+        close_until(&mut open, &mut frames, stacks, r.start, r.end);
+        if let Some(top) = open.last_mut() {
+            top.covered += r.duration();
+        }
+        if r.kind.is_leaf() {
+            frames.push(frame(r.kind.label()));
+            add(stacks, &frames, weight_ns(r.duration()));
+            frames.pop();
+        } else {
+            frames.push(frame(r.kind.label()));
+            open.push(OpenFrame {
+                record: r,
+                covered: 0.0,
+            });
+        }
+    }
+    // Flush whatever is still open at end of trace.
+    close_until(&mut open, &mut frames, stacks, f64::INFINITY, f64::INFINITY);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::TraceRecorder;
+    use summagen_comm::span::{
+        CollectiveOp, EventSink, MsgOutcome, SpanKind, SpanRecord, StageLabel,
+    };
+
+    fn span(rank: usize, start: f64, end: f64, kind: SpanKind) -> SpanRecord {
+        SpanRecord {
+            rank,
+            start,
+            end,
+            kind,
+        }
+    }
+
+    fn send(rank: usize, start: f64, end: f64) -> SpanRecord {
+        span(
+            rank,
+            start,
+            end,
+            SpanKind::Send {
+                dst: 1,
+                tag: 0,
+                bytes: 64,
+                seq: 0,
+                outcome: MsgOutcome::Delivered,
+            },
+        )
+    }
+
+    #[test]
+    fn leaves_nest_under_enclosing_stage_and_collective() {
+        let rec = TraceRecorder::new(1);
+        // Stage [0,10] > collective [1,5] > send [2,3]; gemm [6,9] sits
+        // directly under the stage. Spans arrive in end order, as the
+        // runtime emits them.
+        rec.record(send(0, 2.0, 3.0));
+        rec.record(span(
+            0,
+            1.0,
+            5.0,
+            SpanKind::Collective {
+                op: CollectiveOp::Bcast,
+                root: 0,
+                comm_size: 3,
+            },
+        ));
+        rec.record(span(
+            0,
+            6.0,
+            9.0,
+            SpanKind::Gemm {
+                m: 4,
+                n: 4,
+                k: 4,
+                flops: 128.0,
+                kernel_ns: 0,
+            },
+        ));
+        rec.record(span(
+            0,
+            0.0,
+            10.0,
+            SpanKind::Stage {
+                stage: StageLabel::HorizontalA,
+            },
+        ));
+        let folded = folded_stacks(&rec.finish());
+        let lines: Vec<&str> = folded.lines().collect();
+        assert!(lines.contains(&"rank_0;horizontal-a;bcast;send 1000000000"));
+        // Collective self time: 4 s total - 1 s send.
+        assert!(lines.contains(&"rank_0;horizontal-a;bcast 3000000000"));
+        assert!(lines.contains(&"rank_0;horizontal-a;gemm 3000000000"));
+        // Stage self time: 10 - (4 collective + 3 gemm) = 3 s.
+        assert!(lines.contains(&"rank_0;horizontal-a 3000000000"));
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn orphan_leaves_attach_to_the_rank_root() {
+        let rec = TraceRecorder::new(2);
+        rec.record(send(1, 0.0, 2.0));
+        rec.record(send(1, 3.0, 4.0)); // same stack: weights aggregate
+        rec.record(span(0, 0.0, 0.0, SpanKind::RankDeath { cause: "panic" }));
+        let folded = folded_stacks(&rec.finish());
+        assert_eq!(folded, "rank_1;send 3000000000\n");
+    }
+
+    #[test]
+    fn empty_trace_folds_to_empty_string() {
+        let rec = TraceRecorder::new(3);
+        assert_eq!(folded_stacks(&rec.finish()), "");
+    }
+
+    #[test]
+    fn deterministic_across_recording_orders() {
+        // Same spans, different arrival order: identical output.
+        let a = TraceRecorder::new(1);
+        let b = TraceRecorder::new(1);
+        let stage = span(
+            0,
+            0.0,
+            4.0,
+            SpanKind::Stage {
+                stage: StageLabel::LocalCompute,
+            },
+        );
+        let s1 = send(0, 0.0, 1.0);
+        let s2 = send(0, 2.0, 3.0);
+        for r in [&s1, &s2, &stage] {
+            a.record(r.clone());
+        }
+        for r in [&stage, &s2, &s1] {
+            b.record(r.clone());
+        }
+        assert_eq!(folded_stacks(&a.finish()), folded_stacks(&b.finish()));
+    }
+}

@@ -22,6 +22,9 @@
 //! * [`perfetto_json`] — Chrome/Perfetto trace-event export on the
 //!   virtual-clock timebase, two tracks per rank (ops and enclosing
 //!   phases).
+//! * [`folded_stacks`] — folded-stack flamegraph export (one line per
+//!   unique `rank;stage;collective;op` stack, weighted in virtual
+//!   nanoseconds) for `flamegraph.pl`, inferno, or speedscope.
 //!
 //! Clock domains: every span interval is **virtual** time (the Hockney
 //! cost model's schedule); each recorded span additionally carries a
@@ -31,6 +34,7 @@
 //! same shape + same seed ⇒ byte-identical canonical stream.
 
 pub mod analysis;
+pub mod flamegraph;
 pub mod perfetto;
 pub mod recorder;
 pub mod ring;
@@ -38,6 +42,7 @@ pub mod ring;
 pub use analysis::{
     critical_path, metrics, CpSegment, CriticalPath, LinkVolume, RankMetrics, TraceMetrics,
 };
+pub use flamegraph::folded_stacks;
 pub use perfetto::perfetto_json;
 pub use recorder::{RecordedTrace, TraceRecorder, TraceSpan, DEFAULT_RING_CAPACITY};
 pub use ring::RingBuffer;

@@ -218,4 +218,24 @@ mod tests {
     fn escaping_handles_quotes() {
         assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
+
+    #[test]
+    fn empty_trace_exports_valid_skeleton() {
+        // A recorder that saw no events still produces a loadable file:
+        // process/thread metadata for every rank, but no duration events.
+        let rec = TraceRecorder::new(2);
+        let json = perfetto_json(&rec.finish(), "empty run");
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"name\":\"empty run\""));
+        assert!(json.contains("\"name\":\"rank 0 ops\""));
+        assert!(json.contains("\"name\":\"rank 1 phases\""));
+        assert!(!json.contains("\"ph\":\"X\""));
+        assert!(!json.contains("\"ph\":\"i\""));
+        let balance = |open: char, close: char| {
+            json.chars().filter(|&c| c == open).count()
+                == json.chars().filter(|&c| c == close).count()
+        };
+        assert!(balance('{', '}'));
+        assert!(balance('[', ']'));
+    }
 }

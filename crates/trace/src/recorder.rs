@@ -331,4 +331,30 @@ mod tests {
         assert_eq!(trace.spans[0].len(), 4);
         assert_eq!(trace.dropped, 6);
     }
+
+    #[test]
+    fn wrapped_recorder_keeps_newest_spans_in_program_order() {
+        // Fill a rank's ring 25× past capacity: the surviving window must
+        // be the most recent spans, still in emit order, and the trace
+        // must remain exportable (canonical bytes, len, iter).
+        let rec = TraceRecorder::with_capacity(2, 4);
+        for i in 0..103 {
+            rec.record(send_span(0, i as f64, i as f64 + 1.0, i));
+        }
+        rec.record(send_span(1, 0.0, 1.0, 0)); // rank 1 untouched by the wrap
+        let trace = rec.finish();
+        assert_eq!(trace.dropped, 99);
+        assert_eq!(trace.spans[0].len(), 4);
+        assert_eq!(trace.spans[1].len(), 1);
+        let seqs: Vec<u64> = trace.spans[0]
+            .iter()
+            .map(|ts| match ts.record.kind {
+                SpanKind::Send { seq, .. } => seq,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(seqs, vec![99, 100, 101, 102]);
+        assert_eq!(trace.len(), 5);
+        assert!(!trace.canonical_bytes().is_empty());
+    }
 }

@@ -193,6 +193,32 @@ mod tests {
     }
 
     #[test]
+    fn many_full_wraps_keep_newest_window() {
+        // 25 complete revolutions plus a partial one: the survivors must
+        // be exactly the last `capacity` values, in push order, with the
+        // drop counter accounting for everything else.
+        let mut ring = RingBuffer::new(4);
+        for i in 0..103 {
+            ring.push(i);
+        }
+        assert_eq!(ring.pushed(), 103);
+        assert_eq!(ring.dropped(), 99);
+        assert_eq!(ring.snapshot(), vec![99, 100, 101, 102]);
+        assert_eq!(ring.drain(), vec![99, 100, 101, 102]);
+    }
+
+    #[test]
+    fn snapshot_is_stable_across_wraps() {
+        let ring = RingBuffer::new(3);
+        for i in 0..7 {
+            ring.push(i);
+            // After every push the snapshot is the newest ≤3 values.
+            let expect: Vec<i32> = ((i - 2).max(0)..=i).collect();
+            assert_eq!(ring.snapshot(), expect, "after push {i}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         RingBuffer::<i32>::new(0);

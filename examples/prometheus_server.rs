@@ -1,0 +1,82 @@
+//! Metrics demo: run an instrumented SummaGen multiplication with the
+//! metrics registry installed, then expose the result in Prometheus
+//! text format — either printed once or served over HTTP so a real
+//! Prometheus (or `curl`) can scrape it.
+//!
+//! ```sh
+//! cargo run --example prometheus_server -- --once          # print and exit
+//! cargo run --example prometheus_server [N] [ADDR]         # serve /metrics
+//! curl http://127.0.0.1:9184/metrics
+//! ```
+//!
+//! The server is a deliberately tiny `std::net::TcpListener` loop — one
+//! request per connection, no threads, no dependencies — because the
+//! interesting part is the exposition text, not the plumbing. Every
+//! scrape re-renders from the same registry snapshot-free: counters and
+//! histograms are read with atomic loads, so serving never perturbs a
+//! run that might still be writing.
+
+use std::io::{Read, Write};
+use std::net::TcpListener;
+
+use summagen_comm::{HockneyModel, RuntimeMetrics};
+use summagen_core::simulate_observed;
+use summagen_partition::{proportional_areas, Shape};
+use summagen_platform::profile::hclserver1;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let once = args.iter().any(|a| a == "--once");
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let n: usize = positional
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8_192);
+    let addr = positional
+        .get(1)
+        .map(|s| s.as_str())
+        .unwrap_or("127.0.0.1:9184");
+
+    // One metered paper-shape run fills the registry: comm volume and
+    // latency histograms, per-block GEMM throughput, panel counters.
+    let platform = hclserver1();
+    let areas = proportional_areas(n, &[1.0, 2.0, 0.9]);
+    let spec = Shape::SquareCorner.build(n, &areas);
+    let metrics = RuntimeMetrics::fresh();
+    let report = simulate_observed(
+        &spec,
+        &platform,
+        HockneyModel::intra_node(),
+        None,
+        Some(metrics.clone()),
+    );
+    eprintln!(
+        "SummaGen / square corner, N = {n}: exec {:.4} s, {} sends / {} bytes metered",
+        report.exec_time,
+        metrics.send_msgs.get(),
+        metrics.send_bytes.get()
+    );
+
+    if once {
+        print!("{}", metrics.render_prometheus());
+        return;
+    }
+
+    let listener = TcpListener::bind(addr).expect("bind scrape endpoint");
+    eprintln!("serving Prometheus metrics on http://{addr}/metrics (Ctrl-C to stop)");
+    for stream in listener.incoming() {
+        let Ok(mut stream) = stream else { continue };
+        // Drain the request line; the path doesn't matter — everything
+        // answers with the exposition, which is what curl and Prometheus
+        // both expect from a metrics endpoint.
+        let mut buf = [0u8; 1024];
+        let _ = stream.read(&mut buf);
+        let body = metrics.render_prometheus();
+        let response = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        let _ = stream.write_all(response.as_bytes());
+    }
+}
