@@ -4,7 +4,7 @@
 //! reproduce table1 | fig1 | fig5 | fig6 | fig7 | fig8 | summary
 //!           | crossover | nrrp | energyopt | summa | cluster | exact
 //!           | auto | fig5measured | verify | recovery | trace | abft
-//!           | bench | all
+//!           | bench | soak | all
 //! ```
 //!
 //! Output is whitespace-aligned text: one row per problem size with one
@@ -17,8 +17,12 @@
 //! and folded-stack flamegraphs (default `target/bench`), and `bench
 //! --check DIR [--tol FRACTION]` instead reruns the harness and compares
 //! against the baselines in DIR, exiting nonzero on any regression.
-//! `all` runs every text command plus the trace, recovery, abft, and
-//! bench exporters.
+//! `soak [--out DIR]` runs the seeded lossy-link chaos soak (wire drops,
+//! duplicates, reorders, delays, plus a silent rank hang caught by the
+//! heartbeat detector) and writes `SOAK_<shape>.json` summaries (default
+//! `target/soak`), exiting nonzero on any correctness mismatch. `all`
+//! runs every text command plus the trace, recovery, abft, bench, and
+//! soak exporters.
 
 use std::env;
 
@@ -101,6 +105,7 @@ fn main() {
             check_dir.as_deref(),
             tol,
         ),
+        "soak" => soak(out_dir.as_deref().unwrap_or("target/soak")),
         "all" => {
             print!("{}", table1());
             println!();
@@ -122,10 +127,11 @@ fn main() {
             trace(out_dir.as_deref().unwrap_or("target/trace"));
             abft(out_dir.as_deref().unwrap_or("target/abft"));
             bench(out_dir.as_deref().unwrap_or("target/bench"), None, tol);
+            soak(out_dir.as_deref().unwrap_or("target/soak"));
         }
         other => {
             eprintln!(
-                "unknown figure '{other}'; expected one of: table1 fig1 fig5 fig6 fig7 fig8 summary crossover nrrp energyopt summa cluster exact auto fig5measured verify recovery trace abft bench all"
+                "unknown figure '{other}'; expected one of: table1 fig1 fig5 fig6 fig7 fig8 summary crossover nrrp energyopt summa cluster exact auto fig5measured verify recovery trace abft bench soak all"
             );
             std::process::exit(2);
         }
@@ -149,6 +155,17 @@ fn abft(out_dir: &str) {
     use summagen_bench::resilience;
     if let Err(e) = resilience::run_abft(resilience::ABFT_N, std::path::Path::new(out_dir)) {
         eprintln!("abft export to '{out_dir}' failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Seeded lossy-link chaos soak: wire drops/duplicates/reorders/delays
+/// with the heartbeat detector armed, plus a silent-hang recovery per
+/// shape, writing `SOAK_<shape>.json` summaries (see `soak`).
+fn soak(out_dir: &str) {
+    use summagen_bench::soak;
+    if let Err(e) = soak::run_soak(soak::SOAK_N, std::path::Path::new(out_dir)) {
+        eprintln!("soak export to '{out_dir}' failed: {e}");
         std::process::exit(1);
     }
 }
@@ -605,6 +622,7 @@ fn recovery() {
         max_attempts: 3,
         retry_backoff: 0.25,
         recv_timeout: Duration::from_millis(500),
+        ..RecoveryOptions::default()
     };
 
     println!("\nROBUSTNESS — shrink-and-retry recovery under seeded fault plans (n = {n})");

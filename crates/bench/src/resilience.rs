@@ -62,6 +62,7 @@ fn recovery_options() -> RecoveryOptions {
         max_attempts: 4,
         retry_backoff: 0.25,
         recv_timeout: Duration::from_millis(1_000),
+        ..RecoveryOptions::default()
     }
 }
 
@@ -360,6 +361,7 @@ pub fn recovery_series(n: usize, seeds: &[u64]) -> Vec<RecoveryRow> {
         max_attempts: 3,
         retry_backoff: 0.25,
         recv_timeout: Duration::from_millis(500),
+        ..RecoveryOptions::default()
     };
     let mut rows = Vec::new();
     for shape in ALL_FOUR_SHAPES {

@@ -9,6 +9,7 @@
 //! (a *death notice* wakes their blocked receives) instead of hanging
 //! until the receive timeout.
 
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -16,10 +17,11 @@ use std::time::{Duration, Instant};
 use crate::chan::{RecvError, Sender};
 use crate::clock::{ClockSnapshot, CostModel, VirtualClock};
 use crate::error::{CommError, CommResult};
-use crate::fault::{FaultState, MsgAction};
+use crate::fault::{FaultState, InjectedHang, LinkState, MsgAction, WireFate};
 use crate::message::{Envelope, Payload};
 use crate::span::{CollectiveOp, EventSink, MsgOutcome, SpanKind, SpanRecord};
 use crate::sync::Mutex;
+use crate::universe::HeartbeatConfig;
 use summagen_metrics::RuntimeMetrics;
 
 /// Per-rank traffic accounting, aggregated over all communicators the rank
@@ -77,10 +79,19 @@ impl ReduceOp {
 pub(crate) const CONTROL_COMM: u64 = u64::MAX;
 
 /// A rank's inbound message queue: the channel endpoint plus messages that
-/// arrived out of matching order.
+/// arrived out of matching order, plus the receiver half of the reliable
+/// transport (duplicate suppression and in-order reassembly per link).
 pub(crate) struct Mailbox {
     rx: crate::chan::Receiver<Envelope>,
     pending: Vec<Envelope>,
+    /// Per-source cursor: the next transport sequence expected on the
+    /// `(src → me)` link. Doubles as the cumulative ack a real wire
+    /// protocol would piggyback back to the sender — everything below
+    /// the cursor has been delivered exactly once.
+    next_expected: HashMap<usize, u64>,
+    /// Out-of-order packets buffered until their predecessors arrive,
+    /// keyed `(src, link_seq)`.
+    reassembly: BTreeMap<(usize, u64), Envelope>,
 }
 
 impl Mailbox {
@@ -88,16 +99,81 @@ impl Mailbox {
         Self {
             rx,
             pending: Vec::new(),
+            next_expected: HashMap::new(),
+            reassembly: BTreeMap::new(),
         }
     }
 
-    /// Moves every queued envelope into `pending`, discarding control
-    /// envelopes (their only job is to wake a blocked receive).
-    fn drain(&mut self) {
-        while let Ok(env) = self.rx.try_recv() {
-            if env.comm_id != CONTROL_COMM {
-                self.pending.push(env);
+    /// Routes one inbound envelope. Control envelopes are discarded
+    /// (their only job is to wake a blocked receive). Transport-stamped
+    /// envelopes (`link_seq` present) pass through duplicate suppression
+    /// and in-order reassembly; everything else goes straight to
+    /// `pending`, preserving the classic lossless-path behavior.
+    fn admit(&mut self, env: Envelope, shared: &Shared) {
+        if env.comm_id == CONTROL_COMM {
+            return;
+        }
+        let Some(seq) = env.link_seq else {
+            self.pending.push(env);
+            return;
+        };
+        let src = env.src;
+        let cursor = *self.next_expected.entry(src).or_insert(0);
+        match seq.cmp(&cursor) {
+            std::cmp::Ordering::Less => {
+                // Already delivered (a duplicate or a late retransmit of
+                // an acked packet): suppress.
+                if let Some(m) = &shared.metrics {
+                    m.transport_dup_dropped.inc();
+                }
             }
+            std::cmp::Ordering::Equal => {
+                self.pending.push(env);
+                let mut next = seq + 1;
+                // Release any in-order run the reassembly buffer holds.
+                while let Some(e) = self.reassembly.remove(&(src, next)) {
+                    self.pending.push(e);
+                    next += 1;
+                }
+                self.next_expected.insert(src, next);
+            }
+            std::cmp::Ordering::Greater => {
+                // Arrived ahead of a predecessor: hold it back.
+                if self.reassembly.insert((src, seq), env).is_some() {
+                    if let Some(m) = &shared.metrics {
+                        m.transport_dup_dropped.inc();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Moves every queued envelope into `pending` (through the transport
+    /// when active).
+    fn drain(&mut self, shared: &Shared) {
+        while let Ok(env) = self.rx.try_recv() {
+            self.admit(env, shared);
+        }
+    }
+
+    /// Receiver-side safety net for reordered packets: pulls any packet
+    /// held back on a link into this mailbox, so a reorder can never
+    /// deadlock a receiver that is already blocked waiting for it (the
+    /// usual flush — the next packet on the link overtaking it — may
+    /// never come).
+    fn flush_held_to(&mut self, shared: &Shared, me: usize) {
+        if shared.link.is_none() {
+            return;
+        }
+        let held: Vec<Envelope> = {
+            let mut map = shared.link_held.lock();
+            let mut keys: Vec<(usize, usize)> =
+                map.keys().copied().filter(|&(_, d)| d == me).collect();
+            keys.sort_unstable();
+            keys.into_iter().filter_map(|k| map.remove(&k)).collect()
+        };
+        for env in held {
+            self.admit(env, shared);
         }
     }
 
@@ -135,7 +211,8 @@ impl Mailbox {
             if let Some(env) = self.take_match(src, comm_id, tag) {
                 return Ok(env);
             }
-            self.drain();
+            self.drain(shared);
+            self.flush_held_to(shared, me);
             if let Some(env) = self.take_match(src, comm_id, tag) {
                 return Ok(env);
             }
@@ -143,31 +220,39 @@ impl Mailbox {
                 .iter()
                 .find(|&&r| shared.failed[r].load(Ordering::SeqCst))
             {
-                self.drain();
+                self.drain(shared);
+                self.flush_held_to(shared, me);
                 if let Some(env) = self.take_match(src, comm_id, tag) {
                     return Ok(env);
                 }
                 return Err(CommError::PeerFailed { rank: dead });
             }
-            if Instant::now() >= deadline {
+            let now = Instant::now();
+            if now >= deadline {
                 return Err(CommError::Timeout {
                     src,
                     tag,
                     waited: timeout,
                 });
             }
-            match self.rx.recv_deadline(deadline) {
-                Ok(env) => {
-                    if env.comm_id != CONTROL_COMM {
-                        self.pending.push(env);
-                    }
-                }
+            // With a failure detector installed, wake at heartbeat
+            // cadence so a legitimately blocked receiver keeps beating
+            // and is never mistaken for a hung rank.
+            let wake = match &shared.heartbeat {
+                Some(hb) => deadline.min(now + hb.interval),
+                None => deadline,
+            };
+            match self.rx.recv_deadline(wake) {
+                Ok(env) => self.admit(env, shared),
                 Err(RecvError::Timeout) => {
-                    return Err(CommError::Timeout {
-                        src,
-                        tag,
-                        waited: timeout,
-                    })
+                    if Instant::now() >= deadline {
+                        return Err(CommError::Timeout {
+                            src,
+                            tag,
+                            waited: timeout,
+                        });
+                    }
+                    shared.beat(me);
                 }
                 // Our own inbox was closed: this rank has been marked dead
                 // (it resigned) — it cannot receive anything anymore.
@@ -202,6 +287,37 @@ pub(crate) struct Shared {
     /// to a single branch; the handles themselves are wait-free, so
     /// recording needs no per-rank ownership discipline.
     pub metrics: Option<Arc<RuntimeMetrics>>,
+    /// Active lossy-link state, if the universe carries a `LinkPlan`
+    /// (`Universe::with_link_plan`). Presence switches sends onto the
+    /// reliable transport.
+    pub link: Option<LinkState>,
+    /// Per-`(src, dst)` transport sequence counters. Each counter is
+    /// only advanced from the sending rank's own thread, so sequence
+    /// streams are deterministic.
+    pub link_send_seq: Mutex<HashMap<(usize, usize), u64>>,
+    /// At most one reordered packet held back per directed link, put on
+    /// the wire when the next packet on that link overtakes it (or
+    /// pulled in by the receiver's safety net).
+    pub link_held: Mutex<HashMap<(usize, usize), Envelope>>,
+    /// Failure-detector configuration, if the universe enabled one
+    /// (`Universe::with_heartbeat`). `None` keeps every liveness hook to
+    /// a single branch.
+    pub heartbeat: Option<HeartbeatConfig>,
+    /// Per-rank wall-clock activity stamps (nanoseconds since `epoch`),
+    /// fed by every communication/compute hook; the watchdog suspects
+    /// ranks whose stamp goes stale.
+    pub activity: Vec<AtomicU64>,
+    /// Per-rank stamp of the last *emitted* heartbeat (nanoseconds since
+    /// `epoch`) — rate-limits heartbeat spans/counters to the configured
+    /// interval.
+    pub hb_last: Vec<AtomicU64>,
+    /// Per-rank heartbeat sequence counters.
+    pub hb_seq: Vec<AtomicU64>,
+    /// Per-rank flags marking deaths *declared by the detector* (vs
+    /// announced via the death-notice protocol).
+    pub suspected: Vec<AtomicBool>,
+    /// Wall-clock origin for activity/heartbeat stamps.
+    pub epoch: Instant,
 }
 
 impl Shared {
@@ -222,10 +338,38 @@ impl Shared {
                     tag: 0,
                     arrival: 0.0,
                     seq: 0,
+                    link_seq: None,
                     payload: Payload::U64(Vec::new()),
                 });
             }
         }
+    }
+
+    /// Nanoseconds since the universe's wall-clock epoch.
+    pub(crate) fn wall_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Records liveness for `rank` and rate-limits heartbeat emission:
+    /// returns `Some(heartbeat_seq)` when at least one heartbeat
+    /// interval has passed since the last emitted beat (the caller then
+    /// records a `Heartbeat` span), `None` otherwise. A no-op without a
+    /// detector.
+    pub(crate) fn beat(&self, rank: usize) -> Option<u64> {
+        let hb = self.heartbeat.as_ref()?;
+        let now = self.wall_ns();
+        self.activity[rank].store(now, Ordering::Relaxed);
+        // `0` doubles as "never beaten": the first op always announces
+        // liveness, so even runs shorter than one interval emit beats.
+        let last = self.hb_last[rank].load(Ordering::Relaxed);
+        if last != 0 && now.saturating_sub(last) < hb.interval.as_nanos() as u64 {
+            return None;
+        }
+        self.hb_last[rank].store(now.max(1), Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.heartbeats.inc();
+        }
+        Some(self.hb_seq[rank].fetch_add(1, Ordering::Relaxed))
     }
 }
 
@@ -362,12 +506,56 @@ impl Communicator {
     /// SummaGen calls this with the device-model execution time of each
     /// local DGEMM. A fault plan's `slow_rank` factor is applied here.
     pub fn advance_compute(&self, dt: f64) {
+        self.heartbeat_tick();
         let factor = self
             .shared
             .fault
             .as_ref()
             .map_or(1.0, |fs| fs.compute_factor(self.global_rank()));
         self.clock.lock().advance_compute(dt * factor);
+    }
+
+    /// Feeds the failure detector: stamps this rank's activity and, when
+    /// a heartbeat interval has elapsed, emits a zero-duration
+    /// `Heartbeat` span. A single branch without a detector.
+    fn heartbeat_tick(&self) {
+        if let Some(seq) = self.shared.beat(self.global_rank()) {
+            if let Some(sink) = &self.shared.sink {
+                let now = self.clock.lock().now();
+                sink.record(SpanRecord {
+                    rank: self.global_rank(),
+                    start: now,
+                    end: now,
+                    kind: SpanKind::Heartbeat { seq },
+                });
+            }
+        }
+    }
+
+    /// Silent-hang injection: if the link plan hangs this rank at this
+    /// op, park *without* posting a death notice until the failure
+    /// detector marks us dead, then unwind with an [`InjectedHang`]
+    /// payload carrying the measured detection latency. A bail-out
+    /// slightly past the receive timeout bounds the park when no
+    /// detector is installed, so the universe always joins.
+    fn maybe_hang(&self) {
+        let Some(link) = &self.shared.link else {
+            return;
+        };
+        let me = self.global_rank();
+        let Some(op) = link.check_hang(me) else {
+            return;
+        };
+        let t0 = Instant::now();
+        let bail = self.shared.recv_timeout + Duration::from_secs(2);
+        while !self.shared.failed[me].load(Ordering::SeqCst) && t0.elapsed() < bail {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        std::panic::panic_any(InjectedHang {
+            rank: me,
+            op,
+            silent_secs: t0.elapsed().as_secs_f64(),
+        });
     }
 
     /// The `(elem, delta)` local-block corruptions the fault plan
@@ -406,9 +594,11 @@ impl Communicator {
     }
 
     fn try_send_internal(&self, dst: usize, tag: u64, payload: Payload) -> CommResult<()> {
+        self.heartbeat_tick();
         if let Some(fs) = &self.shared.fault {
             fs.before_op(self.global_rank());
         }
+        self.maybe_hang();
         let dst_global = self.group[dst];
         let bytes = payload.bytes();
         let cost = self
@@ -482,17 +672,139 @@ impl Communicator {
         if self.shared.failed[dst_global].load(Ordering::SeqCst) {
             return Err(CommError::PeerFailed { rank: dst_global });
         }
-        let env = Envelope {
-            src: self.global_rank(),
-            comm_id: self.comm_id,
-            tag,
-            arrival: arrival + extra,
-            seq,
-            payload,
+        let Some(link) = &self.shared.link else {
+            // Reliable-link path: one wire attempt, always delivered. Kept
+            // bit-identical to the pre-transport behaviour so cost-model
+            // pins (and every existing makespan) are unchanged.
+            let env = Envelope {
+                src: self.global_rank(),
+                comm_id: self.comm_id,
+                tag,
+                arrival: arrival + extra,
+                seq,
+                link_seq: None,
+                payload,
+            };
+            return self.shared.senders[dst_global]
+                .send(env)
+                .map_err(|_| CommError::ChannelClosed { rank: dst_global });
         };
-        self.shared.senders[dst_global]
-            .send(env)
-            .map_err(|_| CommError::ChannelClosed { rank: dst_global })
+        // Lossy-link path: simulated stop-and-wait ARQ on the virtual
+        // clock. Each wire attempt consults the seeded LinkPlan; a lost
+        // packet costs the sender one retransmission timeout plus the
+        // transfer time of the resend, so retransmits show up in
+        // makespans deterministically.
+        let me = self.global_rank();
+        let plan = link.plan.clone();
+        let link_seq = {
+            let mut seqs = self.shared.link_send_seq.lock();
+            let ctr = seqs.entry((me, dst_global)).or_insert(0);
+            let s = *ctr;
+            *ctr += 1;
+            s
+        };
+        // A packet parked by an earlier Reorder fate is released after this
+        // one ships: the newer packet genuinely overtakes it on the wire.
+        let overtaken = self.shared.link_held.lock().remove(&(me, dst_global));
+        let mut payload = Some(payload);
+        let mut delivered = false;
+        for attempt in 0..plan.max_attempts {
+            match plan.wire_fate(me, dst_global, link_seq, attempt) {
+                WireFate::Drop => {
+                    // Lost on the wire: wait out the retransmission timeout,
+                    // then pay for pushing the bytes again.
+                    let (t0, t1) = {
+                        let mut clock = self.clock.lock();
+                        let t0 = clock.now();
+                        clock.advance_comm(plan.rto(attempt) + cost);
+                        (t0, clock.now())
+                    };
+                    if let Some(m) = &self.shared.metrics {
+                        m.transport_retransmits.inc();
+                    }
+                    if let Some(sink) = &self.shared.sink {
+                        sink.record(SpanRecord {
+                            rank: me,
+                            start: t0,
+                            end: t1,
+                            kind: SpanKind::Retransmit {
+                                dst: dst_global,
+                                tag,
+                                seq: link_seq,
+                                attempt: attempt + 1,
+                            },
+                        });
+                    }
+                }
+                fate => {
+                    let delay = match fate {
+                        WireFate::Delay(secs) => secs,
+                        _ => 0.0,
+                    };
+                    let arrival = self.clock.lock().now() + extra + delay;
+                    let body = payload.take().expect("payload consumed once");
+                    if matches!(fate, WireFate::Duplicate) {
+                        // The network duplicated the packet: both copies
+                        // reach the receiver, which drops the second by
+                        // its link_seq cursor.
+                        if let Some(m) = &self.shared.metrics {
+                            m.transport_duplicates.inc();
+                        }
+                        let copy = Envelope {
+                            src: me,
+                            comm_id: self.comm_id,
+                            tag,
+                            arrival,
+                            seq,
+                            link_seq: Some(link_seq),
+                            payload: body.clone(),
+                        };
+                        self.shared.senders[dst_global]
+                            .send(copy)
+                            .map_err(|_| CommError::ChannelClosed { rank: dst_global })?;
+                    }
+                    let env = Envelope {
+                        src: me,
+                        comm_id: self.comm_id,
+                        tag,
+                        arrival,
+                        seq,
+                        link_seq: Some(link_seq),
+                        payload: body,
+                    };
+                    if matches!(fate, WireFate::Reorder) {
+                        // Park this packet; it is released (overtaken) when
+                        // the next packet on this link ships, or flushed by
+                        // the receiver's safety net.
+                        self.shared.link_held.lock().insert((me, dst_global), env);
+                    } else {
+                        self.shared.senders[dst_global]
+                            .send(env)
+                            .map_err(|_| CommError::ChannelClosed { rank: dst_global })?;
+                    }
+                    if let Some(m) = &self.shared.metrics {
+                        m.transport_delivered.inc();
+                    }
+                    delivered = true;
+                }
+            }
+            if delivered {
+                break;
+            }
+        }
+        if let Some(env) = overtaken {
+            self.shared.senders[dst_global]
+                .send(env)
+                .map_err(|_| CommError::ChannelClosed { rank: dst_global })?;
+        }
+        if delivered {
+            Ok(())
+        } else {
+            Err(CommError::Unreachable {
+                rank: dst_global,
+                attempts: plan.max_attempts,
+            })
+        }
     }
 
     /// Point-to-point receive, matching on `(src, tag)` within this
@@ -519,9 +831,11 @@ impl Communicator {
     }
 
     fn try_recv_internal(&self, src: usize, tag: u64) -> CommResult<Payload> {
+        self.heartbeat_tick();
         if let Some(fs) = &self.shared.fault {
             fs.before_op(self.global_rank());
         }
+        self.maybe_hang();
         let src_global = self.group[src];
         let env = self.mailbox.lock().try_recv_match(
             Some(src_global),
@@ -582,9 +896,11 @@ impl Communicator {
             tag < COLLECTIVE_TAG_BASE,
             "tag {tag} reserved for collectives"
         );
+        self.heartbeat_tick();
         if let Some(fs) = &self.shared.fault {
             fs.before_op(self.global_rank());
         }
+        self.maybe_hang();
         let me = self.global_rank();
         let watch: Vec<usize> = self.group.iter().copied().filter(|&g| g != me).collect();
         let env = self.mailbox.lock().try_recv_match(
@@ -1028,22 +1344,49 @@ impl Communicator {
     ///
     /// # Panics
     /// Panics if `members` is not strictly increasing or contains an
-    /// out-of-range rank. These stay panics in the fault-tolerant API too:
-    /// the member list is derived locally from the partition spec, so a
-    /// bad list is a bug, not a platform fault.
+    /// out-of-range rank; use [`Communicator::try_subgroup`] for the typed
+    /// [`CommError::InvalidGroup`] error instead.
     pub fn subgroup(&self, members: &[usize], label: u64) -> Option<Communicator> {
-        assert!(!members.is_empty(), "empty subgroup");
-        for w in members.windows(2) {
-            assert!(w[0] < w[1], "members must be strictly increasing");
+        self.try_subgroup(members, label)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Communicator::subgroup`]: returns
+    /// [`CommError::InvalidGroup`] when the member list is empty, not
+    /// strictly increasing, or names an out-of-range rank, instead of
+    /// panicking. `Ok(None)` means the list was valid but this rank is
+    /// not in it.
+    pub fn try_subgroup(&self, members: &[usize], label: u64) -> CommResult<Option<Communicator>> {
+        if members.is_empty() {
+            return Err(CommError::InvalidGroup {
+                reason: "member list is empty".into(),
+            });
         }
-        assert!(
-            *members.last().unwrap() < self.size(),
-            "member rank out of range"
-        );
-        let new_rank = members.iter().position(|&m| m == self.rank)?;
+        for w in members.windows(2) {
+            if w[0] >= w[1] {
+                return Err(CommError::InvalidGroup {
+                    reason: format!(
+                        "members must be strictly increasing, got {} before {}",
+                        w[0], w[1]
+                    ),
+                });
+            }
+        }
+        let last = *members.last().unwrap();
+        if last >= self.size() {
+            return Err(CommError::InvalidGroup {
+                reason: format!(
+                    "member rank {last} out of range for communicator of size {}",
+                    self.size()
+                ),
+            });
+        }
+        let Some(new_rank) = members.iter().position(|&m| m == self.rank) else {
+            return Ok(None);
+        };
         let group: Vec<usize> = members.iter().map(|&m| self.group[m]).collect();
         let child_id = mix(mix(self.comm_id ^ mix(label)) ^ 0x5347_5542); // "SGUB"
-        Some(Communicator::new(
+        Ok(Some(Communicator::new(
             child_id,
             new_rank,
             Arc::new(group),
@@ -1051,7 +1394,7 @@ impl Communicator {
             Arc::clone(&self.mailbox),
             Arc::clone(&self.clock),
             Arc::clone(&self.stats),
-        ))
+        )))
     }
 
     /// Splits the communicator by color, ordering the members of each child

@@ -47,6 +47,23 @@ pub enum CommError {
         /// The variant actually carried.
         got: &'static str,
     },
+    /// A subgroup/split was asked for with an invalid member list (empty,
+    /// unsorted, duplicated, or referencing a rank outside the parent
+    /// communicator). Always a programming error at the call site.
+    InvalidGroup {
+        /// What was wrong with the member list.
+        reason: String,
+    },
+    /// The reliable transport gave up on a link after exhausting its
+    /// retransmission budget — every attempt was dropped by the link
+    /// plan. Names the unreachable destination so recovery can treat the
+    /// peer as dead.
+    Unreachable {
+        /// Universe-global rank of the unreachable destination.
+        rank: usize,
+        /// Wire attempts made (original send + retransmits).
+        attempts: u32,
+    },
     /// An ABFT verification found corruption it could not locate and
     /// correct (more than one damaged element, or inconsistent
     /// residuals). An own-cause error: [`RankFailure::crashed_ranks`]
@@ -82,6 +99,15 @@ impl fmt::Display for CommError {
             CommError::PayloadType { expected, got } => {
                 write!(f, "expected {expected} payload, got {got}")
             }
+            CommError::InvalidGroup { reason } => {
+                write!(f, "invalid subgroup member list: {reason}")
+            }
+            CommError::Unreachable { rank, attempts } => {
+                write!(
+                    f,
+                    "rank {rank} unreachable: transport gave up after {attempts} wire attempts"
+                )
+            }
             CommError::DataCorruption { rank, step } => {
                 write!(
                     f,
@@ -100,7 +126,9 @@ impl CommError {
     /// the next attempt.
     pub fn failed_rank(&self) -> Option<usize> {
         match self {
-            CommError::PeerFailed { rank } | CommError::ChannelClosed { rank } => Some(*rank),
+            CommError::PeerFailed { rank }
+            | CommError::ChannelClosed { rank }
+            | CommError::Unreachable { rank, .. } => Some(*rank),
             _ => None,
         }
     }
@@ -121,6 +149,17 @@ pub enum FailureCause {
     },
     /// The rank's closure returned a typed error.
     Error(CommError),
+    /// The heartbeat detector declared the rank dead after it went
+    /// silent (no death notice was ever posted): the rank hung mid-run
+    /// and was only discovered by suspicion.
+    DetectedHang {
+        /// Zero-based index of the point-to-point operation at which the
+        /// silent hang was injected.
+        op: u64,
+        /// Wall-clock seconds between the rank going silent and the
+        /// detector declaring it dead.
+        detection_latency: f64,
+    },
 }
 
 impl fmt::Display for FailureCause {
@@ -129,6 +168,13 @@ impl fmt::Display for FailureCause {
             FailureCause::Panic(msg) => write!(f, "panicked: {msg}"),
             FailureCause::InjectedKill { op } => write!(f, "killed by fault plan at op {op}"),
             FailureCause::Error(e) => write!(f, "returned error: {e}"),
+            FailureCause::DetectedHang {
+                op,
+                detection_latency,
+            } => write!(
+                f,
+                "hung silently at op {op}, detected by heartbeat suspicion after {detection_latency:.3}s"
+            ),
         }
     }
 }
@@ -144,8 +190,17 @@ impl FailureCause {
             FailureCause::Error(CommError::Timeout { .. }) => "timeout",
             FailureCause::Error(CommError::ChannelClosed { .. }) => "channel-closed",
             FailureCause::Error(CommError::PayloadType { .. }) => "payload-type",
+            FailureCause::Error(CommError::InvalidGroup { .. }) => "invalid-group",
+            FailureCause::Error(CommError::Unreachable { .. }) => "unreachable",
             FailureCause::Error(CommError::DataCorruption { .. }) => "data-corruption",
+            FailureCause::DetectedHang { .. } => "detected-hang",
         }
+    }
+
+    /// Whether the failure was discovered by the heartbeat detector
+    /// rather than announced through the death-notice protocol.
+    pub fn is_detected(&self) -> bool {
+        matches!(self, FailureCause::DetectedHang { .. })
     }
 }
 
@@ -178,7 +233,9 @@ impl RankFailure {
         let mut out: Vec<usize> = Vec::new();
         for fr in &self.failed {
             match &fr.cause {
-                FailureCause::Panic(_) | FailureCause::InjectedKill { .. } => out.push(fr.rank),
+                FailureCause::Panic(_)
+                | FailureCause::InjectedKill { .. }
+                | FailureCause::DetectedHang { .. } => out.push(fr.rank),
                 FailureCause::Error(e) => {
                     if let Some(r) = e.failed_rank() {
                         out.push(r);
@@ -205,11 +262,14 @@ impl RankFailure {
             .failed
             .iter()
             .filter(|fr| match &fr.cause {
-                FailureCause::Panic(_) | FailureCause::InjectedKill { .. } => true,
+                FailureCause::Panic(_)
+                | FailureCause::InjectedKill { .. }
+                | FailureCause::DetectedHang { .. } => true,
                 FailureCause::Error(
                     CommError::PeerFailed { .. }
                     | CommError::ChannelClosed { .. }
-                    | CommError::Timeout { .. },
+                    | CommError::Timeout { .. }
+                    | CommError::Unreachable { .. },
                 ) => false,
                 FailureCause::Error(_) => true,
             })
@@ -333,6 +393,61 @@ mod tests {
             FailureCause::Error(CommError::DataCorruption { rank: 0, step: 0 }).kind_label(),
             "data-corruption"
         );
+    }
+
+    #[test]
+    fn detected_hang_is_a_crash_and_unreachable_names_the_peer() {
+        let rf = RankFailure {
+            failed: vec![
+                FailedRank {
+                    rank: 0,
+                    cause: FailureCause::Error(CommError::Unreachable {
+                        rank: 2,
+                        attempts: 31,
+                    }),
+                },
+                FailedRank {
+                    rank: 2,
+                    cause: FailureCause::DetectedHang {
+                        op: 5,
+                        detection_latency: 0.042,
+                    },
+                },
+            ],
+        };
+        // The hung rank is a genuine crash; the sender that gave up on the
+        // link is a victim but its error names the culprit.
+        assert_eq!(rf.crashed_ranks(), vec![2]);
+        assert_eq!(rf.root_failed_ranks(), vec![2]);
+        assert!(rf.failed[1].cause.is_detected());
+        assert!(!rf.failed[0].cause.is_detected());
+        assert_eq!(rf.failed[1].cause.kind_label(), "detected-hang");
+        assert_eq!(rf.failed[0].cause.kind_label(), "unreachable");
+        let msg = CommError::Unreachable {
+            rank: 2,
+            attempts: 31,
+        }
+        .to_string();
+        assert!(msg.contains("31 wire attempts"), "got: {msg}");
+        let msg = rf.failed[1].cause.to_string();
+        assert!(msg.contains("heartbeat suspicion"), "got: {msg}");
+    }
+
+    #[test]
+    fn invalid_group_is_an_own_cause_error() {
+        let cause = FailureCause::Error(CommError::InvalidGroup {
+            reason: "empty member list".into(),
+        });
+        assert_eq!(cause.kind_label(), "invalid-group");
+        let rf = RankFailure {
+            failed: vec![FailedRank { rank: 1, cause }],
+        };
+        assert_eq!(rf.crashed_ranks(), vec![1]);
+        assert!(CommError::InvalidGroup {
+            reason: "empty member list".into()
+        }
+        .to_string()
+        .contains("empty member list"));
     }
 
     #[test]

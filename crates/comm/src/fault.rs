@@ -286,6 +286,272 @@ fn mix(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Panic payload used by injected *silent* hangs: the rank stopped
+/// making progress without posting a death notice, waited until the
+/// heartbeat detector suspected it, and then unwound with this payload
+/// so the scope join can classify the death. Public so tests can assert
+/// on it; user code never constructs one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InjectedHang {
+    /// Universe-global rank that hung.
+    pub rank: usize,
+    /// Zero-based index of the p2p operation at which the hang fired.
+    pub op: u64,
+    /// Wall-clock seconds the rank sat silent before the detector
+    /// declared it dead (the measured detection latency).
+    pub silent_secs: f64,
+}
+
+/// A silent-hang directive: rank `rank` stops making progress at its
+/// `at_op`-th (zero-based) point-to-point operation *without* running
+/// the death-notice protocol — peers learn of the death only through
+/// heartbeat suspicion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HangSpec {
+    /// Universe-global rank to hang.
+    pub rank: usize,
+    /// Zero-based p2p operation index that triggers the hang.
+    pub at_op: u64,
+}
+
+/// What the link plan decides about one wire attempt of a packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum WireFate {
+    /// The attempt reaches the receiver.
+    Deliver,
+    /// The attempt is lost; the transport retransmits after backoff.
+    Drop,
+    /// The attempt reaches the receiver twice (e.g. a retransmit racing
+    /// a late original); the receiver's dedup discards the extra copy.
+    Duplicate,
+    /// The attempt reaches the receiver after this many extra virtual
+    /// seconds of latency.
+    Delay(f64),
+    /// The attempt is held back and overtaken by the next packet on the
+    /// same link; receiver-side reassembly restores order.
+    Reorder,
+}
+
+/// A seeded, deterministic model of a lossy interconnect.
+///
+/// Unlike [`FaultPlan`]'s per-message directives (keyed by the nth
+/// message on an edge, tracked with counters), a `LinkPlan` decides the
+/// fate of every wire attempt *statelessly* from a hash of
+/// `(seed, src, dst, seq, attempt)` — the same packet suffers the same
+/// fate on every execution regardless of thread interleaving, and a
+/// retransmission (higher `attempt`) re-rolls the dice, so finite drop
+/// rates always eventually deliver. Installing a plan on a `Universe`
+/// (`with_link_plan`) switches the runtime onto the reliable transport:
+/// per-link sequence numbers, duplicate suppression, in-order
+/// reassembly, and retransmission with capped exponential backoff
+/// charged to the virtual clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkPlan {
+    /// Seed feeding every fate hash.
+    pub seed: u64,
+    /// Global per-mille probability an attempt is dropped.
+    pub drop_permille: u16,
+    /// Global per-mille probability an attempt is duplicated.
+    pub dup_permille: u16,
+    /// Global per-mille probability an attempt is reordered behind the
+    /// next packet on its link.
+    pub reorder_permille: u16,
+    /// Global per-mille probability an attempt is delayed.
+    pub delay_permille: u16,
+    /// Extra virtual latency (seconds) a delayed attempt suffers.
+    pub delay_secs: f64,
+    /// Per-link drop-rate overrides `(src, dst, permille)`; 1000 makes a
+    /// link totally dead (the transport reports `Unreachable` after
+    /// exhausting its budget).
+    pub link_drop: Vec<(usize, usize, u16)>,
+    /// Ranks to hang silently and when.
+    pub hangs: Vec<HangSpec>,
+    /// Base retransmission timeout in virtual seconds (doubles per
+    /// attempt).
+    pub rto_base: f64,
+    /// Ceiling on the per-attempt backoff in virtual seconds.
+    pub rto_cap: f64,
+    /// Wire attempts per packet before the transport gives up and
+    /// reports the destination unreachable.
+    pub max_attempts: u32,
+}
+
+impl Default for LinkPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            drop_permille: 0,
+            dup_permille: 0,
+            reorder_permille: 0,
+            delay_permille: 0,
+            delay_secs: 0.0,
+            link_drop: Vec::new(),
+            hangs: Vec::new(),
+            rto_base: 1e-5,
+            rto_cap: 1e-3,
+            max_attempts: 30,
+        }
+    }
+}
+
+impl LinkPlan {
+    /// A lossless plan with the given seed (installs the reliable
+    /// transport but injects nothing).
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    fn permille(v: u16) -> u16 {
+        assert!(v <= 1000, "per-mille rate {v} out of range");
+        v
+    }
+
+    /// Sets the global drop probability (per mille of wire attempts).
+    pub fn drop_rate(mut self, permille: u16) -> Self {
+        self.drop_permille = Self::permille(permille);
+        self
+    }
+
+    /// Sets the global duplication probability (per mille).
+    pub fn duplicate_rate(mut self, permille: u16) -> Self {
+        self.dup_permille = Self::permille(permille);
+        self
+    }
+
+    /// Sets the global reorder probability (per mille).
+    pub fn reorder_rate(mut self, permille: u16) -> Self {
+        self.reorder_permille = Self::permille(permille);
+        self
+    }
+
+    /// Sets the global delay probability (per mille) and the extra
+    /// virtual latency delayed attempts suffer.
+    pub fn delay_rate(mut self, permille: u16, secs: f64) -> Self {
+        assert!(secs >= 0.0 && secs.is_finite(), "invalid delay {secs}");
+        self.delay_permille = Self::permille(permille);
+        self.delay_secs = secs;
+        self
+    }
+
+    /// Overrides the drop rate on one directed link.
+    pub fn drop_link(mut self, src: usize, dst: usize, permille: u16) -> Self {
+        let p = Self::permille(permille);
+        self.link_drop.push((src, dst, p));
+        self
+    }
+
+    /// Hangs `rank` silently at its `at_op`-th (zero-based) p2p
+    /// operation — no death notice; only the heartbeat detector can
+    /// discover it.
+    pub fn hang_rank(mut self, rank: usize, at_op: u64) -> Self {
+        self.hangs.push(HangSpec { rank, at_op });
+        self
+    }
+
+    /// Configures the retransmission policy: base timeout, backoff cap
+    /// (both virtual seconds), and the wire-attempt budget per packet.
+    pub fn retransmit(mut self, rto_base: f64, rto_cap: f64, max_attempts: u32) -> Self {
+        assert!(rto_base > 0.0 && rto_base.is_finite(), "invalid rto base");
+        assert!(
+            rto_cap >= rto_base && rto_cap.is_finite(),
+            "invalid rto cap"
+        );
+        assert!(max_attempts >= 1, "need at least one wire attempt");
+        self.rto_base = rto_base;
+        self.rto_cap = rto_cap;
+        self.max_attempts = max_attempts;
+        self
+    }
+
+    /// Whether the plan can actually perturb traffic (a lossless plan
+    /// still installs the transport, but nothing will ever retransmit).
+    pub fn is_lossless(&self) -> bool {
+        self.drop_permille == 0
+            && self.dup_permille == 0
+            && self.reorder_permille == 0
+            && self.delay_permille == 0
+            && self.link_drop.iter().all(|&(_, _, p)| p == 0)
+            && self.hangs.is_empty()
+    }
+
+    /// Capped exponential backoff charged before retransmission
+    /// `attempt` (1-based retry index).
+    pub(crate) fn rto(&self, attempt: u32) -> f64 {
+        let exp = attempt.min(24); // 2^24 · base already dwarfs any cap
+        (self.rto_base * f64::from(1u32 << exp)).min(self.rto_cap)
+    }
+
+    fn drop_rate_for(&self, src: usize, dst: usize) -> u16 {
+        self.link_drop
+            .iter()
+            .rev() // later overrides win
+            .find(|&&(s, d, _)| s == src && d == dst)
+            .map_or(self.drop_permille, |&(_, _, p)| p)
+    }
+
+    /// The fate of wire attempt `attempt` (0 = original transmission) of
+    /// the packet with per-link sequence `seq` from `src` to `dst`.
+    /// Pure: a hash of the arguments and the seed, independent of any
+    /// runtime state or thread interleaving.
+    pub(crate) fn wire_fate(&self, src: usize, dst: usize, seq: u64, attempt: u32) -> WireFate {
+        let key = mix(self.seed)
+            ^ mix((src as u64) << 42 | (dst as u64) << 21 | (attempt as u64))
+            ^ mix(seq.wrapping_add(0x4C49_4E4B));
+        let h = mix(key);
+        if ((h % 1000) as u16) < self.drop_rate_for(src, dst) {
+            return WireFate::Drop;
+        }
+        let h2 = mix(h);
+        if ((h2 % 1000) as u16) < self.dup_permille {
+            return WireFate::Duplicate;
+        }
+        let h3 = mix(h2);
+        if ((h3 % 1000) as u16) < self.delay_permille {
+            return WireFate::Delay(self.delay_secs);
+        }
+        let h4 = mix(h3);
+        if ((h4 % 1000) as u16) < self.reorder_permille {
+            return WireFate::Reorder;
+        }
+        WireFate::Deliver
+    }
+}
+
+/// Runtime state threading a [`LinkPlan`] through one `Universe`
+/// execution: the plan itself (fate decisions are stateless) plus the
+/// per-rank op counters that trigger silent hangs.
+pub(crate) struct LinkState {
+    pub(crate) plan: LinkPlan,
+    /// Per-rank count of p2p operations performed so far (independent of
+    /// the [`FaultState`] counters so the two plans compose).
+    ops: Vec<AtomicU64>,
+}
+
+impl LinkState {
+    pub(crate) fn new(plan: LinkPlan, nprocs: usize) -> Self {
+        Self {
+            plan,
+            ops: (0..nprocs).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Called at the start of every p2p operation on `rank`. Returns
+    /// `Some(op)` when the plan says this is the rank's moment to hang
+    /// silently; the comm layer then parks the thread until the failure
+    /// detector notices.
+    pub(crate) fn check_hang(&self, rank: usize) -> Option<u64> {
+        let op = self.ops[rank].fetch_add(1, Ordering::Relaxed);
+        self.plan
+            .hangs
+            .iter()
+            .any(|h| h.rank == rank && h.at_op == op)
+            .then_some(op)
+    }
+}
+
 /// Runtime state threading a [`FaultPlan`] through one `Universe`
 /// execution: per-rank operation counters and per-edge message counters.
 pub(crate) struct FaultState {
@@ -561,6 +827,88 @@ mod tests {
         assert!(st.block_corruptions(1, 0).is_empty());
         // Stateless: repeated queries return the same directives.
         assert_eq!(st.block_corruptions(1, 2), vec![(3, 0.5), (9, -0.5)]);
+    }
+
+    #[test]
+    fn link_plan_fates_are_deterministic_and_rate_bounded() {
+        let plan = LinkPlan::seeded(7)
+            .drop_rate(200)
+            .duplicate_rate(100)
+            .reorder_rate(100)
+            .delay_rate(100, 2e-4);
+        let mut counts = [0usize; 5]; // deliver, drop, dup, delay, reorder
+        let n = 4000u64;
+        for seq in 0..n {
+            let fate = plan.wire_fate(0, 1, seq, 0);
+            assert_eq!(fate, plan.wire_fate(0, 1, seq, 0), "seq {seq} not stable");
+            let idx = match fate {
+                WireFate::Deliver => 0,
+                WireFate::Drop => 1,
+                WireFate::Duplicate => 2,
+                WireFate::Delay(d) => {
+                    assert_eq!(d, 2e-4);
+                    3
+                }
+                WireFate::Reorder => 4,
+            };
+            counts[idx] += 1;
+        }
+        // Each configured fault occurs, none dominates far beyond its
+        // rate (loose 2x bounds — this is a hash, not an exact sampler).
+        assert!(
+            counts[1] > 0 && counts[1] < (n as usize) * 2 / 5,
+            "{counts:?}"
+        );
+        for &c in &counts[2..] {
+            assert!(c > 0 && c < (n as usize) / 5, "{counts:?}");
+        }
+        // Different seeds decide differently somewhere.
+        let other = LinkPlan::seeded(8).drop_rate(200);
+        assert!((0..200).any(|s| plan.wire_fate(0, 1, s, 0) != other.wire_fate(0, 1, s, 0)));
+        // Retransmits re-roll: a dropped attempt is not dropped forever.
+        let heavy = LinkPlan::seeded(3).drop_rate(500);
+        for seq in 0..64 {
+            assert!(
+                (0..heavy.max_attempts).any(|a| heavy.wire_fate(0, 1, seq, a) != WireFate::Drop),
+                "seq {seq} dropped on every attempt"
+            );
+        }
+    }
+
+    #[test]
+    fn link_drop_override_beats_the_global_rate() {
+        let plan = LinkPlan::seeded(1).drop_rate(0).drop_link(0, 2, 1000);
+        for seq in 0..32 {
+            for attempt in 0..4 {
+                assert_eq!(plan.wire_fate(0, 2, seq, attempt), WireFate::Drop);
+                assert_eq!(plan.wire_fate(0, 1, seq, attempt), WireFate::Deliver);
+                // Only the directed link is dead.
+                assert_eq!(plan.wire_fate(2, 0, seq, attempt), WireFate::Deliver);
+            }
+        }
+    }
+
+    #[test]
+    fn rto_backoff_is_capped_exponential() {
+        let plan = LinkPlan::seeded(0).retransmit(1e-5, 8e-5, 10);
+        assert_eq!(plan.rto(0), 1e-5);
+        assert_eq!(plan.rto(1), 2e-5);
+        assert_eq!(plan.rto(2), 4e-5);
+        assert_eq!(plan.rto(3), 8e-5);
+        assert_eq!(plan.rto(4), 8e-5); // capped
+        assert_eq!(plan.rto(24), 8e-5);
+        assert_eq!(plan.rto(u32::MAX), 8e-5); // exponent clamp, no overflow
+    }
+
+    #[test]
+    fn hang_fires_exactly_at_op_and_is_silent_in_fates() {
+        let st = LinkState::new(LinkPlan::seeded(0).hang_rank(1, 2), 3);
+        assert_eq!(st.check_hang(1), None); // op 0
+        assert_eq!(st.check_hang(1), None); // op 1
+        assert_eq!(st.check_hang(1), Some(2));
+        assert_eq!(st.check_hang(0), None);
+        assert!(!st.plan.is_lossless());
+        assert!(LinkPlan::seeded(9).is_lossless());
     }
 
     #[test]

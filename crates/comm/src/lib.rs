@@ -53,11 +53,15 @@ pub use clock::{
 };
 pub use comm::{BcastAlgorithm, Communicator, ReduceOp, TrafficStats};
 pub use error::{CommError, CommResult, FailedRank, FailureCause, RankFailure};
-pub use fault::{BlockCorrupt, FaultPlan, InjectedKill, KillSpec, MsgCorrupt, MsgFault};
+pub use fault::{
+    BlockCorrupt, FaultPlan, HangSpec, InjectedHang, InjectedKill, KillSpec, LinkPlan, MsgCorrupt,
+    MsgFault,
+};
 pub use message::Payload;
 pub use span::{AbftLabel, CollectiveOp, EventSink, MsgOutcome, SpanKind, SpanRecord, StageLabel};
 pub use universe::{
-    recv_timeout_from_env, ConfigError, Universe, DEFAULT_RECV_TIMEOUT, RECV_TIMEOUT_ENV,
+    recv_timeout_from_env, ConfigError, HeartbeatConfig, Universe, DEFAULT_RECV_TIMEOUT,
+    RECV_TIMEOUT_ENV,
 };
 
 // Aggregate metrics live below comm (same layering as the span

@@ -109,6 +109,12 @@ pub(crate) struct Envelope {
     /// sink is installed (see `span::SpanKind::Send`); 0 otherwise. Lets
     /// the trace layer match a `Recv` span to the `Send` that fed it.
     pub seq: u64,
+    /// Per-link `(src, dst)` transport sequence number, assigned only
+    /// when a `LinkPlan` is installed (see `fault::LinkPlan`); `None`
+    /// otherwise. Drives duplicate suppression and in-order reassembly
+    /// in the receiver's mailbox — a cumulative ack per link is implied
+    /// by the receiver's `next_expected` cursor.
+    pub link_seq: Option<u64>,
     /// The data.
     pub payload: Payload,
 }

@@ -95,6 +95,28 @@ pub enum SpanKind {
         /// checkpoint/rollback.
         elems: u64,
     },
+    /// One retransmission attempt of a point-to-point message the link
+    /// plan dropped. A leaf event: the interval covers the backoff the
+    /// sender waited (on the virtual clock) before re-offering the
+    /// packet, so retransmits visibly widen makespans.
+    Retransmit {
+        /// Destination global rank.
+        dst: usize,
+        /// Message tag.
+        tag: u64,
+        /// Per-link transport sequence number of the packet.
+        seq: u64,
+        /// One-based retransmission attempt (1 = first retry).
+        attempt: u32,
+    },
+    /// A heartbeat the rank emitted to the failure detector at this
+    /// instant. Zero-duration annotation: excluded from time accounting
+    /// and the happens-before DAG, but visible on the timeline so gaps
+    /// before a suspicion are inspectable.
+    Heartbeat {
+        /// Monotone per-rank heartbeat number.
+        seq: u64,
+    },
     /// The rank left the computation abnormally at this instant.
     RankDeath {
         /// Classified cause: `"injected-kill"`, `"panic"`, or `"error"`.
@@ -112,6 +134,8 @@ impl SpanKind {
             SpanKind::Gemm { .. } => "gemm",
             SpanKind::Stage { stage } => stage.label(),
             SpanKind::Abft { op, .. } => op.label(),
+            SpanKind::Retransmit { .. } => "retransmit",
+            SpanKind::Heartbeat { .. } => "heartbeat",
             SpanKind::RankDeath { .. } => "rank-death",
         }
     }
@@ -125,6 +149,7 @@ impl SpanKind {
                 | SpanKind::Recv { .. }
                 | SpanKind::Gemm { .. }
                 | SpanKind::Abft { .. }
+                | SpanKind::Retransmit { .. }
         )
     }
 }
@@ -317,6 +342,14 @@ mod tests {
         }
         .is_leaf());
         assert!(!SpanKind::RankDeath { cause: "panic" }.is_leaf());
+        assert!(SpanKind::Retransmit {
+            dst: 1,
+            tag: 0,
+            seq: 3,
+            attempt: 1
+        }
+        .is_leaf());
+        assert!(!SpanKind::Heartbeat { seq: 0 }.is_leaf());
     }
 
     #[test]
@@ -326,6 +359,17 @@ mod tests {
         assert_eq!(MsgOutcome::Dropped.label(), "dropped");
         assert_eq!(MsgOutcome::Corrupted.label(), "corrupted");
         assert_eq!(AbftLabel::Verify.label(), "abft-verify");
+        assert_eq!(
+            SpanKind::Retransmit {
+                dst: 0,
+                tag: 0,
+                seq: 0,
+                attempt: 2
+            }
+            .label(),
+            "retransmit"
+        );
+        assert_eq!(SpanKind::Heartbeat { seq: 5 }.label(), "heartbeat");
         assert_eq!(AbftLabel::Correct.label(), "abft-correct");
         assert_eq!(AbftLabel::Checkpoint.label(), "abft-checkpoint");
         assert_eq!(AbftLabel::Rollback.label(), "abft-rollback");

@@ -17,16 +17,17 @@
 //! therefore see `CommError::PeerFailed` in milliseconds instead of
 //! hanging until the receive timeout.
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Once};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::chan::channel;
 use crate::clock::{CostModel, VirtualClock};
 use crate::comm::{Communicator, Mailbox, Shared, TrafficStats};
 use crate::error::{CommError, FailedRank, FailureCause, RankFailure};
-use crate::fault::{FaultPlan, FaultState, InjectedKill};
+use crate::fault::{FaultPlan, FaultState, InjectedHang, InjectedKill, LinkPlan, LinkState};
 use crate::span::{EventSink, SpanKind, SpanRecord};
 use crate::sync::Mutex;
 use summagen_metrics::RuntimeMetrics;
@@ -93,9 +94,74 @@ fn default_recv_timeout() -> Duration {
         Ok(Some(d)) => d,
         Ok(None) => DEFAULT_RECV_TIMEOUT,
         Err(e) => {
-            eprintln!("warning: {e}; using default {DEFAULT_RECV_TIMEOUT:?}");
+            // Warn once per process, not once per Universe: a sweep that
+            // builds thousands of universes under a bad environment would
+            // otherwise drown real diagnostics. Callers that must not
+            // proceed on a bad value use `Universe::try_new`.
+            static WARNED: Once = Once::new();
+            WARNED.call_once(|| {
+                eprintln!("warning: {e}; using default {DEFAULT_RECV_TIMEOUT:?}");
+            });
             DEFAULT_RECV_TIMEOUT
         }
+    }
+}
+
+/// Heartbeat failure-detector configuration
+/// ([`Universe::with_heartbeat`]).
+///
+/// Every communication/compute hook stamps the calling rank's activity
+/// clock and, at most once per `interval`, emits a heartbeat (a
+/// zero-duration [`SpanKind::Heartbeat`] span plus a metrics tick). A
+/// watchdog thread polls every `poll` and *suspects* a rank when its
+/// stamp is older than `suspicion` while at least one peer has been
+/// active within `suspicion / 2` — relative liveness, so a machine-wide
+/// scheduler stall does not condemn everybody at once. If *every* rank
+/// has been silent longer than `stall`, the watchdog breaks the deadlock
+/// by suspecting the least-recently-active rank. A suspected rank is
+/// marked dead through the same death-notice protocol an announced crash
+/// uses, so peers observe `CommError::PeerFailed` either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatConfig {
+    /// Minimum wall-clock spacing between emitted heartbeats per rank.
+    pub interval: Duration,
+    /// Silence threshold past which a rank is suspected (given that
+    /// peers are still live).
+    pub suspicion: Duration,
+    /// Whole-universe silence threshold for the stall watchdog.
+    pub stall: Duration,
+    /// Watchdog polling period.
+    pub poll: Duration,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        Self {
+            interval: Duration::from_millis(25),
+            suspicion: Duration::from_millis(400),
+            stall: Duration::from_secs(10),
+            poll: Duration::from_millis(10),
+        }
+    }
+}
+
+impl HeartbeatConfig {
+    /// Sets the suspicion threshold (and scales the stall threshold to
+    /// stay at least 4x the suspicion threshold).
+    #[must_use]
+    pub fn suspicion(mut self, suspicion: Duration) -> Self {
+        self.suspicion = suspicion;
+        if self.stall < suspicion * 4 {
+            self.stall = suspicion * 4;
+        }
+        self
+    }
+
+    /// Sets the heartbeat emission interval.
+    #[must_use]
+    pub fn interval(mut self, interval: Duration) -> Self {
+        self.interval = interval;
+        self
     }
 }
 
@@ -117,21 +183,25 @@ pub struct Universe {
     traced: bool,
     recv_timeout: Duration,
     faults: Option<FaultPlan>,
+    link: Option<LinkPlan>,
+    heartbeat: Option<HeartbeatConfig>,
     sink: Option<Arc<dyn EventSink>>,
     metrics: Option<Arc<RuntimeMetrics>>,
 }
 
 static UNIVERSE_COUNTER: AtomicU64 = AtomicU64::new(1);
 
-/// Injected kills are expected panics; keep them out of stderr so chaos
-/// sweeps don't bury real failures in noise. Installed once per process,
-/// delegating everything else to the previous hook.
+/// Injected kills and hangs are expected panics; keep them out of stderr
+/// so chaos sweeps don't bury real failures in noise. Installed once per
+/// process, delegating everything else to the previous hook.
 fn install_kill_silencer() {
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
         let previous = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            if info.payload().downcast_ref::<InjectedKill>().is_some() {
+            if info.payload().downcast_ref::<InjectedKill>().is_some()
+                || info.payload().downcast_ref::<InjectedHang>().is_some()
+            {
                 return;
             }
             previous(info);
@@ -152,9 +222,34 @@ impl Universe {
             traced: false,
             recv_timeout: default_recv_timeout(),
             faults: None,
+            link: None,
+            heartbeat: None,
             sink: None,
             metrics: None,
         }
+    }
+
+    /// Like [`Universe::new`], but a set-and-unusable
+    /// [`RECV_TIMEOUT_ENV`] value is a typed [`ConfigError`] instead of a
+    /// warn-and-default. Use this where a misconfigured environment must
+    /// stop the run rather than silently change its timeout behaviour.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn try_new(size: usize, cost: impl CostModel) -> Result<Self, ConfigError> {
+        assert!(size > 0, "universe must have at least one rank");
+        let recv_timeout = recv_timeout_from_env()?.unwrap_or(DEFAULT_RECV_TIMEOUT);
+        Ok(Self {
+            size,
+            cost: Arc::new(cost),
+            traced: false,
+            recv_timeout,
+            faults: None,
+            link: None,
+            heartbeat: None,
+            sink: None,
+            metrics: None,
+        })
     }
 
     /// Enables per-rank event tracing: every rank's clock records a
@@ -183,6 +278,27 @@ impl Universe {
     /// trigger points.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Attaches a seeded [`LinkPlan`]: sends in subsequent runs go over
+    /// simulated lossy links (drop/duplicate/reorder/delay per wire
+    /// attempt) with a stop-and-wait ARQ on the virtual clock, and any
+    /// configured silent hangs fire. Without one (the default) the wire
+    /// is perfectly reliable and send timing is unchanged.
+    pub fn with_link_plan(mut self, plan: LinkPlan) -> Self {
+        self.link = Some(plan);
+        self
+    }
+
+    /// Enables the heartbeat failure detector (see [`HeartbeatConfig`]):
+    /// ranks stamp activity and emit heartbeats, and a watchdog thread
+    /// declares silent ranks dead via the death-notice protocol. This is
+    /// what turns a *silent* hang — no panic, no death notice — into a
+    /// typed `PeerFailed` at the survivors within the suspicion
+    /// threshold.
+    pub fn with_heartbeat(mut self, config: HeartbeatConfig) -> Self {
+        self.heartbeat = Some(config);
         self
     }
 
@@ -235,6 +351,15 @@ impl Universe {
             sink: self.sink.clone(),
             send_seq: (0..p).map(|_| AtomicU64::new(0)).collect(),
             metrics: self.metrics.clone(),
+            link: self.link.clone().map(|plan| LinkState::new(plan, p)),
+            link_send_seq: Mutex::new(HashMap::new()),
+            link_held: Mutex::new(HashMap::new()),
+            heartbeat: self.heartbeat,
+            activity: (0..p).map(|_| AtomicU64::new(0)).collect(),
+            hb_last: (0..p).map(|_| AtomicU64::new(0)).collect(),
+            hb_seq: (0..p).map(|_| AtomicU64::new(0)).collect(),
+            suspected: (0..p).map(|_| AtomicBool::new(false)).collect(),
+            epoch: Instant::now(),
         });
         (shared, receivers)
     }
@@ -307,13 +432,25 @@ impl Universe {
         let (shared, receivers) = self.build_shared();
         let world_id = UNIVERSE_COUNTER.fetch_add(1, Ordering::Relaxed);
         let comms = self.build_comms(&shared, receivers, world_id);
+        // Ranks that returned (normally or with an error) stop stamping
+        // activity; the watchdog must not mistake "done" for "hung".
+        let finished: Arc<Vec<AtomicBool>> =
+            Arc::new((0..self.size).map(|_| AtomicBool::new(false)).collect());
 
         let outcomes: Vec<Result<R, FailureCause>> = std::thread::scope(|scope| {
+            let watchdog_done = Arc::new(AtomicBool::new(false));
+            let watchdog = self.heartbeat.map(|hb| {
+                let shared = Arc::clone(&shared);
+                let finished = Arc::clone(&finished);
+                let done = Arc::clone(&watchdog_done);
+                scope.spawn(move || run_watchdog(&shared, &finished, &done, hb))
+            });
             let handles: Vec<_> = comms
                 .into_iter()
                 .enumerate()
                 .map(|(rank, comm)| {
                     let shared = Arc::clone(&shared);
+                    let finished = Arc::clone(&finished);
                     let clock = comm.clock_handle();
                     let f = &f;
                     scope.spawn(move || {
@@ -332,6 +469,7 @@ impl Universe {
                             }
                         };
                         let result = catch_unwind(AssertUnwindSafe(|| f(comm)));
+                        finished[rank].store(true, Ordering::SeqCst);
                         match result {
                             Ok(Ok(value)) => Ok(value),
                             Ok(Err(err)) => {
@@ -346,6 +484,12 @@ impl Universe {
                                 if let Some(kill) = payload.downcast_ref::<InjectedKill>() {
                                     record_death("injected-kill");
                                     Err(FailureCause::InjectedKill { op: kill.op })
+                                } else if let Some(hang) = payload.downcast_ref::<InjectedHang>() {
+                                    record_death("detected-hang");
+                                    Err(FailureCause::DetectedHang {
+                                        op: hang.op,
+                                        detection_latency: hang.silent_secs,
+                                    })
                                 } else {
                                     record_death("panic");
                                     Err(FailureCause::Panic(panic_message(payload.as_ref())))
@@ -355,7 +499,7 @@ impl Universe {
                     })
                 })
                 .collect();
-            handles
+            let outcomes: Vec<Result<R, FailureCause>> = handles
                 .into_iter()
                 .map(|h| match h.join() {
                     Ok(outcome) => outcome,
@@ -364,7 +508,12 @@ impl Universe {
                     // thread was torn down abnormally.
                     Err(_) => Err(FailureCause::Panic("rank thread vanished".into())),
                 })
-                .collect()
+                .collect();
+            watchdog_done.store(true, Ordering::SeqCst);
+            if let Some(h) = watchdog {
+                let _ = h.join();
+            }
+            outcomes
         });
 
         let mut values = Vec::with_capacity(self.size);
@@ -379,6 +528,68 @@ impl Universe {
             Ok(values)
         } else {
             Err(RankFailure { failed })
+        }
+    }
+}
+
+/// The failure-detector watchdog: polls per-rank activity stamps and
+/// declares silent ranks dead. Runs on its own thread inside the launch
+/// scope; `done` is set once every rank has been joined.
+///
+/// Two trigger paths:
+/// * **Relative liveness** — a rank is suspected when it has been silent
+///   longer than `suspicion` while at least one peer was active within
+///   `suspicion / 2`. A machine-wide scheduler stall therefore suspects
+///   nobody (everyone looks equally dead).
+/// * **Stall watchdog** — if *every* live rank has been silent longer
+///   than `stall`, the run is wedged; the watchdog breaks the deadlock
+///   by condemning the least-recently-active rank.
+fn run_watchdog(shared: &Shared, finished: &[AtomicBool], done: &AtomicBool, hb: HeartbeatConfig) {
+    let p = finished.len();
+    // Silence is measured from watchdog birth, not the shared epoch, so
+    // ranks that have not communicated yet are not condemned for setup
+    // time spent before the scope started.
+    let start = shared.wall_ns();
+    let suspicion = hb.suspicion.as_nanos() as u64;
+    let stall = hb.stall.as_nanos() as u64;
+    while !done.load(Ordering::SeqCst) {
+        std::thread::sleep(hb.poll);
+        let now = shared.wall_ns();
+        let alive: Vec<(usize, u64)> = (0..p)
+            .filter(|&r| {
+                !finished[r].load(Ordering::SeqCst) && !shared.failed[r].load(Ordering::SeqCst)
+            })
+            .map(|r| {
+                let last = shared.activity[r].load(Ordering::Relaxed).max(start);
+                (r, now.saturating_sub(last))
+            })
+            .collect();
+        let Some(min_silence) = alive.iter().map(|&(_, s)| s).min() else {
+            continue;
+        };
+        let suspect = if min_silence < suspicion / 2 {
+            // Some peer is demonstrably live; the most-silent rank past
+            // the threshold (if any) is suspected.
+            alive
+                .iter()
+                .copied()
+                .filter(|&(_, s)| s > suspicion)
+                .max_by_key(|&(_, s)| s)
+        } else if min_silence > stall {
+            alive.iter().copied().max_by_key(|&(_, s)| s)
+        } else {
+            None
+        };
+        if let Some((r, silence)) = suspect {
+            shared.suspected[r].store(true, Ordering::SeqCst);
+            if let Some(m) = &shared.metrics {
+                m.suspicions.inc();
+                m.detection_seconds.observe(silence as f64 / 1e9);
+            }
+            // Same protocol as an announced crash: peers observe
+            // `PeerFailed`, and a hung rank parked in `maybe_hang` wakes
+            // on its failed flag and exits.
+            shared.death_notice(r);
         }
     }
 }
@@ -535,6 +746,16 @@ mod tests {
         // default) so a bad environment cannot brick every caller.
         std::env::set_var(RECV_TIMEOUT_ENV, "not-a-number");
         let garbage = Universe::new(1, ZeroCost);
+        // `try_new` propagates the typed error instead of warning.
+        match Universe::try_new(1, ZeroCost) {
+            Err(e) => assert_eq!(
+                e,
+                ConfigError::InvalidRecvTimeout {
+                    value: "not-a-number".into()
+                }
+            ),
+            Ok(_) => panic!("try_new must propagate the config error"),
+        }
         let err = recv_timeout_from_env().expect_err("garbage must be a typed error");
         assert_eq!(
             err,
@@ -551,6 +772,9 @@ mod tests {
         std::env::remove_var(RECV_TIMEOUT_ENV);
         let unset = Universe::new(1, ZeroCost);
         assert_eq!(recv_timeout_from_env(), Ok(None));
+        let tried = Universe::try_new(1, ZeroCost).expect("clean env must construct");
+        let t = tried.run(|comm| comm.recv_timeout());
+        assert_eq!(t, vec![DEFAULT_RECV_TIMEOUT]);
 
         let t = configured.run(|comm| comm.recv_timeout());
         assert_eq!(t, vec![Duration::from_millis(90_000)]);

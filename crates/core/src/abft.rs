@@ -648,6 +648,8 @@ fn try_run_abft(
     kernel: GemmKernel,
     cost: impl CostModel,
     faults: Option<FaultPlan>,
+    link: Option<summagen_comm::LinkPlan>,
+    heartbeat: Option<summagen_comm::HeartbeatConfig>,
     recv_timeout: Duration,
     sink: Option<Arc<dyn EventSink>>,
     metrics: Option<Arc<summagen_comm::RuntimeMetrics>>,
@@ -659,6 +661,12 @@ fn try_run_abft(
     let mut universe = Universe::new(spec.nprocs, cost).recv_timeout(recv_timeout);
     if let Some(plan) = faults {
         universe = universe.with_faults(plan);
+    }
+    if let Some(plan) = link {
+        universe = universe.with_link_plan(plan);
+    }
+    if let Some(hb) = heartbeat {
+        universe = universe.with_heartbeat(hb);
     }
     if let Some(sink) = sink {
         universe = universe.with_event_sink(sink);
@@ -837,6 +845,9 @@ fn multiply_abft_inner(
     assert!(!rel_speeds.is_empty(), "need at least one device");
     assert!(opts.max_attempts > 0, "need at least one attempt");
     assert_eq!(a.rows(), b.rows(), "A and B must share dimension n");
+    // The explicit bundle wins; otherwise any bundle carried by the
+    // recovery options (the path `reproduce soak` uses) is installed.
+    let metrics = metrics.or_else(|| opts.metrics.clone());
     let n = a.rows();
 
     let mut devices: Vec<usize> = (0..rel_speeds.len()).collect();
@@ -844,6 +855,9 @@ fn multiply_abft_inner(
     let mut causes: BTreeMap<String, usize> = BTreeMap::new();
     let mut completed: Vec<(usize, DenseMatrix)> = Vec::new();
     let mut uncorrectable = 0u64;
+    let mut announced_failures = 0usize;
+    let mut detected_failures = 0usize;
+    let mut max_detection_latency = 0.0f64;
     let mut attempt = 0;
     loop {
         attempt += 1;
@@ -863,6 +877,8 @@ fn multiply_abft_inner(
             mode.kernel(),
             cost.clone(),
             faults,
+            opts.link_plan.clone(),
+            opts.heartbeat,
             opts.recv_timeout,
             sink.clone(),
             metrics.clone(),
@@ -894,6 +910,9 @@ fn multiply_abft_inner(
                         backoff_time,
                         failure_causes: cause_counts(&causes),
                         recompute_fraction,
+                        announced_failures,
+                        detected_failures,
+                        max_detection_latency,
                     });
                 }
                 let report = AbftReport {
@@ -917,6 +936,15 @@ fn multiply_abft_inner(
                     *causes.entry(label.to_string()).or_default() += 1;
                     if label == "data-corruption" {
                         uncorrectable += 1;
+                    }
+                    if let summagen_comm::FailureCause::DetectedHang {
+                        detection_latency, ..
+                    } = &fr.cause
+                    {
+                        detected_failures += 1;
+                        max_detection_latency = max_detection_latency.max(*detection_latency);
+                    } else {
+                        announced_failures += 1;
                     }
                 }
                 if attempt >= opts.max_attempts {
@@ -974,6 +1002,7 @@ mod tests {
             max_attempts: 4,
             retry_backoff: 0.25,
             recv_timeout: Duration::from_millis(500),
+            ..Default::default()
         }
     }
 

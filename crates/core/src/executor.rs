@@ -6,8 +6,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use summagen_comm::{
-    ClockSnapshot, CostModel, EventSink, FaultPlan, HockneyModel, RankFailure, TrafficStats,
-    Universe, ZeroCost, DEFAULT_RECV_TIMEOUT,
+    ClockSnapshot, CostModel, EventSink, FailureCause, FaultPlan, HeartbeatConfig, HockneyModel,
+    LinkPlan, RankFailure, TrafficStats, Universe, ZeroCost, DEFAULT_RECV_TIMEOUT,
 };
 use summagen_matrix::{DenseMatrix, GemmKernel};
 use summagen_partition::{beaumont_column_layout, proportional_areas, PartitionSpec, Shape};
@@ -120,6 +120,9 @@ pub fn multiply_traced(
         mode,
         cost,
         None,
+        None,
+        None,
+        None,
         DEFAULT_RECV_TIMEOUT,
         Some(sink),
     )
@@ -133,8 +136,20 @@ fn run_real(
     mode: ExecutionMode,
     cost: impl CostModel,
 ) -> RunResult {
-    try_run_real(spec, a, b, mode, cost, None, DEFAULT_RECV_TIMEOUT, None)
-        .unwrap_or_else(|failure| panic!("rank panicked: {failure}"))
+    try_run_real(
+        spec,
+        a,
+        b,
+        mode,
+        cost,
+        None,
+        None,
+        None,
+        None,
+        DEFAULT_RECV_TIMEOUT,
+        None,
+    )
+    .unwrap_or_else(|failure| panic!("rank panicked: {failure}"))
 }
 
 /// One fallible execution attempt: runs the three stages under `try_run`,
@@ -148,6 +163,9 @@ fn try_run_real(
     mode: ExecutionMode,
     cost: impl CostModel,
     faults: Option<FaultPlan>,
+    link: Option<LinkPlan>,
+    heartbeat: Option<HeartbeatConfig>,
+    metrics: Option<Arc<summagen_metrics::RuntimeMetrics>>,
     recv_timeout: Duration,
     sink: Option<Arc<dyn EventSink>>,
 ) -> Result<RunResult, RankFailure> {
@@ -155,6 +173,15 @@ fn try_run_real(
     let mut universe = Universe::new(spec.nprocs, cost).recv_timeout(recv_timeout);
     if let Some(plan) = faults {
         universe = universe.with_faults(plan);
+    }
+    if let Some(plan) = link {
+        universe = universe.with_link_plan(plan);
+    }
+    if let Some(hb) = heartbeat {
+        universe = universe.with_heartbeat(hb);
+    }
+    if let Some(m) = metrics {
+        universe = universe.with_metrics(m);
     }
     if let Some(sink) = sink {
         universe = universe.with_event_sink(sink);
@@ -208,6 +235,20 @@ pub struct RecoveryOptions {
     /// Receive timeout applied to every attempt. Tests injecting faults
     /// should use milliseconds so deadlocks resolve quickly.
     pub recv_timeout: Duration,
+    /// Lossy-link plan applied to every attempt: sends go through the
+    /// seeded transport (retransmission, duplicate suppression, in-order
+    /// reassembly), and any configured silent hangs fire. `None` (the
+    /// default) runs on perfectly reliable links.
+    pub link_plan: Option<LinkPlan>,
+    /// Heartbeat failure-detector configuration applied to every
+    /// attempt. Required to recover from *silent* hangs — without it a
+    /// hung rank only surfaces as a receive timeout at its peers.
+    pub heartbeat: Option<HeartbeatConfig>,
+    /// Aggregate-metrics bundle shared by every attempt: transport
+    /// delivery/retransmit/duplicate counters, heartbeat ticks and
+    /// suspicion latencies accumulate here across retries. `None` (the
+    /// default) skips metrics entirely.
+    pub metrics: Option<Arc<summagen_metrics::RuntimeMetrics>>,
 }
 
 impl Default for RecoveryOptions {
@@ -216,6 +257,9 @@ impl Default for RecoveryOptions {
             max_attempts: 3,
             retry_backoff: 0.5,
             recv_timeout: DEFAULT_RECV_TIMEOUT,
+            link_plan: None,
+            heartbeat: None,
+            metrics: None,
         }
     }
 }
@@ -246,6 +290,16 @@ pub struct RecoveryReport {
     /// mid-plan, which makes the two recovery styles comparable from
     /// artifacts.
     pub recompute_fraction: f64,
+    /// Abnormal ranks across failed attempts whose death was *announced*
+    /// — a panic, injected kill, or typed error posted a death notice.
+    pub announced_failures: usize,
+    /// Abnormal ranks across failed attempts whose death was *detected*
+    /// by heartbeat suspicion (silent hangs): nobody announced anything,
+    /// the watchdog noticed the silence.
+    pub detected_failures: usize,
+    /// Largest heartbeat detection latency observed across detected
+    /// failures, wall-clock seconds (0 when nothing was detected).
+    pub max_detection_latency: f64,
 }
 
 /// Collapses a cause tally into the sorted `(label, count)` form stored
@@ -340,6 +394,9 @@ pub fn multiply_with_recovery(
     let mut devices: Vec<usize> = (0..rel_speeds.len()).collect();
     let mut failed_devices: Vec<usize> = Vec::new();
     let mut causes: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+    let mut announced_failures = 0usize;
+    let mut detected_failures = 0usize;
+    let mut max_detection_latency = 0.0f64;
     let mut attempt = 0;
     loop {
         attempt += 1;
@@ -356,6 +413,9 @@ pub fn multiply_with_recovery(
             mode,
             cost.clone(),
             faults,
+            opts.link_plan.clone(),
+            opts.heartbeat,
+            opts.metrics.clone(),
             opts.recv_timeout,
             None,
         ) {
@@ -373,6 +433,9 @@ pub fn multiply_with_recovery(
                         failure_causes: cause_counts(&causes),
                         // Full restart: the retry recomputed everything.
                         recompute_fraction: 1.0,
+                        announced_failures,
+                        detected_failures,
+                        max_detection_latency,
                     });
                 }
                 return Ok(result);
@@ -380,6 +443,15 @@ pub fn multiply_with_recovery(
             Err(failure) => {
                 for fr in &failure.failed {
                     *causes.entry(fr.cause.kind_label().to_string()).or_default() += 1;
+                    if let FailureCause::DetectedHang {
+                        detection_latency, ..
+                    } = &fr.cause
+                    {
+                        detected_failures += 1;
+                        max_detection_latency = max_detection_latency.max(*detection_latency);
+                    } else {
+                        announced_failures += 1;
+                    }
                 }
                 if attempt >= opts.max_attempts {
                     return Err(RecoveryError::AttemptsExhausted {
@@ -590,6 +662,7 @@ mod tests {
             max_attempts: 3,
             retry_backoff: 0.25,
             recv_timeout: Duration::from_millis(500),
+            ..Default::default()
         }
     }
 
@@ -737,6 +810,7 @@ mod tests {
             max_attempts: 2,
             retry_backoff: 0.25,
             recv_timeout: Duration::from_millis(200),
+            ..Default::default()
         };
         let res = multiply_with_recovery(
             Shape::SquareCorner,

@@ -122,6 +122,23 @@ pub struct RuntimeMetrics {
     /// Barrier duration per participant, virtual seconds.
     pub barrier_seconds: Arc<Histogram>,
 
+    /// Wire packets delivered by the lossy-link transport (first copies
+    /// only; duplicates are counted separately).
+    pub transport_delivered: Arc<Counter>,
+    /// Retransmissions performed after a wire-level drop.
+    pub transport_retransmits: Arc<Counter>,
+    /// Extra copies injected by wire-level duplication.
+    pub transport_duplicates: Arc<Counter>,
+    /// Duplicate packets suppressed by the receiver's sequence cursor.
+    pub transport_dup_dropped: Arc<Counter>,
+    /// Heartbeats emitted by live ranks.
+    pub heartbeats: Arc<Counter>,
+    /// Ranks declared dead by the failure detector (vs announced deaths).
+    pub suspicions: Arc<Counter>,
+    /// Silence observed at suspicion time, wall-clock seconds (the
+    /// detector's detection latency).
+    pub detection_seconds: Arc<Histogram>,
+
     /// SUMMA panel steps executed (per rank per panel).
     pub panel_steps: Arc<Counter>,
     /// GEMM telemetry, both clock domains.
@@ -199,6 +216,34 @@ impl RuntimeMetrics {
                 "summagen_comm_collective_seconds",
                 "Collective duration per participating rank, virtual seconds.",
                 &[("op", "barrier")],
+            ),
+            transport_delivered: reg.counter(
+                "summagen_transport_delivered_total",
+                "Wire packets delivered by the lossy-link transport (first copies).",
+            ),
+            transport_retransmits: reg.counter(
+                "summagen_transport_retransmits_total",
+                "Retransmissions performed after a wire-level drop.",
+            ),
+            transport_duplicates: reg.counter(
+                "summagen_transport_duplicates_total",
+                "Extra packet copies injected by wire-level duplication.",
+            ),
+            transport_dup_dropped: reg.counter(
+                "summagen_transport_dup_dropped_total",
+                "Duplicate packets suppressed by the receiver's sequence cursor.",
+            ),
+            heartbeats: reg.counter(
+                "summagen_heartbeats_total",
+                "Heartbeats emitted by live ranks.",
+            ),
+            suspicions: reg.counter(
+                "summagen_suspicions_total",
+                "Ranks declared dead by the heartbeat failure detector.",
+            ),
+            detection_seconds: reg.histogram(
+                "summagen_detection_seconds",
+                "Silence observed at suspicion time (detection latency), wall seconds.",
             ),
             panel_steps: reg.counter(
                 "summagen_core_panel_steps_total",

@@ -116,6 +116,14 @@ pub fn metrics(trace: &RecordedTrace) -> TraceMetrics {
                     m.abft_time += r.duration();
                     m.leaf_spans += 1;
                 }
+                // Retransmissions are extra wire time on the sender:
+                // they count as communication but carry no payload bytes
+                // (the link table tracks logical traffic, not ARQ
+                // overhead).
+                SpanKind::Retransmit { .. } => {
+                    m.comm_time += r.duration();
+                    m.leaf_spans += 1;
+                }
                 _ => {}
             }
         }

@@ -112,8 +112,8 @@ fn fold_rank<'a>(
     };
 
     for r in ordered {
-        if r.kind.label() == "rank-death" {
-            continue; // instant event: no duration to attribute
+        if matches!(r.kind.label(), "rank-death" | "heartbeat") {
+            continue; // instant events: no duration to attribute
         }
         close_until(&mut open, &mut frames, stacks, r.start, r.end);
         if let Some(top) = open.last_mut() {

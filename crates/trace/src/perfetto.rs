@@ -99,6 +99,18 @@ fn event_json(ts: &TraceSpan) -> String {
             "abft",
             format!("{{\"op\":\"{}\",\"step\":{step},\"elems\":{elems}}}", op.label()),
         ),
+        // Retransmissions are leaf comm work: they tile on the op track
+        // so the ARQ's cost is visible against first-copy sends.
+        SpanKind::Retransmit {
+            dst,
+            tag,
+            seq,
+            attempt,
+        } => (
+            r.rank * 2,
+            "comm",
+            format!("{{\"dst\":{dst},\"tag\":{tag},\"seq\":{seq},\"attempt\":{attempt}}}"),
+        ),
         SpanKind::RankDeath { cause } => {
             // Instant event ("i"), thread-scoped.
             return format!(
@@ -107,6 +119,16 @@ fn event_json(ts: &TraceSpan) -> String {
                 us(r.start),
                 r.rank * 2,
                 esc(cause)
+            );
+        }
+        SpanKind::Heartbeat { seq } => {
+            // Zero-duration liveness tick: an instant event on the
+            // phases track, out of the way of real comm/compute spans.
+            return format!(
+                "{{\"name\":\"heartbeat\",\"cat\":\"liveness\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{},\"pid\":0,\"tid\":{},\"args\":{{\"seq\":{seq}}}}}",
+                us(r.start),
+                r.rank * 2 + 1,
             );
         }
     };

@@ -217,6 +217,26 @@ fn push_kind(out: &mut Vec<u8>, kind: &SpanKind) {
             push_u64(out, *step);
             push_u64(out, *elems);
         }
+        SpanKind::Retransmit {
+            dst,
+            tag,
+            seq,
+            attempt,
+        } => {
+            out.push(7);
+            push_u64(out, *dst as u64);
+            push_u64(out, *tag);
+            push_u64(out, *seq);
+            push_u64(out, u64::from(*attempt));
+        }
+        // Heartbeats are wall-clock-paced: their *presence* is
+        // deterministic only in aggregate, so only the sequence number
+        // participates; traces meant for byte-identical replay should
+        // run without a heartbeat detector.
+        SpanKind::Heartbeat { seq } => {
+            out.push(8);
+            push_u64(out, *seq);
+        }
     }
 }
 

@@ -47,6 +47,7 @@ fn chaos_opts() -> RecoveryOptions {
         max_attempts: 4,
         retry_backoff: 0.1,
         recv_timeout: Duration::from_millis(300),
+        ..Default::default()
     }
 }
 
