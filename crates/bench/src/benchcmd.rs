@@ -25,8 +25,8 @@ use std::io;
 use std::path::Path;
 use std::sync::Arc;
 
-use summagen_comm::RuntimeMetrics;
-use summagen_core::{simulate_observed, SimReport};
+use summagen_comm::{Backend, RuntimeMetrics};
+use summagen_core::{simulate_observed_on, SimReport};
 use summagen_partition::{proportional_areas, Shape, ALL_FOUR_SHAPES};
 use summagen_platform::profile::hclserver1;
 use summagen_trace::{folded_stacks, TraceRecorder};
@@ -63,21 +63,27 @@ pub struct BenchShapeRun {
     pub fpm: SimReport,
     /// Protected-vs-unprotected ABFT overhead runs.
     pub abft: AbftShapeRun,
+    /// Transport backend the CPM run executed over. Virtual time is
+    /// backend-blind, so the metric values are identical either way;
+    /// the field records which wire actually carried the run.
+    pub backend: Backend,
 }
 
-/// Runs the three regression scenarios for one shape.
-pub fn bench_shape(shape: Shape) -> BenchShapeRun {
+/// Runs the three regression scenarios for one shape, with the CPM run
+/// carried over `backend`.
+pub fn bench_shape(shape: Shape, backend: Backend) -> BenchShapeRun {
     let platform = hclserver1();
     let areas = proportional_areas(BENCH_N, &CPM_SPEEDS);
     let spec = shape.build(BENCH_N, &areas);
     let metrics = RuntimeMetrics::fresh();
     let recorder = TraceRecorder::new(spec.nprocs);
-    let cpm = simulate_observed(
+    let cpm = simulate_observed_on(
         &spec,
         &platform,
         link_model(),
         Some(recorder.clone()),
         Some(metrics.clone()),
+        backend,
     );
     let folded = folded_stacks(&recorder.finish());
     let fpm = run_fpm_point(BENCH_FPM_N, shape, &platform);
@@ -89,6 +95,7 @@ pub fn bench_shape(shape: Shape) -> BenchShapeRun {
         folded,
         fpm,
         abft,
+        backend,
     }
 }
 
@@ -153,6 +160,7 @@ pub fn bench_json(run: &BenchShapeRun) -> Json {
         doc,
         Json::obj([
             ("command", Json::from("reproduce bench")),
+            ("backend", Json::from(run.backend.name())),
             ("shape", Json::from(run.shape.name())),
             ("cpm_n", Json::from(BENCH_N)),
             ("fpm_n", Json::from(BENCH_FPM_N)),
@@ -181,13 +189,25 @@ fn shape_slug(shape: Shape) -> String {
     shape.name().replace(' ', "-")
 }
 
-/// Runs all four shapes, writing `BENCH_<shape>.json` and
+/// Artifact name for one shape's document: channel runs keep the
+/// historical `BENCH_<shape>.json` so committed baselines stay valid;
+/// other backends get a `_<backend>` suffix and never collide with them.
+pub fn bench_artifact_name(shape: Shape, backend: Backend) -> String {
+    let slug = shape_slug(shape);
+    match backend {
+        Backend::Channel => format!("BENCH_{slug}.json"),
+        other => format!("BENCH_{slug}_{}.json", other.name()),
+    }
+}
+
+/// Runs all four shapes over `backend`, writing `BENCH_<shape>.json`
+/// (suffixed with the backend name off the default channel) and
 /// `flame_<shape>.folded` into `out_dir` and printing a summary table.
-pub fn run_bench(out_dir: &Path) -> io::Result<()> {
+pub fn run_bench(out_dir: &Path, backend: Backend) -> io::Result<()> {
     fs::create_dir_all(out_dir)?;
     println!(
         "\nBENCH — regression harness (CPM N = {BENCH_N}, FPM N = {BENCH_FPM_N}, \
-         ABFT N = {}), output in {}",
+         ABFT N = {}, backend = {backend}), output in {}",
         resilience::ABFT_N,
         out_dir.display()
     );
@@ -196,10 +216,10 @@ pub fn run_bench(out_dir: &Path) -> io::Result<()> {
         "shape", "makespan(s)", "GFLOP/s", "comm%", "abft+%", "p99 send(s)"
     );
     for shape in ALL_FOUR_SHAPES {
-        let run = bench_shape(shape);
+        let run = bench_shape(shape, backend);
         let slug = shape_slug(shape);
         fs::write(
-            out_dir.join(format!("BENCH_{slug}.json")),
+            out_dir.join(bench_artifact_name(shape, backend)),
             bench_json(&run).pretty(),
         )?;
         fs::write(out_dir.join(format!("flame_{slug}.folded")), &run.folded)?;
@@ -247,7 +267,11 @@ fn numeric_leaves(prefix: &str, v: &Json, out: &mut Vec<(String, f64)>) {
 /// the baseline must exist in the fresh document and agree within
 /// relative tolerance `tol` (absolute for values near zero). The
 /// provenance `git_commit` is a string and is naturally ignored;
-/// `schema_version` must match exactly.
+/// `schema_version` must match exactly. When *both* documents record a
+/// `run_config.backend`, they must match — a channel baseline checked
+/// against a TCP rerun (or vice versa) is not a like-for-like
+/// comparison, even though the virtual-time numbers should agree.
+/// Baselines predating the field compare against any backend.
 pub fn compare_docs(label: &str, baseline: &Json, fresh: &Json, tol: f64) -> Vec<CheckViolation> {
     let mut violations = Vec::new();
     let base_schema = baseline.get("schema_version").and_then(Json::as_f64);
@@ -257,6 +281,20 @@ pub fn compare_docs(label: &str, baseline: &Json, fresh: &Json, tol: f64) -> Vec
              refresh the baseline (see EXPERIMENTS.md)"
         ));
         return violations;
+    }
+    let backend_of = |doc: &Json| {
+        doc.path("run_config.backend")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+    };
+    if let (Some(base_be), Some(fresh_be)) = (backend_of(baseline), backend_of(fresh)) {
+        if base_be != fresh_be {
+            violations.push(format!(
+                "{label}: backend mismatch — baseline ran over '{base_be}', fresh run over \
+                 '{fresh_be}'; check like-for-like or refresh the baseline"
+            ));
+            return violations;
+        }
     }
     let mut base_leaves = Vec::new();
     numeric_leaves("", baseline, &mut base_leaves);
@@ -283,23 +321,27 @@ pub fn compare_docs(label: &str, baseline: &Json, fresh: &Json, tol: f64) -> Vec
     violations
 }
 
-/// Reruns the harness and checks each shape's fresh document against
-/// `BENCH_<shape>.json` in `baseline_dir`. Returns all violations; an
-/// empty list means the run is within tolerance.
-pub fn check_bench(baseline_dir: &Path, tol: f64) -> io::Result<Vec<CheckViolation>> {
+/// Reruns the harness over `backend` and checks each shape's fresh
+/// document against the matching artifact in `baseline_dir` (channel
+/// baselines are the unsuffixed `BENCH_<shape>.json`). Returns all
+/// violations; an empty list means the run is within tolerance.
+pub fn check_bench(
+    baseline_dir: &Path,
+    tol: f64,
+    backend: Backend,
+) -> io::Result<Vec<CheckViolation>> {
     let mut violations = Vec::new();
     println!(
-        "\nBENCH CHECK — fresh run vs baselines in {} (tolerance ±{:.2}%)",
+        "\nBENCH CHECK — fresh {backend} run vs baselines in {} (tolerance ±{:.2}%)",
         baseline_dir.display(),
         100.0 * tol
     );
     for shape in ALL_FOUR_SHAPES {
-        let slug = shape_slug(shape);
-        let path = baseline_dir.join(format!("BENCH_{slug}.json"));
+        let path = baseline_dir.join(bench_artifact_name(shape, backend));
         let text = fs::read_to_string(&path)?;
         let baseline = Json::parse(&text)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{path:?}: {e}")))?;
-        let fresh = bench_json(&bench_shape(shape));
+        let fresh = bench_json(&bench_shape(shape, backend));
         let v = compare_docs(shape.name(), &baseline, &fresh, tol);
         println!(
             "  {:<20} {}",
@@ -321,8 +363,8 @@ mod tests {
 
     #[test]
     fn bench_json_is_deterministic_and_parseable() {
-        let a = bench_json(&bench_shape(Shape::SquareCorner));
-        let b = bench_json(&bench_shape(Shape::SquareCorner));
+        let a = bench_json(&bench_shape(Shape::SquareCorner, Backend::Channel));
+        let b = bench_json(&bench_shape(Shape::SquareCorner, Backend::Channel));
         // Virtual-time determinism: identical documents run-to-run.
         assert_eq!(a.pretty(), b.pretty());
         let parsed = Json::parse(&a.pretty()).expect("own output parses");
@@ -345,11 +387,57 @@ mod tests {
             parsed.get("schema_version").and_then(Json::as_f64),
             Some(SCHEMA_VERSION as f64)
         );
+        assert_eq!(
+            parsed.path("run_config.backend").and_then(Json::as_str),
+            Some("channel")
+        );
+    }
+
+    #[test]
+    fn bench_over_tcp_is_bit_identical_and_stamped() {
+        // Virtual time is backend-blind: the TCP document differs from
+        // the channel one only in its `run_config.backend` stamp.
+        let chan = bench_json(&bench_shape(Shape::SquareCorner, Backend::Channel));
+        let tcp = bench_json(&bench_shape(Shape::SquareCorner, Backend::Tcp));
+        assert_eq!(
+            tcp.path("run_config.backend").and_then(Json::as_str),
+            Some("tcp")
+        );
+        assert_eq!(
+            chan.pretty().replace("\"backend\": \"channel\"", ""),
+            tcp.pretty().replace("\"backend\": \"tcp\"", "")
+        );
+        assert_eq!(
+            bench_artifact_name(Shape::SquareCorner, Backend::Tcp),
+            "BENCH_square-corner_tcp.json"
+        );
+    }
+
+    #[test]
+    fn compare_rejects_cross_backend_checks_but_tolerates_legacy_baselines() {
+        let chan = bench_json(&bench_shape(Shape::OneDRectangular, Backend::Channel));
+        let tcp = bench_json(&bench_shape(Shape::OneDRectangular, Backend::Tcp));
+        let v = compare_docs("cross", &chan, &tcp, 0.05);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("backend mismatch"), "{v:?}");
+
+        // A baseline predating the field compares against any backend.
+        let mut legacy = chan.clone();
+        if let Json::Obj(pairs) = &mut legacy {
+            for (k, val) in pairs.iter_mut() {
+                if k == "run_config" {
+                    if let Json::Obj(cfg) = val {
+                        cfg.retain(|(ck, _)| ck != "backend");
+                    }
+                }
+            }
+        }
+        assert!(compare_docs("legacy", &legacy, &tcp, 0.05).is_empty());
     }
 
     #[test]
     fn compare_accepts_identical_and_rejects_perturbed() {
-        let doc = bench_json(&bench_shape(Shape::OneDRectangular));
+        let doc = bench_json(&bench_shape(Shape::OneDRectangular, Backend::Channel));
         assert!(compare_docs("self", &doc, &doc, 0.0).is_empty());
 
         // Perturb one metric by 10%: must be flagged at 5% tolerance.

@@ -12,19 +12,26 @@
 //! paper plots. `trace [--out DIR]` additionally writes Perfetto trace
 //! files and metrics summaries (default `target/trace`); `abft [--out
 //! DIR]` writes the ABFT overhead summaries and Perfetto traces of the
-//! checksum-protected runs (default `target/abft`); `bench [--out DIR]`
-//! writes the schema-stamped `BENCH_<shape>.json` regression documents
-//! and folded-stack flamegraphs (default `target/bench`), and `bench
-//! --check DIR [--tol FRACTION]` instead reruns the harness and compares
-//! against the baselines in DIR, exiting nonzero on any regression.
-//! `soak [--out DIR]` runs the seeded lossy-link chaos soak (wire drops,
-//! duplicates, reorders, delays, plus a silent rank hang caught by the
-//! heartbeat detector) and writes `SOAK_<shape>.json` summaries (default
-//! `target/soak`), exiting nonzero on any correctness mismatch. `all`
-//! runs every text command plus the trace, recovery, abft, bench, and
-//! soak exporters.
+//! checksum-protected runs (default `target/abft`); `bench [--out DIR]
+//! [--backend channel|tcp]` writes the schema-stamped
+//! `BENCH_<shape>.json` regression documents (suffixed `_tcp` off the
+//! default backend) and folded-stack flamegraphs (default
+//! `target/bench`), and `bench --check DIR [--tol FRACTION]` instead
+//! reruns the harness and compares against the like-named baselines in
+//! DIR, exiting nonzero on any regression or backend mismatch.
+//! `soak [--out DIR] [--backend channel|tcp]` runs the seeded lossy-link
+//! chaos soak (wire drops, duplicates, reorders, delays, plus a silent
+//! rank hang caught by the heartbeat detector) and writes
+//! `SOAK_<shape>.json` summaries (default `target/soak`; TCP artifacts
+//! are suffixed `_tcp`), exiting nonzero on any correctness mismatch.
+//! `--backend tcp` runs the identical chaos over a loopback-TCP
+//! universe instead of in-process channels. `all` runs every text
+//! command plus the trace, recovery, abft, bench, and soak exporters.
 
 use std::env;
+use std::str::FromStr;
+
+use summagen_comm::Backend;
 
 use summagen_bench::*;
 use summagen_partition::ALL_FOUR_SHAPES;
@@ -35,6 +42,7 @@ fn main() {
     let mut out_dir: Option<String> = None;
     let mut check_dir: Option<String> = None;
     let mut tol: Option<f64> = None;
+    let mut backend = Backend::default();
     let mut what: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -57,6 +65,20 @@ fn main() {
                     eprintln!("--check requires a baseline directory argument");
                     std::process::exit(2);
                 }
+            }
+            "--backend" => {
+                match args.get(i + 1).map(|v| Backend::from_str(v)) {
+                    Some(Ok(b)) => backend = b,
+                    Some(Err(e)) => {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
+                    None => {
+                        eprintln!("--backend requires 'channel' or 'tcp'");
+                        std::process::exit(2);
+                    }
+                }
+                i += 1;
             }
             "--tol" => {
                 match args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) {
@@ -104,8 +126,9 @@ fn main() {
             out_dir.as_deref().unwrap_or("target/bench"),
             check_dir.as_deref(),
             tol,
+            backend,
         ),
-        "soak" => soak(out_dir.as_deref().unwrap_or("target/soak")),
+        "soak" => soak(out_dir.as_deref().unwrap_or("target/soak"), backend),
         "all" => {
             print!("{}", table1());
             println!();
@@ -126,8 +149,13 @@ fn main() {
             recovery();
             trace(out_dir.as_deref().unwrap_or("target/trace"));
             abft(out_dir.as_deref().unwrap_or("target/abft"));
-            bench(out_dir.as_deref().unwrap_or("target/bench"), None, tol);
-            soak(out_dir.as_deref().unwrap_or("target/soak"));
+            bench(
+                out_dir.as_deref().unwrap_or("target/bench"),
+                None,
+                tol,
+                backend,
+            );
+            soak(out_dir.as_deref().unwrap_or("target/soak"), backend);
         }
         other => {
             eprintln!(
@@ -161,10 +189,12 @@ fn abft(out_dir: &str) {
 
 /// Seeded lossy-link chaos soak: wire drops/duplicates/reorders/delays
 /// with the heartbeat detector armed, plus a silent-hang recovery per
-/// shape, writing `SOAK_<shape>.json` summaries (see `soak`).
-fn soak(out_dir: &str) {
+/// shape, writing `SOAK_<shape>.json` summaries (see `soak`). The
+/// backend selects the wire the chaos runs over: in-process channels
+/// (default) or loopback TCP.
+fn soak(out_dir: &str, backend: Backend) {
     use summagen_bench::soak;
-    if let Err(e) = soak::run_soak(soak::SOAK_N, std::path::Path::new(out_dir)) {
+    if let Err(e) = soak::run_soak(soak::SOAK_N, std::path::Path::new(out_dir), backend) {
         eprintln!("soak export to '{out_dir}' failed: {e}");
         std::process::exit(1);
     }
@@ -173,11 +203,11 @@ fn soak(out_dir: &str) {
 /// Regression harness: writes `BENCH_<shape>.json` + flamegraphs, or —
 /// with `--check DIR` — reruns and compares against committed baselines,
 /// exiting nonzero on any out-of-tolerance metric (see `benchcmd`).
-fn bench(out_dir: &str, check_dir: Option<&str>, tol: Option<f64>) {
+fn bench(out_dir: &str, check_dir: Option<&str>, tol: Option<f64>, backend: Backend) {
     use summagen_bench::benchcmd;
     let tol = tol.unwrap_or(benchcmd::DEFAULT_CHECK_TOLERANCE);
     match check_dir {
-        Some(dir) => match benchcmd::check_bench(std::path::Path::new(dir), tol) {
+        Some(dir) => match benchcmd::check_bench(std::path::Path::new(dir), tol, backend) {
             Ok(violations) if violations.is_empty() => {
                 println!(
                     "bench check passed: all metrics within ±{:.2}%",
@@ -197,7 +227,7 @@ fn bench(out_dir: &str, check_dir: Option<&str>, tol: Option<f64>) {
             }
         },
         None => {
-            if let Err(e) = benchcmd::run_bench(std::path::Path::new(out_dir)) {
+            if let Err(e) = benchcmd::run_bench(std::path::Path::new(out_dir), backend) {
                 eprintln!("bench export to '{out_dir}' failed: {e}");
                 std::process::exit(1);
             }

@@ -28,7 +28,7 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 
-use summagen_comm::{HeartbeatConfig, HockneyModel, LinkPlan, RuntimeMetrics};
+use summagen_comm::{Backend, HeartbeatConfig, HockneyModel, LinkPlan, RuntimeMetrics};
 use summagen_core::{multiply_with_recovery, ExecutionMode, RecoveryOptions, RecoveryReport};
 use summagen_matrix::{gemm_naive, max_abs_diff, random_matrix, DenseMatrix};
 use summagen_partition::{Shape, ALL_FOUR_SHAPES};
@@ -67,6 +67,14 @@ pub const SOAK_DELAY_SECS: f64 = 1e-4;
 pub const SOAK_HANG_RANK: usize = 2;
 pub const SOAK_HANG_AT_OP: u64 = 2;
 
+/// Human-readable reproduction context for failure messages: the active
+/// backend and the raw `SUMMAGEN_CHAOS_SEED` environment value, so a red
+/// soak log alone is enough to rerun the exact scenario.
+pub fn chaos_context(backend: Backend) -> String {
+    let seed_env = std::env::var("SUMMAGEN_CHAOS_SEED").unwrap_or_else(|_| "<unset>".into());
+    format!("backend={} SUMMAGEN_CHAOS_SEED={seed_env}", backend.name())
+}
+
 /// The seed list with any `SUMMAGEN_CHAOS_SEED` from the environment
 /// folded in (the CI soak matrix sets one per job).
 pub fn soak_seeds() -> Vec<u64> {
@@ -90,7 +98,11 @@ pub fn lossy_plan(seed: u64) -> LinkPlan {
         .delay_rate(SOAK_DELAY_PERMILLE, SOAK_DELAY_SECS)
 }
 
-fn recovery_options(link: LinkPlan, metrics: Arc<RuntimeMetrics>) -> RecoveryOptions {
+fn recovery_options(
+    link: LinkPlan,
+    metrics: Arc<RuntimeMetrics>,
+    backend: Backend,
+) -> RecoveryOptions {
     RecoveryOptions {
         max_attempts: 4,
         retry_backoff: 0.25,
@@ -100,6 +112,7 @@ fn recovery_options(link: LinkPlan, metrics: Arc<RuntimeMetrics>) -> RecoveryOpt
         link_plan: Some(link),
         heartbeat: Some(HeartbeatConfig::default()),
         metrics: Some(metrics),
+        backend,
     }
 }
 
@@ -168,21 +181,25 @@ pub struct HangRun {
 pub struct SoakShapeRun {
     pub shape: Shape,
     pub n: usize,
+    pub backend: Backend,
     pub lossy: Vec<LossyRun>,
     pub hang: HangRun,
 }
 
-/// Runs the lossy grid and the hang scenario for one shape.
-pub fn soak_shape_run(n: usize, shape: Shape, seeds: &[u64]) -> SoakShapeRun {
+/// Runs the lossy grid and the hang scenario for one shape over the
+/// given backend.
+pub fn soak_shape_run(n: usize, shape: Shape, seeds: &[u64], backend: Backend) -> SoakShapeRun {
     let a = random_matrix(n, n, 51);
     let b = random_matrix(n, n, 52);
     let want = reference(&a, &b);
     let cost = HockneyModel::intra_node();
     let mode = ExecutionMode::Real;
+    let ctx = chaos_context(backend);
 
     // Reliable-link baseline: the identical executor and partition with
-    // the transport disengaged. Fault-free, so it never retries and its
-    // product is the bit-exactness yardstick.
+    // the fault injection disengaged, on the same backend. Fault-free,
+    // so it never retries and its product is the bit-exactness
+    // yardstick.
     let reliable = multiply_with_recovery(
         shape,
         &CPM_SPEEDS,
@@ -191,24 +208,32 @@ pub fn soak_shape_run(n: usize, shape: Shape, seeds: &[u64]) -> SoakShapeRun {
         mode,
         cost,
         &[],
-        &RecoveryOptions::default(),
+        &RecoveryOptions {
+            backend,
+            ..RecoveryOptions::default()
+        },
     )
-    .expect("reliable-link run succeeds");
+    .unwrap_or_else(|e| panic!("{} [{ctx}]: reliable run failed: {e}", shape.name()));
     assert!(
         reliable.recovery.is_none(),
-        "{}: reliable run must not recover",
+        "{} [{ctx}]: reliable run must not recover",
         shape.name()
     );
 
     let mut lossy = Vec::new();
     for &seed in seeds {
         let m = RuntimeMetrics::fresh();
-        let opts = recovery_options(lossy_plan(seed), m.clone());
+        let opts = recovery_options(lossy_plan(seed), m.clone(), backend);
         let run = multiply_with_recovery(shape, &CPM_SPEEDS, &a, &b, mode, cost, &[], &opts)
-            .unwrap_or_else(|e| panic!("{} seed {seed}: lossy run failed: {e}", shape.name()));
+            .unwrap_or_else(|e| {
+                panic!(
+                    "{} seed {seed} [{ctx}]: lossy run failed: {e}",
+                    shape.name()
+                )
+            });
         assert!(
             run.recovery.is_none(),
-            "{} seed {seed}: wire faults alone must not trigger recovery",
+            "{} seed {seed} [{ctx}]: wire faults alone must not trigger recovery",
             shape.name()
         );
         let diff = max_abs_diff(&run.c, &reliable.c);
@@ -234,13 +259,13 @@ pub fn soak_shape_run(n: usize, shape: Shape, seeds: &[u64]) -> SoakShapeRun {
     let hang_seed = seeds[0];
     let m = RuntimeMetrics::fresh();
     let plan = lossy_plan(hang_seed).hang_rank(SOAK_HANG_RANK, SOAK_HANG_AT_OP);
-    let opts = recovery_options(plan, m.clone());
+    let opts = recovery_options(plan, m.clone(), backend);
     let run = multiply_with_recovery(shape, &CPM_SPEEDS, &a, &b, mode, cost, &[], &opts)
-        .unwrap_or_else(|e| panic!("{}: hang run failed to recover: {e}", shape.name()));
+        .unwrap_or_else(|e| panic!("{} [{ctx}]: hang run failed to recover: {e}", shape.name()));
     let report = run
         .recovery
         .clone()
-        .unwrap_or_else(|| panic!("{}: a hung rank must force a retry", shape.name()));
+        .unwrap_or_else(|| panic!("{} [{ctx}]: a hung rank must force a retry", shape.name()));
     let hang = HangRun {
         seed: hang_seed,
         report,
@@ -251,6 +276,7 @@ pub fn soak_shape_run(n: usize, shape: Shape, seeds: &[u64]) -> SoakShapeRun {
     SoakShapeRun {
         shape,
         n,
+        backend,
         lossy,
         hang,
     }
@@ -309,6 +335,7 @@ pub fn soak_json(run: &SoakShapeRun, seeds: &[u64]) -> Json {
         doc,
         Json::obj([
             ("command", Json::from("reproduce soak")),
+            ("backend", Json::from(run.backend.name())),
             ("n", Json::from(run.n)),
             ("shape", Json::from(run.shape.name())),
             ("seeds", Json::arr(seeds.iter().copied().map(Json::from))),
@@ -331,16 +358,21 @@ fn shape_slug(shape: Shape) -> String {
     shape.name().replace(' ', "-")
 }
 
-/// Runs the soak over the four paper shapes, writing `SOAK_<shape>.json`
-/// into `out_dir` and printing the chaos table. Panics (failing CI) if a
-/// lossy run is not bit-identical to its reliable-link twin, if the
-/// detector raised a false suspicion, or if the hang was not *detected*
-/// (as opposed to announced) and recovered with a correct product.
-pub fn run_soak(n: usize, out_dir: &Path) -> io::Result<()> {
+/// Runs the soak over the four paper shapes on the given backend,
+/// writing `SOAK_<shape>.json` (or `SOAK_<shape>_tcp.json` for the TCP
+/// backend) into `out_dir` and printing the chaos table. Panics (failing
+/// CI) if a lossy run is not bit-identical to its reliable-link twin, if
+/// the detector raised a false suspicion, or if the hang was not
+/// *detected* (as opposed to announced) and recovered with a correct
+/// product. Every panic message carries the backend and the raw
+/// `SUMMAGEN_CHAOS_SEED` so the failing cell can be replayed.
+pub fn run_soak(n: usize, out_dir: &Path, backend: Backend) -> io::Result<()> {
     fs::create_dir_all(out_dir)?;
     let seeds = soak_seeds();
+    let ctx = chaos_context(backend);
     println!(
-        "\nSOAK — lossy-link chaos + silent-hang detection (N = {n}, seeds {seeds:?}), output in {}",
+        "\nSOAK — lossy-link chaos + silent-hang detection (N = {n}, seeds {seeds:?}, backend {}), output in {}",
+        backend.name(),
         out_dir.display()
     );
     println!(
@@ -357,17 +389,17 @@ pub fn run_soak(n: usize, out_dir: &Path) -> io::Result<()> {
         "attempts"
     );
     for shape in ALL_FOUR_SHAPES {
-        let run = soak_shape_run(n, shape, &seeds);
+        let run = soak_shape_run(n, shape, &seeds, backend);
         for r in &run.lossy {
             assert!(
                 r.bit_identical,
-                "{} seed {}: lossy product diverged from the reliable-link run",
+                "{} seed {} [{ctx}]: lossy product diverged from the reliable-link run",
                 shape.name(),
                 r.seed
             );
             assert!(
                 r.max_err < 1e-9,
-                "{} seed {}: lossy product wrong (err {:.2e})",
+                "{} seed {} [{ctx}]: lossy product wrong (err {:.2e})",
                 shape.name(),
                 r.seed,
                 r.max_err
@@ -375,7 +407,7 @@ pub fn run_soak(n: usize, out_dir: &Path) -> io::Result<()> {
             assert_eq!(
                 r.suspicions,
                 0,
-                "{} seed {}: false suspicion on a healthy run",
+                "{} seed {} [{ctx}]: false suspicion on a healthy run",
                 shape.name(),
                 r.seed
             );
@@ -399,36 +431,36 @@ pub fn run_soak(n: usize, out_dir: &Path) -> io::Result<()> {
         let total_retx: u64 = run.lossy.iter().map(|r| r.retransmits).sum();
         assert!(
             total_retx > 0,
-            "{}: no retransmissions across seeds {seeds:?}",
+            "{} [{ctx}]: no retransmissions across seeds {seeds:?}",
             shape.name()
         );
         let hang = &run.hang;
         let rep = &hang.report;
         assert!(
             rep.detected_failures >= 1,
-            "{}: the silent hang was never *detected* (announced: {})",
+            "{} [{ctx}]: the silent hang was never *detected* (announced: {})",
             shape.name(),
             rep.announced_failures
         );
         assert!(
             rep.max_detection_latency > 0.0,
-            "{}: detection latency missing from the report",
+            "{} [{ctx}]: detection latency missing from the report",
             shape.name()
         );
         assert!(
             hang.suspicions >= 1,
-            "{}: the watchdog never suspected anyone",
+            "{} [{ctx}]: the watchdog never suspected anyone",
             shape.name()
         );
         assert!(
             rep.failed_devices.contains(&SOAK_HANG_RANK),
-            "{}: recovery dropped {:?}, not the hung rank {SOAK_HANG_RANK}",
+            "{} [{ctx}]: recovery dropped {:?}, not the hung rank {SOAK_HANG_RANK}",
             shape.name(),
             rep.failed_devices
         );
         assert!(
             hang.max_err < 1e-9,
-            "{}: recovered product wrong (err {:.2e})",
+            "{} [{ctx}]: recovered product wrong (err {:.2e})",
             shape.name(),
             hang.max_err
         );
@@ -446,8 +478,15 @@ pub fn run_soak(n: usize, out_dir: &Path) -> io::Result<()> {
             rep.attempts,
         );
 
+        // Channel keeps the historical artifact names so committed
+        // baselines and dashboards stay addressable; other backends tag
+        // the filename so one out_dir can hold both sides of a parity
+        // run.
         let slug = shape_slug(shape);
-        let path = out_dir.join(format!("SOAK_{slug}.json"));
+        let path = match backend {
+            Backend::Channel => out_dir.join(format!("SOAK_{slug}.json")),
+            other => out_dir.join(format!("SOAK_{slug}_{}.json", other.name())),
+        };
         fs::write(&path, soak_json(&run, &seeds).pretty())?;
     }
     println!("\nall lossy runs bit-identical; every silent hang detected by heartbeat suspicion");
@@ -460,7 +499,7 @@ mod tests {
 
     #[test]
     fn lossy_soak_is_bit_identical_and_counts_retransmits() {
-        let run = soak_shape_run(32, Shape::OneDRectangular, &SOAK_SEEDS);
+        let run = soak_shape_run(32, Shape::OneDRectangular, &SOAK_SEEDS, Backend::Channel);
         assert_eq!(run.lossy.len(), SOAK_SEEDS.len());
         for r in &run.lossy {
             assert!(r.bit_identical, "seed {}: lossy product diverged", r.seed);
@@ -484,8 +523,28 @@ mod tests {
     }
 
     #[test]
+    fn lossy_soak_over_tcp_matches_the_channel_backend() {
+        // The same seeded chaos over loopback TCP: still first-attempt,
+        // still zero suspicions, and the product is bit-identical to the
+        // reliable run — which in turn is bit-identical to the channel
+        // run of the other tests, so the two backends agree.
+        let run = soak_shape_run(32, Shape::OneDRectangular, &[2], Backend::Tcp);
+        assert_eq!(run.backend, Backend::Tcp);
+        for r in &run.lossy {
+            assert!(
+                r.bit_identical,
+                "seed {}: TCP lossy product diverged",
+                r.seed
+            );
+            assert!(r.max_err < 1e-9);
+            assert_eq!(r.suspicions, 0, "false suspicion on a healthy TCP run");
+            assert!(r.delivered > 0);
+        }
+    }
+
+    #[test]
     fn hang_soak_detects_and_recovers() {
-        let run = soak_shape_run(32, Shape::SquareCorner, &[2]);
+        let run = soak_shape_run(32, Shape::SquareCorner, &[2], Backend::Channel);
         let rep = &run.hang.report;
         assert!(rep.attempts >= 2, "a hang must force a retry");
         assert!(rep.detected_failures >= 1, "hang must be detected");
@@ -497,10 +556,11 @@ mod tests {
 
     #[test]
     fn soak_json_is_schema_stamped() {
-        let run = soak_shape_run(32, Shape::OneDRectangular, &[1]);
+        let run = soak_shape_run(32, Shape::OneDRectangular, &[1], Backend::Channel);
         let doc = soak_json(&run, &[1]).pretty();
         assert!(doc.contains("\"schema_version\""));
         assert!(doc.contains("\"command\": \"reproduce soak\""));
+        assert!(doc.contains("\"backend\": \"channel\""));
         assert!(doc.contains("\"retransmits\""));
         assert!(doc.contains("\"detection_latency_s\""));
         assert!(doc.contains("\"recompute_fraction\""));

@@ -14,13 +14,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::chan::{RecvError, Sender};
+use crate::chan::RecvError;
 use crate::clock::{ClockSnapshot, CostModel, VirtualClock};
 use crate::error::{CommError, CommResult};
 use crate::fault::{FaultState, InjectedHang, LinkState, MsgAction, WireFate};
 use crate::message::{Envelope, Payload};
 use crate::span::{CollectiveOp, EventSink, MsgOutcome, SpanKind, SpanRecord};
 use crate::sync::Mutex;
+use crate::transport::Transport;
 use crate::universe::HeartbeatConfig;
 use summagen_metrics::RuntimeMetrics;
 
@@ -77,6 +78,11 @@ impl ReduceOp {
 /// Reserved communicator id for control (death-notice) envelopes. User
 /// communicator ids are sanitized away from this value.
 pub(crate) const CONTROL_COMM: u64 = u64::MAX;
+
+/// How long a blocked receive sleeps between `link_held` flush checks
+/// when lossy links are active but no heartbeat detector is installed.
+/// Wall-clock only — virtual time is untouched by the polling.
+const HELD_FLUSH_POLL: Duration = Duration::from_millis(10);
 
 /// A rank's inbound message queue: the channel endpoint plus messages that
 /// arrived out of matching order, plus the receiver half of the reliable
@@ -237,9 +243,16 @@ impl Mailbox {
             }
             // With a failure detector installed, wake at heartbeat
             // cadence so a legitimately blocked receiver keeps beating
-            // and is never mistaken for a hung rank.
+            // and is never mistaken for a hung rank. With lossy links
+            // active, never sleep out the whole timeout in one go
+            // either: a sender can park a reorder-fated packet in
+            // `link_held` *after* our flush check above, and nothing
+            // else would ever wake this receiver to pull it in — the
+            // short poll closes that race instead of letting it
+            // escalate into a spurious timeout-and-retry.
             let wake = match &shared.heartbeat {
                 Some(hb) => deadline.min(now + hb.interval),
+                None if shared.link.is_some() => deadline.min(now + HELD_FLUSH_POLL),
                 None => deadline,
             };
             match self.rx.recv_deadline(wake) {
@@ -264,8 +277,11 @@ impl Mailbox {
 
 /// Global runtime state shared by every rank of a universe.
 pub(crate) struct Shared {
-    /// One sender endpoint per global rank.
-    pub senders: Vec<Sender<Envelope>>,
+    /// The wire between ranks: in-process channels by default, loopback
+    /// TCP when the universe was built with `Backend::Tcp`. One
+    /// `deliver` call per wire attempt; everything chaos-shaped stays
+    /// above this boundary.
+    pub transport: Arc<dyn Transport>,
     /// Communication cost model.
     pub cost: Arc<dyn CostModel>,
     /// Per-global-rank death flags, set by the death-notice protocol.
@@ -329,18 +345,21 @@ impl Shared {
         if self.failed[rank].swap(true, Ordering::SeqCst) {
             return;
         }
-        self.senders[rank].close();
-        for (i, s) in self.senders.iter().enumerate() {
+        self.transport.close(rank);
+        for i in 0..self.failed.len() {
             if i != rank {
-                let _ = s.send(Envelope {
-                    src: rank,
-                    comm_id: CONTROL_COMM,
-                    tag: 0,
-                    arrival: 0.0,
-                    seq: 0,
-                    link_seq: None,
-                    payload: Payload::U64(Vec::new()),
-                });
+                let _ = self.transport.deliver(
+                    i,
+                    Envelope {
+                        src: rank,
+                        comm_id: CONTROL_COMM,
+                        tag: 0,
+                        arrival: 0.0,
+                        seq: 0,
+                        link_seq: None,
+                        payload: Payload::U64(Vec::new()),
+                    },
+                );
             }
         }
     }
@@ -685,9 +704,7 @@ impl Communicator {
                 link_seq: None,
                 payload,
             };
-            return self.shared.senders[dst_global]
-                .send(env)
-                .map_err(|_| CommError::ChannelClosed { rank: dst_global });
+            return self.shared.transport.deliver(dst_global, env);
         };
         // Lossy-link path: simulated stop-and-wait ARQ on the virtual
         // clock. Each wire attempt consults the seeded LinkPlan; a lost
@@ -759,9 +776,7 @@ impl Communicator {
                             link_seq: Some(link_seq),
                             payload: body.clone(),
                         };
-                        self.shared.senders[dst_global]
-                            .send(copy)
-                            .map_err(|_| CommError::ChannelClosed { rank: dst_global })?;
+                        self.shared.transport.deliver(dst_global, copy)?;
                     }
                     let env = Envelope {
                         src: me,
@@ -778,9 +793,7 @@ impl Communicator {
                         // the receiver's safety net.
                         self.shared.link_held.lock().insert((me, dst_global), env);
                     } else {
-                        self.shared.senders[dst_global]
-                            .send(env)
-                            .map_err(|_| CommError::ChannelClosed { rank: dst_global })?;
+                        self.shared.transport.deliver(dst_global, env)?;
                     }
                     if let Some(m) = &self.shared.metrics {
                         m.transport_delivered.inc();
@@ -793,9 +806,7 @@ impl Communicator {
             }
         }
         if let Some(env) = overtaken {
-            self.shared.senders[dst_global]
-                .send(env)
-                .map_err(|_| CommError::ChannelClosed { rank: dst_global })?;
+            self.shared.transport.deliver(dst_global, env)?;
         }
         if delivered {
             Ok(())

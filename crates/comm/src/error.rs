@@ -75,6 +75,15 @@ pub enum CommError {
         /// Zero-based panel step at which verification failed.
         step: u64,
     },
+    /// A wire endpoint violated the framing protocol: a truncated,
+    /// oversized, or malformed frame that cannot be decoded into an
+    /// envelope. Unlike `Unreachable` (the wire is down) this means the
+    /// wire delivered garbage — an own-cause error at the rank whose
+    /// endpoint produced it.
+    Protocol {
+        /// What was wrong with the frame.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -83,10 +92,13 @@ impl fmt::Display for CommError {
             CommError::PeerFailed { rank } => write!(f, "peer rank {rank} failed"),
             CommError::Timeout { src, tag, waited } => match src {
                 // Keep the historical panic wording ("(deadlock?)") so
-                // long-standing test expectations remain valid.
+                // long-standing test expectations remain valid; the
+                // trailing hint names the peer so a soak log alone is
+                // enough to start triage.
                 Some(s) => write!(
                     f,
-                    "recv timed out waiting for src {s} tag {tag} after {waited:?} (deadlock?)"
+                    "recv timed out waiting for src {s} tag {tag} after {waited:?} \
+                     (deadlock?) — peer rank {s} may be hung, dead, or partitioned"
                 ),
                 None => write!(
                     f,
@@ -105,7 +117,8 @@ impl fmt::Display for CommError {
             CommError::Unreachable { rank, attempts } => {
                 write!(
                     f,
-                    "rank {rank} unreachable: transport gave up after {attempts} wire attempts"
+                    "rank {rank} unreachable: transport gave up after {attempts} wire attempts \
+                     (dead peer, refused connection, or partitioned link)"
                 )
             }
             CommError::DataCorruption { rank, step } => {
@@ -113,6 +126,9 @@ impl fmt::Display for CommError {
                     f,
                     "rank {rank} detected uncorrectable data corruption at panel step {step}"
                 )
+            }
+            CommError::Protocol { reason } => {
+                write!(f, "wire protocol violation: {reason}")
             }
         }
     }
@@ -193,6 +209,7 @@ impl FailureCause {
             FailureCause::Error(CommError::InvalidGroup { .. }) => "invalid-group",
             FailureCause::Error(CommError::Unreachable { .. }) => "unreachable",
             FailureCause::Error(CommError::DataCorruption { .. }) => "data-corruption",
+            FailureCause::Error(CommError::Protocol { .. }) => "protocol",
             FailureCause::DetectedHang { .. } => "detected-hang",
         }
     }
@@ -274,6 +291,27 @@ impl RankFailure {
                 FailureCause::Error(_) => true,
             })
             .map(|fr| fr.rank)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The peers that some rank exhausted its transport budget against —
+    /// the `rank` *blamed* by each `Unreachable` cause, sorted and
+    /// deduplicated. The reporting rank is a victim (it resigned after
+    /// the wire gave up), but the blamed peer is behind a persistently
+    /// dead link: retrying with the same device set replays the same
+    /// exhaustion, so recovery policies should shrink these peers out
+    /// when [`RankFailure::crashed_ranks`] identifies nobody.
+    pub fn unreachable_peers(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .failed
+            .iter()
+            .filter_map(|fr| match &fr.cause {
+                FailureCause::Error(CommError::Unreachable { rank, .. }) => Some(*rank),
+                _ => None,
+            })
             .collect();
         out.sort_unstable();
         out.dedup();
@@ -431,6 +469,44 @@ mod tests {
         assert!(msg.contains("31 wire attempts"), "got: {msg}");
         let msg = rf.failed[1].cause.to_string();
         assert!(msg.contains("heartbeat suspicion"), "got: {msg}");
+    }
+
+    #[test]
+    fn protocol_violation_is_an_own_cause_crash() {
+        let cause = FailureCause::Error(CommError::Protocol {
+            reason: "frame of 0 bytes".into(),
+        });
+        assert_eq!(cause.kind_label(), "protocol");
+        let rf = RankFailure {
+            failed: vec![FailedRank { rank: 2, cause }],
+        };
+        // Garbage on the wire condemns the endpoint that produced it.
+        assert_eq!(rf.crashed_ranks(), vec![2]);
+        let msg = CommError::Protocol {
+            reason: "frame of 0 bytes".into(),
+        }
+        .to_string();
+        assert!(msg.contains("wire protocol violation"), "got: {msg}");
+        assert!(msg.contains("frame of 0 bytes"), "got: {msg}");
+    }
+
+    #[test]
+    fn unreachable_and_timeout_displays_name_the_peer() {
+        let msg = CommError::Unreachable {
+            rank: 2,
+            attempts: 31,
+        }
+        .to_string();
+        assert!(msg.contains("rank 2"), "got: {msg}");
+        assert!(msg.contains("31 wire attempts"), "got: {msg}");
+        assert!(msg.contains("refused connection"), "got: {msg}");
+        let msg = CommError::Timeout {
+            src: Some(1),
+            tag: 4,
+            waited: Duration::from_millis(250),
+        }
+        .to_string();
+        assert!(msg.contains("peer rank 1"), "got: {msg}");
     }
 
     #[test]

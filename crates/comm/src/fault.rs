@@ -374,6 +374,23 @@ pub struct LinkPlan {
     /// Wire attempts per packet before the transport gives up and
     /// reports the destination unreachable.
     pub max_attempts: u32,
+    /// TCP-only: refuse the first `n` connect attempts on a directed
+    /// link, `(src, dst, n)`. The backend's bounded connect retries
+    /// absorb refusals within budget; beyond it the send fails with
+    /// `Unreachable`. A no-op on the channel backend (which has no
+    /// connections to refuse).
+    pub tcp_refuse: Vec<(usize, usize, u32)>,
+    /// TCP-only: reset the link's connection right before its `k`-th
+    /// (zero-based) frame, `(src, dst, k)`. The backend reconnects and
+    /// resends transparently; the receiver's sequence cursor suppresses
+    /// any duplicate the resend could create. A no-op on channels.
+    pub tcp_reset: Vec<(usize, usize, u64)>,
+    /// TCP-only: stall the socket for `millis` of wall-clock time before
+    /// the link's `k`-th frame, `(src, dst, k, millis)`. Models a frozen
+    /// peer TCP stack; keep the stall below the heartbeat suspicion
+    /// threshold unless the test wants a detected death. A no-op on
+    /// channels.
+    pub tcp_stall: Vec<(usize, usize, u64, u64)>,
 }
 
 impl Default for LinkPlan {
@@ -390,6 +407,9 @@ impl Default for LinkPlan {
             rto_base: 1e-5,
             rto_cap: 1e-3,
             max_attempts: 30,
+            tcp_refuse: Vec::new(),
+            tcp_reset: Vec::new(),
+            tcp_stall: Vec::new(),
         }
     }
 }
@@ -466,6 +486,27 @@ impl LinkPlan {
         self
     }
 
+    /// Refuses the first `n` connect attempts on the `src → dst` link
+    /// (TCP backend only).
+    pub fn refuse_connects(mut self, src: usize, dst: usize, n: u32) -> Self {
+        self.tcp_refuse.push((src, dst, n));
+        self
+    }
+
+    /// Resets the `src → dst` connection right before its `frame`-th
+    /// (zero-based) frame (TCP backend only).
+    pub fn reset_connection(mut self, src: usize, dst: usize, frame: u64) -> Self {
+        self.tcp_reset.push((src, dst, frame));
+        self
+    }
+
+    /// Stalls the `src → dst` socket for `millis` of wall-clock time
+    /// before its `frame`-th (zero-based) frame (TCP backend only).
+    pub fn stall_socket(mut self, src: usize, dst: usize, frame: u64, millis: u64) -> Self {
+        self.tcp_stall.push((src, dst, frame, millis));
+        self
+    }
+
     /// Whether the plan can actually perturb traffic (a lossless plan
     /// still installs the transport, but nothing will ever retransmit).
     pub fn is_lossless(&self) -> bool {
@@ -475,6 +516,9 @@ impl LinkPlan {
             && self.delay_permille == 0
             && self.link_drop.iter().all(|&(_, _, p)| p == 0)
             && self.hangs.is_empty()
+            && self.tcp_refuse.is_empty()
+            && self.tcp_reset.is_empty()
+            && self.tcp_stall.is_empty()
     }
 
     /// Capped exponential backoff charged before retransmission

@@ -46,6 +46,8 @@ pub mod universe;
 
 mod chan;
 mod sync;
+mod tcp;
+mod transport;
 
 pub use clock::{
     ClockSnapshot, CostModel, HockneyModel, TraceEvent, TraceKind, TwoLevelTopology, VirtualClock,
@@ -59,6 +61,7 @@ pub use fault::{
 };
 pub use message::Payload;
 pub use span::{AbftLabel, CollectiveOp, EventSink, MsgOutcome, SpanKind, SpanRecord, StageLabel};
+pub use transport::Backend;
 pub use universe::{
     recv_timeout_from_env, ConfigError, HeartbeatConfig, Universe, DEFAULT_RECV_TIMEOUT,
     RECV_TIMEOUT_ENV,

@@ -1,0 +1,177 @@
+//! The wire boundary of the runtime: a [`Transport`] carries envelopes
+//! from a sender to a receiver's inbox.
+//!
+//! Everything above this boundary is backend-agnostic and shared by every
+//! backend: the virtual-clock cost accounting, the seeded [`LinkPlan`]
+//! wire-fault injector and its stop-and-wait ARQ loop, the per-link
+//! sequence cursors that suppress duplicates and reorder holds at the
+//! receiver, and the heartbeat failure detector. A `Transport` sees one
+//! call per *wire attempt* — after the fault injector has already decided
+//! the packet's fate — which is what makes seeded chaos bit-identical
+//! across backends: the chaos machinery literally cannot diverge, because
+//! it never moved.
+//!
+//! Two implementations exist:
+//!
+//! * [`ChannelTransport`] — the in-process channel wire the runtime has
+//!   always used. Delivery is a single `send` on the destination's
+//!   channel; this path is bit-identical to the pre-trait behaviour.
+//! * [`crate::tcp::TcpTransport`] — a length-prefix-framed loopback TCP
+//!   wire with bounded connect retries, per-operation deadlines, and
+//!   transparent reconnect (see the `tcp` module).
+//!
+//! [`LinkPlan`]: crate::fault::LinkPlan
+
+use crate::chan::Sender;
+use crate::error::{CommError, CommResult};
+use crate::message::Envelope;
+
+/// Which wire carries envelopes between ranks of a universe.
+///
+/// Selected with [`crate::Universe::with_backend`]; the default is
+/// [`Backend::Channel`], whose fault-free path is bit-identical to the
+/// historical runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// In-process channels: one MPSC queue per rank, zero wall-clock
+    /// wire cost. The default.
+    #[default]
+    Channel,
+    /// Length-prefix-framed TCP over loopback sockets: every envelope is
+    /// encoded, written to a real socket, and decoded by a reader thread
+    /// on the destination side. Exercises connect/reset/deadline error
+    /// handling that channels cannot produce.
+    Tcp,
+}
+
+impl Backend {
+    /// Stable lowercase name, used in artifacts, logs and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Channel => "channel",
+            Backend::Tcp => "tcp",
+        }
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "channel" => Ok(Backend::Channel),
+            "tcp" => Ok(Backend::Tcp),
+            other => Err(format!(
+                "unknown backend '{other}' (expected 'channel' or 'tcp')"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One wire between the ranks of a universe.
+///
+/// `deliver` is called once per wire attempt by the send path *after*
+/// fault injection, cost accounting and tracing have run; its only job is
+/// to move the envelope into `dst`'s inbox (or fail with a typed
+/// [`CommError`]). Implementations must be safe to call from every rank
+/// thread concurrently.
+pub(crate) trait Transport: Send + Sync {
+    /// The backend's stable name (matches [`Backend::name`]).
+    fn name(&self) -> &'static str;
+
+    /// Puts one envelope on the wire toward `dst`'s inbox.
+    ///
+    /// A backend may internally retry a transient wire error (e.g. a TCP
+    /// reconnect after a peer reset) — that is safe because every lossy
+    /// envelope carries a per-link sequence number and the receiver's
+    /// cursor suppresses the duplicate a resend could create.
+    fn deliver(&self, dst: usize, env: Envelope) -> CommResult<()>;
+
+    /// Closes `rank`'s inbox so subsequent deliveries to it fail fast.
+    /// Part of the death-notice protocol; idempotent.
+    fn close(&self, rank: usize);
+
+    /// Tears down backend resources (sockets, IO threads). Called once
+    /// after every rank thread has exited; idempotent.
+    fn shutdown(&self);
+}
+
+/// The in-process channel wire: `deliver` is a single `send` on the
+/// destination's channel. Bit-identical to the pre-trait runtime.
+pub(crate) struct ChannelTransport {
+    senders: Vec<Sender<Envelope>>,
+}
+
+impl ChannelTransport {
+    pub(crate) fn new(senders: Vec<Sender<Envelope>>) -> Self {
+        Self { senders }
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn name(&self) -> &'static str {
+        Backend::Channel.name()
+    }
+
+    fn deliver(&self, dst: usize, env: Envelope) -> CommResult<()> {
+        self.senders[dst]
+            .send(env)
+            .map_err(|_| CommError::ChannelClosed { rank: dst })
+    }
+
+    fn close(&self, rank: usize) {
+        self.senders[rank].close();
+    }
+
+    fn shutdown(&self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chan::channel;
+    use crate::message::Payload;
+
+    fn env(src: usize) -> Envelope {
+        Envelope {
+            src,
+            comm_id: 0,
+            tag: 7,
+            arrival: 0.0,
+            seq: 0,
+            link_seq: None,
+            payload: Payload::U64(vec![1, 2, 3]),
+        }
+    }
+
+    #[test]
+    fn backend_names_round_trip_through_parsing() {
+        for b in [Backend::Channel, Backend::Tcp] {
+            assert_eq!(b.name().parse::<Backend>().unwrap(), b);
+            assert_eq!(format!("{b}"), b.name());
+        }
+        assert!("carrier-pigeon".parse::<Backend>().is_err());
+        assert_eq!(Backend::default(), Backend::Channel);
+    }
+
+    #[test]
+    fn channel_transport_delivers_and_fails_fast_after_close() {
+        let (tx, rx) = channel();
+        let t = ChannelTransport::new(vec![tx]);
+        assert_eq!(t.name(), "channel");
+        t.deliver(0, env(1)).unwrap();
+        assert_eq!(rx.try_recv().unwrap().src, 1);
+        t.close(0);
+        match t.deliver(0, env(1)) {
+            Err(CommError::ChannelClosed { rank: 0 }) => {}
+            other => panic!("expected ChannelClosed, got {other:?}"),
+        }
+        t.shutdown();
+    }
+}

@@ -30,6 +30,8 @@ use crate::error::{CommError, FailedRank, FailureCause, RankFailure};
 use crate::fault::{FaultPlan, FaultState, InjectedHang, InjectedKill, LinkPlan, LinkState};
 use crate::span::{EventSink, SpanKind, SpanRecord};
 use crate::sync::Mutex;
+use crate::tcp::TcpTransport;
+use crate::transport::{Backend, ChannelTransport, Transport};
 use summagen_metrics::RuntimeMetrics;
 
 /// Default blocking-receive timeout: generous enough for real runs, small
@@ -187,6 +189,7 @@ pub struct Universe {
     heartbeat: Option<HeartbeatConfig>,
     sink: Option<Arc<dyn EventSink>>,
     metrics: Option<Arc<RuntimeMetrics>>,
+    backend: Backend,
 }
 
 static UNIVERSE_COUNTER: AtomicU64 = AtomicU64::new(1);
@@ -226,6 +229,7 @@ impl Universe {
             heartbeat: None,
             sink: None,
             metrics: None,
+            backend: Backend::Channel,
         }
     }
 
@@ -249,6 +253,7 @@ impl Universe {
             heartbeat: None,
             sink: None,
             metrics: None,
+            backend: Backend::Channel,
         })
     }
 
@@ -322,6 +327,22 @@ impl Universe {
         self
     }
 
+    /// Selects the wire between ranks (default [`Backend::Channel`]).
+    ///
+    /// [`Backend::Tcp`] routes every envelope through a length-prefixed
+    /// frame on a loopback TCP socket. The lossy-link machinery is
+    /// always engaged under TCP (a lossless [`LinkPlan`] is installed
+    /// when none was given) so every data envelope carries a per-link
+    /// sequence number — that is what lets the backend transparently
+    /// reconnect and resend after a dropped connection without ever
+    /// delivering a duplicate. A lossless plan's wire fate is always
+    /// `Deliver` with unchanged arrival times, so virtual-clock results
+    /// are bit-identical to the channel backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Number of ranks.
     pub fn size(&self) -> usize {
         self.size
@@ -342,8 +363,32 @@ impl Universe {
             senders.push(tx);
             receivers.push(rx);
         }
+        // TCP always engages the lossy-link machinery (lossless by
+        // default): the per-link sequence cursor is what makes the
+        // backend's reconnect-and-resend safe, and a lossless plan's
+        // wire fates and arrival times are identical to no plan at all.
+        let link = match self.backend {
+            Backend::Channel => self.link.clone(),
+            Backend::Tcp => Some(self.link.clone().unwrap_or_default()),
+        };
+        let transport: Arc<dyn Transport> = match self.backend {
+            Backend::Channel => Arc::new(ChannelTransport::new(senders)),
+            Backend::Tcp => Arc::new(
+                TcpTransport::start(
+                    senders,
+                    link.clone().unwrap_or_default(),
+                    self.metrics.clone(),
+                )
+                .expect("bind loopback TCP universe"),
+            ),
+        };
+        debug_assert_eq!(
+            transport.name(),
+            self.backend.name(),
+            "transport implementation must match the configured backend"
+        );
         let shared = Arc::new(Shared {
-            senders,
+            transport,
             cost: Arc::clone(&self.cost),
             failed: (0..p).map(|_| AtomicBool::new(false)).collect(),
             fault: self.faults.clone().map(|plan| FaultState::new(plan, p)),
@@ -351,7 +396,7 @@ impl Universe {
             sink: self.sink.clone(),
             send_seq: (0..p).map(|_| AtomicU64::new(0)).collect(),
             metrics: self.metrics.clone(),
-            link: self.link.clone().map(|plan| LinkState::new(plan, p)),
+            link: link.map(|plan| LinkState::new(plan, p)),
             link_send_seq: Mutex::new(HashMap::new()),
             link_held: Mutex::new(HashMap::new()),
             heartbeat: self.heartbeat,
@@ -515,6 +560,10 @@ impl Universe {
             }
             outcomes
         });
+        // Every rank thread has exited, so nothing is mid-send: tear down
+        // backend resources (a no-op on channels, socket/IO-thread
+        // teardown on TCP).
+        shared.transport.shutdown();
 
         let mut values = Vec::with_capacity(self.size);
         let mut failed = Vec::new();

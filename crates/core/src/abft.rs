@@ -653,12 +653,15 @@ fn try_run_abft(
     recv_timeout: Duration,
     sink: Option<Arc<dyn EventSink>>,
     metrics: Option<Arc<summagen_comm::RuntimeMetrics>>,
+    backend: summagen_comm::Backend,
     opts: &AbftOptions,
     resume: Option<(usize, Arc<DenseMatrix>)>,
     store: &CheckpointStore,
 ) -> Result<(RunResult, Vec<AbftStats>), RankFailure> {
     let rank_data = distribute(spec, a, b);
-    let mut universe = Universe::new(spec.nprocs, cost).recv_timeout(recv_timeout);
+    let mut universe = Universe::new(spec.nprocs, cost)
+        .recv_timeout(recv_timeout)
+        .with_backend(backend);
     if let Some(plan) = faults {
         universe = universe.with_faults(plan);
     }
@@ -882,6 +885,7 @@ fn multiply_abft_inner(
             opts.recv_timeout,
             sink.clone(),
             metrics.clone(),
+            opts.backend,
             abft,
             resume,
             &store,
@@ -953,7 +957,12 @@ fn multiply_abft_inner(
                         last: failure,
                     });
                 }
-                let roots = failure.crashed_ranks();
+                let mut roots = failure.crashed_ranks();
+                if roots.is_empty() {
+                    // A peer behind an exhausted link fails identically on
+                    // replay — shrink it out (see `multiply_with_recovery`).
+                    roots = failure.unreachable_peers();
+                }
                 if roots.is_empty() {
                     continue; // pure timeout: retry the same device set
                 }

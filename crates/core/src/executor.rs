@@ -6,8 +6,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use summagen_comm::{
-    ClockSnapshot, CostModel, EventSink, FailureCause, FaultPlan, HeartbeatConfig, HockneyModel,
-    LinkPlan, RankFailure, TrafficStats, Universe, ZeroCost, DEFAULT_RECV_TIMEOUT,
+    Backend, ClockSnapshot, CostModel, EventSink, FailureCause, FaultPlan, HeartbeatConfig,
+    HockneyModel, LinkPlan, RankFailure, TrafficStats, Universe, ZeroCost, DEFAULT_RECV_TIMEOUT,
 };
 use summagen_matrix::{DenseMatrix, GemmKernel};
 use summagen_partition::{beaumont_column_layout, proportional_areas, PartitionSpec, Shape};
@@ -125,6 +125,7 @@ pub fn multiply_traced(
         None,
         DEFAULT_RECV_TIMEOUT,
         Some(sink),
+        Backend::Channel,
     )
     .unwrap_or_else(|failure| panic!("rank panicked: {failure}"))
 }
@@ -148,6 +149,7 @@ fn run_real(
         None,
         DEFAULT_RECV_TIMEOUT,
         None,
+        Backend::Channel,
     )
     .unwrap_or_else(|failure| panic!("rank panicked: {failure}"))
 }
@@ -168,9 +170,12 @@ fn try_run_real(
     metrics: Option<Arc<summagen_metrics::RuntimeMetrics>>,
     recv_timeout: Duration,
     sink: Option<Arc<dyn EventSink>>,
+    backend: Backend,
 ) -> Result<RunResult, RankFailure> {
     let rank_data = distribute(spec, a, b);
-    let mut universe = Universe::new(spec.nprocs, cost).recv_timeout(recv_timeout);
+    let mut universe = Universe::new(spec.nprocs, cost)
+        .recv_timeout(recv_timeout)
+        .with_backend(backend);
     if let Some(plan) = faults {
         universe = universe.with_faults(plan);
     }
@@ -249,6 +254,11 @@ pub struct RecoveryOptions {
     /// suspicion latencies accumulate here across retries. `None` (the
     /// default) skips metrics entirely.
     pub metrics: Option<Arc<summagen_metrics::RuntimeMetrics>>,
+    /// Wire between ranks for every attempt: in-process channels (the
+    /// default, bit-identical to the historical runtime) or loopback
+    /// TCP. Each attempt gets a fresh transport, so TCP fault injectors
+    /// (refused connects, resets, stalls) re-fire per attempt.
+    pub backend: Backend,
 }
 
 impl Default for RecoveryOptions {
@@ -260,6 +270,7 @@ impl Default for RecoveryOptions {
             link_plan: None,
             heartbeat: None,
             metrics: None,
+            backend: Backend::Channel,
         }
     }
 }
@@ -366,6 +377,9 @@ pub(crate) fn survivor_spec(shape: Shape, n: usize, speeds: &[f64]) -> Partition
 ///   kill-injected, or named dead by a peer — excluding ranks that merely
 ///   starved on a timeout) map back to devices, which are removed from
 ///   the pool before the matrix is re-partitioned over the survivors;
+/// * if nobody crashed but a rank reported a peer `Unreachable` (the
+///   transport exhausted its wire budget against it), the *blamed* peer's
+///   device is shrunk out — a dead link fails identically on replay;
 /// * failures identifying no crashed rank (timeouts, dropped messages)
 ///   retry the same device set unchanged;
 /// * every retry charges `opts.retry_backoff` virtual seconds, added to
@@ -418,6 +432,7 @@ pub fn multiply_with_recovery(
             opts.metrics.clone(),
             opts.recv_timeout,
             None,
+            opts.backend,
         ) {
             Ok(mut result) => {
                 let backoff_time = (attempt - 1) as f64 * opts.retry_backoff;
@@ -459,7 +474,14 @@ pub fn multiply_with_recovery(
                         last: failure,
                     });
                 }
-                let roots = failure.crashed_ranks();
+                let mut roots = failure.crashed_ranks();
+                if roots.is_empty() {
+                    // Nobody crashed outright, but a peer that exhausted
+                    // the transport's wire budget sits behind a dead link:
+                    // replaying the same device set replays the same
+                    // exhaustion, so shrink the blamed peer out instead.
+                    roots = failure.unreachable_peers();
+                }
                 if roots.is_empty() {
                     // Timeouts without an identified crash: nothing to
                     // shrink, so retry the same device set.

@@ -56,7 +56,7 @@ pub use panelled::{
 pub use rankdata::{assemble, distribute, RankMatrices};
 pub use simulate::{
     metered_energy_from_timelines, simulate, simulate_instrumented, simulate_observed,
-    simulate_traced, simulate_with_energy, SimReport,
+    simulate_observed_on, simulate_traced, simulate_with_energy, SimReport,
 };
 pub use summa::{
     summa_multiply, summa_multiply_with_cost, summa_simulate, summa_simulate_instrumented,

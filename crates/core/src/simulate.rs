@@ -90,6 +90,29 @@ pub fn simulate_observed(
     sink: Option<Arc<dyn EventSink>>,
     metrics: Option<Arc<summagen_comm::RuntimeMetrics>>,
 ) -> SimReport {
+    simulate_observed_on(
+        spec,
+        platform,
+        cost,
+        sink,
+        metrics,
+        summagen_comm::Backend::Channel,
+    )
+}
+
+/// Like [`simulate_observed`], running the universe over an explicit
+/// transport [`summagen_comm::Backend`]. Virtual time is backend-blind,
+/// so the reports are bit-identical across backends — which is exactly
+/// what makes this useful: `bench --backend tcp` exercises the framed
+/// loopback wire under the same workload the channel baselines recorded.
+pub fn simulate_observed_on(
+    spec: &PartitionSpec,
+    platform: &Platform,
+    cost: impl CostModel,
+    sink: Option<Arc<dyn EventSink>>,
+    metrics: Option<Arc<summagen_comm::RuntimeMetrics>>,
+    backend: summagen_comm::Backend,
+) -> SimReport {
     assert!(
         platform.len() >= spec.nprocs,
         "platform has {} processors, spec wants {}",
@@ -97,7 +120,7 @@ pub fn simulate_observed(
         spec.nprocs
     );
     let areas = spec.areas();
-    let mut universe = Universe::new(spec.nprocs, cost);
+    let mut universe = Universe::new(spec.nprocs, cost).with_backend(backend);
     if let Some(sink) = sink {
         universe = universe.with_event_sink(sink);
     }

@@ -131,6 +131,19 @@ pub struct RuntimeMetrics {
     pub transport_duplicates: Arc<Counter>,
     /// Duplicate packets suppressed by the receiver's sequence cursor.
     pub transport_dup_dropped: Arc<Counter>,
+    /// TCP backend: connections successfully established.
+    pub tcp_connects: Arc<Counter>,
+    /// TCP backend: connect attempts retried under backoff (refused or
+    /// transiently failing dials).
+    pub tcp_connect_retries: Arc<Counter>,
+    /// TCP backend: transparent reconnects after a dropped connection
+    /// (each includes one frame resend).
+    pub tcp_reconnects: Arc<Counter>,
+    /// TCP backend: injected mid-stream connection resets.
+    pub tcp_resets: Arc<Counter>,
+    /// TCP backend: injected socket stalls.
+    pub tcp_stalls: Arc<Counter>,
+
     /// Heartbeats emitted by live ranks.
     pub heartbeats: Arc<Counter>,
     /// Ranks declared dead by the failure detector (vs announced deaths).
@@ -233,6 +246,23 @@ impl RuntimeMetrics {
                 "summagen_transport_dup_dropped_total",
                 "Duplicate packets suppressed by the receiver's sequence cursor.",
             ),
+            tcp_connects: reg.counter(
+                "summagen_tcp_connects_total",
+                "TCP backend connections successfully established.",
+            ),
+            tcp_connect_retries: reg.counter(
+                "summagen_tcp_connect_retries_total",
+                "TCP backend connect attempts retried under backoff.",
+            ),
+            tcp_reconnects: reg.counter(
+                "summagen_tcp_reconnects_total",
+                "TCP backend transparent reconnects after a dropped connection.",
+            ),
+            tcp_resets: reg.counter(
+                "summagen_tcp_resets_total",
+                "Injected mid-stream TCP connection resets.",
+            ),
+            tcp_stalls: reg.counter("summagen_tcp_stalls_total", "Injected TCP socket stalls."),
             heartbeats: reg.counter(
                 "summagen_heartbeats_total",
                 "Heartbeats emitted by live ranks.",

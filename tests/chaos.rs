@@ -51,6 +51,17 @@ fn chaos_opts() -> RecoveryOptions {
     }
 }
 
+/// Reproduction context stamped into failure messages: the backend the
+/// chaos ran over and the raw `SUMMAGEN_CHAOS_SEED` environment value,
+/// so a red CI log alone identifies the failing matrix cell.
+fn chaos_context() -> String {
+    let seed_env = std::env::var("SUMMAGEN_CHAOS_SEED").unwrap_or_else(|_| "<unset>".into());
+    format!(
+        "backend={} SUMMAGEN_CHAOS_SEED={seed_env}",
+        RecoveryOptions::default().backend.name()
+    )
+}
+
 /// The observable outcome of one chaos run, reduced to comparable parts.
 #[derive(Debug, Clone, PartialEq)]
 enum Outcome {
@@ -82,8 +93,9 @@ fn run_once(
             let err = max_abs_diff(&res.c, want);
             assert!(
                 err < TOL,
-                "{} seed {seed}: wrong product, max err {err:.2e}",
-                shape.name()
+                "{} seed {seed} [{}]: wrong product, max err {err:.2e}",
+                shape.name(),
+                chaos_context()
             );
             match &res.recovery {
                 Some(rep) => {
@@ -119,8 +131,9 @@ fn chaos_sweep_all_shapes_by_seed() {
             let outcome = run_once(shape, seed, &a, &b, &want);
             assert!(
                 t0.elapsed() < RUN_DEADLINE,
-                "{} seed {seed} took {:?} — a rank hung",
+                "{} seed {seed} [{}] took {:?} — a rank hung",
                 shape.name(),
+                chaos_context(),
                 t0.elapsed()
             );
             if let Outcome::Correct(attempts, _) = outcome {
@@ -152,8 +165,9 @@ fn chaos_outcomes_are_deterministic_for_fixed_seed() {
             assert_eq!(
                 first,
                 second,
-                "{} seed {seed}: outcome changed between identical runs",
-                shape.name()
+                "{} seed {seed} [{}]: outcome changed between identical runs",
+                shape.name(),
+                chaos_context()
             );
         }
     }
@@ -349,8 +363,9 @@ fn run_abft_once(
             let err = max_abs_diff(&res.run.c, want);
             assert!(
                 err < 1e-9,
-                "{} seed {seed}: protected run returned a wrong product, max err {err:.2e}",
-                shape.name()
+                "{} seed {seed} [{}]: protected run returned a wrong product, max err {err:.2e}",
+                shape.name(),
+                chaos_context()
             );
             assert_eq!(
                 res.abft.detected,
@@ -389,16 +404,18 @@ fn corruption_chaos_sweep_never_returns_wrong_results() {
             let first = run_abft_once(shape, seed, &a, &b, &want);
             assert!(
                 t0.elapsed() < RUN_DEADLINE,
-                "{} seed {seed} took {:?} — a rank hung",
+                "{} seed {seed} [{}] took {:?} — a rank hung",
                 shape.name(),
+                chaos_context(),
                 t0.elapsed()
             );
             let second = run_abft_once(shape, seed, &a, &b, &want);
             assert_eq!(
                 first,
                 second,
-                "{} seed {seed}: protected outcome changed between identical runs",
-                shape.name()
+                "{} seed {seed} [{}]: protected outcome changed between identical runs",
+                shape.name(),
+                chaos_context()
             );
             if let AbftOutcome::Correct(_, detected, ..) = first {
                 detected_total += detected;
