@@ -239,6 +239,56 @@ pub fn run_bench(out_dir: &Path, backend: Backend) -> io::Result<()> {
 /// One `--check` violation, human-readable.
 pub type CheckViolation = String;
 
+/// The relative drift of one numeric leaf between baseline and fresh
+/// documents; `--check` reports the worst one on failure so the first
+/// place to look is named instead of buried in a violation list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeafDrift {
+    /// Dotted path of the leaf, prefixed with the document label
+    /// (e.g. `square-corner: summary.exec_time_s`).
+    pub path: String,
+    /// The baseline value.
+    pub baseline: f64,
+    /// The freshly measured value.
+    pub fresh: f64,
+    /// `|fresh - baseline|` relative to the baseline magnitude.
+    pub rel: f64,
+}
+
+impl std::fmt::Display for LeafDrift {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "'{}' drifted {:+.2}% (baseline {}, fresh {})",
+            self.path,
+            100.0 * (self.fresh - self.baseline) / self.baseline.abs().max(1e-12),
+            self.baseline,
+            self.fresh
+        )
+    }
+}
+
+/// Everything a `--check` run learned: the violations (empty = pass)
+/// plus the worst-drifting leaf across every compared document, even
+/// when that drift is within tolerance.
+#[derive(Debug, Default)]
+pub struct CheckOutcome {
+    /// Out-of-tolerance (or structural) violations.
+    pub violations: Vec<CheckViolation>,
+    /// The numeric leaf with the largest relative drift seen anywhere.
+    pub worst: Option<LeafDrift>,
+}
+
+impl CheckOutcome {
+    fn absorb(&mut self, drift: Option<LeafDrift>) {
+        if let Some(d) = drift {
+            if self.worst.as_ref().is_none_or(|w| d.rel > w.rel) {
+                self.worst = Some(d);
+            }
+        }
+    }
+}
+
 /// Flattens every numeric leaf of a document into `(dotted.path, value)`
 /// pairs. Array elements use their index as the path component.
 fn numeric_leaves(prefix: &str, v: &Json, out: &mut Vec<(String, f64)>) {
@@ -273,14 +323,26 @@ fn numeric_leaves(prefix: &str, v: &Json, out: &mut Vec<(String, f64)>) {
 /// comparison, even though the virtual-time numbers should agree.
 /// Baselines predating the field compare against any backend.
 pub fn compare_docs(label: &str, baseline: &Json, fresh: &Json, tol: f64) -> Vec<CheckViolation> {
+    compare_docs_drift(label, baseline, fresh, tol).0
+}
+
+/// [`compare_docs`], additionally reporting the worst-drifting numeric
+/// leaf of the pair (whether or not it violated the tolerance).
+pub fn compare_docs_drift(
+    label: &str,
+    baseline: &Json,
+    fresh: &Json,
+    tol: f64,
+) -> (Vec<CheckViolation>, Option<LeafDrift>) {
     let mut violations = Vec::new();
+    let mut worst: Option<LeafDrift> = None;
     let base_schema = baseline.get("schema_version").and_then(Json::as_f64);
     if base_schema != Some(SCHEMA_VERSION as f64) {
         violations.push(format!(
             "{label}: baseline schema_version {base_schema:?} != {SCHEMA_VERSION} — \
              refresh the baseline (see EXPERIMENTS.md)"
         ));
-        return violations;
+        return (violations, worst);
     }
     let backend_of = |doc: &Json| {
         doc.path("run_config.backend")
@@ -293,7 +355,7 @@ pub fn compare_docs(label: &str, baseline: &Json, fresh: &Json, tol: f64) -> Vec
                 "{label}: backend mismatch — baseline ran over '{base_be}', fresh run over \
                  '{fresh_be}'; check like-for-like or refresh the baseline"
             ));
-            return violations;
+            return (violations, worst);
         }
     }
     let mut base_leaves = Vec::new();
@@ -307,8 +369,21 @@ pub fn compare_docs(label: &str, baseline: &Json, fresh: &Json, tol: f64) -> Vec
             violations.push(format!("{label}: metric '{path}' missing from fresh run"));
             continue;
         };
+        // schema_version was matched exactly above; its zero drift
+        // would only dilute the worst-leaf report, so skip it.
+        if path == "schema_version" {
+            continue;
+        }
         let scale = want.abs().max(1e-12);
         let rel = (got - want).abs() / scale;
+        if worst.as_ref().is_none_or(|w| rel > w.rel) {
+            worst = Some(LeafDrift {
+                path: format!("{label}: {path}"),
+                baseline: *want,
+                fresh: got,
+                rel,
+            });
+        }
         if rel > tol {
             violations.push(format!(
                 "{label}: '{path}' regressed — baseline {want}, fresh {got} \
@@ -318,19 +393,16 @@ pub fn compare_docs(label: &str, baseline: &Json, fresh: &Json, tol: f64) -> Vec
             ));
         }
     }
-    violations
+    (violations, worst)
 }
 
 /// Reruns the harness over `backend` and checks each shape's fresh
 /// document against the matching artifact in `baseline_dir` (channel
-/// baselines are the unsuffixed `BENCH_<shape>.json`). Returns all
-/// violations; an empty list means the run is within tolerance.
-pub fn check_bench(
-    baseline_dir: &Path,
-    tol: f64,
-    backend: Backend,
-) -> io::Result<Vec<CheckViolation>> {
-    let mut violations = Vec::new();
+/// baselines are the unsuffixed `BENCH_<shape>.json`). Returns every
+/// violation (empty = within tolerance) plus the worst-drifting leaf
+/// across all shapes, so a failure names where to look first.
+pub fn check_bench(baseline_dir: &Path, tol: f64, backend: Backend) -> io::Result<CheckOutcome> {
+    let mut outcome = CheckOutcome::default();
     println!(
         "\nBENCH CHECK — fresh {backend} run vs baselines in {} (tolerance ±{:.2}%)",
         baseline_dir.display(),
@@ -342,7 +414,7 @@ pub fn check_bench(
         let baseline = Json::parse(&text)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{path:?}: {e}")))?;
         let fresh = bench_json(&bench_shape(shape, backend));
-        let v = compare_docs(shape.name(), &baseline, &fresh, tol);
+        let (v, drift) = compare_docs_drift(shape.name(), &baseline, &fresh, tol);
         println!(
             "  {:<20} {}",
             shape.name(),
@@ -352,9 +424,10 @@ pub fn check_bench(
                 format!("{} violation(s)", v.len())
             }
         );
-        violations.extend(v);
+        outcome.violations.extend(v);
+        outcome.absorb(drift);
     }
-    Ok(violations)
+    Ok(outcome)
 }
 
 #[cfg(test)]
@@ -454,6 +527,28 @@ mod tests {
         let v = compare_docs("missing", &extra, &doc, 0.05);
         assert_eq!(v.len(), 1);
         assert!(v[0].contains("invented"));
+    }
+
+    #[test]
+    fn worst_drift_names_the_most_perturbed_leaf() {
+        let doc = bench_json(&bench_shape(Shape::OneDRectangular, Backend::Channel));
+
+        // Identical documents: every leaf drifts 0%, but a worst leaf is
+        // still reported (ties resolve to the first).
+        let (v, worst) = compare_docs_drift("self", &doc, &doc, 0.0);
+        assert!(v.is_empty());
+        assert_eq!(worst.as_ref().map(|w| w.rel), Some(0.0));
+
+        // Two perturbed leaves: the bigger drift wins, even though both
+        // violate tolerance, and it renders with path + percentage.
+        let perturbed = perturb(&perturb(&doc, "cpm.makespan_s", 1.10), "fpm.gflops", 1.50);
+        let (v, worst) = compare_docs_drift("perturbed", &perturbed, &doc, 0.05);
+        assert_eq!(v.len(), 2, "{v:?}");
+        let worst = worst.expect("drift reported");
+        assert!(worst.path.contains("fpm.gflops"), "{worst:?}");
+        assert!((worst.rel - 1.0 / 3.0).abs() < 1e-12, "{worst:?}");
+        let line = worst.to_string();
+        assert!(line.contains("fpm.gflops") && line.contains('%'), "{line}");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! reproduce table1 | fig1 | fig5 | fig6 | fig7 | fig8 | summary
 //!           | crossover | nrrp | energyopt | summa | cluster | exact
 //!           | auto | fig5measured | verify | recovery | trace | abft
-//!           | bench | soak | all
+//!           | bench | soak | serve | all
 //! ```
 //!
 //! Output is whitespace-aligned text: one row per problem size with one
@@ -25,8 +25,16 @@
 //! `SOAK_<shape>.json` summaries (default `target/soak`; TCP artifacts
 //! are suffixed `_tcp`), exiting nonzero on any correctness mismatch.
 //! `--backend tcp` runs the identical chaos over a loopback-TCP
-//! universe instead of in-process channels. `all` runs every text
-//! command plus the trace, recovery, abft, bench, and soak exporters.
+//! universe instead of in-process channels.
+//! `serve [--mix small|hetero] [--policy fifo|rr|fpm] [--jobs N]
+//! [--out DIR]` drives the multi-tenant GEMM service with a seeded
+//! tenant load, prints the per-policy/per-tenant latency comparison,
+//! and writes `LOAD_<mix>.json`, `LOAD_<mix>.prom`, and per-policy
+//! `SCHEDULE_<mix>_<policy>.json` Perfetto timelines (default
+//! `target/serve`); with all three policies it exits nonzero unless the
+//! FPM-aware scheduler beats FIFO on both makespan and p95 latency.
+//! `all` runs every text command plus the trace, recovery, abft, bench,
+//! soak, and serve exporters.
 
 use std::env;
 use std::str::FromStr;
@@ -43,6 +51,9 @@ fn main() {
     let mut check_dir: Option<String> = None;
     let mut tol: Option<f64> = None;
     let mut backend = Backend::default();
+    let mut mix = "small".to_string();
+    let mut policy: Option<summagen_service::Policy> = None;
+    let mut jobs: Option<usize> = None;
     let mut what: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -75,6 +86,42 @@ fn main() {
                     }
                     None => {
                         eprintln!("--backend requires 'channel' or 'tcp'");
+                        std::process::exit(2);
+                    }
+                }
+                i += 1;
+            }
+            "--mix" => {
+                if let Some(v) = args.get(i + 1) {
+                    mix = v.clone();
+                    i += 1;
+                } else {
+                    eprintln!("--mix requires a mix name (small or hetero)");
+                    std::process::exit(2);
+                }
+            }
+            "--policy" => {
+                match args
+                    .get(i + 1)
+                    .map(|v| summagen_service::Policy::from_str(v))
+                {
+                    Some(Ok(p)) => policy = Some(p),
+                    Some(Err(e)) => {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
+                    None => {
+                        eprintln!("--policy requires fifo, round-robin, or fpm-aware");
+                        std::process::exit(2);
+                    }
+                }
+                i += 1;
+            }
+            "--jobs" => {
+                match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(v) if v > 0 => jobs = Some(v),
+                    _ => {
+                        eprintln!("--jobs requires a positive integer");
                         std::process::exit(2);
                     }
                 }
@@ -129,6 +176,12 @@ fn main() {
             backend,
         ),
         "soak" => soak(out_dir.as_deref().unwrap_or("target/soak"), backend),
+        "serve" => serve(
+            &mix,
+            policy,
+            jobs,
+            out_dir.as_deref().unwrap_or("target/serve"),
+        ),
         "all" => {
             print!("{}", table1());
             println!();
@@ -156,10 +209,16 @@ fn main() {
                 backend,
             );
             soak(out_dir.as_deref().unwrap_or("target/soak"), backend);
+            serve(
+                &mix,
+                policy,
+                jobs,
+                out_dir.as_deref().unwrap_or("target/serve"),
+            );
         }
         other => {
             eprintln!(
-                "unknown figure '{other}'; expected one of: table1 fig1 fig5 fig6 fig7 fig8 summary crossover nrrp energyopt summa cluster exact auto fig5measured verify recovery trace abft bench soak all"
+                "unknown figure '{other}'; expected one of: table1 fig1 fig5 fig6 fig7 fig8 summary crossover nrrp energyopt summa cluster exact auto fig5measured verify recovery trace abft bench soak serve all"
             );
             std::process::exit(2);
         }
@@ -208,16 +267,22 @@ fn bench(out_dir: &str, check_dir: Option<&str>, tol: Option<f64>, backend: Back
     let tol = tol.unwrap_or(benchcmd::DEFAULT_CHECK_TOLERANCE);
     match check_dir {
         Some(dir) => match benchcmd::check_bench(std::path::Path::new(dir), tol, backend) {
-            Ok(violations) if violations.is_empty() => {
+            Ok(outcome) if outcome.violations.is_empty() => {
                 println!(
                     "bench check passed: all metrics within ±{:.2}%",
                     100.0 * tol
                 );
             }
-            Ok(violations) => {
-                eprintln!("bench check FAILED ({} violations):", violations.len());
-                for v in &violations {
+            Ok(outcome) => {
+                eprintln!(
+                    "bench check FAILED ({} violations):",
+                    outcome.violations.len()
+                );
+                for v in &outcome.violations {
                     eprintln!("  {v}");
+                }
+                if let Some(worst) = &outcome.worst {
+                    eprintln!("  worst drift: {worst}");
                 }
                 std::process::exit(1);
             }
@@ -232,6 +297,17 @@ fn bench(out_dir: &str, check_dir: Option<&str>, tol: Option<f64>, backend: Back
                 std::process::exit(1);
             }
         }
+    }
+}
+
+/// Multi-tenant GEMM service load run: seeded tenant mix through each
+/// scheduling policy, per-tenant latency artifacts, schedule Perfetto
+/// timelines, and the FPM-beats-FIFO gate (see `servecmd`).
+fn serve(mix: &str, policy: Option<summagen_service::Policy>, jobs: Option<usize>, out_dir: &str) {
+    use summagen_bench::servecmd;
+    if let Err(e) = servecmd::run_serve(mix, policy, jobs, std::path::Path::new(out_dir)) {
+        eprintln!("serve run to '{out_dir}' failed: {e}");
+        std::process::exit(1);
     }
 }
 

@@ -9,6 +9,7 @@ pub mod benchcmd;
 pub mod experiments;
 pub mod json;
 pub mod resilience;
+pub mod servecmd;
 pub mod soak;
 pub mod tracecmd;
 

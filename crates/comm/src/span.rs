@@ -122,6 +122,23 @@ pub enum SpanKind {
         /// Classified cause: `"injected-kill"`, `"panic"`, or `"error"`.
         cause: &'static str,
     },
+    /// One scheduler dispatch onto a shared device: the interval covers
+    /// the device's occupancy by the dispatched batch, and `rank` is the
+    /// device's pool index. A leaf event — on a schedule timeline, Sched
+    /// spans tile each device's busy time exactly as Gemm spans tile a
+    /// rank's.
+    Sched {
+        /// Service-global id of the batch's seed job.
+        job: u64,
+        /// Problem size of the batch's jobs.
+        n: u64,
+        /// Dense per-run batch id.
+        batch: u64,
+        /// Jobs dispatched in the batch.
+        jobs: u64,
+        /// Scheduling policy that made the decision.
+        policy: &'static str,
+    },
 }
 
 impl SpanKind {
@@ -137,6 +154,7 @@ impl SpanKind {
             SpanKind::Retransmit { .. } => "retransmit",
             SpanKind::Heartbeat { .. } => "heartbeat",
             SpanKind::RankDeath { .. } => "rank-death",
+            SpanKind::Sched { .. } => "sched",
         }
     }
 
@@ -150,6 +168,7 @@ impl SpanKind {
                 | SpanKind::Gemm { .. }
                 | SpanKind::Abft { .. }
                 | SpanKind::Retransmit { .. }
+                | SpanKind::Sched { .. }
         )
     }
 }
@@ -350,6 +369,14 @@ mod tests {
         }
         .is_leaf());
         assert!(!SpanKind::Heartbeat { seq: 0 }.is_leaf());
+        assert!(SpanKind::Sched {
+            job: 1,
+            n: 512,
+            batch: 0,
+            jobs: 2,
+            policy: "fpm-aware"
+        }
+        .is_leaf());
     }
 
     #[test]
@@ -370,6 +397,17 @@ mod tests {
             "retransmit"
         );
         assert_eq!(SpanKind::Heartbeat { seq: 5 }.label(), "heartbeat");
+        assert_eq!(
+            SpanKind::Sched {
+                job: 0,
+                n: 256,
+                batch: 3,
+                jobs: 1,
+                policy: "fifo"
+            }
+            .label(),
+            "sched"
+        );
         assert_eq!(AbftLabel::Correct.label(), "abft-correct");
         assert_eq!(AbftLabel::Checkpoint.label(), "abft-checkpoint");
         assert_eq!(AbftLabel::Rollback.label(), "abft-rollback");

@@ -1,0 +1,201 @@
+//! The job vocabulary of the service: what tenants submit, why the
+//! admission controller says no, and what the service reports back.
+
+use std::fmt;
+
+/// Service-global job identifier, assigned at submission in arrival
+/// order. Stable across policies for the same load, which is what lets
+/// the scheduler comparisons line jobs up one-to-one.
+pub type JobId = u64;
+
+/// One multiply request: `C = A × B` with square `n × n` operands.
+///
+/// Everything the admission controller and the scheduler consult is
+/// here; the matrices themselves only materialize in real-execution mode
+/// (seeded from `id`, so a job *is* its spec).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Service-global identifier, assigned in submission order.
+    pub id: JobId,
+    /// Owning tenant (index into the load's tenant table).
+    pub tenant: usize,
+    /// Problem size: the multiply is `n × n` by `n × n`.
+    pub n: usize,
+    /// Scheduling priority; higher runs earlier under priority-aware
+    /// policies. Ties broken by deadline, then submission order.
+    pub priority: u8,
+    /// Optional completion deadline on the service's virtual clock,
+    /// seconds since service start. Purely advisory: the scheduler
+    /// orders by urgency but never drops a late job.
+    pub deadline: Option<f64>,
+    /// Virtual-clock arrival time, seconds since service start.
+    pub submit_time: f64,
+}
+
+impl JobSpec {
+    /// Total useful floating-point work of the multiply (`2·n³`).
+    pub fn flops(&self) -> f64 {
+        2.0 * (self.n as f64).powi(3)
+    }
+}
+
+/// Why the admission controller refused a job. Typed so callers (and
+/// tests) can gate on the exact reason, and labelled for the per-tenant
+/// rejection counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejection {
+    /// The bounded queue is at capacity; backpressure the submitter.
+    QueueFull {
+        /// The configured bound the queue sits at.
+        capacity: usize,
+    },
+    /// The tenant already has its full quota of jobs in the queue.
+    QuotaExceeded {
+        /// The per-tenant bound the tenant sits at.
+        quota: usize,
+    },
+    /// The job is larger than the service accepts.
+    TooLarge {
+        /// The configured size ceiling.
+        max_n: usize,
+    },
+}
+
+impl Rejection {
+    /// Stable label for metrics and artifacts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Rejection::QueueFull { .. } => "queue-full",
+            Rejection::QuotaExceeded { .. } => "quota-exceeded",
+            Rejection::TooLarge { .. } => "too-large",
+        }
+    }
+}
+
+impl fmt::Display for Rejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejection::QueueFull { capacity } => {
+                write!(f, "queue full (capacity {capacity})")
+            }
+            Rejection::QuotaExceeded { quota } => {
+                write!(f, "tenant quota exceeded (quota {quota})")
+            }
+            Rejection::TooLarge { max_n } => {
+                write!(f, "job too large (max n {max_n})")
+            }
+        }
+    }
+}
+
+/// How an accepted job ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// The multiply finished (possibly after shrink-and-retry recovery).
+    Completed,
+    /// The multiply could not be completed within the retry budget.
+    Failed {
+        /// Human-readable terminal cause.
+        reason: String,
+    },
+}
+
+impl JobOutcome {
+    /// Stable label for metrics and artifacts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobOutcome::Completed => "completed",
+            JobOutcome::Failed { .. } => "failed",
+        }
+    }
+}
+
+/// The full service-side record of one accepted job, written when the
+/// job leaves the system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// The job as submitted.
+    pub spec: JobSpec,
+    /// When the scheduler dispatched it (virtual seconds).
+    pub start_time: f64,
+    /// When it completed or failed (virtual seconds).
+    pub finish_time: f64,
+    /// Devices (pool indices) the job ran on.
+    pub devices: Vec<usize>,
+    /// Partition shape label the placement used.
+    pub shape: &'static str,
+    /// Batch the job was dispatched in (batch ids are per-run dense).
+    pub batch: u64,
+    /// Executions performed: 1 = no failure, >1 = shrink-and-retry.
+    pub attempts: usize,
+    /// How it ended.
+    pub outcome: JobOutcome,
+}
+
+impl JobRecord {
+    /// Sojourn time: submission to completion (virtual seconds).
+    pub fn latency(&self) -> f64 {
+        self.finish_time - self.spec.submit_time
+    }
+
+    /// Time spent queued before dispatch (virtual seconds).
+    pub fn queue_wait(&self) -> f64 {
+        self.start_time - self.spec.submit_time
+    }
+
+    /// Whether the job finished past its (advisory) deadline.
+    pub fn missed_deadline(&self) -> bool {
+        matches!(self.spec.deadline, Some(d) if self.finish_time > d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(n: usize) -> JobSpec {
+        JobSpec {
+            id: 7,
+            tenant: 0,
+            n,
+            priority: 1,
+            deadline: Some(4.0),
+            submit_time: 1.0,
+        }
+    }
+
+    #[test]
+    fn flops_is_two_n_cubed() {
+        assert_eq!(job(10).flops(), 2000.0);
+    }
+
+    #[test]
+    fn rejection_labels_are_stable() {
+        assert_eq!(Rejection::QueueFull { capacity: 8 }.label(), "queue-full");
+        assert_eq!(
+            Rejection::QuotaExceeded { quota: 2 }.label(),
+            "quota-exceeded"
+        );
+        assert_eq!(Rejection::TooLarge { max_n: 4096 }.label(), "too-large");
+        assert!(Rejection::QueueFull { capacity: 8 }
+            .to_string()
+            .contains("capacity 8"));
+    }
+
+    #[test]
+    fn record_derives_latency_and_deadline_miss() {
+        let rec = JobRecord {
+            spec: job(16),
+            start_time: 2.0,
+            finish_time: 5.0,
+            devices: vec![1],
+            shape: "1d-rectangular",
+            batch: 0,
+            attempts: 1,
+            outcome: JobOutcome::Completed,
+        };
+        assert_eq!(rec.latency(), 4.0);
+        assert_eq!(rec.queue_wait(), 1.0);
+        assert!(rec.missed_deadline());
+    }
+}

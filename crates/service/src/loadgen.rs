@@ -1,0 +1,232 @@
+//! Seeded load generation: tenants, arrival processes, and the named
+//! mixes the `reproduce serve` artifacts are built from.
+//!
+//! Arrivals are a Poisson process (exponential inter-arrival times drawn
+//! from a seeded splitmix stream); job sizes, priorities, and deadlines
+//! are per-tenant draws from the mix's tenant table. Everything is a
+//! pure function of the seed, so the same mix generates byte-identical
+//! job streams run-to-run — the determinism the load artifacts and the
+//! same-seed-same-schedule tests are built on.
+
+use rand::prelude::*;
+use rand::Rng;
+
+use crate::job::JobSpec;
+
+/// One tenant's traffic profile within a mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantProfile {
+    /// Tenant name (the `tenant` label of every exported series).
+    pub name: &'static str,
+    /// Relative share of the job stream this tenant submits.
+    pub weight: f64,
+    /// Problem sizes the tenant draws from, uniformly.
+    pub sizes: Vec<usize>,
+    /// Priority all this tenant's jobs carry.
+    pub priority: u8,
+    /// Deadline slack: a job of estimated solo duration `d` gets
+    /// `deadline = submit + slack · d`; `None` submits without deadlines.
+    pub deadline_slack: Option<f64>,
+}
+
+/// A complete load mix: tenants plus the arrival process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadMix {
+    /// Mix name (the `LOAD_<mix>.json` artifact stem).
+    pub name: &'static str,
+    /// The tenant table; `JobSpec::tenant` indexes into it.
+    pub tenants: Vec<TenantProfile>,
+    /// Mean arrival rate, jobs per virtual second (Poisson).
+    pub arrival_rate: f64,
+    /// Total jobs to generate.
+    pub jobs: usize,
+    /// Seed of the whole stream.
+    pub seed: u64,
+}
+
+impl LoadMix {
+    /// Tenant names in table order.
+    pub fn tenant_names(&self) -> Vec<&'static str> {
+        self.tenants.iter().map(|t| t.name).collect()
+    }
+}
+
+/// The small smoke mix: a few hundred jobs, sizes that stay cheap to
+/// plan, suitable for tests and the CI load job.
+pub fn small_mix() -> LoadMix {
+    LoadMix {
+        name: "small",
+        tenants: vec![
+            TenantProfile {
+                name: "free",
+                weight: 3.0,
+                sizes: vec![256, 384, 512],
+                priority: 0,
+                deadline_slack: None,
+            },
+            TenantProfile {
+                name: "pro",
+                weight: 2.0,
+                sizes: vec![512, 768, 1024],
+                priority: 1,
+                deadline_slack: Some(20.0),
+            },
+            TenantProfile {
+                name: "enterprise",
+                weight: 1.0,
+                sizes: vec![1024, 2048],
+                priority: 2,
+                deadline_slack: Some(10.0),
+            },
+        ],
+        arrival_rate: 120.0,
+        jobs: 240,
+        seed: 42,
+    }
+}
+
+/// The heterogeneous soak mix: hundreds of concurrent jobs spanning a
+/// 16× size range — the workload where FPM-aware placement visibly beats
+/// FIFO (small jobs pack onto single devices in parallel, large jobs get
+/// speed-proportional splits). The arrival rate is tuned to mild
+/// transient overload — queues build and drain, so placement quality
+/// shows up in tail latency — without tipping into permanent
+/// saturation, where every policy degrades into admission control and
+/// the comparison collapses into rejection counts.
+pub fn hetero_mix() -> LoadMix {
+    LoadMix {
+        name: "hetero",
+        tenants: vec![
+            TenantProfile {
+                name: "free",
+                weight: 6.0,
+                sizes: vec![256, 512, 768],
+                priority: 0,
+                deadline_slack: None,
+            },
+            TenantProfile {
+                name: "pro",
+                weight: 3.0,
+                sizes: vec![1024, 1536, 2048],
+                priority: 1,
+                deadline_slack: Some(30.0),
+            },
+            TenantProfile {
+                name: "enterprise",
+                weight: 1.0,
+                sizes: vec![3072, 4096],
+                priority: 2,
+                deadline_slack: Some(15.0),
+            },
+        ],
+        arrival_rate: 48.0,
+        jobs: 600,
+        seed: 1_000,
+    }
+}
+
+/// Looks a named mix up (`small`, `hetero`).
+pub fn mix_by_name(name: &str) -> Option<LoadMix> {
+    match name {
+        "small" => Some(small_mix()),
+        "hetero" => Some(hetero_mix()),
+        _ => None,
+    }
+}
+
+/// Generates the job stream of a mix: Poisson arrivals, weighted tenant
+/// draws, per-tenant uniform size draws. Pure function of the mix.
+pub fn generate(mix: &LoadMix) -> Vec<JobSpec> {
+    assert!(!mix.tenants.is_empty(), "mix needs tenants");
+    assert!(mix.arrival_rate > 0.0, "arrival rate must be positive");
+    let mut rng = StdRng::seed_from_u64(mix.seed);
+    let total_weight: f64 = mix.tenants.iter().map(|t| t.weight).sum();
+    let mut now = 0.0f64;
+    let mut jobs = Vec::with_capacity(mix.jobs);
+    for id in 0..mix.jobs as u64 {
+        // Exponential inter-arrival: -ln(U)/λ with U in (0, 1].
+        let u: f64 = 1.0 - rng.random_range(0.0..1.0);
+        now += -u.ln() / mix.arrival_rate;
+        // Weighted tenant draw.
+        let mut pick = rng.random_range(0.0..total_weight);
+        let mut tenant = 0;
+        for (i, t) in mix.tenants.iter().enumerate() {
+            if pick < t.weight {
+                tenant = i;
+                break;
+            }
+            pick -= t.weight;
+        }
+        let profile = &mix.tenants[tenant];
+        let n = profile.sizes[rng.random_range(0..profile.sizes.len())];
+        // Deadline slack is expressed in units of the job's ideal solo
+        // time on a 1 TFLOP/s device — a size-aware budget without
+        // consulting the pool (the generator must not depend on it).
+        let deadline = profile
+            .deadline_slack
+            .map(|slack| now + slack * (2.0 * (n as f64).powi(3) / 1e12));
+        jobs.push(JobSpec {
+            id,
+            tenant,
+            n,
+            priority: profile.priority,
+            deadline,
+            submit_time: now,
+        });
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mix = small_mix();
+        assert_eq!(generate(&mix), generate(&mix));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = small_mix();
+        let mut b = small_mix();
+        a.seed = 1;
+        b.seed = 2;
+        assert_ne!(generate(&a), generate(&b));
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_sized_from_profiles() {
+        let mix = hetero_mix();
+        let jobs = generate(&mix);
+        assert_eq!(jobs.len(), mix.jobs);
+        for w in jobs.windows(2) {
+            assert!(w[1].submit_time >= w[0].submit_time);
+        }
+        for j in &jobs {
+            let profile = &mix.tenants[j.tenant];
+            assert!(profile.sizes.contains(&j.n), "size {} not in profile", j.n);
+            assert_eq!(j.priority, profile.priority);
+            assert_eq!(j.deadline.is_some(), profile.deadline_slack.is_some());
+        }
+    }
+
+    #[test]
+    fn every_tenant_appears_in_a_long_stream() {
+        let jobs = generate(&hetero_mix());
+        for t in 0..3 {
+            assert!(
+                jobs.iter().any(|j| j.tenant == t),
+                "tenant {t} never submitted"
+            );
+        }
+    }
+
+    #[test]
+    fn mix_lookup_knows_both_names() {
+        assert_eq!(mix_by_name("small").unwrap().name, "small");
+        assert_eq!(mix_by_name("hetero").unwrap().name, "hetero");
+        assert!(mix_by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,231 @@
+//! Per-tenant service metrics: the bridge from the scheduler's event
+//! loop into `summagen-metrics`, and from there into the Prometheus
+//! exposition the scrape endpoint serves.
+//!
+//! Handles are registered once per tenant (and per rejection reason) at
+//! service construction; the event loop records through plain `Arc`
+//! field accesses, never touching the registry lock mid-run — the same
+//! discipline `RuntimeMetrics` uses on the comm hot path.
+
+use std::sync::Arc;
+
+use summagen_metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+
+use crate::job::Rejection;
+
+/// The rejection reasons, in label order, for per-reason counters.
+const REJECTION_LABELS: [&str; 3] = ["queue-full", "quota-exceeded", "too-large"];
+
+fn rejection_slot(r: &Rejection) -> usize {
+    match r {
+        Rejection::QueueFull { .. } => 0,
+        Rejection::QuotaExceeded { .. } => 1,
+        Rejection::TooLarge { .. } => 2,
+    }
+}
+
+/// Pre-registered per-tenant handles plus the service-wide gauges.
+pub struct ServiceMetrics {
+    registry: Arc<MetricsRegistry>,
+    /// `summagen_service_jobs_total{tenant,outcome="completed"}`.
+    completed: Vec<Arc<Counter>>,
+    /// `summagen_service_jobs_total{tenant,outcome="failed"}`.
+    failed: Vec<Arc<Counter>>,
+    /// `summagen_service_rejections_total{tenant,reason}` — tenant-major.
+    rejections: Vec<[Arc<Counter>; 3]>,
+    /// `summagen_service_latency_seconds{tenant}` (submit → finish).
+    latency: Vec<Arc<Histogram>>,
+    /// `summagen_service_queue_wait_seconds{tenant}` (submit → dispatch).
+    queue_wait: Vec<Arc<Histogram>>,
+    /// Instantaneous queue depth.
+    pub queue_depth: Arc<Gauge>,
+    /// High-water mark of the queue depth.
+    pub queue_depth_peak: Arc<Gauge>,
+    /// Batches dispatched.
+    pub batches: Arc<Counter>,
+    /// Shrink-and-retry executions beyond each job's first attempt.
+    pub retries: Arc<Counter>,
+    /// Per-device busy seconds, labelled by device name.
+    device_busy: Vec<Arc<Gauge>>,
+}
+
+impl ServiceMetrics {
+    /// Registers every per-tenant series on `registry`. `tenants` and
+    /// `devices` fix the label sets for the whole service lifetime.
+    pub fn register(
+        registry: &Arc<MetricsRegistry>,
+        tenants: &[&'static str],
+        devices: &[&'static str],
+    ) -> Arc<Self> {
+        let completed = tenants
+            .iter()
+            .map(|t| {
+                registry.counter_with(
+                    "summagen_service_jobs_total",
+                    "Jobs that left the service, by tenant and outcome.",
+                    &[("tenant", t), ("outcome", "completed")],
+                )
+            })
+            .collect();
+        let failed = tenants
+            .iter()
+            .map(|t| {
+                registry.counter_with(
+                    "summagen_service_jobs_total",
+                    "Jobs that left the service, by tenant and outcome.",
+                    &[("tenant", t), ("outcome", "failed")],
+                )
+            })
+            .collect();
+        let rejections = tenants
+            .iter()
+            .map(|t| {
+                REJECTION_LABELS.map(|reason| {
+                    registry.counter_with(
+                        "summagen_service_rejections_total",
+                        "Jobs refused by admission control, by tenant and reason.",
+                        &[("tenant", t), ("reason", reason)],
+                    )
+                })
+            })
+            .collect();
+        let latency = tenants
+            .iter()
+            .map(|t| {
+                registry.histogram_with(
+                    "summagen_service_latency_seconds",
+                    "Job sojourn time (submit to finish) on the virtual clock.",
+                    &[("tenant", t)],
+                )
+            })
+            .collect();
+        let queue_wait = tenants
+            .iter()
+            .map(|t| {
+                registry.histogram_with(
+                    "summagen_service_queue_wait_seconds",
+                    "Time jobs spent queued before dispatch.",
+                    &[("tenant", t)],
+                )
+            })
+            .collect();
+        let device_busy = devices
+            .iter()
+            .map(|d| {
+                registry.gauge_with(
+                    "summagen_service_device_busy_seconds",
+                    "Virtual seconds of dispatched occupancy per pool device.",
+                    &[("device", d)],
+                )
+            })
+            .collect();
+        Arc::new(Self {
+            completed,
+            failed,
+            rejections,
+            latency,
+            queue_wait,
+            queue_depth: registry.gauge(
+                "summagen_service_queue_depth",
+                "Jobs currently queued (bounded by the admission capacity).",
+            ),
+            queue_depth_peak: registry.gauge(
+                "summagen_service_queue_depth_peak",
+                "High-water mark of the queue depth.",
+            ),
+            batches: registry.counter(
+                "summagen_service_batches_total",
+                "Batches dispatched onto the device pool.",
+            ),
+            retries: registry.counter(
+                "summagen_service_retries_total",
+                "Shrink-and-retry executions beyond first attempts.",
+            ),
+            registry: Arc::clone(registry),
+            device_busy,
+        })
+    }
+
+    /// The registry the series live on (for Prometheus rendering).
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Records a completed job's latency and queue wait.
+    pub fn record_completed(&self, tenant: usize, latency_s: f64, queue_wait_s: f64) {
+        self.completed[tenant].inc();
+        self.latency[tenant].observe(latency_s);
+        self.queue_wait[tenant].observe(queue_wait_s);
+    }
+
+    /// Records a failed job (latency still observed: failure took time).
+    pub fn record_failed(&self, tenant: usize, latency_s: f64, queue_wait_s: f64) {
+        self.failed[tenant].inc();
+        self.latency[tenant].observe(latency_s);
+        self.queue_wait[tenant].observe(queue_wait_s);
+    }
+
+    /// Records an admission rejection.
+    pub fn record_rejection(&self, tenant: usize, rejection: &Rejection) {
+        self.rejections[tenant][rejection_slot(rejection)].inc();
+    }
+
+    /// Publishes the per-device busy totals.
+    pub fn set_device_busy(&self, busy_seconds: &[f64]) {
+        for (gauge, &busy) in self.device_busy.iter().zip(busy_seconds) {
+            gauge.set(busy);
+        }
+    }
+
+    /// Latency quantile estimate for one tenant, from the histogram.
+    pub fn latency_quantile(&self, tenant: usize, q: f64) -> f64 {
+        self.latency[tenant].quantile(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> Arc<ServiceMetrics> {
+        let registry = Arc::new(MetricsRegistry::new());
+        ServiceMetrics::register(&registry, &["free", "pro"], &["dev0", "dev1"])
+    }
+
+    #[test]
+    fn per_tenant_series_are_distinct() {
+        let m = metrics();
+        m.record_completed(0, 1.0, 0.5);
+        m.record_completed(0, 2.0, 0.5);
+        m.record_failed(1, 3.0, 0.5);
+        assert_eq!(m.completed[0].get(), 2);
+        assert_eq!(m.completed[1].get(), 0);
+        assert_eq!(m.failed[1].get(), 1);
+        assert_eq!(m.latency[0].count(), 2);
+        assert_eq!(m.latency[1].count(), 1);
+    }
+
+    #[test]
+    fn rejection_reasons_hit_their_counters() {
+        let m = metrics();
+        m.record_rejection(0, &Rejection::QueueFull { capacity: 4 });
+        m.record_rejection(0, &Rejection::QueueFull { capacity: 4 });
+        m.record_rejection(1, &Rejection::TooLarge { max_n: 10 });
+        assert_eq!(m.rejections[0][0].get(), 2);
+        assert_eq!(m.rejections[0][2].get(), 0);
+        assert_eq!(m.rejections[1][2].get(), 1);
+    }
+
+    #[test]
+    fn exposition_carries_tenant_labels() {
+        let m = metrics();
+        m.record_completed(0, 1.0, 0.1);
+        m.record_rejection(1, &Rejection::QuotaExceeded { quota: 2 });
+        m.set_device_busy(&[4.5, 0.0]);
+        let text = summagen_metrics::prometheus::render(m.registry());
+        assert!(text.contains("tenant=\"free\""), "{text}");
+        assert!(text.contains("tenant=\"pro\""), "{text}");
+        assert!(text.contains("reason=\"quota-exceeded\""), "{text}");
+        assert!(text.contains("device=\"dev0\""), "{text}");
+    }
+}

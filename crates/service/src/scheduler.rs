@@ -1,0 +1,431 @@
+//! Placement: which devices a job runs on, under which partition shape,
+//! and when — the seat of the FPM-aware scheduling the service exists to
+//! demonstrate.
+//!
+//! Three policies share one planning interface:
+//!
+//! * **FIFO** — every job takes the whole pool in arrival order, split
+//!   into *equal* areas (the CPM assumption: all devices alike). The
+//!   naive baseline: heterogeneity hurts it twice, once because the
+//!   slowest device gates every job and once because jobs serialize.
+//! * **Round-robin** — each job runs whole on one device, cycling
+//!   through the pool. Parallel across jobs but speed- and size-blind: a
+//!   large job landing on the slowest device stalls its whole lane.
+//! * **FPM-aware** — for each job, every device subset is costed with
+//!   the pool's functional performance models: areas proportional to
+//!   speed-at-assigned-area, per-device compute time `2·a_i·n/s_i(a_i)`,
+//!   Hockney broadcast cost from the partition's half-perimeters, and
+//!   the subset's current availability. The placement minimizing the
+//!   predicted completion instant wins; three-device subsets also pick
+//!   the best of the paper's partition shapes.
+
+use std::str::FromStr;
+use std::sync::Arc;
+
+use summagen_partition::{
+    beaumont_column_layout, proportional_areas, CostSummary, PartitionSpec, Shape, ALL_FOUR_SHAPES,
+};
+use summagen_platform::{Platform, SpeedFunction};
+
+use crate::job::JobSpec;
+
+/// Scheduling policy selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Policy {
+    /// Whole pool, equal split, arrival order.
+    Fifo,
+    /// One device per job, cycling.
+    RoundRobin,
+    /// Speed-function-aware subset + shape selection.
+    #[default]
+    FpmAware,
+}
+
+impl Policy {
+    /// Stable label for artifacts, metrics, and span records.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::Fifo => "fifo",
+            Policy::RoundRobin => "round-robin",
+            Policy::FpmAware => "fpm-aware",
+        }
+    }
+
+    /// The three policies in comparison order (baselines first).
+    pub const ALL: [Policy; 3] = [Policy::Fifo, Policy::RoundRobin, Policy::FpmAware];
+}
+
+impl FromStr for Policy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fifo" => Ok(Policy::Fifo),
+            "rr" | "round-robin" => Ok(Policy::RoundRobin),
+            "fpm" | "fpm-aware" => Ok(Policy::FpmAware),
+            other => Err(format!(
+                "unknown policy '{other}'; expected fifo, rr, or fpm"
+            )),
+        }
+    }
+}
+
+/// One device of the shared pool, with its availability horizon.
+pub struct PoolDevice {
+    /// Human-readable name (from the platform's device spec).
+    pub name: &'static str,
+    /// The device's functional performance model.
+    pub speed: Arc<dyn SpeedFunction>,
+    /// Virtual instant the device finishes everything dispatched to it.
+    pub busy_until: f64,
+    /// Total virtual seconds of dispatched occupancy, for utilization.
+    pub busy_seconds: f64,
+}
+
+/// The shared device pool every job is placed onto.
+pub struct DevicePool {
+    devices: Vec<PoolDevice>,
+    /// Hockney latency of the pool's links, seconds.
+    pub alpha: f64,
+    /// Hockney reciprocal bandwidth, seconds/byte.
+    pub beta: f64,
+    rr_cursor: usize,
+}
+
+impl DevicePool {
+    /// Builds a pool from a platform's abstract processors and a Hockney
+    /// link model.
+    pub fn from_platform(platform: &Platform, alpha: f64, beta: f64) -> Self {
+        Self {
+            devices: platform
+                .processors
+                .iter()
+                .map(|p| PoolDevice {
+                    name: p.spec.name,
+                    speed: Arc::clone(&p.speed),
+                    busy_until: 0.0,
+                    busy_seconds: 0.0,
+                })
+                .collect(),
+            alpha,
+            beta,
+            rr_cursor: 0,
+        }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the pool is empty (it never is — platforms require at
+    /// least one processor).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The devices, in pool order.
+    pub fn devices(&self) -> &[PoolDevice] {
+        &self.devices
+    }
+
+    /// The earliest instant all devices of `subset` are free.
+    pub fn available_at(&self, subset: &[usize]) -> f64 {
+        subset
+            .iter()
+            .map(|&d| self.devices[d].busy_until)
+            .fold(0.0, f64::max)
+    }
+
+    /// Marks `subset` occupied until `finish`, accounting the busy time.
+    pub fn occupy(&mut self, subset: &[usize], start: f64, finish: f64) {
+        for &d in subset {
+            self.devices[d].busy_until = finish;
+            self.devices[d].busy_seconds += finish - start;
+        }
+    }
+
+    /// Speeds of a subset evaluated at the given areas.
+    fn speeds_at(&self, subset: &[usize], areas: &[f64]) -> Vec<f64> {
+        subset
+            .iter()
+            .zip(areas)
+            .map(|(&d, &a)| self.devices[d].speed.flops(a))
+            .collect()
+    }
+}
+
+/// A planned placement: where and when a job (or batch) would run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// Pool indices of the chosen devices.
+    pub devices: Vec<usize>,
+    /// Partition shape of the placement.
+    pub shape: Shape,
+    /// Relative speeds of the chosen devices at their assigned areas —
+    /// what the real executor re-partitions from on recovery.
+    pub rel_speeds: Vec<f64>,
+    /// Earliest start (max of `now` and the subset's availability).
+    pub start: f64,
+    /// Estimated service time of one job of the planned size, seconds.
+    pub duration: f64,
+}
+
+impl Placement {
+    /// Predicted completion instant of a single job.
+    pub fn finish(&self) -> f64 {
+        self.start + self.duration
+    }
+}
+
+/// Estimated service time of an `n × n` multiply on `subset` with the
+/// given per-device areas: max per-device compute time plus the Hockney
+/// broadcast estimate of the partition — `CostSummary::analyze` on the
+/// exact spec the placement would use.
+fn estimate(pool: &DevicePool, spec: &PartitionSpec, subset: &[usize]) -> f64 {
+    let speeds: Vec<&dyn SpeedFunction> = subset
+        .iter()
+        .map(|&d| pool.devices[d].speed.as_ref())
+        .collect();
+    CostSummary::analyze(spec, &speeds, pool.alpha, pool.beta).est_total_time
+}
+
+/// Builds the partition spec a subset would run under: the requested
+/// paper shape for three devices (the shapes are three-processor
+/// constructions), Beaumont's column layout otherwise.
+fn subset_spec(shape: Shape, n: usize, areas: &[f64]) -> PartitionSpec {
+    if areas.len() == 3 {
+        shape.build(n, areas)
+    } else {
+        beaumont_column_layout(n, &areas.iter().map(|&a| a.max(1.0)).collect::<Vec<_>>())
+    }
+}
+
+/// FPM-proportional areas for `subset`: speeds are evaluated at an equal
+/// split first, then areas are made proportional to those speeds and the
+/// speeds re-evaluated once at the assigned areas — one fixed-point
+/// refinement, deterministic and close enough for placement ranking.
+fn fpm_areas(pool: &DevicePool, subset: &[usize], n: usize) -> Vec<f64> {
+    let equal = vec![(n * n) as f64 / subset.len() as f64; subset.len()];
+    let s0 = pool.speeds_at(subset, &equal);
+    let a1 = proportional_areas(n, &s0);
+    let s1 = pool.speeds_at(subset, &a1);
+    proportional_areas(n, &s1)
+}
+
+/// Estimated service time of an `n × n` job on an arbitrary device
+/// subset under FPM-proportional areas — what the fault model re-costs a
+/// shrink-and-retry attempt with after a device drops out of a placement.
+pub fn service_time(pool: &DevicePool, subset: &[usize], n: usize) -> f64 {
+    let areas = fpm_areas(pool, subset, n);
+    let spec = subset_spec(Shape::OneDRectangular, n, &areas);
+    estimate(pool, &spec, subset)
+}
+
+/// Plans where the next job would run under `policy`, *without* mutating
+/// the pool. `now` is the scheduler's current virtual instant.
+pub fn plan(policy: Policy, pool: &mut DevicePool, job: &JobSpec, now: f64) -> Placement {
+    match policy {
+        Policy::Fifo => plan_fifo(pool, job, now),
+        Policy::RoundRobin => plan_round_robin(pool, job, now),
+        Policy::FpmAware => plan_fpm(pool, job, now),
+    }
+}
+
+/// Commits a placement: advances the round-robin cursor. (Pool occupancy
+/// is committed separately once the batch size is known.)
+pub fn commit(policy: Policy, pool: &mut DevicePool) {
+    if policy == Policy::RoundRobin {
+        pool.rr_cursor = (pool.rr_cursor + 1) % pool.devices.len();
+    }
+}
+
+fn plan_fifo(pool: &DevicePool, job: &JobSpec, now: f64) -> Placement {
+    let subset: Vec<usize> = (0..pool.len()).collect();
+    let n = job.n;
+    let equal = vec![(n * n) as f64 / subset.len() as f64; subset.len()];
+    let shape = Shape::OneDRectangular;
+    let spec = subset_spec(shape, n, &equal);
+    let duration = estimate(pool, &spec, &subset);
+    let rel_speeds = vec![1.0; subset.len()];
+    Placement {
+        start: pool.available_at(&subset).max(now),
+        devices: subset,
+        shape,
+        rel_speeds,
+        duration,
+    }
+}
+
+fn plan_round_robin(pool: &DevicePool, job: &JobSpec, now: f64) -> Placement {
+    let d = pool.rr_cursor % pool.devices.len();
+    let n = job.n;
+    let area = (n * n) as f64;
+    let spec = subset_spec(Shape::OneDRectangular, n, &[area]);
+    let duration = estimate(pool, &spec, &[d]);
+    Placement {
+        start: pool.available_at(&[d]).max(now),
+        devices: vec![d],
+        shape: Shape::OneDRectangular,
+        rel_speeds: vec![1.0],
+        duration,
+    }
+}
+
+/// Every non-empty subset of `0..len`, singletons first, then by size —
+/// the candidate order also serves as the deterministic tie-break.
+fn subsets(len: usize) -> Vec<Vec<usize>> {
+    assert!(len <= 16, "pool too large for exhaustive subsets");
+    let mut all: Vec<Vec<usize>> = (1u32..(1 << len))
+        .map(|mask| (0..len).filter(|d| mask & (1 << d) != 0).collect())
+        .collect();
+    all.sort_by_key(|s| (s.len(), s.clone()));
+    all
+}
+
+fn plan_fpm(pool: &DevicePool, job: &JobSpec, now: f64) -> Placement {
+    let n = job.n;
+    let mut best: Option<Placement> = None;
+    for subset in subsets(pool.len()) {
+        let areas = fpm_areas(pool, &subset, n);
+        let speeds = pool.speeds_at(&subset, &areas);
+        // Candidate shapes: the four paper layouts for three devices,
+        // the column layout otherwise (it covers any count).
+        let shapes: &[Shape] = if subset.len() == 3 {
+            &ALL_FOUR_SHAPES
+        } else {
+            &[Shape::OneDRectangular]
+        };
+        let start = pool.available_at(&subset).max(now);
+        for &shape in shapes {
+            let spec = subset_spec(shape, n, &areas);
+            let duration = estimate(pool, &spec, &subset);
+            let cand = Placement {
+                devices: subset.clone(),
+                shape,
+                rel_speeds: speeds.clone(),
+                start,
+                duration,
+            };
+            // Strictly-less comparison keeps the first (smallest-subset,
+            // lexicographically-first, earliest-shape) candidate on ties
+            // — fully deterministic.
+            if best.as_ref().is_none_or(|b| cand.finish() < b.finish()) {
+                best = Some(cand);
+            }
+        }
+    }
+    best.expect("pool has at least one device")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use summagen_platform::profile::hclserver1;
+
+    fn pool() -> DevicePool {
+        // hclserver1: AbsCPU (0.575 TF), AbsGPU (1.15 TF), AbsPhi
+        // (0.5175 TF) — heterogeneity factor ~2.2.
+        DevicePool::from_platform(&hclserver1(), 1e-5, 4e-10)
+    }
+
+    fn job(n: usize) -> JobSpec {
+        JobSpec {
+            id: 0,
+            tenant: 0,
+            n,
+            priority: 0,
+            deadline: None,
+            submit_time: 0.0,
+        }
+    }
+
+    #[test]
+    fn policy_parses_and_names_round_trip() {
+        for p in Policy::ALL {
+            assert_eq!(Policy::from_str(p.name()).unwrap(), p);
+        }
+        assert_eq!(Policy::from_str("rr").unwrap(), Policy::RoundRobin);
+        assert_eq!(Policy::from_str("fpm").unwrap(), Policy::FpmAware);
+        assert!(Policy::from_str("lifo").is_err());
+    }
+
+    #[test]
+    fn fifo_takes_the_whole_pool() {
+        let mut p = pool();
+        let placement = plan(Policy::Fifo, &mut p, &job(1024), 0.0);
+        assert_eq!(placement.devices, vec![0, 1, 2]);
+        assert!(placement.duration > 0.0);
+    }
+
+    #[test]
+    fn round_robin_cycles_devices() {
+        let mut p = pool();
+        let a = plan(Policy::RoundRobin, &mut p, &job(512), 0.0);
+        commit(Policy::RoundRobin, &mut p);
+        let b = plan(Policy::RoundRobin, &mut p, &job(512), 0.0);
+        commit(Policy::RoundRobin, &mut p);
+        let c = plan(Policy::RoundRobin, &mut p, &job(512), 0.0);
+        commit(Policy::RoundRobin, &mut p);
+        let d = plan(Policy::RoundRobin, &mut p, &job(512), 0.0);
+        assert_eq!(a.devices, vec![0]);
+        assert_eq!(b.devices, vec![1]);
+        assert_eq!(c.devices, vec![2]);
+        assert_eq!(d.devices, vec![0]);
+    }
+
+    #[test]
+    fn fpm_beats_fifo_on_service_time_for_large_jobs() {
+        // With an empty pool, the FPM placement of a large job must be at
+        // least as fast as FIFO's equal split: proportional areas cannot
+        // lose to equal areas under the same model.
+        let mut p = pool();
+        let fifo = plan(Policy::Fifo, &mut p, &job(8192), 0.0);
+        let fpm = plan(Policy::FpmAware, &mut p, &job(8192), 0.0);
+        assert!(
+            fpm.finish() <= fifo.finish() + 1e-12,
+            "fpm {} vs fifo {}",
+            fpm.finish(),
+            fifo.finish()
+        );
+    }
+
+    #[test]
+    fn fpm_prefers_a_busy_fast_device_over_an_idle_slow_one_when_worth_it() {
+        let mut p = pool();
+        // Occupy the slow devices far into the future; the GPU frees soon.
+        p.occupy(&[0], 0.0, 50.0);
+        p.occupy(&[2], 0.0, 50.0);
+        p.occupy(&[1], 0.0, 0.001);
+        let placement = plan(Policy::FpmAware, &mut p, &job(4096), 0.0);
+        assert_eq!(placement.devices, vec![1], "expected the lone GPU");
+        assert!(placement.start >= 0.001);
+    }
+
+    #[test]
+    fn fpm_placement_is_deterministic() {
+        let mut p1 = pool();
+        let mut p2 = pool();
+        let a = plan(Policy::FpmAware, &mut p1, &job(2048), 0.0);
+        let b = plan(Policy::FpmAware, &mut p2, &job(2048), 0.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn subsets_enumerates_all_and_orders_by_size() {
+        let s = subsets(3);
+        assert_eq!(s.len(), 7);
+        assert_eq!(s[0], vec![0]);
+        assert_eq!(s[6], vec![0, 1, 2]);
+        assert!(s.windows(2).all(|w| w[0].len() <= w[1].len()));
+    }
+
+    #[test]
+    fn occupy_accounts_busy_time() {
+        let mut p = pool();
+        p.occupy(&[0, 1], 1.0, 3.5);
+        assert_eq!(p.available_at(&[0]), 3.5);
+        assert_eq!(p.available_at(&[2]), 0.0);
+        assert_eq!(p.devices()[0].busy_seconds, 2.5);
+    }
+}

@@ -1,0 +1,915 @@
+//! The service itself: a virtual-clock event loop that admits submitted
+//! jobs through the bounded queue, batches compatible work, places it on
+//! the shared device pool under the configured policy, and survives
+//! injected device failures by shrink-and-retry — without ever poisoning
+//! the queue.
+//!
+//! Everything runs on the same virtual clock the rest of the repo
+//! simulates on: arrivals, dispatches, and completions are events; the
+//! loop jumps from event to event and dispatches work whenever a
+//! placement can *start at the current instant*. That last clause is the
+//! load-bearing one — an eager scheduler that assigned queued jobs to
+//! future device slots would drain the queue instantly and no admission
+//! bound would ever bind. Holding jobs in the queue until a device can
+//! actually take them is what makes queue depth, backpressure, and the
+//! FIFO-vs-FPM comparison meaningful.
+//!
+//! Determinism: the loop consumes no wall clock and no ambient
+//! randomness. Fault draws are a pure hash of `(fault seed, job id,
+//! attempt)` — deliberately independent of policy and placement, so all
+//! three policies face the *same* adversity and the comparison stays
+//! fair. Same jobs + same config ⇒ byte-identical report, which the
+//! schedule digest asserts cheaply.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use summagen_comm::span::{EventSink, SpanKind, SpanRecord};
+use summagen_comm::{FaultPlan, HockneyModel};
+use summagen_core::{
+    multiply_abft, multiply_with_recovery, AbftOptions, ExecutionMode, RecoveryOptions,
+};
+use summagen_matrix::{gemm_naive, max_abs_diff, random_matrix, DenseMatrix};
+
+use crate::job::{JobOutcome, JobRecord, JobSpec, Rejection};
+use crate::metrics::ServiceMetrics;
+use crate::queue::{AdmissionConfig, JobQueue};
+use crate::scheduler::{commit, plan, service_time, DevicePool, Placement, Policy};
+
+/// Comparison slack for virtual-clock instants.
+const EPS: f64 = 1e-9;
+
+/// How dispatched jobs execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServiceBackend {
+    /// Timing-only: durations come from the cost model, no matrices are
+    /// materialized. This is how the load mixes run at scale.
+    #[default]
+    Virtual,
+    /// Every job numerically executes through the recovery-capable
+    /// executor on matrices seeded from its id, and the product is
+    /// verified against a sequential reference. Timing stays virtual
+    /// (the schedule must not depend on host speed). For test-sized jobs.
+    Real {
+        /// Route through the ABFT checkpointed executor instead of the
+        /// plain shrink-and-retry one.
+        abft: bool,
+    },
+}
+
+/// Seeded device-failure injection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProfile {
+    /// Per-attempt failure probability in permille (0 = no faults).
+    pub fail_permille: u16,
+    /// Seed of the failure draws.
+    pub seed: u64,
+    /// Executions allowed per job (first try plus retries).
+    pub max_attempts: usize,
+    /// Virtual seconds charged per retry (detection + restart).
+    pub retry_backoff: f64,
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        Self {
+            fail_permille: 0,
+            seed: 0,
+            max_attempts: 3,
+            retry_backoff: 0.05,
+        }
+    }
+}
+
+/// Batching knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchingConfig {
+    /// Most jobs dispatched per batch (1 disables batching).
+    pub max_batch: usize,
+    /// Virtual seconds of per-batch setup the batch amortizes.
+    pub setup_cost: f64,
+}
+
+impl Default for BatchingConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 4,
+            setup_cost: 0.002,
+        }
+    }
+}
+
+/// Full service configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ServiceConfig {
+    /// Admission-control bounds.
+    pub admission: AdmissionConfig,
+    /// Scheduling policy.
+    pub policy: Policy,
+    /// Batching knobs.
+    pub batching: BatchingConfig,
+    /// Failure injection.
+    pub faults: FaultProfile,
+    /// Execution backend.
+    pub backend: ServiceBackend,
+}
+
+/// The multi-tenant GEMM service.
+pub struct GemmService {
+    pool: DevicePool,
+    config: ServiceConfig,
+    metrics: Option<Arc<ServiceMetrics>>,
+    sink: Option<Arc<dyn EventSink>>,
+}
+
+/// Everything one `run` produced.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// The policy that ran.
+    pub policy: Policy,
+    /// One record per *accepted* job, in dispatch order.
+    pub records: Vec<JobRecord>,
+    /// Every admission rejection, in arrival order.
+    pub rejections: Vec<(JobSpec, Rejection)>,
+    /// Instant the last batch finished (0 for an empty run).
+    pub makespan: f64,
+    /// Deepest the queue ever got.
+    pub peak_queue_depth: usize,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Retry executions beyond first attempts.
+    pub retries: u64,
+    /// Pool device names, in pool order.
+    pub device_names: Vec<&'static str>,
+    /// Per-device busy virtual seconds, in pool order.
+    pub device_busy: Vec<f64>,
+    /// FNV-1a digest of every scheduling decision — two runs scheduled
+    /// identically iff their digests match.
+    pub schedule_digest: u64,
+}
+
+/// Per-tenant latency/throughput summary with *exact* quantiles
+/// (computed from the sorted per-job latencies, not histogram buckets —
+/// the artifact numbers must be reproducible to the bit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSummary {
+    /// Tenant index.
+    pub tenant: usize,
+    /// Jobs the tenant submitted (accepted + rejected).
+    pub submitted: usize,
+    /// Jobs that completed.
+    pub completed: usize,
+    /// Jobs that failed after retries.
+    pub failed: usize,
+    /// Jobs bounced by admission control.
+    pub rejected: usize,
+    /// Median latency of finished jobs, seconds.
+    pub p50: f64,
+    /// 95th-percentile latency, seconds.
+    pub p95: f64,
+    /// 99th-percentile latency, seconds.
+    pub p99: f64,
+    /// Mean latency, seconds.
+    pub mean: f64,
+    /// Worst latency, seconds.
+    pub max: f64,
+    /// Finished jobs that missed their (advisory) deadline.
+    pub deadline_misses: usize,
+}
+
+/// Exact nearest-rank quantile of an already-sorted sample.
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+impl ServiceReport {
+    /// Completed-job count.
+    pub fn completed(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.outcome == JobOutcome::Completed)
+            .count()
+    }
+
+    /// Failed-job count.
+    pub fn failed(&self) -> usize {
+        self.records.len() - self.completed()
+    }
+
+    /// Completed jobs per virtual second.
+    pub fn throughput(&self) -> f64 {
+        if self.makespan > 0.0 {
+            self.completed() as f64 / self.makespan
+        } else {
+            0.0
+        }
+    }
+
+    /// Latency of one quantile across *all* finished jobs.
+    pub fn latency_quantile(&self, q: f64) -> f64 {
+        let mut lats: Vec<f64> = self.records.iter().map(JobRecord::latency).collect();
+        lats.sort_by(f64::total_cmp);
+        quantile_sorted(&lats, q)
+    }
+
+    /// Per-tenant summaries for tenants `0..ntenants`.
+    pub fn tenant_summaries(&self, ntenants: usize) -> Vec<TenantSummary> {
+        (0..ntenants)
+            .map(|t| {
+                let mut lats: Vec<f64> = self
+                    .records
+                    .iter()
+                    .filter(|r| r.spec.tenant == t)
+                    .map(JobRecord::latency)
+                    .collect();
+                lats.sort_by(f64::total_cmp);
+                let recs = || self.records.iter().filter(|r| r.spec.tenant == t);
+                let completed = recs()
+                    .filter(|r| r.outcome == JobOutcome::Completed)
+                    .count();
+                let rejected = self
+                    .rejections
+                    .iter()
+                    .filter(|(j, _)| j.tenant == t)
+                    .count();
+                TenantSummary {
+                    tenant: t,
+                    submitted: lats.len() + rejected,
+                    completed,
+                    failed: lats.len() - completed,
+                    rejected,
+                    p50: quantile_sorted(&lats, 0.50),
+                    p95: quantile_sorted(&lats, 0.95),
+                    p99: quantile_sorted(&lats, 0.99),
+                    mean: if lats.is_empty() {
+                        0.0
+                    } else {
+                        lats.iter().sum::<f64>() / lats.len() as f64
+                    },
+                    max: lats.last().copied().unwrap_or(0.0),
+                    deadline_misses: recs().filter(|r| r.missed_deadline()).count(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Splitmix-style finalizer over `(seed, job, attempt)` — the fault
+/// oracle. Policy- and placement-independent on purpose: every policy
+/// faces the same draws for the same job.
+fn fault_hash(seed: u64, job: u64, attempt: u64) -> u64 {
+    let mut x = seed
+        ^ job.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ attempt.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// One simulated execution attempt's fate.
+struct AttemptFate {
+    /// Whether the attempt's placement loses a device mid-run.
+    fails: bool,
+    /// Fraction of the attempt's duration burnt before the failure
+    /// surfaces (0.25–0.75).
+    burn_fraction: f64,
+    /// Which member of the surviving device list is blamed.
+    victim_slot: usize,
+}
+
+fn draw_fate(profile: &FaultProfile, job: u64, attempt: u64, ndevices: usize) -> AttemptFate {
+    let h = fault_hash(profile.seed, job, attempt);
+    AttemptFate {
+        fails: (h % 1000) < u64::from(profile.fail_permille),
+        burn_fraction: 0.25 + 0.5 * ((h >> 32) % 1000) as f64 / 1000.0,
+        victim_slot: ((h >> 16) as usize) % ndevices.max(1),
+    }
+}
+
+impl GemmService {
+    /// A service over `pool` under `config`, with no metrics or tracing.
+    pub fn new(pool: DevicePool, config: ServiceConfig) -> Self {
+        Self {
+            pool,
+            config,
+            metrics: None,
+            sink: None,
+        }
+    }
+
+    /// Attaches a metrics bundle (per-tenant series must already be
+    /// registered for the load's tenants).
+    pub fn with_metrics(mut self, metrics: Arc<ServiceMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Attaches an event sink; every dispatch emits one
+    /// [`SpanKind::Sched`] span per occupied device, rank = pool index.
+    pub fn with_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// The configuration the service runs under.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Runs the whole job stream to completion and reports.
+    pub fn run(&mut self, mut jobs: Vec<JobSpec>) -> ServiceReport {
+        jobs.sort_by(|a, b| {
+            a.submit_time
+                .total_cmp(&b.submit_time)
+                .then(a.id.cmp(&b.id))
+        });
+        let mut queue = JobQueue::new(self.config.admission);
+        let mut arrivals = jobs.into_iter().peekable();
+        // Outstanding batch finish instants; completions are events.
+        let mut in_flight: Vec<f64> = Vec::new();
+        let mut records: Vec<JobRecord> = Vec::new();
+        let mut rejections: Vec<(JobSpec, Rejection)> = Vec::new();
+        let mut next_batch: u64 = 0;
+        let mut retries: u64 = 0;
+        let mut now = 0.0f64;
+
+        loop {
+            let next_arrival = arrivals.peek().map(|j| j.submit_time);
+            let next_done = in_flight.iter().copied().fold(f64::INFINITY, f64::min);
+            let next = match next_arrival {
+                Some(t) => t.min(next_done),
+                None if next_done.is_finite() => next_done,
+                None => break,
+            };
+            now = now.max(next);
+            in_flight.retain(|&f| f > now + EPS);
+            while arrivals.peek().is_some_and(|j| j.submit_time <= now + EPS) {
+                let job = arrivals.next().expect("peeked");
+                match queue.offer(job.clone()) {
+                    Ok(()) => {}
+                    Err(rej) => {
+                        if let Some(m) = &self.metrics {
+                            m.record_rejection(job.tenant, &rej);
+                        }
+                        rejections.push((job, rej));
+                    }
+                }
+            }
+            self.dispatch_all(
+                &mut queue,
+                now,
+                &mut in_flight,
+                &mut records,
+                &mut next_batch,
+                &mut retries,
+            );
+            if let Some(m) = &self.metrics {
+                m.queue_depth.set(queue.len() as f64);
+                m.queue_depth_peak.set(queue.peak_depth() as f64);
+            }
+        }
+        debug_assert!(queue.is_empty(), "event loop ended with queued jobs");
+
+        let makespan = records.iter().map(|r| r.finish_time).fold(0.0, f64::max);
+        let device_busy: Vec<f64> = self.pool.devices().iter().map(|d| d.busy_seconds).collect();
+        if let Some(m) = &self.metrics {
+            m.set_device_busy(&device_busy);
+        }
+        let report = ServiceReport {
+            policy: self.config.policy,
+            schedule_digest: digest(&records, &rejections),
+            records,
+            rejections,
+            makespan,
+            peak_queue_depth: queue.peak_depth(),
+            batches: next_batch,
+            retries,
+            device_names: self.pool.devices().iter().map(|d| d.name).collect(),
+            device_busy,
+        };
+        report
+    }
+
+    /// Dispatches every queued job whose placement can start *now*.
+    /// FIFO and round-robin only ever look at the head (head-of-line
+    /// blocking is part of what those baselines are); FPM-aware walks the
+    /// queue in urgency order and backfills past blocked jobs.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_all(
+        &mut self,
+        queue: &mut JobQueue,
+        now: f64,
+        in_flight: &mut Vec<f64>,
+        records: &mut Vec<JobRecord>,
+        next_batch: &mut u64,
+        retries: &mut u64,
+    ) {
+        'dispatch: loop {
+            if queue.is_empty() {
+                return;
+            }
+            let candidates: Vec<usize> = match self.config.policy {
+                Policy::Fifo | Policy::RoundRobin => vec![0],
+                Policy::FpmAware => {
+                    let specs: Vec<&JobSpec> = queue.iter().collect();
+                    let mut order: Vec<usize> = (0..specs.len()).collect();
+                    order.sort_by(|&a, &b| {
+                        specs[b]
+                            .priority
+                            .cmp(&specs[a].priority)
+                            .then(
+                                specs[a]
+                                    .deadline
+                                    .unwrap_or(f64::INFINITY)
+                                    .total_cmp(&specs[b].deadline.unwrap_or(f64::INFINITY)),
+                            )
+                            .then(a.cmp(&b))
+                    });
+                    order
+                }
+            };
+            for idx in candidates {
+                let job = queue.iter().nth(idx).expect("index observed").clone();
+                let placement = plan(self.config.policy, &mut self.pool, &job, now);
+                if placement.start <= now + EPS {
+                    commit(self.config.policy, &mut self.pool);
+                    self.dispatch_batch(
+                        queue, idx, placement, now, in_flight, records, next_batch, retries,
+                    );
+                    continue 'dispatch;
+                }
+            }
+            return;
+        }
+    }
+
+    /// Takes the seed job plus up to `max_batch - 1` same-size queued
+    /// jobs and runs them back-to-back on one placement, amortizing the
+    /// batch setup cost.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_batch(
+        &mut self,
+        queue: &mut JobQueue,
+        seed_idx: usize,
+        placement: Placement,
+        now: f64,
+        in_flight: &mut Vec<f64>,
+        records: &mut Vec<JobRecord>,
+        next_batch: &mut u64,
+        retries: &mut u64,
+    ) {
+        let seed = queue.take(seed_idx);
+        let mut members = vec![seed];
+        while members.len() < self.config.batching.max_batch {
+            let mate = queue.iter().position(|j| j.n == members[0].n);
+            match mate {
+                Some(pos) => members.push(queue.take(pos)),
+                None => break,
+            }
+        }
+        let batch = *next_batch;
+        *next_batch += 1;
+        if let Some(m) = &self.metrics {
+            m.batches.inc();
+        }
+
+        let batch_start = now;
+        let mut t = now + self.config.batching.setup_cost;
+        for job in members.iter() {
+            let start_time = t;
+            let (finish, attempts, devices, outcome) = self.execute(job, &placement, t, retries);
+            t = finish;
+            let record = JobRecord {
+                spec: job.clone(),
+                start_time,
+                finish_time: finish,
+                devices,
+                shape: placement.shape.name(),
+                batch,
+                attempts,
+                outcome,
+            };
+            if let Some(m) = &self.metrics {
+                match record.outcome {
+                    JobOutcome::Completed => {
+                        m.record_completed(job.tenant, record.latency(), record.queue_wait())
+                    }
+                    JobOutcome::Failed { .. } => {
+                        m.record_failed(job.tenant, record.latency(), record.queue_wait())
+                    }
+                }
+            }
+            records.push(record);
+        }
+        self.pool.occupy(&placement.devices, batch_start, t);
+        in_flight.push(t);
+        if let Some(sink) = &self.sink {
+            for &d in &placement.devices {
+                sink.record(SpanRecord {
+                    rank: d,
+                    start: batch_start,
+                    end: t,
+                    kind: SpanKind::Sched {
+                        job: members[0].id,
+                        n: members[0].n as u64,
+                        batch,
+                        jobs: members.len() as u64,
+                        policy: self.config.policy.name(),
+                    },
+                });
+            }
+        }
+    }
+
+    /// Executes one job of a batch starting at `t0`: walks the seeded
+    /// fault draws through shrink-and-retry on the virtual clock and —
+    /// in the real backend — actually multiplies the matrices through
+    /// the recovery executor and verifies the product.
+    fn execute(
+        &self,
+        job: &JobSpec,
+        placement: &Placement,
+        t0: f64,
+        retries: &mut u64,
+    ) -> (f64, usize, Vec<usize>, JobOutcome) {
+        let faults = self.config.faults;
+        let mut devices = placement.devices.clone();
+        let mut t = t0;
+        let mut attempts = 0usize;
+        let outcome = loop {
+            attempts += 1;
+            let duration = if devices.len() == placement.devices.len() {
+                placement.duration
+            } else {
+                service_time(&self.pool, &devices, job.n)
+            };
+            let fate = draw_fate(&faults, job.id, attempts as u64, devices.len());
+            if !fate.fails {
+                t += duration;
+                break JobOutcome::Completed;
+            }
+            // The attempt burns part of its duration, then pays the
+            // detection/restart backoff. Multi-device placements shrink
+            // the blamed device out, exactly like `multiply_with_recovery`
+            // shrinks a crashed rank's device out of the partition; a
+            // singleton placement treats the failure as transient and
+            // restarts on the same device (there is nothing to shrink to).
+            t += duration * fate.burn_fraction + faults.retry_backoff;
+            if attempts >= faults.max_attempts {
+                break JobOutcome::Failed {
+                    reason: format!("attempt budget exhausted after {attempts} executions"),
+                };
+            }
+            if devices.len() > 1 {
+                devices.remove(fate.victim_slot);
+            }
+            *retries += 1;
+            if let Some(m) = &self.metrics {
+                m.retries.inc();
+            }
+        };
+        if let ServiceBackend::Real { abft } = self.config.backend {
+            let real = self.execute_real(job, placement, abft);
+            if let Err(reason) = real {
+                return (t, attempts, devices, JobOutcome::Failed { reason });
+            }
+        }
+        (t, attempts, devices, outcome)
+    }
+
+    /// Numerically executes a job through the recovery-capable executor
+    /// (or the ABFT one) and verifies the product. Returns an error
+    /// string on numeric failure — which would be a service bug, and is
+    /// exactly what the real-mode tests are hunting for.
+    fn execute_real(&self, job: &JobSpec, placement: &Placement, abft: bool) -> Result<(), String> {
+        let n = job.n;
+        let a = random_matrix(n, n, job.id.wrapping_mul(2).wrapping_add(1));
+        let b = random_matrix(n, n, job.id.wrapping_mul(2).wrapping_add(2));
+        // Re-derive the *first* fault draw as an injected rank kill so
+        // the virtual fault model and the real executor agree on whether
+        // this job sees adversity.
+        let fate = draw_fate(&self.config.faults, job.id, 1, placement.devices.len());
+        let attempt_faults: Vec<FaultPlan> = if fate.fails && placement.devices.len() > 1 {
+            vec![FaultPlan::new().kill_rank(fate.victim_slot, 2)]
+        } else {
+            Vec::new()
+        };
+        let opts = RecoveryOptions {
+            max_attempts: self.config.faults.max_attempts.max(2),
+            retry_backoff: self.config.faults.retry_backoff,
+            recv_timeout: Duration::from_millis(500),
+            ..RecoveryOptions::default()
+        };
+        let c = if abft {
+            multiply_abft(
+                placement.shape,
+                &placement.rel_speeds,
+                &a,
+                &b,
+                ExecutionMode::Real,
+                HockneyModel::intra_node(),
+                &attempt_faults,
+                &opts,
+                &AbftOptions::default(),
+            )
+            .map_err(|e| format!("abft execution failed: {e:?}"))?
+            .run
+            .c
+        } else {
+            multiply_with_recovery(
+                placement.shape,
+                &placement.rel_speeds,
+                &a,
+                &b,
+                ExecutionMode::Real,
+                HockneyModel::intra_node(),
+                &attempt_faults,
+                &opts,
+            )
+            .map_err(|e| format!("recovery execution failed: {e:?}"))?
+            .c
+        };
+        verify_product(&a, &b, &c)
+    }
+}
+
+fn verify_product(a: &DenseMatrix, b: &DenseMatrix, c: &DenseMatrix) -> Result<(), String> {
+    let n = a.rows();
+    let mut want = DenseMatrix::zeros(n, b.cols());
+    gemm_naive(
+        n,
+        b.cols(),
+        n,
+        1.0,
+        a.as_slice(),
+        n,
+        b.as_slice(),
+        b.cols(),
+        0.0,
+        want.as_mut_slice(),
+        b.cols(),
+    );
+    let diff = max_abs_diff(c, &want);
+    if diff < 1e-9 {
+        Ok(())
+    } else {
+        Err(format!("product verification failed: max |Δ| = {diff:e}"))
+    }
+}
+
+/// FNV-1a over every scheduling decision: job ids, times (as bits),
+/// device sets, batches, attempts, outcomes, and rejections.
+fn digest(records: &[JobRecord], rejections: &[(JobSpec, Rejection)]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for r in records {
+        eat(r.spec.id);
+        eat(r.start_time.to_bits());
+        eat(r.finish_time.to_bits());
+        eat(r.batch);
+        eat(r.attempts as u64);
+        eat(r.devices.len() as u64);
+        for &d in &r.devices {
+            eat(d as u64);
+        }
+        eat(match r.outcome {
+            JobOutcome::Completed => 1,
+            JobOutcome::Failed { .. } => 2,
+        });
+    }
+    for (j, rej) in rejections {
+        eat(j.id);
+        eat(rej.label().len() as u64);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadgen::{generate, small_mix};
+    use summagen_platform::profile::hclserver1;
+
+    fn pool() -> DevicePool {
+        DevicePool::from_platform(&hclserver1(), 1e-5, 4e-10)
+    }
+
+    fn config(policy: Policy) -> ServiceConfig {
+        ServiceConfig {
+            policy,
+            ..ServiceConfig::default()
+        }
+    }
+
+    fn job(id: u64, n: usize, submit: f64) -> JobSpec {
+        JobSpec {
+            id,
+            tenant: 0,
+            n,
+            priority: 0,
+            deadline: None,
+            submit_time: submit,
+        }
+    }
+
+    #[test]
+    fn empty_run_reports_empty() {
+        let report = GemmService::new(pool(), config(Policy::FpmAware)).run(Vec::new());
+        assert!(report.records.is_empty());
+        assert_eq!(report.makespan, 0.0);
+        assert_eq!(report.completed(), 0);
+    }
+
+    #[test]
+    fn every_accepted_job_is_recorded_exactly_once() {
+        let jobs = generate(&small_mix());
+        let total = jobs.len();
+        let mut svc = GemmService::new(pool(), config(Policy::FpmAware));
+        let report = svc.run(jobs);
+        assert_eq!(report.records.len() + report.rejections.len(), total);
+        let mut ids: Vec<u64> = report
+            .records
+            .iter()
+            .map(|r| r.spec.id)
+            .chain(report.rejections.iter().map(|(j, _)| j.id))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), total, "a job was lost or double-counted");
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let jobs = generate(&small_mix());
+        let a = GemmService::new(pool(), config(Policy::FpmAware)).run(jobs.clone());
+        let b = GemmService::new(pool(), config(Policy::FpmAware)).run(jobs);
+        assert_eq!(a.schedule_digest, b.schedule_digest);
+        assert_eq!(a.records.len(), b.records.len());
+        assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+    }
+
+    #[test]
+    fn policies_schedule_differently() {
+        let jobs = generate(&small_mix());
+        let fifo = GemmService::new(pool(), config(Policy::Fifo)).run(jobs.clone());
+        let fpm = GemmService::new(pool(), config(Policy::FpmAware)).run(jobs);
+        assert_ne!(fifo.schedule_digest, fpm.schedule_digest);
+    }
+
+    #[test]
+    fn fpm_beats_fifo_on_makespan_and_p95_for_the_small_mix() {
+        let jobs = generate(&small_mix());
+        let fifo = GemmService::new(pool(), config(Policy::Fifo)).run(jobs.clone());
+        let fpm = GemmService::new(pool(), config(Policy::FpmAware)).run(jobs);
+        assert!(
+            fpm.makespan < fifo.makespan,
+            "fpm makespan {} vs fifo {}",
+            fpm.makespan,
+            fifo.makespan
+        );
+        assert!(
+            fpm.latency_quantile(0.95) < fifo.latency_quantile(0.95),
+            "fpm p95 {} vs fifo {}",
+            fpm.latency_quantile(0.95),
+            fifo.latency_quantile(0.95)
+        );
+    }
+
+    #[test]
+    fn dispatch_waits_for_devices_so_the_queue_actually_fills() {
+        // A burst of simultaneous arrivals against a single-slot FIFO
+        // pool must stack up in the queue rather than be assigned to
+        // future device slots at arrival time.
+        let jobs: Vec<JobSpec> = (0..8).map(|i| job(i, 512, 0.0)).collect();
+        let mut svc = GemmService::new(pool(), config(Policy::Fifo));
+        let report = svc.run(jobs);
+        assert!(
+            report.peak_queue_depth >= 4,
+            "queue never filled: peak {}",
+            report.peak_queue_depth
+        );
+        assert_eq!(report.records.len(), 8);
+    }
+
+    #[test]
+    fn backpressure_rejects_when_the_queue_is_full() {
+        let cfg = ServiceConfig {
+            admission: AdmissionConfig {
+                queue_capacity: 2,
+                per_tenant_quota: 2,
+                max_n: 16_384,
+            },
+            ..config(Policy::Fifo)
+        };
+        let jobs: Vec<JobSpec> = (0..6).map(|i| job(i, 1024, 0.0)).collect();
+        let report = GemmService::new(pool(), cfg).run(jobs);
+        assert!(!report.rejections.is_empty(), "no backpressure observed");
+        assert_eq!(report.records.len() + report.rejections.len(), 6);
+    }
+
+    #[test]
+    fn batching_amortizes_setup_and_stamps_batch_ids() {
+        let jobs: Vec<JobSpec> = (0..4).map(|i| job(i, 512, 0.0)).collect();
+        let report = GemmService::new(pool(), config(Policy::FpmAware)).run(jobs);
+        assert!(
+            report.batches < 4,
+            "4 same-size simultaneous jobs never batched ({} batches)",
+            report.batches
+        );
+        let batch0: Vec<&JobRecord> = report.records.iter().filter(|r| r.batch == 0).collect();
+        assert!(batch0.len() > 1, "first batch holds one job");
+    }
+
+    #[test]
+    fn injected_faults_trigger_retries_without_losing_jobs() {
+        let cfg = ServiceConfig {
+            faults: FaultProfile {
+                fail_permille: 300,
+                seed: 7,
+                max_attempts: 4,
+                retry_backoff: 0.05,
+            },
+            ..config(Policy::FpmAware)
+        };
+        let jobs = generate(&small_mix());
+        let total = jobs.len();
+        let report = GemmService::new(pool(), cfg).run(jobs);
+        assert_eq!(report.records.len() + report.rejections.len(), total);
+        assert!(report.retries > 0, "30% fault rate produced no retries");
+        assert!(
+            report.records.iter().any(|r| r.attempts > 1),
+            "no record shows a retry"
+        );
+        // The schedule is still deterministic under faults.
+        let again = GemmService::new(pool(), cfg).run(generate(&small_mix()));
+        assert_eq!(report.schedule_digest, again.schedule_digest);
+    }
+
+    #[test]
+    fn real_backend_executes_and_verifies_small_jobs() {
+        let cfg = ServiceConfig {
+            backend: ServiceBackend::Real { abft: false },
+            faults: FaultProfile {
+                fail_permille: 500,
+                seed: 3,
+                max_attempts: 3,
+                retry_backoff: 0.05,
+            },
+            ..config(Policy::FpmAware)
+        };
+        let jobs: Vec<JobSpec> = (0..6).map(|i| job(i, 24, i as f64 * 0.001)).collect();
+        let report = GemmService::new(pool(), cfg).run(jobs);
+        assert_eq!(report.records.len(), 6);
+        // Numeric execution verified inside execute_real; a verification
+        // failure would surface as a Failed outcome with its reason.
+        for r in &report.records {
+            if let JobOutcome::Failed { reason } = &r.outcome {
+                assert!(
+                    !reason.contains("verification"),
+                    "numeric verification failed: {reason}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sched_spans_cover_every_dispatch() {
+        use std::sync::Mutex;
+        #[derive(Default)]
+        struct Collect(Mutex<Vec<SpanRecord>>);
+        impl EventSink for Collect {
+            fn record(&self, span: SpanRecord) {
+                self.0.lock().unwrap().push(span);
+            }
+        }
+        let sink = Arc::new(Collect::default());
+        let jobs: Vec<JobSpec> = (0..5).map(|i| job(i, 512, i as f64 * 0.01)).collect();
+        let report = GemmService::new(pool(), config(Policy::FpmAware))
+            .with_sink(Arc::clone(&sink) as Arc<dyn EventSink>)
+            .run(jobs);
+        let spans = sink.0.lock().unwrap();
+        assert!(!spans.is_empty());
+        let batches: std::collections::BTreeSet<u64> = spans
+            .iter()
+            .map(|s| match s.kind {
+                SpanKind::Sched { batch, .. } => batch,
+                ref other => panic!("unexpected span {other:?}"),
+            })
+            .collect();
+        assert_eq!(batches.len() as u64, report.batches);
+    }
+}

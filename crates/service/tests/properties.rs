@@ -1,0 +1,169 @@
+//! Property tests for the multi-tenant service: the three invariants the
+//! subsystem is built on, checked over randomized loads rather than the
+//! hand-picked mixes of the unit tests.
+//!
+//! * Admission is *bounded*: no interleaving of offers and takes ever
+//!   pushes the queue past its capacity, a tenant past its quota, or an
+//!   oversized job into the queue — and every rejection is the typed
+//!   reason the offer actually hit.
+//! * Jobs are *conserved*: under any fault rate the service either
+//!   completes or explicitly fails every admitted job — accepted +
+//!   rejected always equals submitted, with no duplicates.
+//! * Runs are *deterministic*: the same (mix seed, fault seed, policy)
+//!   triple reproduces the schedule digest exactly.
+
+use proptest::prelude::*;
+
+use summagen_platform::profile::hclserver1;
+use summagen_service::{
+    generate, small_mix, AdmissionConfig, DevicePool, FaultProfile, GemmService, JobQueue, Policy,
+    Rejection, ServiceConfig,
+};
+
+fn service(policy: Policy, faults: FaultProfile, admission: AdmissionConfig) -> GemmService {
+    let pool = DevicePool::from_platform(&hclserver1(), 1e-5, 4e-10);
+    GemmService::new(
+        pool,
+        ServiceConfig {
+            policy,
+            faults,
+            admission,
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random offer/take interleavings against random bounds: the queue
+    /// never exceeds capacity, no tenant exceeds its quota, and every
+    /// rejection names the constraint that was actually binding.
+    #[test]
+    fn admission_never_exceeds_bounds(
+        seed in 0u64..1_000,
+        capacity in 1usize..12,
+        quota in 1usize..6,
+        max_n in 200usize..900,
+        drain_stride in 2usize..5,
+    ) {
+        let config = AdmissionConfig {
+            queue_capacity: capacity,
+            per_tenant_quota: quota,
+            max_n,
+        };
+        let mut queue = JobQueue::new(config);
+        let mut mix = small_mix();
+        mix.seed = seed;
+        mix.jobs = 80;
+        for (i, job) in generate(&mix).into_iter().enumerate() {
+            let tenant = job.tenant;
+            let n = job.n;
+            let depth_before = queue.tenant_depth(tenant);
+            let len_before = queue.len();
+            match queue.offer(job) {
+                Ok(()) => {
+                    prop_assert!(n <= max_n);
+                    prop_assert_eq!(queue.len(), len_before + 1);
+                }
+                Err(Rejection::TooLarge { .. }) => prop_assert!(n > max_n),
+                Err(Rejection::QuotaExceeded { .. }) => {
+                    prop_assert!(n <= max_n);
+                    prop_assert!(depth_before >= quota);
+                }
+                Err(Rejection::QueueFull { .. }) => {
+                    prop_assert!(n <= max_n);
+                    prop_assert!(depth_before < quota);
+                    prop_assert_eq!(len_before, capacity);
+                }
+            }
+            prop_assert!(queue.len() <= capacity);
+            for t in 0..3 {
+                prop_assert!(queue.tenant_depth(t) <= quota);
+            }
+            if i % drain_stride == 0 && !queue.is_empty() {
+                let take_at = i % queue.len();
+                let took = queue.take(take_at);
+                // Taking releases the tenant's quota slot.
+                prop_assert!(queue.tenant_depth(took.tenant) < quota);
+            }
+        }
+        prop_assert!(queue.peak_depth() <= capacity);
+    }
+
+    /// Job conservation under seeded faults: every submitted job is
+    /// accounted for exactly once — as a completed record, a failed
+    /// record, or a typed rejection. Faults may shrink placements and
+    /// retry, but nothing is silently dropped.
+    #[test]
+    fn every_accepted_job_completes_or_fails(
+        mix_seed in 0u64..500,
+        fault_seed in 0u64..500,
+        fail_permille in 0u32..350,
+        policy_idx in 0usize..3,
+    ) {
+        let mut mix = small_mix();
+        mix.seed = mix_seed;
+        mix.jobs = 60;
+        let jobs = generate(&mix);
+        let faults = FaultProfile {
+            fail_permille: fail_permille as u16,
+            seed: fault_seed,
+            ..FaultProfile::default()
+        };
+        let mut svc = service(Policy::ALL[policy_idx], faults, AdmissionConfig::default());
+        let report = svc.run(jobs.clone());
+        prop_assert_eq!(
+            report.records.len() + report.rejections.len(),
+            jobs.len(),
+            "jobs lost or invented"
+        );
+        let mut ids: Vec<u64> = report
+            .records
+            .iter()
+            .map(|r| r.spec.id)
+            .chain(report.rejections.iter().map(|(spec, _)| spec.id))
+            .collect();
+        ids.sort_unstable();
+        let mut want: Vec<u64> = jobs.iter().map(|j| j.id).collect();
+        want.sort_unstable();
+        prop_assert_eq!(ids, want, "ids must partition exactly");
+        for r in &report.records {
+            // Whatever happened, it finished after it started and the
+            // outcome is explicit.
+            prop_assert!(r.finish_time >= r.start_time);
+            prop_assert!(!r.devices.is_empty() || r.outcome.label() == "failed");
+        }
+        if fail_permille == 0 {
+            prop_assert_eq!(report.failed(), 0);
+        }
+    }
+
+    /// Same (mix seed, fault seed, policy) → bit-identical schedule:
+    /// the digest covers every placement, retry, and rejection.
+    #[test]
+    fn same_seed_load_runs_are_deterministic(
+        mix_seed in 0u64..500,
+        fault_seed in 0u64..500,
+        fail_permille in 0u32..200,
+        policy_idx in 0usize..3,
+    ) {
+        let mut mix = small_mix();
+        mix.seed = mix_seed;
+        mix.jobs = 40;
+        let faults = FaultProfile {
+            fail_permille: fail_permille as u16,
+            seed: fault_seed,
+            ..FaultProfile::default()
+        };
+        let policy = Policy::ALL[policy_idx];
+        let run = |jobs: Vec<_>| {
+            service(policy, faults, AdmissionConfig::default()).run(jobs)
+        };
+        let a = run(generate(&mix));
+        let b = run(generate(&mix));
+        prop_assert_eq!(a.schedule_digest, b.schedule_digest);
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.records.len(), b.records.len());
+    }
+}

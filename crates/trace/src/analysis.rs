@@ -124,6 +124,13 @@ pub fn metrics(trace: &RecordedTrace) -> TraceMetrics {
                     m.comm_time += r.duration();
                     m.leaf_spans += 1;
                 }
+                // On a schedule timeline each "rank" is a pool device and
+                // Sched spans are its dispatched occupancy, so they count
+                // as compute: idle_time then reads as device idleness.
+                SpanKind::Sched { .. } => {
+                    m.comp_time += r.duration();
+                    m.leaf_spans += 1;
+                }
                 _ => {}
             }
         }

@@ -121,6 +121,23 @@ fn event_json(ts: &TraceSpan) -> String {
                 esc(cause)
             );
         }
+        // Scheduler dispatches are leaf occupancy on the op track: on a
+        // schedule timeline (one "rank" per pool device) they tile each
+        // device's busy time.
+        SpanKind::Sched {
+            job,
+            n,
+            batch,
+            jobs,
+            policy,
+        } => (
+            r.rank * 2,
+            "sched",
+            format!(
+                "{{\"job\":{job},\"n\":{n},\"batch\":{batch},\"jobs\":{jobs},\"policy\":\"{}\"}}",
+                esc(policy)
+            ),
+        ),
         SpanKind::Heartbeat { seq } => {
             // Zero-duration liveness tick: an instant event on the
             // phases track, out of the way of real comm/compute spans.

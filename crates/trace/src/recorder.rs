@@ -237,6 +237,20 @@ fn push_kind(out: &mut Vec<u8>, kind: &SpanKind) {
             out.push(8);
             push_u64(out, *seq);
         }
+        SpanKind::Sched {
+            job,
+            n,
+            batch,
+            jobs,
+            policy,
+        } => {
+            out.push(9);
+            push_u64(out, *job);
+            push_u64(out, *n);
+            push_u64(out, *batch);
+            push_u64(out, *jobs);
+            out.extend_from_slice(policy.as_bytes());
+        }
     }
 }
 
