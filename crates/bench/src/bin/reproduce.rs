@@ -4,7 +4,7 @@
 //! reproduce table1 | fig1 | fig5 | fig6 | fig7 | fig8 | summary
 //!           | crossover | nrrp | energyopt | summa | cluster | exact
 //!           | auto | fig5measured | verify | recovery | trace | abft
-//!           | bench | soak | serve | all
+//!           | bench | soak | serve | degrade | all
 //! ```
 //!
 //! Output is whitespace-aligned text: one row per problem size with one
@@ -33,8 +33,19 @@
 //! `SCHEDULE_<mix>_<policy>.json` Perfetto timelines (default
 //! `target/serve`); with all three policies it exits nonzero unless the
 //! FPM-aware scheduler beats FIFO on both makespan and p95 latency.
+//! `degrade [--mix small|hetero] [--out DIR]` runs the same seeded
+//! stream with seeded device faults at 1×/2×/5× the mix's arrival rate,
+//! baseline (no degradation) against the full degradation layer
+//! (deadline admission, checkpoint preemption, quarantine, brownout),
+//! writes `DEGRADE_<mix>.json` and the top-factor
+//! `SCHEDULE_DEGRADE_<mix>_<mode>.json` timelines (default
+//! `target/degrade`), and exits nonzero unless jobs are conserved,
+//! every deadline outcome is typed, the degraded run reproduces its
+//! digest, the top tenant's p95 improves at 5×, and the real
+//! checkpointed executor resumes bit-identically across every panel
+//! boundary.
 //! `all` runs every text command plus the trace, recovery, abft, bench,
-//! soak, and serve exporters.
+//! soak, serve, and degrade exporters.
 
 use std::env;
 use std::str::FromStr;
@@ -182,6 +193,7 @@ fn main() {
             jobs,
             out_dir.as_deref().unwrap_or("target/serve"),
         ),
+        "degrade" => degrade(&mix, out_dir.as_deref().unwrap_or("target/degrade")),
         "all" => {
             print!("{}", table1());
             println!();
@@ -215,13 +227,25 @@ fn main() {
                 jobs,
                 out_dir.as_deref().unwrap_or("target/serve"),
             );
+            degrade(&mix, out_dir.as_deref().unwrap_or("target/degrade"));
         }
         other => {
             eprintln!(
-                "unknown figure '{other}'; expected one of: table1 fig1 fig5 fig6 fig7 fig8 summary crossover nrrp energyopt summa cluster exact auto fig5measured verify recovery trace abft bench soak serve all"
+                "unknown figure '{other}'; expected one of: table1 fig1 fig5 fig6 fig7 fig8 summary crossover nrrp energyopt summa cluster exact auto fig5measured verify recovery trace abft bench soak serve degrade all"
             );
             std::process::exit(2);
         }
+    }
+}
+
+/// Graceful-degradation comparison under overload and seeded device
+/// faults: baseline vs the full degradation layer at 1×/2×/5× load,
+/// with the acceptance gates of `degradecmd`.
+fn degrade(mix: &str, out_dir: &str) {
+    use summagen_bench::degradecmd;
+    if let Err(e) = degradecmd::run_degrade(mix, std::path::Path::new(out_dir)) {
+        eprintln!("degrade run to '{out_dir}' failed: {e}");
+        std::process::exit(1);
     }
 }
 

@@ -139,6 +139,18 @@ pub enum SpanKind {
         /// Scheduling policy that made the decision.
         policy: &'static str,
     },
+    /// A device-quarantine interval: the scheduler's circuit breaker for
+    /// this device (`rank` = pool index) was open from `start` to `end`
+    /// and no work was placed on it. An enclosing annotation, not a
+    /// leaf — a quarantined device is *idle*, and quarantine time must
+    /// not tile against its busy time.
+    Quarantine {
+        /// Consecutive blamed failures that opened the breaker.
+        failures: u64,
+        /// How many times this device's breaker has opened so far
+        /// (1-based; backoff doubles with each open).
+        opens: u64,
+    },
 }
 
 impl SpanKind {
@@ -155,6 +167,7 @@ impl SpanKind {
             SpanKind::Heartbeat { .. } => "heartbeat",
             SpanKind::RankDeath { .. } => "rank-death",
             SpanKind::Sched { .. } => "sched",
+            SpanKind::Quarantine { .. } => "quarantine",
         }
     }
 
@@ -377,6 +390,11 @@ mod tests {
             policy: "fpm-aware"
         }
         .is_leaf());
+        assert!(!SpanKind::Quarantine {
+            failures: 3,
+            opens: 1
+        }
+        .is_leaf());
     }
 
     #[test]
@@ -407,6 +425,14 @@ mod tests {
             }
             .label(),
             "sched"
+        );
+        assert_eq!(
+            SpanKind::Quarantine {
+                failures: 2,
+                opens: 1
+            }
+            .label(),
+            "quarantine"
         );
         assert_eq!(AbftLabel::Correct.label(), "abft-correct");
         assert_eq!(AbftLabel::Checkpoint.label(), "abft-checkpoint");

@@ -328,6 +328,7 @@ fn run_rank_abft(
     opts: &AbftOptions,
     resume_k: usize,
     resume_c: Option<&DenseMatrix>,
+    stop_k: usize,
     store: &CheckpointStore,
 ) -> Result<(Vec<(ProcBlock, DenseMatrix)>, AbftStats), CommError> {
     let mut stats = AbftStats::default();
@@ -372,6 +373,9 @@ fn run_rank_abft(
     for t in 0..total_panels {
         let k0 = spec.col_offset(t);
         let k1 = k0 + spec.widths[t];
+        if k0 >= stop_k {
+            break; // preemption horizon reached: a clean k-prefix stop
+        }
         let lo = k0.max(resume_k);
         if lo >= k1 {
             continue; // panel fully covered by the restored checkpoint
@@ -656,6 +660,7 @@ fn try_run_abft(
     backend: summagen_comm::Backend,
     opts: &AbftOptions,
     resume: Option<(usize, Arc<DenseMatrix>)>,
+    stop_k: usize,
     store: &CheckpointStore,
 ) -> Result<(RunResult, Vec<AbftStats>), RankFailure> {
     let rank_data = distribute(spec, a, b);
@@ -690,6 +695,7 @@ fn try_run_abft(
             opts,
             resume_k,
             resume_c.as_deref(),
+            stop_k,
             store,
         )?;
         Ok((blocks, stats, comm.clock_snapshot(), comm.traffic()))
@@ -888,6 +894,7 @@ fn multiply_abft_inner(
             opts.backend,
             abft,
             resume,
+            usize::MAX,
             &store,
         );
         // Harvest complete checkpoints whether the attempt lived or died:
@@ -975,6 +982,104 @@ fn multiply_abft_inner(
             }
         }
     }
+}
+
+/// A partition-independent k-prefix snapshot of `C`: the product after
+/// `k` columns of the inner dimension, `C = A[:, :k] · B[:k, :]`.
+///
+/// This is the same object the [`CheckpointStore`] assembles at panel
+/// boundaries, surfaced as a value so callers *outside* the executor —
+/// the service's preemption path — can stop a multiply at a boundary,
+/// park the prefix, run something more urgent, and resume later.
+/// Because the prefix is partition-independent, the resuming run does
+/// not even need the same device set; with the *same* (shape, speeds)
+/// it is bit-identical to the uninterrupted run (see
+/// [`multiply_abft_prefix`]).
+#[derive(Debug, Clone)]
+pub struct PanelCheckpoint {
+    /// Columns of the inner dimension already accumulated into `c`.
+    pub k: usize,
+    /// The `n × n` prefix product (full matrix, partial accumulation).
+    pub c: DenseMatrix,
+}
+
+/// The legal stop/resume points of a `(shape, n, rel_speeds)` run: the
+/// exclusive k-prefix after each panel of the partition the executor
+/// would build, ending with `n` itself. Preempting at any of these (and
+/// only these) keeps the within-panel GEMM accumulation unsplit, which
+/// is what makes a preempt/resume cycle bit-identical to the
+/// uninterrupted run.
+pub fn panel_boundaries(shape: Shape, n: usize, rel_speeds: &[f64]) -> Vec<usize> {
+    let spec = survivor_spec(shape, n, rel_speeds);
+    (0..spec.grid_cols)
+        .map(|t| spec.col_offset(t) + spec.widths[t])
+        .collect()
+}
+
+/// Runs the checksum-protected executor from `resume` (or from scratch)
+/// up to the panel boundary `stop_k`, returning the accumulated
+/// k-prefix of `C` as a [`PanelCheckpoint`].
+///
+/// One fault-free attempt over the full device set — this is the
+/// preemption primitive, not the recovery loop: the service calls it to
+/// execute a *segment* of a job between preemption points, and chains
+/// segments by feeding each returned checkpoint into the next call.
+/// `stop_k == n` (or anything `>= n`) runs to completion, so
+/// `prefix(None, b) → prefix(ckpt, n)` with any boundary `b` from
+/// [`panel_boundaries`] produces a `C` bit-identical to the single-call
+/// run — asserted by the preempt/resume property tests.
+///
+/// # Panics
+/// Panics if `stop_k < n` is not one of the partition's panel
+/// boundaries, or if `resume.k >= stop_k` (an empty segment).
+#[allow(clippy::too_many_arguments)]
+pub fn multiply_abft_prefix(
+    shape: Shape,
+    rel_speeds: &[f64],
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    mode: ExecutionMode,
+    cost: impl CostModel,
+    abft: &AbftOptions,
+    resume: Option<&PanelCheckpoint>,
+    stop_k: usize,
+) -> Result<PanelCheckpoint, RecoveryError> {
+    assert!(!rel_speeds.is_empty(), "need at least one device");
+    assert_eq!(a.rows(), b.rows(), "A and B must share dimension n");
+    let n = a.rows();
+    let stop_k = stop_k.min(n);
+    let spec = survivor_spec(shape, n, rel_speeds);
+    assert!(
+        stop_k == n || panel_boundaries(shape, n, rel_speeds).contains(&stop_k),
+        "stop_k {stop_k} is not a panel boundary of the partition"
+    );
+    let resume_k = resume.map_or(0, |c| c.k);
+    assert!(resume_k < stop_k, "segment [{resume_k}, {stop_k}) is empty");
+    let store = CheckpointStore::new(spec.nprocs, n);
+    let defaults = RecoveryOptions::default();
+    let (run, _stats) = try_run_abft(
+        &spec,
+        a,
+        b,
+        mode.kernel(),
+        cost,
+        None,
+        None,
+        None,
+        defaults.recv_timeout,
+        None,
+        None,
+        defaults.backend,
+        abft,
+        resume.map(|c| (c.k, Arc::new(c.c.clone()))),
+        stop_k,
+        &store,
+    )
+    .map_err(|last| RecoveryError::AttemptsExhausted { attempts: 1, last })?;
+    Ok(PanelCheckpoint {
+        k: stop_k,
+        c: run.c,
+    })
 }
 
 #[cfg(test)]

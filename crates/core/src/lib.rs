@@ -37,8 +37,8 @@ pub mod stages;
 pub mod summa;
 
 pub use abft::{
-    multiply_abft, multiply_abft_observed, multiply_abft_traced, AbftOptions, AbftReport,
-    AbftRunResult,
+    multiply_abft, multiply_abft_observed, multiply_abft_prefix, multiply_abft_traced,
+    panel_boundaries, AbftOptions, AbftReport, AbftRunResult, PanelCheckpoint,
 };
 pub use caps::{caps_multiply, caps_multiply_with_cost, CapsResult};
 pub use commopt::{

@@ -39,10 +39,12 @@ impl JobSpec {
     }
 }
 
-/// Why the admission controller refused a job. Typed so callers (and
-/// tests) can gate on the exact reason, and labelled for the per-tenant
-/// rejection counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Why the admission controller refused (or shed) a job. Typed so
+/// callers (and tests) can gate on the exact reason, and labelled for
+/// the per-tenant rejection counters. The degradation variants carry
+/// the tenant and the numbers that justified the decision, so a
+/// rejection message names exactly what the submitter can act on.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Rejection {
     /// The bounded queue is at capacity; backpressure the submitter.
     QueueFull {
@@ -59,6 +61,28 @@ pub enum Rejection {
         /// The configured size ceiling.
         max_n: usize,
     },
+    /// Deadline-aware admission: the earliest feasible completion
+    /// already overruns the job's deadline, so running it would only
+    /// burn devices on work that is dead on arrival.
+    DeadlineInfeasible {
+        /// Owning tenant of the refused job.
+        tenant: usize,
+        /// The deadline the job carried (virtual seconds).
+        deadline: f64,
+        /// The earliest completion the cost model plus backlog allows.
+        estimated_completion: f64,
+    },
+    /// Brownout load shedding: queue-wait p95 crossed the configured
+    /// threshold and this deadline-less low-tier job was dropped to
+    /// protect the paying tiers' tails.
+    Shed {
+        /// Owning tenant of the shed job.
+        tenant: usize,
+        /// The queue-wait p95 that activated the brownout.
+        queue_wait_p95: f64,
+        /// The configured activation threshold.
+        threshold: f64,
+    },
 }
 
 impl Rejection {
@@ -68,6 +92,8 @@ impl Rejection {
             Rejection::QueueFull { .. } => "queue-full",
             Rejection::QuotaExceeded { .. } => "quota-exceeded",
             Rejection::TooLarge { .. } => "too-large",
+            Rejection::DeadlineInfeasible { .. } => "deadline-infeasible",
+            Rejection::Shed { .. } => "shed",
         }
     }
 }
@@ -84,6 +110,24 @@ impl fmt::Display for Rejection {
             Rejection::TooLarge { max_n } => {
                 write!(f, "job too large (max n {max_n})")
             }
+            Rejection::DeadlineInfeasible {
+                tenant,
+                deadline,
+                estimated_completion,
+            } => write!(
+                f,
+                "deadline infeasible for tenant {tenant}: deadline {deadline:.3}s, \
+                 earliest feasible completion {estimated_completion:.3}s"
+            ),
+            Rejection::Shed {
+                tenant,
+                queue_wait_p95,
+                threshold,
+            } => write!(
+                f,
+                "shed under brownout for tenant {tenant}: queue-wait p95 \
+                 {queue_wait_p95:.3}s over threshold {threshold:.3}s"
+            ),
         }
     }
 }
@@ -110,13 +154,53 @@ impl JobOutcome {
     }
 }
 
+/// How an accepted job's deadline resolved — a *typed* verdict, stamped
+/// on every record, so an admitted deadline job is never silently late:
+/// it either met its deadline or carries an explicit miss with the
+/// overrun.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeadlineVerdict {
+    /// The job was submitted without a deadline.
+    NoDeadline,
+    /// Finished at or before its deadline.
+    Met,
+    /// Finished late; `late_by` is the overrun in virtual seconds.
+    Missed {
+        /// How far past the deadline the job finished.
+        late_by: f64,
+    },
+}
+
+impl DeadlineVerdict {
+    /// The verdict for a job with `deadline` finishing at `finish_time`.
+    pub fn of(deadline: Option<f64>, finish_time: f64) -> Self {
+        match deadline {
+            None => DeadlineVerdict::NoDeadline,
+            Some(d) if finish_time <= d => DeadlineVerdict::Met,
+            Some(d) => DeadlineVerdict::Missed {
+                late_by: finish_time - d,
+            },
+        }
+    }
+
+    /// Stable label for metrics and artifacts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DeadlineVerdict::NoDeadline => "no-deadline",
+            DeadlineVerdict::Met => "met",
+            DeadlineVerdict::Missed { .. } => "missed",
+        }
+    }
+}
+
 /// The full service-side record of one accepted job, written when the
 /// job leaves the system.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobRecord {
     /// The job as submitted.
     pub spec: JobSpec,
-    /// When the scheduler dispatched it (virtual seconds).
+    /// When the scheduler dispatched it (virtual seconds). For a
+    /// preempted job, the dispatch that finished the work.
     pub start_time: f64,
     /// When it completed or failed (virtual seconds).
     pub finish_time: f64,
@@ -128,6 +212,10 @@ pub struct JobRecord {
     pub batch: u64,
     /// Executions performed: 1 = no failure, >1 = shrink-and-retry.
     pub attempts: usize,
+    /// Times the job was checkpoint-preempted before finishing.
+    pub preemptions: usize,
+    /// How its deadline resolved.
+    pub deadline: DeadlineVerdict,
     /// How it ended.
     pub outcome: JobOutcome,
 }
@@ -143,9 +231,9 @@ impl JobRecord {
         self.start_time - self.spec.submit_time
     }
 
-    /// Whether the job finished past its (advisory) deadline.
+    /// Whether the job finished past its deadline.
     pub fn missed_deadline(&self) -> bool {
-        matches!(self.spec.deadline, Some(d) if self.finish_time > d)
+        matches!(self.deadline, DeadlineVerdict::Missed { .. })
     }
 }
 
@@ -180,6 +268,59 @@ mod tests {
         assert!(Rejection::QueueFull { capacity: 8 }
             .to_string()
             .contains("capacity 8"));
+        assert_eq!(
+            Rejection::DeadlineInfeasible {
+                tenant: 2,
+                deadline: 4.0,
+                estimated_completion: 9.5,
+            }
+            .label(),
+            "deadline-infeasible"
+        );
+        assert_eq!(
+            Rejection::Shed {
+                tenant: 0,
+                queue_wait_p95: 12.0,
+                threshold: 8.0,
+            }
+            .label(),
+            "shed"
+        );
+    }
+
+    #[test]
+    fn degradation_rejections_name_tenant_and_numbers() {
+        let d = Rejection::DeadlineInfeasible {
+            tenant: 2,
+            deadline: 4.0,
+            estimated_completion: 9.5,
+        }
+        .to_string();
+        assert!(d.contains("tenant 2"), "{d}");
+        assert!(d.contains("4.000"), "{d}");
+        assert!(d.contains("9.500"), "{d}");
+        let s = Rejection::Shed {
+            tenant: 0,
+            queue_wait_p95: 12.25,
+            threshold: 8.0,
+        }
+        .to_string();
+        assert!(s.contains("tenant 0"), "{s}");
+        assert!(s.contains("12.250"), "{s}");
+        assert!(s.contains("8.000"), "{s}");
+    }
+
+    #[test]
+    fn deadline_verdicts_resolve_exactly() {
+        assert_eq!(DeadlineVerdict::of(None, 5.0), DeadlineVerdict::NoDeadline);
+        assert_eq!(DeadlineVerdict::of(Some(5.0), 5.0), DeadlineVerdict::Met);
+        assert_eq!(
+            DeadlineVerdict::of(Some(4.0), 5.5),
+            DeadlineVerdict::Missed { late_by: 1.5 }
+        );
+        assert_eq!(DeadlineVerdict::Met.label(), "met");
+        assert_eq!(DeadlineVerdict::NoDeadline.label(), "no-deadline");
+        assert_eq!(DeadlineVerdict::Missed { late_by: 1.0 }.label(), "missed");
     }
 
     #[test]
@@ -192,6 +333,8 @@ mod tests {
             shape: "1d-rectangular",
             batch: 0,
             attempts: 1,
+            preemptions: 0,
+            deadline: DeadlineVerdict::of(Some(4.0), 5.0),
             outcome: JobOutcome::Completed,
         };
         assert_eq!(rec.latency(), 4.0);

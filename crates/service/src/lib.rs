@@ -21,6 +21,10 @@
 //!   trace spans.
 //! * [`metrics`] — per-tenant counters/histograms on a
 //!   `summagen-metrics` registry, Prometheus-renderable.
+//! * [`degrade`] — graceful degradation under overload and device
+//!   failure: deadline-aware admission, checkpoint preemption at panel
+//!   boundaries, per-device circuit-breaker quarantine, and brownout
+//!   load shedding — each optional, all deterministic.
 //!
 //! The whole service runs on the repo's virtual clock: a run is a pure
 //! function of (job stream, config), asserted by the report's schedule
@@ -28,6 +32,7 @@
 //! mixes is the service-level restatement of the paper's claim that
 //! speed-function-aware partitioning beats homogeneous splits.
 
+pub mod degrade;
 pub mod job;
 pub mod loadgen;
 pub mod metrics;
@@ -35,7 +40,11 @@ pub mod queue;
 pub mod scheduler;
 pub mod service;
 
-pub use job::{JobId, JobOutcome, JobRecord, JobSpec, Rejection};
+pub use degrade::{
+    BrownoutConfig, CircuitBreaker, CircuitState, DegradeConfig, PreemptionConfig,
+    QuarantineConfig, QuarantineEvent, QuarantineTransition, WaitWindow,
+};
+pub use job::{DeadlineVerdict, JobId, JobOutcome, JobRecord, JobSpec, Rejection};
 pub use loadgen::{generate, hetero_mix, mix_by_name, small_mix, LoadMix, TenantProfile};
 pub use metrics::ServiceMetrics;
 pub use queue::{AdmissionConfig, JobQueue};

@@ -14,13 +14,21 @@ use summagen_metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 use crate::job::Rejection;
 
 /// The rejection reasons, in label order, for per-reason counters.
-const REJECTION_LABELS: [&str; 3] = ["queue-full", "quota-exceeded", "too-large"];
+const REJECTION_LABELS: [&str; 5] = [
+    "queue-full",
+    "quota-exceeded",
+    "too-large",
+    "deadline-infeasible",
+    "shed",
+];
 
 fn rejection_slot(r: &Rejection) -> usize {
     match r {
         Rejection::QueueFull { .. } => 0,
         Rejection::QuotaExceeded { .. } => 1,
         Rejection::TooLarge { .. } => 2,
+        Rejection::DeadlineInfeasible { .. } => 3,
+        Rejection::Shed { .. } => 4,
     }
 }
 
@@ -32,7 +40,12 @@ pub struct ServiceMetrics {
     /// `summagen_service_jobs_total{tenant,outcome="failed"}`.
     failed: Vec<Arc<Counter>>,
     /// `summagen_service_rejections_total{tenant,reason}` — tenant-major.
-    rejections: Vec<[Arc<Counter>; 3]>,
+    rejections: Vec<[Arc<Counter>; 5]>,
+    /// `summagen_service_shed_total{tenant}` — brownout sheds.
+    shed: Vec<Arc<Counter>>,
+    /// `summagen_service_deadline_miss_total{tenant}` — typed misses on
+    /// finished jobs (not rejections: the job ran and was late).
+    deadline_miss: Vec<Arc<Counter>>,
     /// `summagen_service_latency_seconds{tenant}` (submit → finish).
     latency: Vec<Arc<Histogram>>,
     /// `summagen_service_queue_wait_seconds{tenant}` (submit → dispatch).
@@ -45,8 +58,14 @@ pub struct ServiceMetrics {
     pub batches: Arc<Counter>,
     /// Shrink-and-retry executions beyond each job's first attempt.
     pub retries: Arc<Counter>,
+    /// Checkpoint preemptions performed.
+    pub preemptions: Arc<Counter>,
     /// Per-device busy seconds, labelled by device name.
     device_busy: Vec<Arc<Gauge>>,
+    /// Per-device quarantine flag (1 = breaker open), by device name.
+    quarantined: Vec<Arc<Gauge>>,
+    /// Per-device breaker-open count, by device name.
+    quarantine_opens: Vec<Arc<Counter>>,
 }
 
 impl ServiceMetrics {
@@ -89,6 +108,26 @@ impl ServiceMetrics {
                 })
             })
             .collect();
+        let shed = tenants
+            .iter()
+            .map(|t| {
+                registry.counter_with(
+                    "summagen_service_shed_total",
+                    "Jobs shed by brownout load shedding, by tenant.",
+                    &[("tenant", t)],
+                )
+            })
+            .collect();
+        let deadline_miss = tenants
+            .iter()
+            .map(|t| {
+                registry.counter_with(
+                    "summagen_service_deadline_miss_total",
+                    "Finished jobs that missed their deadline, by tenant.",
+                    &[("tenant", t)],
+                )
+            })
+            .collect();
         let latency = tenants
             .iter()
             .map(|t| {
@@ -119,10 +158,32 @@ impl ServiceMetrics {
                 )
             })
             .collect();
+        let quarantined = devices
+            .iter()
+            .map(|d| {
+                registry.gauge_with(
+                    "summagen_service_quarantined",
+                    "Whether the device's circuit breaker is open (1) or not (0).",
+                    &[("device", d)],
+                )
+            })
+            .collect();
+        let quarantine_opens = devices
+            .iter()
+            .map(|d| {
+                registry.counter_with(
+                    "summagen_service_quarantine_opens_total",
+                    "Times the device's circuit breaker opened.",
+                    &[("device", d)],
+                )
+            })
+            .collect();
         Arc::new(Self {
             completed,
             failed,
             rejections,
+            shed,
+            deadline_miss,
             latency,
             queue_wait,
             queue_depth: registry.gauge(
@@ -141,8 +202,14 @@ impl ServiceMetrics {
                 "summagen_service_retries_total",
                 "Shrink-and-retry executions beyond first attempts.",
             ),
+            preemptions: registry.counter(
+                "summagen_service_preemptions_total",
+                "Checkpoint preemptions of running batches.",
+            ),
             registry: Arc::clone(registry),
             device_busy,
+            quarantined,
+            quarantine_opens,
         })
     }
 
@@ -165,9 +232,27 @@ impl ServiceMetrics {
         self.queue_wait[tenant].observe(queue_wait_s);
     }
 
-    /// Records an admission rejection.
+    /// Records an admission rejection. A brownout shed also bumps the
+    /// dedicated per-tenant shed counter.
     pub fn record_rejection(&self, tenant: usize, rejection: &Rejection) {
         self.rejections[tenant][rejection_slot(rejection)].inc();
+        if matches!(rejection, Rejection::Shed { .. }) {
+            self.shed[tenant].inc();
+        }
+    }
+
+    /// Records a typed deadline miss on a finished job.
+    pub fn record_deadline_miss(&self, tenant: usize) {
+        self.deadline_miss[tenant].inc();
+    }
+
+    /// Publishes one device's quarantine flag and, on an open, bumps the
+    /// open counter.
+    pub fn record_quarantine(&self, device: usize, open: bool) {
+        self.quarantined[device].set(if open { 1.0 } else { 0.0 });
+        if open {
+            self.quarantine_opens[device].inc();
+        }
     }
 
     /// Publishes the per-device busy totals.
@@ -227,5 +312,46 @@ mod tests {
         assert!(text.contains("tenant=\"pro\""), "{text}");
         assert!(text.contains("reason=\"quota-exceeded\""), "{text}");
         assert!(text.contains("device=\"dev0\""), "{text}");
+    }
+
+    #[test]
+    fn degradation_series_hit_their_counters() {
+        let m = metrics();
+        m.record_rejection(
+            0,
+            &Rejection::Shed {
+                tenant: 0,
+                queue_wait_p95: 10.0,
+                threshold: 8.0,
+            },
+        );
+        m.record_rejection(
+            1,
+            &Rejection::DeadlineInfeasible {
+                tenant: 1,
+                deadline: 1.0,
+                estimated_completion: 2.0,
+            },
+        );
+        m.record_deadline_miss(1);
+        m.record_quarantine(0, true);
+        m.record_quarantine(0, false);
+        assert_eq!(m.shed[0].get(), 1);
+        assert_eq!(m.shed[1].get(), 0);
+        assert_eq!(m.rejections[0][4].get(), 1);
+        assert_eq!(m.rejections[1][3].get(), 1);
+        assert_eq!(m.deadline_miss[1].get(), 1);
+        assert_eq!(m.quarantine_opens[0].get(), 1);
+        let text = summagen_metrics::prometheus::render(m.registry());
+        assert!(text.contains("summagen_service_shed_total"), "{text}");
+        assert!(
+            text.contains("summagen_service_deadline_miss_total"),
+            "{text}"
+        );
+        assert!(
+            text.contains("summagen_service_quarantine_opens_total"),
+            "{text}"
+        );
+        assert!(text.contains("reason=\"deadline-infeasible\""), "{text}");
     }
 }

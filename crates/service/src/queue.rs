@@ -118,6 +118,40 @@ impl JobQueue {
         job
     }
 
+    /// Returns a *preempted* job to the head of the queue, bypassing the
+    /// admission bounds. A preempted job was already admitted once — a
+    /// second admission check could reject it, and the conservation
+    /// invariant (every accepted job completes, fails, or is explicitly
+    /// rejected, exactly once) forbids losing it to its own preemption.
+    /// The quota slot is re-held so the tenant's queue depth stays
+    /// truthful; the capacity bound may transiently overshoot, which the
+    /// peak-depth gauge deliberately records.
+    pub fn requeue_front(&mut self, job: JobSpec) {
+        if self.tenant_counts.len() <= job.tenant {
+            self.tenant_counts.resize(job.tenant + 1, 0);
+        }
+        self.tenant_counts[job.tenant] += 1;
+        self.jobs.push_front(job);
+        self.peak_depth = self.peak_depth.max(self.jobs.len());
+    }
+
+    /// Removes and returns every queued job `pred` matches, preserving
+    /// order — the brownout's shed sweep. Quota slots are released.
+    pub fn drain_matching(&mut self, pred: impl Fn(&JobSpec) -> bool) -> Vec<JobSpec> {
+        let mut kept = VecDeque::with_capacity(self.jobs.len());
+        let mut shed = Vec::new();
+        for job in self.jobs.drain(..) {
+            if pred(&job) {
+                self.tenant_counts[job.tenant] -= 1;
+                shed.push(job);
+            } else {
+                kept.push_back(job);
+            }
+        }
+        self.jobs = kept;
+        shed
+    }
+
     /// The queued jobs in arrival order, for the scheduler to inspect.
     pub fn iter(&self) -> impl Iterator<Item = &JobSpec> {
         self.jobs.iter()
@@ -216,6 +250,34 @@ mod tests {
         assert_eq!(q.tenant_depth(0), 1);
         // Quota freed: tenant 0 fits again.
         assert!(q.offer(job(2, 0, 10)).is_ok());
+    }
+
+    #[test]
+    fn requeue_front_bypasses_bounds_and_goes_first() {
+        let mut q = JobQueue::new(small_config());
+        q.offer(job(0, 0, 10)).unwrap();
+        q.offer(job(1, 0, 10)).unwrap();
+        // Tenant 0 is at quota; a preempted job still goes back in, at
+        // the head.
+        q.requeue_front(job(9, 0, 10));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.tenant_depth(0), 3);
+        assert_eq!(q.iter().next().unwrap().id, 9);
+        assert_eq!(q.take(0).id, 9);
+        assert_eq!(q.tenant_depth(0), 2);
+    }
+
+    #[test]
+    fn drain_matching_releases_quota_and_preserves_order() {
+        let mut q = JobQueue::new(AdmissionConfig::default());
+        q.offer(job(0, 0, 10)).unwrap();
+        q.offer(job(1, 1, 10)).unwrap();
+        q.offer(job(2, 0, 10)).unwrap();
+        let shed = q.drain_matching(|j| j.tenant == 0);
+        assert_eq!(shed.iter().map(|j| j.id).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.tenant_depth(0), 0);
+        assert_eq!(q.tenant_depth(1), 1);
     }
 
     #[test]

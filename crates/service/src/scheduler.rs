@@ -90,26 +90,32 @@ pub struct DevicePool {
     /// Hockney reciprocal bandwidth, seconds/byte.
     pub beta: f64,
     rr_cursor: usize,
+    /// Per-device schedulability, set by the quarantine layer before
+    /// each dispatch round. All-true without quarantine.
+    eligible: Vec<bool>,
 }
 
 impl DevicePool {
     /// Builds a pool from a platform's abstract processors and a Hockney
     /// link model.
     pub fn from_platform(platform: &Platform, alpha: f64, beta: f64) -> Self {
+        let devices: Vec<PoolDevice> = platform
+            .processors
+            .iter()
+            .map(|p| PoolDevice {
+                name: p.spec.name,
+                speed: Arc::clone(&p.speed),
+                busy_until: 0.0,
+                busy_seconds: 0.0,
+            })
+            .collect();
+        let eligible = vec![true; devices.len()];
         Self {
-            devices: platform
-                .processors
-                .iter()
-                .map(|p| PoolDevice {
-                    name: p.spec.name,
-                    speed: Arc::clone(&p.speed),
-                    busy_until: 0.0,
-                    busy_seconds: 0.0,
-                })
-                .collect(),
+            devices,
             alpha,
             beta,
             rr_cursor: 0,
+            eligible,
         }
     }
 
@@ -142,6 +148,41 @@ impl DevicePool {
         for &d in subset {
             self.devices[d].busy_until = finish;
             self.devices[d].busy_seconds += finish - start;
+        }
+    }
+
+    /// Truncates a previous occupancy of `subset` from `old_finish` back
+    /// to `new_finish` — the preemption path freeing devices at a panel
+    /// boundary. The busy accounting gives back the unexecuted tail.
+    pub fn release(&mut self, subset: &[usize], new_finish: f64, old_finish: f64) {
+        debug_assert!(new_finish <= old_finish);
+        for &d in subset {
+            if self.devices[d].busy_until == old_finish {
+                self.devices[d].busy_until = new_finish;
+            }
+            self.devices[d].busy_seconds -= old_finish - new_finish;
+        }
+    }
+
+    /// Sets the per-device schedulability mask (quarantine). The mask
+    /// length must equal the pool size.
+    pub fn set_eligible(&mut self, mask: &[bool]) {
+        assert_eq!(mask.len(), self.devices.len());
+        self.eligible.copy_from_slice(mask);
+    }
+
+    /// The schedulable device indices. Fail-open: if quarantine has
+    /// opened every breaker at once, the whole pool is offered — a
+    /// scheduler with zero devices would deadlock the event loop, and a
+    /// uniformly-failing pool has nothing better to offer anyway.
+    pub fn eligible_devices(&self) -> Vec<usize> {
+        let elig: Vec<usize> = (0..self.devices.len())
+            .filter(|&d| self.eligible[d])
+            .collect();
+        if elig.is_empty() {
+            (0..self.devices.len()).collect()
+        } else {
+            elig
         }
     }
 
@@ -241,7 +282,7 @@ pub fn commit(policy: Policy, pool: &mut DevicePool) {
 }
 
 fn plan_fifo(pool: &DevicePool, job: &JobSpec, now: f64) -> Placement {
-    let subset: Vec<usize> = (0..pool.len()).collect();
+    let subset: Vec<usize> = pool.eligible_devices();
     let n = job.n;
     let equal = vec![(n * n) as f64 / subset.len() as f64; subset.len()];
     let shape = Shape::OneDRectangular;
@@ -258,7 +299,14 @@ fn plan_fifo(pool: &DevicePool, job: &JobSpec, now: f64) -> Placement {
 }
 
 fn plan_round_robin(pool: &DevicePool, job: &JobSpec, now: f64) -> Placement {
-    let d = pool.rr_cursor % pool.devices.len();
+    // First eligible device at or after the cursor — quarantined lanes
+    // are skipped but the cursor still advances one step per commit, so
+    // the cycling order is stable when devices return.
+    let len = pool.devices.len();
+    let d = (0..len)
+        .map(|i| (pool.rr_cursor + i) % len)
+        .find(|&d| pool.eligible[d])
+        .unwrap_or(pool.rr_cursor % len);
     let n = job.n;
     let area = (n * n) as f64;
     let spec = subset_spec(Shape::OneDRectangular, n, &[area]);
@@ -285,8 +333,10 @@ fn subsets(len: usize) -> Vec<Vec<usize>> {
 
 fn plan_fpm(pool: &DevicePool, job: &JobSpec, now: f64) -> Placement {
     let n = job.n;
+    let eligible = pool.eligible_devices();
     let mut best: Option<Placement> = None;
-    for subset in subsets(pool.len()) {
+    for positions in subsets(eligible.len()) {
+        let subset: Vec<usize> = positions.iter().map(|&p| eligible[p]).collect();
         let areas = fpm_areas(pool, &subset, n);
         let speeds = pool.speeds_at(&subset, &areas);
         // Candidate shapes: the four paper layouts for three devices,
@@ -427,5 +477,41 @@ mod tests {
         assert_eq!(p.available_at(&[0]), 3.5);
         assert_eq!(p.available_at(&[2]), 0.0);
         assert_eq!(p.devices()[0].busy_seconds, 2.5);
+    }
+
+    #[test]
+    fn release_gives_back_the_unexecuted_tail() {
+        let mut p = pool();
+        p.occupy(&[0, 1], 0.0, 10.0);
+        p.release(&[0, 1], 4.0, 10.0);
+        assert_eq!(p.available_at(&[0, 1]), 4.0);
+        assert_eq!(p.devices()[0].busy_seconds, 4.0);
+        assert_eq!(p.devices()[1].busy_seconds, 4.0);
+    }
+
+    #[test]
+    fn quarantined_devices_are_skipped_by_every_policy() {
+        let mut p = pool();
+        p.set_eligible(&[true, false, true]);
+        let fifo = plan(Policy::Fifo, &mut p, &job(1024), 0.0);
+        assert_eq!(fifo.devices, vec![0, 2]);
+        let fpm = plan(Policy::FpmAware, &mut p, &job(4096), 0.0);
+        assert!(!fpm.devices.contains(&1), "fpm placed on quarantined GPU");
+        // Round-robin cursor 0 → device 0; advancing past the
+        // quarantined device 1 lands on 2.
+        let a = plan(Policy::RoundRobin, &mut p, &job(512), 0.0);
+        commit(Policy::RoundRobin, &mut p);
+        let b = plan(Policy::RoundRobin, &mut p, &job(512), 0.0);
+        assert_eq!(a.devices, vec![0]);
+        assert_eq!(b.devices, vec![2]);
+    }
+
+    #[test]
+    fn all_quarantined_fails_open_to_the_whole_pool() {
+        let mut p = pool();
+        p.set_eligible(&[false, false, false]);
+        assert_eq!(p.eligible_devices(), vec![0, 1, 2]);
+        let fifo = plan(Policy::Fifo, &mut p, &job(1024), 0.0);
+        assert_eq!(fifo.devices, vec![0, 1, 2]);
     }
 }

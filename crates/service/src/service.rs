@@ -21,6 +21,7 @@
 //! fair. Same jobs + same config ⇒ byte-identical report, which the
 //! schedule digest asserts cheaply.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -31,7 +32,8 @@ use summagen_core::{
 };
 use summagen_matrix::{gemm_naive, max_abs_diff, random_matrix, DenseMatrix};
 
-use crate::job::{JobOutcome, JobRecord, JobSpec, Rejection};
+use crate::degrade::{CircuitBreaker, CircuitState, DegradeConfig, QuarantineEvent, WaitWindow};
+use crate::job::{DeadlineVerdict, JobId, JobOutcome, JobRecord, JobSpec, Rejection};
 use crate::metrics::ServiceMetrics;
 use crate::queue::{AdmissionConfig, JobQueue};
 use crate::scheduler::{commit, plan, service_time, DevicePool, Placement, Policy};
@@ -112,6 +114,8 @@ pub struct ServiceConfig {
     pub faults: FaultProfile,
     /// Execution backend.
     pub backend: ServiceBackend,
+    /// The degradation layer (all mechanisms off by default).
+    pub degrade: DegradeConfig,
 }
 
 /// The multi-tenant GEMM service.
@@ -139,6 +143,11 @@ pub struct ServiceReport {
     pub batches: u64,
     /// Retry executions beyond first attempts.
     pub retries: u64,
+    /// Checkpoint preemptions performed (batch truncations).
+    pub preemptions: u64,
+    /// Every breaker transition, in observation order — the quarantine
+    /// timeline.
+    pub quarantine_events: Vec<QuarantineEvent>,
     /// Pool device names, in pool order.
     pub device_names: Vec<&'static str>,
     /// Per-device busy virtual seconds, in pool order.
@@ -175,6 +184,24 @@ pub struct TenantSummary {
     pub max: f64,
     /// Finished jobs that missed their (advisory) deadline.
     pub deadline_misses: usize,
+    /// Jobs shed by brownout load shedding.
+    pub shed: usize,
+    /// Finished jobs that carried a deadline.
+    pub deadline_jobs: usize,
+    /// Finished deadline jobs that met their deadline.
+    pub deadline_met: usize,
+}
+
+impl TenantSummary {
+    /// Fraction of the tenant's finished deadline jobs that met their
+    /// deadline (1 when the tenant ran no deadline jobs).
+    pub fn deadline_hit_rate(&self) -> f64 {
+        if self.deadline_jobs == 0 {
+            1.0
+        } else {
+            self.deadline_met as f64 / self.deadline_jobs as f64
+        }
+    }
 }
 
 /// Exact nearest-rank quantile of an already-sorted sample.
@@ -198,6 +225,20 @@ impl ServiceReport {
     /// Failed-job count.
     pub fn failed(&self) -> usize {
         self.records.len() - self.completed()
+    }
+
+    /// Jobs shed by brownout load shedding.
+    pub fn shed(&self) -> usize {
+        self.rejections
+            .iter()
+            .filter(|(_, r)| matches!(r, Rejection::Shed { .. }))
+            .count()
+    }
+
+    /// Finished jobs that missed their deadline (every one carries a
+    /// typed [`DeadlineVerdict::Missed`] — no silent lateness).
+    pub fn deadline_misses(&self) -> usize {
+        self.records.iter().filter(|r| r.missed_deadline()).count()
     }
 
     /// Completed jobs per virtual second.
@@ -236,6 +277,11 @@ impl ServiceReport {
                     .iter()
                     .filter(|(j, _)| j.tenant == t)
                     .count();
+                let shed = self
+                    .rejections
+                    .iter()
+                    .filter(|(j, r)| j.tenant == t && matches!(r, Rejection::Shed { .. }))
+                    .count();
                 TenantSummary {
                     tenant: t,
                     submitted: lats.len() + rejected,
@@ -252,6 +298,11 @@ impl ServiceReport {
                     },
                     max: lats.last().copied().unwrap_or(0.0),
                     deadline_misses: recs().filter(|r| r.missed_deadline()).count(),
+                    shed,
+                    deadline_jobs: recs().filter(|r| r.spec.deadline.is_some()).count(),
+                    deadline_met: recs()
+                        .filter(|r| r.deadline == DeadlineVerdict::Met)
+                        .count(),
                 }
             })
             .collect()
@@ -293,6 +344,66 @@ fn draw_fate(profile: &FaultProfile, job: u64, attempt: u64, ndevices: usize) ->
     }
 }
 
+/// One breaker-relevant observation from a simulated execution: a blamed
+/// device failure, or a surviving device's success, at a virtual instant.
+struct BreakerEvent {
+    at: f64,
+    device: usize,
+    failed: bool,
+}
+
+/// A dispatched batch still occupying devices. Member records, the Sched
+/// span, and breaker observations are buffered here and only flushed when
+/// the batch leaves the pool — which is what lets a preemption rewrite
+/// the batch's tail before anything about it is externally visible.
+struct InFlight {
+    batch: u64,
+    devices: Vec<usize>,
+    start: f64,
+    /// Instant the devices free: the batch end, or the panel boundary a
+    /// preemption truncated it to.
+    finish: f64,
+    /// Member records awaiting flush (requeued members are removed).
+    pending: Vec<JobRecord>,
+    /// Breaker observations awaiting flush, in execution order.
+    breaker_events: Vec<BreakerEvent>,
+    /// Seed member's identity, for the Sched span.
+    seed_id: JobId,
+    seed_n: usize,
+}
+
+/// Carried-over progress of a preempted job, keyed by job id.
+#[derive(Clone, Copy, Default)]
+struct ResumeState {
+    /// Fraction of the multiply already checkpointed (k-prefix share).
+    fraction: f64,
+    /// Checkpoint preemptions suffered so far.
+    preemptions: usize,
+}
+
+/// Mutable state of one `run`, threaded through the event loop's helpers
+/// as a unit.
+struct RunState {
+    queue: JobQueue,
+    in_flight: Vec<InFlight>,
+    records: Vec<JobRecord>,
+    rejections: Vec<(JobSpec, Rejection)>,
+    next_batch: u64,
+    retries: u64,
+    preemptions: u64,
+    /// One breaker per pool device (empty when quarantine is off).
+    breakers: Vec<CircuitBreaker>,
+    quarantine_events: Vec<QuarantineEvent>,
+    /// Sliding queue-wait window (present when brownout is on).
+    waits: Option<WaitWindow>,
+    brownout_active: bool,
+    resume: BTreeMap<JobId, ResumeState>,
+    /// Full-pool service-time estimates by problem size, for the
+    /// deadline-admission backlog model.
+    est_cache: BTreeMap<usize, f64>,
+    now: f64,
+}
+
 impl GemmService {
     /// A service over `pool` under `config`, with no metrics or tracing.
     pub fn new(pool: DevicePool, config: ServiceConfig) -> Self {
@@ -330,95 +441,320 @@ impl GemmService {
                 .total_cmp(&b.submit_time)
                 .then(a.id.cmp(&b.id))
         });
-        let mut queue = JobQueue::new(self.config.admission);
+        let degrade = self.config.degrade;
+        let mut st = RunState {
+            queue: JobQueue::new(self.config.admission),
+            in_flight: Vec::new(),
+            records: Vec::new(),
+            rejections: Vec::new(),
+            next_batch: 0,
+            retries: 0,
+            preemptions: 0,
+            breakers: match degrade.quarantine {
+                Some(q) => (0..self.pool.len())
+                    .map(|_| CircuitBreaker::new(q))
+                    .collect(),
+                None => Vec::new(),
+            },
+            quarantine_events: Vec::new(),
+            waits: degrade.brownout.map(|b| WaitWindow::new(b.window)),
+            brownout_active: false,
+            resume: BTreeMap::new(),
+            est_cache: BTreeMap::new(),
+            now: 0.0,
+        };
         let mut arrivals = jobs.into_iter().peekable();
-        // Outstanding batch finish instants; completions are events.
-        let mut in_flight: Vec<f64> = Vec::new();
-        let mut records: Vec<JobRecord> = Vec::new();
-        let mut rejections: Vec<(JobSpec, Rejection)> = Vec::new();
-        let mut next_batch: u64 = 0;
-        let mut retries: u64 = 0;
-        let mut now = 0.0f64;
 
         loop {
             let next_arrival = arrivals.peek().map(|j| j.submit_time);
-            let next_done = in_flight.iter().copied().fold(f64::INFINITY, f64::min);
+            let next_done = st
+                .in_flight
+                .iter()
+                .map(|f| f.finish)
+                .fold(f64::INFINITY, f64::min);
             let next = match next_arrival {
                 Some(t) => t.min(next_done),
                 None if next_done.is_finite() => next_done,
                 None => break,
             };
-            now = now.max(next);
-            in_flight.retain(|&f| f > now + EPS);
-            while arrivals.peek().is_some_and(|j| j.submit_time <= now + EPS) {
+            st.now = st.now.max(next);
+            self.flush_done(&mut st);
+            while arrivals
+                .peek()
+                .is_some_and(|j| j.submit_time <= st.now + EPS)
+            {
                 let job = arrivals.next().expect("peeked");
-                match queue.offer(job.clone()) {
-                    Ok(()) => {}
-                    Err(rej) => {
-                        if let Some(m) = &self.metrics {
-                            m.record_rejection(job.tenant, &rej);
-                        }
-                        rejections.push((job, rej));
-                    }
-                }
+                self.admit(&mut st, job);
             }
-            self.dispatch_all(
-                &mut queue,
-                now,
-                &mut in_flight,
-                &mut records,
-                &mut next_batch,
-                &mut retries,
-            );
+            self.shed_brownout(&mut st);
+            if !st.breakers.is_empty() {
+                let now = st.now;
+                let mask: Vec<bool> = st.breakers.iter_mut().map(|b| b.eligible(now)).collect();
+                self.pool.set_eligible(&mask);
+            }
+            self.dispatch_all(&mut st);
             if let Some(m) = &self.metrics {
-                m.queue_depth.set(queue.len() as f64);
-                m.queue_depth_peak.set(queue.peak_depth() as f64);
+                m.queue_depth.set(st.queue.len() as f64);
+                m.queue_depth_peak.set(st.queue.peak_depth() as f64);
             }
         }
-        debug_assert!(queue.is_empty(), "event loop ended with queued jobs");
+        debug_assert!(st.queue.is_empty(), "event loop ended with queued jobs");
+        debug_assert!(st.in_flight.is_empty(), "event loop ended mid-batch");
 
-        let makespan = records.iter().map(|r| r.finish_time).fold(0.0, f64::max);
+        // Records flush in completion order; re-sort into dispatch order
+        // (batch, then position within the batch) so the report's shape
+        // does not depend on how completions interleaved.
+        st.records.sort_by(|a, b| {
+            a.batch
+                .cmp(&b.batch)
+                .then(a.start_time.total_cmp(&b.start_time))
+                .then(a.spec.id.cmp(&b.spec.id))
+        });
+
+        let makespan = st.records.iter().map(|r| r.finish_time).fold(0.0, f64::max);
         let device_busy: Vec<f64> = self.pool.devices().iter().map(|d| d.busy_seconds).collect();
         if let Some(m) = &self.metrics {
             m.set_device_busy(&device_busy);
         }
-        let report = ServiceReport {
+        ServiceReport {
             policy: self.config.policy,
-            schedule_digest: digest(&records, &rejections),
-            records,
-            rejections,
+            schedule_digest: digest(&st.records, &st.rejections),
+            records: st.records,
+            rejections: st.rejections,
             makespan,
-            peak_queue_depth: queue.peak_depth(),
-            batches: next_batch,
-            retries,
+            peak_queue_depth: st.queue.peak_depth(),
+            batches: st.next_batch,
+            retries: st.retries,
+            preemptions: st.preemptions,
+            quarantine_events: st.quarantine_events,
             device_names: self.pool.devices().iter().map(|d| d.name).collect(),
             device_busy,
+        }
+    }
+
+    /// Flushes every batch whose devices free at or before `st.now`:
+    /// records and their metrics, the per-device Sched spans, and the
+    /// buffered breaker observations.
+    fn flush_done(&mut self, st: &mut RunState) {
+        let now = st.now;
+        let mut still = Vec::with_capacity(st.in_flight.len());
+        for fl in std::mem::take(&mut st.in_flight) {
+            if fl.finish <= now + EPS {
+                self.flush_batch(st, fl);
+            } else {
+                still.push(fl);
+            }
+        }
+        st.in_flight = still;
+    }
+
+    fn flush_batch(&mut self, st: &mut RunState, fl: InFlight) {
+        if let Some(sink) = &self.sink {
+            for &d in &fl.devices {
+                sink.record(SpanRecord {
+                    rank: d,
+                    start: fl.start,
+                    end: fl.finish,
+                    kind: SpanKind::Sched {
+                        job: fl.seed_id,
+                        n: fl.seed_n as u64,
+                        batch: fl.batch,
+                        jobs: fl.pending.len() as u64,
+                        policy: self.config.policy.name(),
+                    },
+                });
+            }
+        }
+        for rec in fl.pending {
+            if let Some(m) = &self.metrics {
+                match rec.outcome {
+                    JobOutcome::Completed => {
+                        m.record_completed(rec.spec.tenant, rec.latency(), rec.queue_wait())
+                    }
+                    JobOutcome::Failed { .. } => {
+                        m.record_failed(rec.spec.tenant, rec.latency(), rec.queue_wait())
+                    }
+                }
+                if rec.missed_deadline() {
+                    m.record_deadline_miss(rec.spec.tenant);
+                }
+            }
+            st.records.push(rec);
+        }
+        for ev in fl.breaker_events {
+            self.observe_breaker(st, ev);
+        }
+    }
+
+    /// Feeds one execution observation into the device's breaker and
+    /// publishes any transition: timeline event, metrics, and — on an
+    /// open — a [`SpanKind::Quarantine`] annotation spanning the open
+    /// interval on the device's track.
+    fn observe_breaker(&mut self, st: &mut RunState, ev: BreakerEvent) {
+        if st.breakers.is_empty() {
+            return;
+        }
+        let breaker = &mut st.breakers[ev.device];
+        let transition = if ev.failed {
+            breaker.record_failure(ev.at)
+        } else {
+            breaker.record_success(ev.at)
         };
-        report
+        let Some(tr) = transition else { return };
+        let opens = breaker.opens();
+        st.quarantine_events.push(QuarantineEvent {
+            device: ev.device,
+            at: ev.at,
+            from: tr.from,
+            to: tr.to,
+        });
+        let opened = tr.to == CircuitState::Open;
+        if let Some(m) = &self.metrics {
+            m.record_quarantine(ev.device, opened);
+        }
+        if opened {
+            if let Some(sink) = &self.sink {
+                let failures = match tr.from {
+                    // Closed → open fires at the configured streak; a
+                    // half-open probe re-opens on its single failure.
+                    CircuitState::Closed => self
+                        .config
+                        .degrade
+                        .quarantine
+                        .map_or(0, |q| u64::from(q.failure_threshold)),
+                    _ => 1,
+                };
+                sink.record(SpanRecord {
+                    rank: ev.device,
+                    start: ev.at,
+                    end: tr.open_until,
+                    kind: SpanKind::Quarantine {
+                        failures,
+                        opens: u64::from(opens),
+                    },
+                });
+            }
+        }
+    }
+
+    /// Admits one arrival: size → deadline feasibility → quota →
+    /// capacity, each with its typed rejection. The deadline check slots
+    /// after the size bound so an oversized job still bounces as
+    /// `TooLarge` — rejection reasons stay deterministic per job.
+    fn admit(&mut self, st: &mut RunState, job: JobSpec) {
+        let deadline_rej =
+            if self.config.degrade.deadline_admission && job.n <= self.config.admission.max_n {
+                job.deadline.and_then(|d| {
+                    let est = self.estimate_completion(st, &job);
+                    (est > d + EPS).then_some(Rejection::DeadlineInfeasible {
+                        tenant: job.tenant,
+                        deadline: d,
+                        estimated_completion: est,
+                    })
+                })
+            } else {
+                None
+            };
+        let result = match deadline_rej {
+            Some(r) => Err(r),
+            None => st.queue.offer(job.clone()),
+        };
+        if let Err(rej) = result {
+            if let Some(m) = &self.metrics {
+                m.record_rejection(job.tenant, &rej);
+            }
+            st.rejections.push((job, rej));
+        }
+    }
+
+    /// Earliest feasible completion of `job` submitted now: the instant
+    /// the pool next frees a device, plus the queued backlog ahead of it
+    /// (full-pool service-time estimates, preempted remainders prorated),
+    /// plus the job's own full-pool estimate. Deliberately a serial
+    /// upper-bound drain model — under the overloads that make deadline
+    /// admission matter, the pool is saturated and the bound is tight;
+    /// when it is slack the admission errs conservative.
+    fn estimate_completion(&self, st: &mut RunState, job: &JobSpec) -> f64 {
+        let pool = &self.pool;
+        let est = |cache: &mut BTreeMap<usize, f64>, n: usize| -> f64 {
+            *cache.entry(n).or_insert_with(|| {
+                let all: Vec<usize> = (0..pool.len()).collect();
+                service_time(pool, &all, n)
+            })
+        };
+        let mut backlog = 0.0;
+        for queued in st.queue.iter() {
+            let remaining = 1.0
+                - st.resume
+                    .get(&queued.id)
+                    .map_or(0.0, |r: &ResumeState| r.fraction);
+            backlog += remaining * est(&mut st.est_cache, queued.n);
+        }
+        let free = pool
+            .devices()
+            .iter()
+            .map(|d| d.busy_until)
+            .fold(f64::INFINITY, f64::min)
+            .max(st.now);
+        free + backlog + est(&mut st.est_cache, job.n)
+    }
+
+    /// Brownout: updates the hysteresis state from the queue-wait p95
+    /// and, while active, sheds every queued deadline-less job at or
+    /// below the shed tier with a typed rejection.
+    fn shed_brownout(&mut self, st: &mut RunState) {
+        let Some(cfg) = self.config.degrade.brownout else {
+            return;
+        };
+        let Some(w) = &st.waits else { return };
+        let p95 = w.p95();
+        if st.brownout_active {
+            if p95 < cfg.exit_fraction * cfg.p95_threshold {
+                st.brownout_active = false;
+            }
+        } else if p95 > cfg.p95_threshold {
+            st.brownout_active = true;
+        }
+        if !st.brownout_active {
+            return;
+        }
+        // Never shed a job holding checkpointed progress — its partial
+        // work is real, and conservation through preemption means a
+        // preempted job always finishes or fails, never evaporates.
+        let resume = &st.resume;
+        let shed = st.queue.drain_matching(|j| {
+            j.deadline.is_none()
+                && j.priority <= cfg.max_shed_priority
+                && !resume.contains_key(&j.id)
+        });
+        for job in shed {
+            let rej = Rejection::Shed {
+                tenant: job.tenant,
+                queue_wait_p95: p95,
+                threshold: cfg.p95_threshold,
+            };
+            if let Some(m) = &self.metrics {
+                m.record_rejection(job.tenant, &rej);
+            }
+            st.rejections.push((job, rej));
+        }
     }
 
     /// Dispatches every queued job whose placement can start *now*.
     /// FIFO and round-robin only ever look at the head (head-of-line
     /// blocking is part of what those baselines are); FPM-aware walks the
-    /// queue in urgency order and backfills past blocked jobs.
-    #[allow(clippy::too_many_arguments)]
-    fn dispatch_all(
-        &mut self,
-        queue: &mut JobQueue,
-        now: f64,
-        in_flight: &mut Vec<f64>,
-        records: &mut Vec<JobRecord>,
-        next_batch: &mut u64,
-        retries: &mut u64,
-    ) {
+    /// queue in urgency order and backfills past blocked jobs. When
+    /// nothing can start and an urgent job is stuck behind lower-tier
+    /// running work, checkpoint preemption truncates a victim batch.
+    fn dispatch_all(&mut self, st: &mut RunState) {
         'dispatch: loop {
-            if queue.is_empty() {
+            if st.queue.is_empty() {
                 return;
             }
             let candidates: Vec<usize> = match self.config.policy {
                 Policy::Fifo | Policy::RoundRobin => vec![0],
                 Policy::FpmAware => {
-                    let specs: Vec<&JobSpec> = queue.iter().collect();
+                    let specs: Vec<&JobSpec> = st.queue.iter().collect();
                     let mut order: Vec<usize> = (0..specs.len()).collect();
                     order.sort_by(|&a, &b| {
                         specs[b]
@@ -436,57 +772,167 @@ impl GemmService {
                 }
             };
             for idx in candidates {
-                let job = queue.iter().nth(idx).expect("index observed").clone();
-                let placement = plan(self.config.policy, &mut self.pool, &job, now);
-                if placement.start <= now + EPS {
+                let job = st.queue.iter().nth(idx).expect("index observed").clone();
+                let placement = plan(self.config.policy, &mut self.pool, &job, st.now);
+                if placement.start <= st.now + EPS {
                     commit(self.config.policy, &mut self.pool);
-                    self.dispatch_batch(
-                        queue, idx, placement, now, in_flight, records, next_batch, retries,
-                    );
+                    self.dispatch_batch(st, idx, placement);
                     continue 'dispatch;
                 }
             }
+            self.try_preempt(st);
             return;
+        }
+    }
+
+    /// Checkpoint preemption: if a queued job at or above the urgency
+    /// tier would wait longer than the configured bound, truncate the
+    /// running batch with the most reclaimable tail at its next panel
+    /// boundary, requeue the unfinished members (keeping the in-progress
+    /// member's k-prefix as a resume fraction), and free the devices at
+    /// the boundary. The preempted work resumes from its checkpoint —
+    /// bit-identically, which the core's `multiply_abft_prefix` API
+    /// proves on real matrices.
+    fn try_preempt(&mut self, st: &mut RunState) {
+        let Some(cfg) = self.config.degrade.preemption else {
+            return;
+        };
+        // Preemption needs a dispatch order that will actually run the
+        // urgent job on the freed devices. FIFO and round-robin only
+        // ever dispatch the queue head — and the requeued victim goes
+        // back to the head — so yielding devices under them would just
+        // re-dispatch the victim in slices.
+        if self.config.policy != Policy::FpmAware {
+            return;
+        }
+        let mut urgent: Option<&JobSpec> = None;
+        for j in st.queue.iter().filter(|j| j.priority >= cfg.min_priority) {
+            let better = match urgent {
+                None => true,
+                Some(u) => {
+                    j.priority
+                        .cmp(&u.priority)
+                        .then(
+                            u.deadline
+                                .unwrap_or(f64::INFINITY)
+                                .total_cmp(&j.deadline.unwrap_or(f64::INFINITY)),
+                        )
+                        .then(u.id.cmp(&j.id))
+                        == std::cmp::Ordering::Greater
+                }
+            };
+            if better {
+                urgent = Some(j);
+            }
+        }
+        let Some(urgent) = urgent.cloned() else {
+            return;
+        };
+        // If the urgent job would start soon anyway, don't churn.
+        let placement = plan(self.config.policy, &mut self.pool, &urgent, st.now);
+        if placement.start <= st.now + cfg.min_wait {
+            return;
+        }
+        // Victim: the batch of strictly lower-priority work whose
+        // truncation reclaims the most device time.
+        let mut victim: Option<usize> = None;
+        let mut best_reclaim = cfg.min_wait;
+        for (i, fl) in st.in_flight.iter().enumerate() {
+            let max_prio = fl.pending.iter().map(|r| r.spec.priority).max();
+            if max_prio.is_none_or(|p| p >= urgent.priority) {
+                continue;
+            }
+            let Some(boundary) = preemption_boundary(fl, st.now, cfg.panels) else {
+                continue;
+            };
+            let reclaim = fl.finish - boundary;
+            if reclaim > best_reclaim + EPS {
+                best_reclaim = reclaim;
+                victim = Some(i);
+            }
+        }
+        let Some(vi) = victim else { return };
+        let (devices, boundary, old_finish, requeue) = {
+            let fl = &mut st.in_flight[vi];
+            let boundary =
+                preemption_boundary(fl, st.now, cfg.panels).expect("victim had a boundary");
+            let old_finish = fl.finish;
+            let mut kept = Vec::new();
+            let mut requeue: Vec<(JobSpec, f64)> = Vec::new();
+            for rec in fl.pending.drain(..) {
+                if rec.finish_time <= boundary + EPS {
+                    // Done by the boundary: completes as dispatched.
+                    kept.push(rec);
+                } else if rec.start_time >= boundary - EPS {
+                    // Never started: the whole member goes back.
+                    requeue.push((rec.spec, 0.0));
+                } else {
+                    // In progress: the k-prefix up to the boundary is
+                    // checkpointed; only the suffix re-runs.
+                    let frac = (boundary - rec.start_time) / (rec.finish_time - rec.start_time);
+                    requeue.push((rec.spec, frac));
+                }
+            }
+            fl.pending = kept;
+            fl.finish = boundary;
+            (fl.devices.clone(), boundary, old_finish, requeue)
+        };
+        self.pool.release(&devices, boundary, old_finish);
+        st.preemptions += 1;
+        if let Some(m) = &self.metrics {
+            m.preemptions.inc();
+        }
+        // Requeue at the head in original order (reverse pushes front).
+        for (spec, frac) in requeue.iter().rev() {
+            let entry = st.resume.entry(spec.id).or_default();
+            // Progress composes: this dispatch covered `frac` of the
+            // work that remained when it started.
+            entry.fraction += (1.0 - entry.fraction) * frac;
+            entry.preemptions += 1;
+            st.queue.requeue_front(spec.clone());
         }
     }
 
     /// Takes the seed job plus up to `max_batch - 1` same-size queued
     /// jobs and runs them back-to-back on one placement, amortizing the
-    /// batch setup cost.
-    #[allow(clippy::too_many_arguments)]
-    fn dispatch_batch(
-        &mut self,
-        queue: &mut JobQueue,
-        seed_idx: usize,
-        placement: Placement,
-        now: f64,
-        in_flight: &mut Vec<f64>,
-        records: &mut Vec<JobRecord>,
-        next_batch: &mut u64,
-        retries: &mut u64,
-    ) {
-        let seed = queue.take(seed_idx);
+    /// batch setup cost. Records are buffered on the in-flight entry and
+    /// only become visible when the batch's devices free.
+    fn dispatch_batch(&mut self, st: &mut RunState, seed_idx: usize, placement: Placement) {
+        let seed = st.queue.take(seed_idx);
         let mut members = vec![seed];
         while members.len() < self.config.batching.max_batch {
-            let mate = queue.iter().position(|j| j.n == members[0].n);
+            let mate = st.queue.iter().position(|j| j.n == members[0].n);
             match mate {
-                Some(pos) => members.push(queue.take(pos)),
+                Some(pos) => members.push(st.queue.take(pos)),
                 None => break,
             }
         }
-        let batch = *next_batch;
-        *next_batch += 1;
+        let batch = st.next_batch;
+        st.next_batch += 1;
         if let Some(m) = &self.metrics {
             m.batches.inc();
         }
 
-        let batch_start = now;
-        let mut t = now + self.config.batching.setup_cost;
+        let batch_start = st.now;
+        let mut t = st.now + self.config.batching.setup_cost;
+        let mut pending = Vec::with_capacity(members.len());
+        let mut breaker_events = Vec::new();
         for job in members.iter() {
             let start_time = t;
-            let (finish, attempts, devices, outcome) = self.execute(job, &placement, t, retries);
+            let resumed = st.resume.get(&job.id).copied().unwrap_or_default();
+            let (finish, attempts, devices, outcome) = self.execute(
+                job,
+                &placement,
+                t,
+                resumed.fraction,
+                &mut st.retries,
+                &mut breaker_events,
+            );
             t = finish;
-            let record = JobRecord {
+            if let Some(w) = &mut st.waits {
+                w.push(start_time - job.submit_time);
+            }
+            pending.push(JobRecord {
                 spec: job.clone(),
                 start_time,
                 finish_time: finish,
@@ -494,65 +940,71 @@ impl GemmService {
                 shape: placement.shape.name(),
                 batch,
                 attempts,
+                preemptions: resumed.preemptions,
+                deadline: DeadlineVerdict::of(job.deadline, finish),
                 outcome,
-            };
-            if let Some(m) = &self.metrics {
-                match record.outcome {
-                    JobOutcome::Completed => {
-                        m.record_completed(job.tenant, record.latency(), record.queue_wait())
-                    }
-                    JobOutcome::Failed { .. } => {
-                        m.record_failed(job.tenant, record.latency(), record.queue_wait())
-                    }
-                }
-            }
-            records.push(record);
+            });
         }
         self.pool.occupy(&placement.devices, batch_start, t);
-        in_flight.push(t);
-        if let Some(sink) = &self.sink {
-            for &d in &placement.devices {
-                sink.record(SpanRecord {
-                    rank: d,
-                    start: batch_start,
-                    end: t,
-                    kind: SpanKind::Sched {
-                        job: members[0].id,
-                        n: members[0].n as u64,
-                        batch,
-                        jobs: members.len() as u64,
-                        policy: self.config.policy.name(),
-                    },
-                });
-            }
-        }
+        st.in_flight.push(InFlight {
+            batch,
+            devices: placement.devices.clone(),
+            start: batch_start,
+            finish: t,
+            pending,
+            breaker_events,
+            seed_id: members[0].id,
+            seed_n: members[0].n,
+        });
     }
 
     /// Executes one job of a batch starting at `t0`: walks the seeded
     /// fault draws through shrink-and-retry on the virtual clock and —
     /// in the real backend — actually multiplies the matrices through
-    /// the recovery executor and verifies the product.
+    /// the recovery executor and verifies the product. A resumed job
+    /// (`resume_fraction > 0`) re-runs only its unfinished k-suffix plus
+    /// the checkpoint-restore overhead. Breaker observations (blamed
+    /// failures, surviving successes) are appended to `breaker_events`.
     fn execute(
         &self,
         job: &JobSpec,
         placement: &Placement,
         t0: f64,
+        resume_fraction: f64,
         retries: &mut u64,
+        breaker_events: &mut Vec<BreakerEvent>,
     ) -> (f64, usize, Vec<usize>, JobOutcome) {
         let faults = self.config.faults;
+        let work_scale = (1.0 - resume_fraction).max(0.0);
+        let track_breakers = self.config.degrade.quarantine.is_some();
         let mut devices = placement.devices.clone();
         let mut t = t0;
+        if resume_fraction > 0.0 {
+            if let Some(p) = self.config.degrade.preemption {
+                t += p.resume_overhead;
+            }
+        }
         let mut attempts = 0usize;
         let outcome = loop {
             attempts += 1;
-            let duration = if devices.len() == placement.devices.len() {
+            let full = if devices.len() == placement.devices.len() {
                 placement.duration
             } else {
                 service_time(&self.pool, &devices, job.n)
             };
+            let duration = full * work_scale;
             let fate = draw_fate(&faults, job.id, attempts as u64, devices.len());
             if !fate.fails {
                 t += duration;
+                if track_breakers {
+                    for &d in &devices {
+                        breaker_events.push(BreakerEvent {
+                            at: t,
+                            device: d,
+                            failed: false,
+                        });
+                    }
+                }
                 break JobOutcome::Completed;
             }
             // The attempt burns part of its duration, then pays the
@@ -562,6 +1014,13 @@ impl GemmService {
             // singleton placement treats the failure as transient and
             // restarts on the same device (there is nothing to shrink to).
             t += duration * fate.burn_fraction + faults.retry_backoff;
+            if track_breakers {
+                breaker_events.push(BreakerEvent {
+                    at: t,
+                    device: devices[fate.victim_slot],
+                    failed: true,
+                });
+            }
             if attempts >= faults.max_attempts {
                 break JobOutcome::Failed {
                     reason: format!("attempt budget exhausted after {attempts} executions"),
@@ -640,6 +1099,29 @@ impl GemmService {
     }
 }
 
+/// The earliest panel-aligned instant ≥ `now` at which the batch's
+/// unfinished work can be cut, or `None` when nothing after `now` is
+/// reclaimable. Members run sequentially, so the first member that is
+/// not complete at `now` decides: an unstarted member cuts at its own
+/// start; an in-progress member cuts at its next of `panels` equal
+/// virtual-time panel marks (the virtual-clock model of the checkpointed
+/// executor's column-panel boundaries, which `panel_boundaries` exposes
+/// for the real run).
+fn preemption_boundary(fl: &InFlight, now: f64, panels: usize) -> Option<f64> {
+    for rec in &fl.pending {
+        if rec.finish_time <= now + EPS {
+            continue;
+        }
+        if rec.start_time >= now - EPS {
+            return Some(rec.start_time.max(now));
+        }
+        let step = (rec.finish_time - rec.start_time) / panels.max(1) as f64;
+        let done = ((now - rec.start_time) / step).ceil().max(1.0);
+        return Some((rec.start_time + done * step).min(rec.finish_time));
+    }
+    None
+}
+
 fn verify_product(a: &DenseMatrix, b: &DenseMatrix, c: &DenseMatrix) -> Result<(), String> {
     let n = a.rows();
     let mut want = DenseMatrix::zeros(n, b.cols());
@@ -690,6 +1172,12 @@ fn digest(records: &[JobRecord], rejections: &[(JobSpec, Rejection)]) -> u64 {
             JobOutcome::Completed => 1,
             JobOutcome::Failed { .. } => 2,
         });
+        eat(r.preemptions as u64);
+        eat(match r.deadline {
+            DeadlineVerdict::NoDeadline => 0,
+            DeadlineVerdict::Met => 1,
+            DeadlineVerdict::Missed { .. } => 2,
+        });
     }
     for (j, rej) in rejections {
         eat(j.id);
@@ -701,6 +1189,7 @@ fn digest(records: &[JobRecord], rejections: &[(JobSpec, Rejection)]) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::degrade::{BrownoutConfig, PreemptionConfig, QuarantineConfig};
     use crate::loadgen::{generate, small_mix};
     use summagen_platform::profile::hclserver1;
 
@@ -884,6 +1373,224 @@ mod tests {
                 );
             }
         }
+    }
+
+    fn pjob(id: u64, n: usize, submit: f64, priority: u8, deadline: Option<f64>) -> JobSpec {
+        JobSpec {
+            id,
+            tenant: priority as usize,
+            n,
+            priority,
+            deadline,
+            submit_time: submit,
+        }
+    }
+
+    #[test]
+    fn default_degrade_config_changes_nothing() {
+        let jobs = generate(&small_mix());
+        let report = GemmService::new(pool(), config(Policy::FpmAware)).run(jobs);
+        assert_eq!(report.preemptions, 0);
+        assert!(report.quarantine_events.is_empty());
+        assert_eq!(report.shed(), 0);
+        for r in &report.records {
+            assert_eq!(r.preemptions, 0);
+            match (r.spec.deadline, r.deadline) {
+                (None, DeadlineVerdict::NoDeadline) => {}
+                (Some(d), DeadlineVerdict::Met) => assert!(r.finish_time <= d),
+                (Some(d), DeadlineVerdict::Missed { late_by }) => {
+                    assert!((r.finish_time - d - late_by).abs() < 1e-12)
+                }
+                (spec, verdict) => panic!("inconsistent verdict {verdict:?} for deadline {spec:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn urgent_job_triggers_checkpoint_preemption() {
+        let cfg = ServiceConfig {
+            degrade: DegradeConfig {
+                preemption: Some(PreemptionConfig {
+                    min_wait: 0.05,
+                    ..PreemptionConfig::default()
+                }),
+                ..DegradeConfig::default()
+            },
+            ..config(Policy::FpmAware)
+        };
+        // A long tier-0 job monopolizes the pool; an urgent tier-2 job
+        // arrives mid-run and must not wait for the whole thing.
+        let low = pjob(0, 8192, 0.0, 0, None);
+        let high = pjob(1, 512, 0.2, 2, None);
+        let report = GemmService::new(pool(), cfg).run(vec![low, high]);
+        assert_eq!(report.records.len(), 2, "a job was lost to preemption");
+        assert!(report.preemptions >= 1, "no preemption happened");
+        let low_rec = report.records.iter().find(|r| r.spec.id == 0).unwrap();
+        let high_rec = report.records.iter().find(|r| r.spec.id == 1).unwrap();
+        assert!(low_rec.preemptions >= 1, "victim not marked preempted");
+        assert_eq!(low_rec.outcome, JobOutcome::Completed);
+        assert_eq!(high_rec.outcome, JobOutcome::Completed);
+        assert!(
+            high_rec.finish_time < low_rec.finish_time,
+            "urgent job ({}) still finished after the preempted one ({})",
+            high_rec.finish_time,
+            low_rec.finish_time
+        );
+        // Without preemption the urgent job waits for the full batch.
+        let baseline = GemmService::new(pool(), config(Policy::FpmAware)).run(vec![
+            pjob(0, 8192, 0.0, 0, None),
+            pjob(1, 512, 0.2, 2, None),
+        ]);
+        let base_high = baseline.records.iter().find(|r| r.spec.id == 1).unwrap();
+        assert!(
+            high_rec.finish_time < base_high.finish_time,
+            "preemption did not improve the urgent job's completion"
+        );
+    }
+
+    #[test]
+    fn infeasible_deadline_jobs_are_rejected_at_the_door() {
+        let cfg = ServiceConfig {
+            degrade: DegradeConfig {
+                deadline_admission: true,
+                ..DegradeConfig::default()
+            },
+            ..config(Policy::FpmAware)
+        };
+        // Saturate the pool, then submit one job with a hopeless deadline
+        // and one with a generous one.
+        let mut jobs: Vec<JobSpec> = (0..6).map(|i| job(i, 2048, 0.0)).collect();
+        jobs.push(pjob(6, 2048, 0.05, 1, Some(0.06)));
+        jobs.push(pjob(7, 2048, 0.05, 1, Some(1e6)));
+        let report = GemmService::new(pool(), cfg).run(jobs);
+        let hopeless = report
+            .rejections
+            .iter()
+            .find(|(j, _)| j.id == 6)
+            .expect("hopeless deadline job was admitted");
+        assert!(
+            matches!(hopeless.1, Rejection::DeadlineInfeasible { .. }),
+            "wrong rejection: {:?}",
+            hopeless.1
+        );
+        // The enriched Display names tenant, deadline, and estimate.
+        let msg = hopeless.1.to_string();
+        assert!(msg.contains("tenant 1"), "{msg}");
+        assert!(msg.contains("0.060"), "{msg}");
+        assert!(
+            report.records.iter().any(|r| r.spec.id == 7),
+            "feasible deadline job was rejected"
+        );
+    }
+
+    #[test]
+    fn repeated_faults_quarantine_the_blamed_device() {
+        let cfg = ServiceConfig {
+            faults: FaultProfile {
+                fail_permille: 700,
+                seed: 11,
+                max_attempts: 4,
+                retry_backoff: 0.05,
+            },
+            degrade: DegradeConfig {
+                quarantine: Some(QuarantineConfig::default()),
+                ..DegradeConfig::default()
+            },
+            ..config(Policy::FpmAware)
+        };
+        let jobs = generate(&small_mix());
+        let total = jobs.len();
+        let report = GemmService::new(pool(), cfg).run(jobs);
+        assert!(
+            report
+                .quarantine_events
+                .iter()
+                .any(|e| e.to == CircuitState::Open),
+            "70% fault rate never opened a breaker"
+        );
+        // Conservation holds under quarantine.
+        assert_eq!(report.records.len() + report.rejections.len(), total);
+        // The timeline is internally consistent: each transition leaves
+        // a state the device could actually have been in (the open →
+        // half-open decay is implicit, so after an open the next event
+        // may come `from` half-open).
+        for d in 0..report.device_names.len() {
+            let mut state = CircuitState::Closed;
+            for e in report.quarantine_events.iter().filter(|e| e.device == d) {
+                let reachable = e.from == state
+                    || (state == CircuitState::Open && e.from == CircuitState::HalfOpen);
+                assert!(
+                    reachable,
+                    "device {d}: transition from {:?} while {:?}",
+                    e.from, state
+                );
+                state = e.to;
+            }
+        }
+    }
+
+    #[test]
+    fn brownout_sheds_deadline_less_low_tier_jobs_under_overload() {
+        let cfg = ServiceConfig {
+            degrade: DegradeConfig {
+                brownout: Some(BrownoutConfig {
+                    p95_threshold: 0.05,
+                    exit_fraction: 0.7,
+                    window: 16,
+                    max_shed_priority: 0,
+                }),
+                ..DegradeConfig::default()
+            },
+            ..config(Policy::FpmAware)
+        };
+        // A flood of tier-0 deadline-less jobs, with a few tier-1 jobs
+        // that must never be shed.
+        let mut jobs: Vec<JobSpec> = (0..40).map(|i| job(i, 2048, i as f64 * 0.001)).collect();
+        jobs.extend((40..44).map(|i| pjob(i, 2048, i as f64 * 0.001, 1, None)));
+        let total = jobs.len();
+        let report = GemmService::new(pool(), cfg).run(jobs);
+        assert!(report.shed() > 0, "overload never shed anything");
+        assert_eq!(report.records.len() + report.rejections.len(), total);
+        for (j, r) in &report.rejections {
+            if let Rejection::Shed {
+                tenant, threshold, ..
+            } = r
+            {
+                assert_eq!(*tenant, j.tenant);
+                assert_eq!(*threshold, 0.05);
+                assert_eq!(j.priority, 0, "shed a protected tier");
+                assert!(j.deadline.is_none(), "shed a deadline job");
+            }
+        }
+        assert!(
+            report
+                .records
+                .iter()
+                .filter(|r| r.spec.priority == 1)
+                .count()
+                == 4,
+            "a tier-1 job was shed"
+        );
+    }
+
+    #[test]
+    fn degraded_runs_are_deterministic() {
+        let cfg = ServiceConfig {
+            faults: FaultProfile {
+                fail_permille: 300,
+                seed: 7,
+                max_attempts: 4,
+                retry_backoff: 0.05,
+            },
+            degrade: DegradeConfig::standard(),
+            ..config(Policy::FpmAware)
+        };
+        let a = GemmService::new(pool(), cfg).run(generate(&small_mix()));
+        let b = GemmService::new(pool(), cfg).run(generate(&small_mix()));
+        assert_eq!(a.schedule_digest, b.schedule_digest);
+        assert_eq!(a.preemptions, b.preemptions);
+        assert_eq!(a.quarantine_events, b.quarantine_events);
+        assert_eq!(a.shed(), b.shed());
     }
 
     #[test]

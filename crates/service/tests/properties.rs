@@ -11,12 +11,32 @@
 //!   rejected always equals submitted, with no duplicates.
 //! * Runs are *deterministic*: the same (mix seed, fault seed, policy)
 //!   triple reproduces the schedule digest exactly.
+//!
+//! The degradation layer adds four more:
+//!
+//! * Preempt/resume is *bit-identical*: stopping the checksum-protected
+//!   executor at any panel boundary and resuming from the parked
+//!   k-prefix reproduces the uninterrupted product to the bit.
+//! * Degraded runs still *conserve* jobs: with admission, preemption,
+//!   quarantine, and brownout all armed, accepted + rejected still
+//!   equals submitted and the digest is still reproducible.
+//! * Deadlines are *typed*: every finished job with a deadline carries
+//!   a Met/Missed verdict consistent with its finish time — no job is
+//!   ever silently late.
+//! * The quarantine breaker is a *sound state machine*: opens are
+//!   monotone, backoff doubles up to the cap, and an open device is
+//!   never eligible before its interval ends.
 
 use proptest::prelude::*;
 
+use summagen_comm::HockneyModel;
+use summagen_core::{multiply_abft_prefix, panel_boundaries, AbftOptions, ExecutionMode};
+use summagen_matrix::random_matrix;
+use summagen_partition::ALL_FOUR_SHAPES;
 use summagen_platform::profile::hclserver1;
 use summagen_service::{
-    generate, small_mix, AdmissionConfig, DevicePool, FaultProfile, GemmService, JobQueue, Policy,
+    generate, small_mix, AdmissionConfig, CircuitBreaker, CircuitState, DeadlineVerdict,
+    DegradeConfig, DevicePool, FaultProfile, GemmService, JobQueue, Policy, QuarantineConfig,
     Rejection, ServiceConfig,
 };
 
@@ -75,6 +95,11 @@ proptest! {
                     prop_assert!(n <= max_n);
                     prop_assert!(depth_before < quota);
                     prop_assert_eq!(len_before, capacity);
+                }
+                Err(rej @ (Rejection::DeadlineInfeasible { .. } | Rejection::Shed { .. })) => {
+                    // Those rejections belong to the service's
+                    // degradation layer, never to the bounded queue.
+                    prop_assert!(false, "queue produced a service-layer rejection: {rej:?}");
                 }
             }
             prop_assert!(queue.len() <= capacity);
@@ -165,5 +190,247 @@ proptest! {
         prop_assert_eq!(a.schedule_digest, b.schedule_digest);
         prop_assert_eq!(a.makespan, b.makespan);
         prop_assert_eq!(a.records.len(), b.records.len());
+    }
+
+    /// Preempting the checksum-protected executor at *any* panel
+    /// boundary and resuming from the parked k-prefix yields a product
+    /// bit-identical to the uninterrupted run. This is the contract the
+    /// service's checkpoint preemption rests on: a preempted job's
+    /// remaining work is a pure continuation, not a recomputation.
+    #[test]
+    fn preempt_resume_is_bit_identical(
+        shape_idx in 0usize..4,
+        n in 18usize..40,
+        mat_seed in 0u64..10_000,
+        boundary_sel in 0usize..16,
+        s0 in 1u32..4,
+        s1 in 1u32..4,
+        s2 in 1u32..4,
+    ) {
+        let shape = ALL_FOUR_SHAPES[shape_idx];
+        let speeds = [f64::from(s0), f64::from(s1), f64::from(s2)];
+        let a = random_matrix(n, n, mat_seed.wrapping_mul(2).wrapping_add(1));
+        let b = random_matrix(n, n, mat_seed.wrapping_mul(2).wrapping_add(2));
+        let abft = AbftOptions::default();
+        let run = |resume: Option<&_>, stop_k| {
+            multiply_abft_prefix(
+                shape,
+                &speeds,
+                &a,
+                &b,
+                ExecutionMode::Real,
+                HockneyModel::intra_node(),
+                &abft,
+                resume,
+                stop_k,
+            )
+        };
+        let whole = run(None, n).expect("uninterrupted run");
+        prop_assert_eq!(whole.k, n);
+        let interior: Vec<usize> = panel_boundaries(shape, n, &speeds)
+            .into_iter()
+            .filter(|&k| k > 0 && k < n)
+            .collect();
+        prop_assume!(!interior.is_empty());
+        let boundary = interior[boundary_sel % interior.len()];
+        let parked = run(None, boundary).expect("prefix run");
+        prop_assert_eq!(parked.k, boundary);
+        let resumed = run(Some(&parked), n).expect("resumed run");
+        prop_assert_eq!(resumed.k, n);
+        for (i, (got, want)) in resumed
+            .c
+            .as_slice()
+            .iter()
+            .zip(whole.c.as_slice())
+            .enumerate()
+        {
+            prop_assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "element {} differs after resume at k={}: {} vs {}",
+                i, boundary, got, want
+            );
+        }
+    }
+
+    /// Job conservation survives the full degradation stack: with
+    /// deadline admission, preemption, quarantine, and brownout all
+    /// armed under overload and faults, accepted + rejected still
+    /// equals submitted with no duplicate ids — and the run is still
+    /// reproducible from its seeds.
+    #[test]
+    fn degraded_runs_conserve_jobs_and_stay_deterministic(
+        mix_seed in 0u64..500,
+        fault_seed in 0u64..500,
+        fail_permille in 0u32..350,
+        rate_scale in 1u32..6,
+    ) {
+        let mut mix = small_mix();
+        mix.seed = mix_seed;
+        mix.jobs = 60;
+        mix.arrival_rate *= f64::from(rate_scale);
+        let jobs = generate(&mix);
+        let faults = FaultProfile {
+            fail_permille: fail_permille as u16,
+            seed: fault_seed,
+            ..FaultProfile::default()
+        };
+        let run = || {
+            let pool = DevicePool::from_platform(&hclserver1(), 1e-5, 4e-10);
+            GemmService::new(
+                pool,
+                ServiceConfig {
+                    policy: Policy::FpmAware,
+                    faults,
+                    degrade: DegradeConfig::standard(),
+                    ..ServiceConfig::default()
+                },
+            )
+            .run(jobs.clone())
+        };
+        let report = run();
+        prop_assert_eq!(
+            report.records.len() + report.rejections.len(),
+            jobs.len(),
+            "jobs lost or invented under degradation"
+        );
+        let mut ids: Vec<u64> = report
+            .records
+            .iter()
+            .map(|r| r.spec.id)
+            .chain(report.rejections.iter().map(|(spec, _)| spec.id))
+            .collect();
+        ids.sort_unstable();
+        let mut want: Vec<u64> = jobs.iter().map(|j| j.id).collect();
+        want.sort_unstable();
+        prop_assert_eq!(ids, want, "ids must partition exactly");
+        let again = run();
+        prop_assert_eq!(report.schedule_digest, again.schedule_digest);
+        prop_assert_eq!(report.preemptions, again.preemptions);
+        prop_assert_eq!(report.shed(), again.shed());
+        prop_assert_eq!(&report.quarantine_events, &again.quarantine_events);
+    }
+
+    /// Every finished job's deadline verdict is consistent with its
+    /// finish time: jobs without a deadline report `NoDeadline`, jobs
+    /// with one report `Met` or `Missed { late_by }` matching the
+    /// clock — a late job is never silently late.
+    #[test]
+    fn deadline_verdicts_match_finish_times(
+        mix_seed in 0u64..500,
+        fault_seed in 0u64..500,
+        fail_permille in 0u32..300,
+        degrade_on in (0u32..2).prop_map(|b| b == 1),
+    ) {
+        let mut mix = small_mix();
+        mix.seed = mix_seed;
+        mix.jobs = 60;
+        let jobs = generate(&mix);
+        prop_assume!(jobs.iter().any(|j| j.deadline.is_some()));
+        let faults = FaultProfile {
+            fail_permille: fail_permille as u16,
+            seed: fault_seed,
+            ..FaultProfile::default()
+        };
+        let degrade = if degrade_on {
+            DegradeConfig::standard()
+        } else {
+            DegradeConfig::default()
+        };
+        let pool = DevicePool::from_platform(&hclserver1(), 1e-5, 4e-10);
+        let report = GemmService::new(
+            pool,
+            ServiceConfig {
+                policy: Policy::FpmAware,
+                faults,
+                degrade,
+                ..ServiceConfig::default()
+            },
+        )
+        .run(jobs);
+        for r in &report.records {
+            match (r.spec.deadline, r.deadline) {
+                (None, DeadlineVerdict::NoDeadline) => {}
+                (Some(d), DeadlineVerdict::Met) => {
+                    prop_assert!(r.finish_time <= d + 1e-9, "Met but late: {r:?}");
+                }
+                (Some(d), DeadlineVerdict::Missed { late_by }) => {
+                    prop_assert!(r.finish_time > d, "Missed but on time: {r:?}");
+                    prop_assert!(
+                        (late_by - (r.finish_time - d)).abs() < 1e-9,
+                        "late_by inconsistent: {r:?}"
+                    );
+                }
+                (spec, verdict) => {
+                    prop_assert!(false, "verdict {verdict:?} for deadline {spec:?}");
+                }
+            }
+        }
+    }
+
+    /// The circuit breaker under arbitrary blame/success sequences:
+    /// opens only on blamed failures, backoff is exactly
+    /// `base * 2^(opens-1)` capped at the max, an open device is never
+    /// eligible before its interval ends, and eligibility always means
+    /// not-open.
+    #[test]
+    fn circuit_breaker_is_a_sound_state_machine(
+        outcomes in proptest::collection::vec((0u32..2).prop_map(|b| b == 1), 1..120),
+        threshold in 1u32..5,
+        base_scale in 1u32..5,
+        step in 1u32..40,
+    ) {
+        let config = QuarantineConfig {
+            failure_threshold: threshold,
+            base_backoff: f64::from(base_scale),
+            max_backoff: 3.0 * f64::from(base_scale),
+        };
+        let mut breaker = CircuitBreaker::new(config);
+        let mut now = 0.0;
+        for &failed in &outcomes {
+            now += f64::from(step) * 0.1;
+            let was_open = breaker.state(now) == CircuitState::Open;
+            let opens_before = breaker.opens();
+            let transition = if failed {
+                breaker.record_failure(now)
+            } else {
+                breaker.record_success(now)
+            };
+            match transition {
+                Some(t) if t.to == CircuitState::Open => {
+                    prop_assert!(failed, "opened on a success");
+                    prop_assert!(!was_open, "opened while already open");
+                    prop_assert_eq!(breaker.opens(), opens_before + 1);
+                    let expected = (config.base_backoff
+                        * 2f64.powi(breaker.opens() as i32 - 1))
+                    .min(config.max_backoff);
+                    prop_assert!(
+                        (t.open_until - now - expected).abs() < 1e-9,
+                        "backoff {} != expected {}",
+                        t.open_until - now,
+                        expected
+                    );
+                    prop_assert!(!breaker.eligible(now), "eligible while open");
+                }
+                Some(t) => {
+                    prop_assert_eq!(t.to, CircuitState::Closed);
+                    prop_assert!(!failed, "closed on a failure");
+                    prop_assert_eq!(t.from, CircuitState::HalfOpen);
+                }
+                None => {}
+            }
+            prop_assert_eq!(breaker.opens(), opens_before + u32::from(failed && !was_open && transition.is_some()));
+            // Eligibility is exactly "not open", and an open breaker
+            // stays ineligible until its interval ends.
+            let open_now = breaker.state(now) == CircuitState::Open;
+            prop_assert_eq!(breaker.eligible(now), !open_now);
+            if open_now {
+                prop_assert!(now < breaker.open_until());
+                prop_assert!(
+                    breaker.open_until() - now <= config.max_backoff + 1e-9,
+                    "open interval exceeds the backoff cap"
+                );
+            }
+        }
     }
 }

@@ -138,6 +138,14 @@ fn event_json(ts: &TraceSpan) -> String {
                 esc(policy)
             ),
         ),
+        // Quarantine intervals ride the phases track: they annotate a
+        // device's forced idleness and must not tile against the Sched
+        // occupancy spans on the op track.
+        SpanKind::Quarantine { failures, opens } => (
+            r.rank * 2 + 1,
+            "quarantine",
+            format!("{{\"failures\":{failures},\"opens\":{opens}}}"),
+        ),
         SpanKind::Heartbeat { seq } => {
             // Zero-duration liveness tick: an instant event on the
             // phases track, out of the way of real comm/compute spans.

@@ -251,6 +251,11 @@ fn push_kind(out: &mut Vec<u8>, kind: &SpanKind) {
             push_u64(out, *jobs);
             out.extend_from_slice(policy.as_bytes());
         }
+        SpanKind::Quarantine { failures, opens } => {
+            out.push(10);
+            push_u64(out, *failures);
+            push_u64(out, *opens);
+        }
     }
 }
 

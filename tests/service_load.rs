@@ -1,9 +1,11 @@
-//! End-to-end checks of the `reproduce serve` pipeline at the workspace
-//! level: the scheduling win the artifacts gate on, the per-tenant
-//! Prometheus series, and the on-disk artifact set itself.
+//! End-to-end checks of the `reproduce serve` and `reproduce degrade`
+//! pipelines at the workspace level: the scheduling win the artifacts
+//! gate on, the per-tenant Prometheus series, the on-disk artifact
+//! sets, and the graceful-degradation comparison.
 
 use std::fs;
 
+use summagen_bench::degradecmd::{run_degrade, run_mode, top_tier};
 use summagen_bench::servecmd::{run_policy, run_serve, serve_json, PolicyRun};
 use summagen_service::{hetero_mix, small_mix, LoadMix, Policy};
 
@@ -111,4 +113,71 @@ fn serve_document_is_reproducible() {
         serve_json(&mix, &runs).pretty()
     };
     assert_eq!(build(), build());
+}
+
+/// The degradation claim, end to end on the full small mix at the gated
+/// stampede factor: with the layer armed, the top-priority tenant's
+/// tail latency and deadline-hit rate both beat the plain service on
+/// the identical stream, and nothing is lost — every submitted job is a
+/// record or a typed rejection in both modes.
+#[test]
+fn degradation_beats_the_baseline_at_overload() {
+    let mix = small_mix();
+    let top = top_tier(&mix);
+    let base = run_mode(&mix, 5.0, 7, false);
+    let deg = run_mode(&mix, 5.0, 7, true);
+    for run in [&base, &deg] {
+        assert_eq!(
+            run.report.records.len() + run.report.rejections.len(),
+            mix.jobs,
+            "jobs lost or invented"
+        );
+    }
+    let base_t = &base.report.tenant_summaries(mix.tenants.len())[top];
+    let deg_t = &deg.report.tenant_summaries(mix.tenants.len())[top];
+    assert!(
+        deg_t.p95 < base_t.p95,
+        "top-tier p95: degraded {} !< baseline {}",
+        deg_t.p95,
+        base_t.p95
+    );
+    assert!(
+        deg_t.deadline_hit_rate() > base_t.deadline_hit_rate(),
+        "top-tier hit rate: degraded {} !> baseline {}",
+        deg_t.deadline_hit_rate(),
+        base_t.deadline_hit_rate()
+    );
+    // The degraded run actually degraded: it shed load and preempted.
+    assert!(deg.report.rejections.len() > base.report.rejections.len());
+    assert_eq!(base.report.preemptions, 0);
+    assert_eq!(base.report.shed(), 0);
+    assert!(base.report.quarantine_events.is_empty());
+}
+
+/// `run_degrade` writes the full artifact set and its gates pass on the
+/// small mix; the document is parseable and carries every load factor
+/// with both modes.
+#[test]
+fn run_degrade_writes_artifacts_and_passes_its_gates() {
+    let out = std::env::temp_dir().join(format!("summagen-degrade-test-{}", std::process::id()));
+    run_degrade("small", &out).expect("degrade gates");
+    for name in [
+        "DEGRADE_small.json",
+        "SCHEDULE_DEGRADE_small_baseline.json",
+        "SCHEDULE_DEGRADE_small_degraded.json",
+    ] {
+        assert!(out.join(name).is_file(), "{name} not written");
+    }
+    let text = fs::read_to_string(out.join("DEGRADE_small.json")).unwrap();
+    let doc = summagen_bench::json::Json::parse(&text).unwrap();
+    let loads = doc.get("loads").and_then(|l| l.as_arr()).unwrap();
+    assert_eq!(
+        loads.len(),
+        summagen_bench::degradecmd::DEGRADE_LOAD_FACTORS.len()
+    );
+    for load in loads {
+        assert!(load.get("baseline").is_some());
+        assert!(load.get("degraded").is_some());
+    }
+    fs::remove_dir_all(&out).ok();
 }
