@@ -280,7 +280,7 @@ pub struct CheckOutcome {
 }
 
 impl CheckOutcome {
-    fn absorb(&mut self, drift: Option<LeafDrift>) {
+    pub(crate) fn absorb(&mut self, drift: Option<LeafDrift>) {
         if let Some(d) = drift {
             if self.worst.as_ref().is_none_or(|w| d.rel > w.rel) {
                 self.worst = Some(d);

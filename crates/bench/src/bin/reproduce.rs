@@ -4,7 +4,7 @@
 //! reproduce table1 | fig1 | fig5 | fig6 | fig7 | fig8 | summary
 //!           | crossover | nrrp | energyopt | summa | cluster | exact
 //!           | auto | fig5measured | verify | recovery | trace | abft
-//!           | bench | soak | serve | degrade | all
+//!           | bench | soak | serve | degrade | insight | all
 //! ```
 //!
 //! Output is whitespace-aligned text: one row per problem size with one
@@ -44,8 +44,20 @@
 //! digest, the top tenant's p95 improves at 5×, and the real
 //! checkpointed executor resumes bit-identically across every panel
 //! boundary.
+//! `insight [--out DIR]` replays the recorded schedules of the four
+//! paper shapes under virtual interventions (communication free, one
+//! link free, one device's GEMMs doubled), writes the ranked
+//! opportunity tables and sensitivity curves as `INSIGHT_<shape>.json`,
+//! and drives the hetero mix with a per-tenant SLO burn-rate policy —
+//! a healthy 1× control against a degraded 5× stampede — writing
+//! `INSIGHT_slo_hetero.json`, the Prometheus exposition, and the
+//! alert-annotated Perfetto timeline (default `target/insight`); it
+//! exits nonzero unless the comm-free replay matches the analyzer's
+//! compute bound within 1% and the control is silent while the
+//! stampede alerts. `insight --check DIR [--tol FRACTION]` instead
+//! reruns the suite and compares against the like-named baselines.
 //! `all` runs every text command plus the trace, recovery, abft, bench,
-//! soak, serve, and degrade exporters.
+//! soak, serve, degrade, and insight exporters.
 
 use std::env;
 use std::str::FromStr;
@@ -194,6 +206,11 @@ fn main() {
             out_dir.as_deref().unwrap_or("target/serve"),
         ),
         "degrade" => degrade(&mix, out_dir.as_deref().unwrap_or("target/degrade")),
+        "insight" => insight(
+            out_dir.as_deref().unwrap_or("target/insight"),
+            check_dir.as_deref(),
+            tol,
+        ),
         "all" => {
             print!("{}", table1());
             println!();
@@ -228,12 +245,57 @@ fn main() {
                 out_dir.as_deref().unwrap_or("target/serve"),
             );
             degrade(&mix, out_dir.as_deref().unwrap_or("target/degrade"));
+            insight(out_dir.as_deref().unwrap_or("target/insight"), None, tol);
         }
         other => {
             eprintln!(
-                "unknown figure '{other}'; expected one of: table1 fig1 fig5 fig6 fig7 fig8 summary crossover nrrp energyopt summa cluster exact auto fig5measured verify recovery trace abft bench soak serve degrade all"
+                "unknown figure '{other}'; expected one of: table1 fig1 fig5 fig6 fig7 fig8 summary crossover nrrp energyopt summa cluster exact auto fig5measured verify recovery trace abft bench soak serve degrade insight all"
             );
             std::process::exit(2);
+        }
+    }
+}
+
+/// Causal what-if profiles of the four paper shapes plus the SLO
+/// burn-rate scenario, or — with `--check DIR` — a rerun compared
+/// against committed baselines (see `insightcmd`).
+fn insight(out_dir: &str, check_dir: Option<&str>, tol: Option<f64>) {
+    use summagen_bench::{benchcmd, insightcmd};
+    let tol = tol.unwrap_or(benchcmd::DEFAULT_CHECK_TOLERANCE);
+    match check_dir {
+        Some(dir) => match insightcmd::check_insight(std::path::Path::new(dir), tol) {
+            Ok(outcome) if outcome.violations.is_empty() => {
+                println!(
+                    "insight check passed: all metrics within ±{:.2}%",
+                    100.0 * tol
+                );
+            }
+            Ok(outcome) => {
+                eprintln!(
+                    "insight check FAILED ({} violations):",
+                    outcome.violations.len()
+                );
+                for v in &outcome.violations {
+                    eprintln!("  {v}");
+                }
+                if let Some(worst) = &outcome.worst {
+                    eprintln!("  worst drift: {worst}");
+                }
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("insight check against '{dir}' failed to run: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            if let Err(e) = insightcmd::run_insight(
+                summagen_bench::tracecmd::TRACE_N,
+                std::path::Path::new(out_dir),
+            ) {
+                eprintln!("insight run to '{out_dir}' failed: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

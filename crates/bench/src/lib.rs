@@ -8,6 +8,7 @@
 pub mod benchcmd;
 pub mod degradecmd;
 pub mod experiments;
+pub mod insightcmd;
 pub mod json;
 pub mod resilience;
 pub mod servecmd;

@@ -151,6 +151,22 @@ pub enum SpanKind {
         /// (1-based; backoff doubles with each open).
         opens: u64,
     },
+    /// A tenant's SLO burn-rate alert was open over this interval: both
+    /// the fast and slow burn windows exceeded the fire threshold at
+    /// `start`, and the fast window recovered (or the run ended) at
+    /// `end`. An enclosing annotation, not a leaf — an alert describes
+    /// the schedule, it does not occupy a device.
+    SloAlert {
+        /// Tenant whose objective burned.
+        tenant: u64,
+        /// Stable SLO kind label: `"latency-p95"`,
+        /// `"deadline-hit-rate"`, or `"availability"`.
+        slo: &'static str,
+        /// Fast-window burn rate at fire time.
+        burn_fast: f64,
+        /// Slow-window burn rate at fire time.
+        burn_slow: f64,
+    },
 }
 
 impl SpanKind {
@@ -168,6 +184,7 @@ impl SpanKind {
             SpanKind::RankDeath { .. } => "rank-death",
             SpanKind::Sched { .. } => "sched",
             SpanKind::Quarantine { .. } => "quarantine",
+            SpanKind::SloAlert { .. } => "slo-alert",
         }
     }
 
@@ -395,6 +412,13 @@ mod tests {
             opens: 1
         }
         .is_leaf());
+        assert!(!SpanKind::SloAlert {
+            tenant: 0,
+            slo: "latency-p95",
+            burn_fast: 3.0,
+            burn_slow: 2.5
+        }
+        .is_leaf());
     }
 
     #[test]
@@ -433,6 +457,16 @@ mod tests {
             }
             .label(),
             "quarantine"
+        );
+        assert_eq!(
+            SpanKind::SloAlert {
+                tenant: 1,
+                slo: "availability",
+                burn_fast: 2.0,
+                burn_slow: 2.0
+            }
+            .label(),
+            "slo-alert"
         );
         assert_eq!(AbftLabel::Correct.label(), "abft-correct");
         assert_eq!(AbftLabel::Checkpoint.label(), "abft-checkpoint");

@@ -1,0 +1,502 @@
+//! Per-tenant SLO specs and multi-window burn-rate alerting.
+//!
+//! An [`SloSpec`] declares a good-event objective for one tenant — p95
+//! latency under a target, deadline hit-rate, availability. The
+//! [`SloEngine`] classifies each job outcome as good or bad per spec,
+//! keeps a sliding event window, and computes the **burn rate**: the
+//! fraction of bad events divided by the spec's error budget
+//! (`1 − objective`). Burn 1.0 means the budget is being consumed
+//! exactly as fast as it accrues; burn 4.0 means a 30-day budget is
+//! gone in a week.
+//!
+//! Alerting follows the multi-window recipe: an alert fires only when
+//! *both* a short window (responsive, noisy) and a long window
+//! (smoothed, slow) exceed the fire threshold with enough events to
+//! matter, and it clears when the short window recovers. That shape
+//! suppresses one-off spikes without missing sustained regressions.
+//! Alerts latch: a fired [`SloAlert`] stays open (one per spec) until
+//! the fast burn drops below the threshold, and carries its interval
+//! so it can render as a span on the schedule timeline.
+
+use std::collections::VecDeque;
+
+/// What a spec measures. Each kind defines its own good/bad
+/// classification of a job outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloKind {
+    /// Completed jobs should finish within the latency threshold;
+    /// good = `latency <= threshold`.
+    LatencyP95,
+    /// Deadline-carrying jobs should meet their deadline;
+    /// good = deadline met. Jobs without deadlines are not observed.
+    DeadlineHitRate,
+    /// Submitted jobs should complete; bad = failed, rejected, or shed.
+    Availability,
+}
+
+impl SloKind {
+    /// Every kind, in stable label/slot order.
+    pub const ALL: [SloKind; 3] = [
+        SloKind::LatencyP95,
+        SloKind::DeadlineHitRate,
+        SloKind::Availability,
+    ];
+
+    /// Stable label used in metrics series and exported JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SloKind::LatencyP95 => "latency-p95",
+            SloKind::DeadlineHitRate => "deadline-hit-rate",
+            SloKind::Availability => "availability",
+        }
+    }
+
+    /// Stable index into per-kind metric vectors (matches [`Self::ALL`]).
+    pub fn slot(&self) -> usize {
+        match self {
+            SloKind::LatencyP95 => 0,
+            SloKind::DeadlineHitRate => 1,
+            SloKind::Availability => 2,
+        }
+    }
+}
+
+/// One tenant's objective for one [`SloKind`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSpec {
+    /// Tenant index (the service's tenant id).
+    pub tenant: usize,
+    /// What is measured.
+    pub kind: SloKind,
+    /// Kind-specific threshold: the latency target in seconds for
+    /// [`SloKind::LatencyP95`], unused (0) for the other kinds.
+    pub threshold: f64,
+    /// Required good-event fraction, in `[0, 1)`; the error budget is
+    /// `1 − objective`.
+    pub objective: f64,
+}
+
+/// Windows and threshold for multi-window burn-rate alerting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurnConfig {
+    /// Short window (virtual seconds): responsive, gates clearing.
+    pub fast_window: f64,
+    /// Long window (virtual seconds): smoothed; also bounds how much
+    /// history the engine retains.
+    pub slow_window: f64,
+    /// Both windows' burn must reach this rate for an alert to fire.
+    pub fire_rate: f64,
+    /// Minimum events in the fast window before an alert may fire —
+    /// keeps a single early failure from tripping a 100%-bad window.
+    pub min_events: usize,
+}
+
+impl Default for BurnConfig {
+    fn default() -> Self {
+        Self {
+            fast_window: 0.5,
+            slow_window: 3.0,
+            fire_rate: 2.0,
+            min_events: 10,
+        }
+    }
+}
+
+/// Specs plus burn windows — everything the service needs to turn SLO
+/// monitoring on.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SloPolicy {
+    /// Per-tenant objectives.
+    pub specs: Vec<SloSpec>,
+    /// Shared alerting windows.
+    pub burn: BurnConfig,
+}
+
+/// A fired burn-rate alert. `cleared_at` is `None` while the alert is
+/// still open (the engine closes leftovers in [`SloEngine::finish`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloAlert {
+    /// Tenant the spec belongs to.
+    pub tenant: usize,
+    /// Which objective burned.
+    pub kind: SloKind,
+    /// Virtual time the alert fired.
+    pub fired_at: f64,
+    /// Virtual time the fast window recovered, if it did.
+    pub cleared_at: Option<f64>,
+    /// Fast-window burn rate at fire time.
+    pub burn_fast: f64,
+    /// Slow-window burn rate at fire time.
+    pub burn_slow: f64,
+}
+
+struct SpecState {
+    /// `(time, good)` events inside the slow window, oldest first.
+    events: VecDeque<(f64, bool)>,
+    /// Index into `alerts` of the currently open alert, if any.
+    open: Option<usize>,
+}
+
+/// Evaluates a set of [`SloSpec`]s over a stream of job outcomes.
+pub struct SloEngine {
+    specs: Vec<SloSpec>,
+    burn: BurnConfig,
+    states: Vec<SpecState>,
+    alerts: Vec<SloAlert>,
+}
+
+impl SloEngine {
+    /// Builds an engine for `policy`. Panics if any objective is not in
+    /// `[0, 1)` or the windows are not positive with `fast <= slow`.
+    pub fn new(policy: SloPolicy) -> Self {
+        for spec in &policy.specs {
+            assert!(
+                (0.0..1.0).contains(&spec.objective),
+                "objective must be in [0, 1), got {}",
+                spec.objective
+            );
+        }
+        assert!(
+            policy.burn.fast_window > 0.0 && policy.burn.slow_window >= policy.burn.fast_window,
+            "windows must satisfy 0 < fast <= slow"
+        );
+        let states = policy
+            .specs
+            .iter()
+            .map(|_| SpecState {
+                events: VecDeque::new(),
+                open: None,
+            })
+            .collect();
+        Self {
+            specs: policy.specs,
+            burn: policy.burn,
+            states,
+            alerts: Vec::new(),
+        }
+    }
+
+    /// The specs this engine evaluates, in stable index order.
+    pub fn specs(&self) -> &[SloSpec] {
+        &self.specs
+    }
+
+    /// Current `(fast, slow)` burn rates for spec `idx` at time `now`.
+    pub fn burn_rates(&self, idx: usize, now: f64) -> (f64, f64) {
+        let spec = &self.specs[idx];
+        let st = &self.states[idx];
+        let budget = 1.0 - spec.objective;
+        let rate = |window: f64| {
+            let lo = now - window;
+            let mut total = 0usize;
+            let mut bad = 0usize;
+            for &(t, good) in &st.events {
+                if t >= lo {
+                    total += 1;
+                    if !good {
+                        bad += 1;
+                    }
+                }
+            }
+            if total == 0 {
+                0.0
+            } else {
+                (bad as f64 / total as f64) / budget
+            }
+        };
+        (rate(self.burn.fast_window), rate(self.burn.slow_window))
+    }
+
+    /// Events currently inside spec `idx`'s fast window at `now`.
+    fn fast_count(&self, idx: usize, now: f64) -> usize {
+        let lo = now - self.burn.fast_window;
+        self.states[idx]
+            .events
+            .iter()
+            .filter(|&&(t, _)| t >= lo)
+            .count()
+    }
+
+    fn record(&mut self, idx: usize, now: f64, good: bool) -> Option<usize> {
+        let lo = now - self.burn.slow_window;
+        let st = &mut self.states[idx];
+        st.events.push_back((now, good));
+        while st.events.front().is_some_and(|&(t, _)| t < lo) {
+            st.events.pop_front();
+        }
+        let (fast, slow) = self.burn_rates(idx, now);
+        let st = &mut self.states[idx];
+        match st.open {
+            Some(ai) => {
+                if fast < self.burn.fire_rate {
+                    self.alerts[ai].cleared_at = Some(now);
+                    st.open = None;
+                }
+                None
+            }
+            None => {
+                if fast >= self.burn.fire_rate
+                    && slow >= self.burn.fire_rate
+                    && self.fast_count(idx, now) >= self.burn.min_events
+                {
+                    let spec = self.specs[idx];
+                    self.alerts.push(SloAlert {
+                        tenant: spec.tenant,
+                        kind: spec.kind,
+                        fired_at: now,
+                        cleared_at: None,
+                        burn_fast: fast,
+                        burn_slow: slow,
+                    });
+                    let ai = self.alerts.len() - 1;
+                    self.states[idx].open = Some(ai);
+                    Some(idx)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Observes one finished job for `tenant`: `failed` covers failed
+    /// and shed outcomes, `latency` is submit-to-finish seconds, and
+    /// `deadline_met` is `Some` only for deadline-carrying jobs.
+    /// Returns the spec indices whose alerts newly fired.
+    pub fn observe_finished(
+        &mut self,
+        now: f64,
+        tenant: usize,
+        latency: f64,
+        failed: bool,
+        deadline_met: Option<bool>,
+    ) -> Vec<usize> {
+        let mut fired = Vec::new();
+        for idx in 0..self.specs.len() {
+            let spec = self.specs[idx];
+            if spec.tenant != tenant {
+                continue;
+            }
+            let good = match spec.kind {
+                SloKind::LatencyP95 => {
+                    if failed {
+                        continue;
+                    }
+                    latency <= spec.threshold
+                }
+                SloKind::DeadlineHitRate => match deadline_met {
+                    Some(met) => met && !failed,
+                    None => continue,
+                },
+                SloKind::Availability => !failed,
+            };
+            if let Some(i) = self.record(idx, now, good) {
+                fired.push(i);
+            }
+        }
+        fired
+    }
+
+    /// Observes one rejected (never admitted) job for `tenant` — a bad
+    /// availability event. Returns the spec indices that newly fired.
+    pub fn observe_rejected(&mut self, now: f64, tenant: usize) -> Vec<usize> {
+        let mut fired = Vec::new();
+        for idx in 0..self.specs.len() {
+            let spec = self.specs[idx];
+            if spec.tenant == tenant && spec.kind == SloKind::Availability {
+                if let Some(i) = self.record(idx, now, false) {
+                    fired.push(i);
+                }
+            }
+        }
+        fired
+    }
+
+    /// Closes every still-open alert at `at` and returns all alerts in
+    /// fire order.
+    pub fn finish(mut self, at: f64) -> Vec<SloAlert> {
+        for st in &mut self.states {
+            if let Some(ai) = st.open.take() {
+                self.alerts[ai].cleared_at = Some(at);
+            }
+        }
+        self.alerts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn latency_policy() -> SloPolicy {
+        SloPolicy {
+            specs: vec![SloSpec {
+                tenant: 0,
+                kind: SloKind::LatencyP95,
+                threshold: 1.0,
+                objective: 0.95,
+            }],
+            burn: BurnConfig {
+                fast_window: 1.0,
+                slow_window: 4.0,
+                fire_rate: 2.0,
+                min_events: 5,
+            },
+        }
+    }
+
+    #[test]
+    fn healthy_traffic_never_fires() {
+        let mut eng = SloEngine::new(latency_policy());
+        for i in 0..100 {
+            let fired = eng.observe_finished(i as f64 * 0.05, 0, 0.2, false, None);
+            assert!(fired.is_empty());
+        }
+        assert!(eng.finish(10.0).is_empty());
+    }
+
+    #[test]
+    fn sustained_breach_fires_once_and_latches() {
+        let mut eng = SloEngine::new(latency_policy());
+        let mut fired_total = 0;
+        for i in 0..60 {
+            fired_total += eng
+                .observe_finished(i as f64 * 0.05, 0, 5.0, false, None)
+                .len();
+        }
+        assert_eq!(
+            fired_total, 1,
+            "alert should fire exactly once while latched"
+        );
+        let alerts = eng.finish(3.0);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].tenant, 0);
+        assert_eq!(alerts[0].kind, SloKind::LatencyP95);
+        assert!(alerts[0].burn_fast >= 2.0 && alerts[0].burn_slow >= 2.0);
+        // finish() closed it.
+        assert_eq!(alerts[0].cleared_at, Some(3.0));
+    }
+
+    #[test]
+    fn recovery_clears_the_alert() {
+        let mut eng = SloEngine::new(latency_policy());
+        for i in 0..30 {
+            eng.observe_finished(i as f64 * 0.05, 0, 5.0, false, None);
+        }
+        // Good traffic after the fast window slides past the breach.
+        for i in 0..60 {
+            eng.observe_finished(2.0 + i as f64 * 0.05, 0, 0.1, false, None);
+        }
+        let alerts = eng.finish(10.0);
+        assert_eq!(alerts.len(), 1);
+        let cleared = alerts[0].cleared_at.expect("alert must have cleared");
+        assert!(
+            cleared < 10.0,
+            "cleared by recovery, not by finish(): {cleared}"
+        );
+    }
+
+    #[test]
+    fn min_events_suppresses_thin_windows() {
+        let mut eng = SloEngine::new(latency_policy());
+        // Three terrible events: 100% bad but under min_events = 5.
+        for i in 0..3 {
+            let fired = eng.observe_finished(i as f64 * 0.1, 0, 9.0, false, None);
+            assert!(fired.is_empty());
+        }
+        assert!(eng.finish(1.0).is_empty());
+    }
+
+    #[test]
+    fn slow_window_suppresses_a_short_spike() {
+        let mut eng = SloEngine::new(SloPolicy {
+            burn: BurnConfig {
+                fast_window: 0.5,
+                slow_window: 8.0,
+                fire_rate: 2.0,
+                min_events: 3,
+            },
+            ..latency_policy()
+        });
+        // A long healthy history…
+        for i in 0..200 {
+            eng.observe_finished(i as f64 * 0.02, 0, 0.1, false, None);
+        }
+        // …then a burst of 6 bad events inside the fast window only.
+        let mut fired = 0;
+        for i in 0..6 {
+            fired += eng
+                .observe_finished(4.0 + i as f64 * 0.05, 0, 9.0, false, None)
+                .len();
+        }
+        assert_eq!(fired, 0, "slow window should veto the spike");
+    }
+
+    #[test]
+    fn availability_counts_rejections_and_failures() {
+        let mut eng = SloEngine::new(SloPolicy {
+            specs: vec![SloSpec {
+                tenant: 1,
+                kind: SloKind::Availability,
+                threshold: 0.0,
+                objective: 0.9,
+            }],
+            burn: BurnConfig {
+                fast_window: 1.0,
+                slow_window: 4.0,
+                fire_rate: 2.0,
+                min_events: 4,
+            },
+        });
+        let mut fired = 0;
+        for i in 0..4 {
+            fired += eng.observe_rejected(i as f64 * 0.1, 1).len();
+        }
+        assert_eq!(fired, 1);
+        // Other tenants are invisible to the spec.
+        assert!(eng.observe_rejected(0.5, 0).is_empty());
+    }
+
+    #[test]
+    fn deadline_spec_ignores_deadline_free_jobs() {
+        let mut eng = SloEngine::new(SloPolicy {
+            specs: vec![SloSpec {
+                tenant: 0,
+                kind: SloKind::DeadlineHitRate,
+                threshold: 0.0,
+                objective: 0.8,
+            }],
+            burn: BurnConfig {
+                fast_window: 1.0,
+                slow_window: 2.0,
+                fire_rate: 1.5,
+                min_events: 3,
+            },
+        });
+        // Deadline-free jobs produce no events at all.
+        for i in 0..20 {
+            assert!(eng
+                .observe_finished(i as f64 * 0.05, 0, 0.5, false, None)
+                .is_empty());
+        }
+        // Missed deadlines do.
+        let mut fired = 0;
+        for i in 0..4 {
+            fired += eng
+                .observe_finished(1.0 + i as f64 * 0.05, 0, 0.5, false, Some(false))
+                .len();
+        }
+        assert_eq!(fired, 1);
+    }
+
+    #[test]
+    fn burn_rates_scale_with_the_error_budget() {
+        let mut eng = SloEngine::new(latency_policy());
+        // 1 bad in 10 events = 10% bad over a 5% budget = burn 2.
+        for i in 0..9 {
+            eng.observe_finished(i as f64 * 0.05, 0, 0.1, false, None);
+        }
+        eng.observe_finished(0.45, 0, 9.0, false, None);
+        let (fast, _) = eng.burn_rates(0, 0.45);
+        assert!((fast - 2.0).abs() < 1e-12, "{fast}");
+    }
+}

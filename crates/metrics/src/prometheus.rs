@@ -151,4 +151,31 @@ mod tests {
     fn empty_registry_renders_empty() {
         assert_eq!(render(&MetricsRegistry::new()), "");
     }
+
+    #[test]
+    fn hostile_label_values_round_trip_escaped() {
+        // A tenant name with a backslash, an embedded quote, and a
+        // newline must stay inside its quotes: one sample line, the
+        // escape sequences literal, and no raw quote or line break
+        // leaking into the exposition grammar.
+        let reg = MetricsRegistry::new();
+        let hostile = "acme\\corp\"x\"\ninjected_total 99";
+        reg.counter_with("jobs_total", "jobs", &[("tenant", hostile)])
+            .add(3);
+        let text = render(&reg);
+        let samples: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(samples.len(), 1, "{text}");
+        assert_eq!(
+            samples[0],
+            "jobs_total{tenant=\"acme\\\\corp\\\"x\\\"\\ninjected_total 99\"} 3"
+        );
+        // Unescaping the label value recovers the original name exactly.
+        let start = samples[0].find("tenant=\"").unwrap() + "tenant=\"".len();
+        let end = samples[0].rfind("\"}").unwrap();
+        let unescaped = samples[0][start..end]
+            .replace("\\n", "\n")
+            .replace("\\\"", "\"")
+            .replace("\\\\", "\\");
+        assert_eq!(unescaped, hostile);
+    }
 }

@@ -151,14 +151,22 @@ impl Histogram {
     /// Estimates the `q`-quantile (`q` in [0, 1]) as the upper bound of
     /// the bucket containing the target rank — a conservative (never
     /// under-reporting) estimate within one sub-bucket width of the true
-    /// value. Returns 0 for an empty histogram.
+    /// value. Returns 0 for an empty histogram; use [`Self::try_quantile`]
+    /// when "no observations" must be distinguishable from "all zero".
     pub fn quantile(&self, q: f64) -> f64 {
+        self.try_quantile(q).unwrap_or(0.0)
+    }
+
+    /// [`Self::quantile`], but `None` for an empty histogram instead of
+    /// a fabricated 0 — an empty window has no p95, and reporting one
+    /// as 0 reads as "infinitely fast" to alerting math.
+    pub fn try_quantile(&self, q: f64) -> Option<f64> {
         let counts: Vec<u64> = self
             .buckets
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
-        quantile_from_buckets(&counts, q)
+        try_quantile_from_buckets(&counts, q)
     }
 
     /// Copies out the raw per-bucket counts (index `i` bounded above by
@@ -191,20 +199,20 @@ impl std::fmt::Debug for Histogram {
     }
 }
 
-fn quantile_from_buckets(counts: &[u64], q: f64) -> f64 {
+fn try_quantile_from_buckets(counts: &[u64], q: f64) -> Option<f64> {
     let total: u64 = counts.iter().sum();
     if total == 0 {
-        return 0.0;
+        return None;
     }
     let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
     let mut cum = 0u64;
     for (i, &c) in counts.iter().enumerate() {
         cum += c;
         if cum >= target {
-            return bucket_upper(i);
+            return Some(bucket_upper(i));
         }
     }
-    f64::INFINITY
+    Some(f64::INFINITY)
 }
 
 /// What a registered name holds.
@@ -251,12 +259,22 @@ pub struct MetricsRegistry {
 }
 
 /// Renders a label set in Prometheus order-stable form: `k1="v1",k2="v2"`.
+/// Values escape backslash, double quote, and newline per the exposition
+/// format — a hostile tenant name must not break out of its quotes or
+/// smuggle in extra sample lines.
 fn render_labels(labels: &[(&str, &str)]) -> String {
     let mut sorted: Vec<_> = labels.to_vec();
     sorted.sort_unstable();
     sorted
         .iter()
-        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .map(|(k, v)| {
+            format!(
+                "{k}=\"{}\"",
+                v.replace('\\', "\\\\")
+                    .replace('"', "\\\"")
+                    .replace('\n', "\\n")
+            )
+        })
         .collect::<Vec<_>>()
         .join(",")
 }
@@ -431,9 +449,15 @@ pub struct HistogramSnapshot {
 
 impl HistogramSnapshot {
     /// Quantile estimate over the captured counts (see
-    /// [`Histogram::quantile`]).
+    /// [`Histogram::quantile`]); 0 when the snapshot is empty.
     pub fn quantile(&self, q: f64) -> f64 {
-        quantile_from_buckets(&self.buckets, q)
+        self.try_quantile(q).unwrap_or(0.0)
+    }
+
+    /// [`Self::quantile`], but `None` for an empty snapshot (see
+    /// [`Histogram::try_quantile`]).
+    pub fn try_quantile(&self, q: f64) -> Option<f64> {
+        try_quantile_from_buckets(&self.buckets, q)
     }
 }
 
@@ -511,6 +535,22 @@ mod tests {
     #[test]
     fn empty_histogram_quantile_is_zero() {
         assert_eq!(Histogram::new().quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_try_quantile_is_none_until_observed() {
+        // Regression: an empty window must be distinguishable from an
+        // all-zero one — the legacy `quantile` keeps returning 0, but
+        // `try_quantile` says "no data" on both the live histogram and
+        // its snapshot.
+        let h = Histogram::new();
+        assert_eq!(h.try_quantile(0.95), None);
+        assert_eq!(h.snapshot().try_quantile(0.95), None);
+        assert_eq!(h.snapshot().quantile(0.95), 0.0);
+        h.observe(2.5);
+        let p95 = h.try_quantile(0.95).expect("one observation suffices");
+        assert!(p95 >= 2.5);
+        assert_eq!(h.snapshot().try_quantile(0.95), Some(p95));
     }
 
     #[test]

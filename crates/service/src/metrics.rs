@@ -9,6 +9,7 @@
 
 use std::sync::Arc;
 
+use summagen_insight::SloKind;
 use summagen_metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 
 use crate::job::Rejection;
@@ -66,6 +67,13 @@ pub struct ServiceMetrics {
     quarantined: Vec<Arc<Gauge>>,
     /// Per-device breaker-open count, by device name.
     quarantine_opens: Vec<Arc<Counter>>,
+    /// `summagen_service_slo_burn_rate{tenant,slo,window="fast"}` —
+    /// tenant-major, [`SloKind::ALL`] slot order within.
+    slo_burn_fast: Vec<[Arc<Gauge>; 3]>,
+    /// `summagen_service_slo_burn_rate{tenant,slo,window="slow"}`.
+    slo_burn_slow: Vec<[Arc<Gauge>; 3]>,
+    /// `summagen_service_slo_alerts_total{tenant,slo}`.
+    slo_alerts: Vec<[Arc<Counter>; 3]>,
 }
 
 impl ServiceMetrics {
@@ -178,6 +186,42 @@ impl ServiceMetrics {
                 )
             })
             .collect();
+        let slo_burn_fast = tenants
+            .iter()
+            .map(|t| {
+                SloKind::ALL.map(|kind| {
+                    registry.gauge_with(
+                        "summagen_service_slo_burn_rate",
+                        "Error-budget burn rate per tenant, SLO, and window.",
+                        &[("tenant", t), ("slo", kind.label()), ("window", "fast")],
+                    )
+                })
+            })
+            .collect();
+        let slo_burn_slow = tenants
+            .iter()
+            .map(|t| {
+                SloKind::ALL.map(|kind| {
+                    registry.gauge_with(
+                        "summagen_service_slo_burn_rate",
+                        "Error-budget burn rate per tenant, SLO, and window.",
+                        &[("tenant", t), ("slo", kind.label()), ("window", "slow")],
+                    )
+                })
+            })
+            .collect();
+        let slo_alerts = tenants
+            .iter()
+            .map(|t| {
+                SloKind::ALL.map(|kind| {
+                    registry.counter_with(
+                        "summagen_service_slo_alerts_total",
+                        "Multi-window burn-rate alerts fired, by tenant and SLO.",
+                        &[("tenant", t), ("slo", kind.label())],
+                    )
+                })
+            })
+            .collect();
         Arc::new(Self {
             completed,
             failed,
@@ -210,6 +254,9 @@ impl ServiceMetrics {
             device_busy,
             quarantined,
             quarantine_opens,
+            slo_burn_fast,
+            slo_burn_slow,
+            slo_alerts,
         })
     }
 
@@ -265,6 +312,17 @@ impl ServiceMetrics {
     /// Latency quantile estimate for one tenant, from the histogram.
     pub fn latency_quantile(&self, tenant: usize, q: f64) -> f64 {
         self.latency[tenant].quantile(q)
+    }
+
+    /// Publishes one tenant's burn rates for one SLO kind.
+    pub fn set_slo_burn(&self, tenant: usize, kind: SloKind, fast: f64, slow: f64) {
+        self.slo_burn_fast[tenant][kind.slot()].set(fast);
+        self.slo_burn_slow[tenant][kind.slot()].set(slow);
+    }
+
+    /// Counts one fired burn-rate alert.
+    pub fn record_slo_alert(&self, tenant: usize, kind: SloKind) {
+        self.slo_alerts[tenant][kind.slot()].inc();
     }
 }
 
@@ -353,5 +411,23 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("reason=\"deadline-infeasible\""), "{text}");
+    }
+
+    #[test]
+    fn slo_series_carry_kind_and_window_labels() {
+        let m = metrics();
+        m.set_slo_burn(0, SloKind::LatencyP95, 2.5, 1.5);
+        m.record_slo_alert(0, SloKind::LatencyP95);
+        m.record_slo_alert(0, SloKind::LatencyP95);
+        m.record_slo_alert(1, SloKind::Availability);
+        assert_eq!(m.slo_alerts[0][SloKind::LatencyP95.slot()].get(), 2);
+        assert_eq!(m.slo_alerts[1][SloKind::Availability.slot()].get(), 1);
+        assert_eq!(m.slo_alerts[1][SloKind::LatencyP95.slot()].get(), 0);
+        let text = summagen_metrics::prometheus::render(m.registry());
+        assert!(text.contains("summagen_service_slo_burn_rate"), "{text}");
+        assert!(text.contains("summagen_service_slo_alerts_total"), "{text}");
+        assert!(text.contains("slo=\"latency-p95\""), "{text}");
+        assert!(text.contains("window=\"fast\""), "{text}");
+        assert!(text.contains("window=\"slow\""), "{text}");
     }
 }

@@ -30,6 +30,7 @@ use summagen_comm::{FaultPlan, HockneyModel};
 use summagen_core::{
     multiply_abft, multiply_with_recovery, AbftOptions, ExecutionMode, RecoveryOptions,
 };
+use summagen_insight::{SloAlert, SloEngine, SloPolicy};
 use summagen_matrix::{gemm_naive, max_abs_diff, random_matrix, DenseMatrix};
 
 use crate::degrade::{CircuitBreaker, CircuitState, DegradeConfig, QuarantineEvent, WaitWindow};
@@ -124,6 +125,7 @@ pub struct GemmService {
     config: ServiceConfig,
     metrics: Option<Arc<ServiceMetrics>>,
     sink: Option<Arc<dyn EventSink>>,
+    slo: Option<SloPolicy>,
 }
 
 /// Everything one `run` produced.
@@ -155,6 +157,9 @@ pub struct ServiceReport {
     /// FNV-1a digest of every scheduling decision — two runs scheduled
     /// identically iff their digests match.
     pub schedule_digest: u64,
+    /// Every burn-rate alert the SLO engine fired, in fire order (empty
+    /// when no [`SloPolicy`] was attached).
+    pub slo_alerts: Vec<SloAlert>,
 }
 
 /// Per-tenant latency/throughput summary with *exact* quantiles
@@ -190,6 +195,8 @@ pub struct TenantSummary {
     pub deadline_jobs: usize,
     /// Finished deadline jobs that met their deadline.
     pub deadline_met: usize,
+    /// Burn-rate alerts the SLO engine fired for this tenant.
+    pub slo_alerts: usize,
 }
 
 impl TenantSummary {
@@ -303,6 +310,7 @@ impl ServiceReport {
                     deadline_met: recs()
                         .filter(|r| r.deadline == DeadlineVerdict::Met)
                         .count(),
+                    slo_alerts: self.slo_alerts.iter().filter(|a| a.tenant == t).count(),
                 }
             })
             .collect()
@@ -401,6 +409,8 @@ struct RunState {
     /// Full-pool service-time estimates by problem size, for the
     /// deadline-admission backlog model.
     est_cache: BTreeMap<usize, f64>,
+    /// SLO burn-rate engine (present when a policy is attached).
+    slo: Option<SloEngine>,
     now: f64,
 }
 
@@ -412,6 +422,7 @@ impl GemmService {
             config,
             metrics: None,
             sink: None,
+            slo: None,
         }
     }
 
@@ -426,6 +437,17 @@ impl GemmService {
     /// [`SpanKind::Sched`] span per occupied device, rank = pool index.
     pub fn with_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
         self.sink = Some(sink);
+        self
+    }
+
+    /// Attaches per-tenant SLO specs with multi-window burn-rate
+    /// alerting. Each run evaluates the specs over its job outcomes,
+    /// publishes burn gauges and alert counters (when metrics are
+    /// attached), emits one [`SpanKind::SloAlert`] annotation span per
+    /// fired alert (when a sink is attached), and reports the alerts in
+    /// [`ServiceReport::slo_alerts`].
+    pub fn with_slo(mut self, policy: SloPolicy) -> Self {
+        self.slo = Some(policy);
         self
     }
 
@@ -461,6 +483,7 @@ impl GemmService {
             brownout_active: false,
             resume: BTreeMap::new(),
             est_cache: BTreeMap::new(),
+            slo: self.slo.clone().map(SloEngine::new),
             now: 0.0,
         };
         let mut arrivals = jobs.into_iter().peekable();
@@ -516,6 +539,30 @@ impl GemmService {
         if let Some(m) = &self.metrics {
             m.set_device_busy(&device_busy);
         }
+        // Close still-open alerts at the makespan and render each alert
+        // interval as an annotation span. Tenants have no rank of their
+        // own, so alerts land on the phases track of device
+        // `tenant mod pool size` — deterministic and collision-free for
+        // the standard mixes (3 tenants, 3 devices).
+        let slo_alerts = match st.slo.take() {
+            Some(engine) => engine.finish(makespan),
+            None => Vec::new(),
+        };
+        if let Some(sink) = &self.sink {
+            for alert in &slo_alerts {
+                sink.record(SpanRecord {
+                    rank: alert.tenant % self.pool.len().max(1),
+                    start: alert.fired_at,
+                    end: alert.cleared_at.unwrap_or(makespan),
+                    kind: SpanKind::SloAlert {
+                        tenant: alert.tenant as u64,
+                        slo: alert.kind.label(),
+                        burn_fast: alert.burn_fast,
+                        burn_slow: alert.burn_slow,
+                    },
+                });
+            }
+        }
         ServiceReport {
             policy: self.config.policy,
             schedule_digest: digest(&st.records, &st.rejections),
@@ -529,6 +576,7 @@ impl GemmService {
             quarantine_events: st.quarantine_events,
             device_names: self.pool.devices().iter().map(|d| d.name).collect(),
             device_busy,
+            slo_alerts,
         }
     }
 
@@ -578,6 +626,21 @@ impl GemmService {
                 if rec.missed_deadline() {
                     m.record_deadline_miss(rec.spec.tenant);
                 }
+            }
+            if let Some(engine) = st.slo.as_mut() {
+                let failed = !matches!(rec.outcome, JobOutcome::Completed);
+                let deadline_met = rec
+                    .spec
+                    .deadline
+                    .map(|_| rec.deadline == DeadlineVerdict::Met);
+                let fired = engine.observe_finished(
+                    rec.finish_time,
+                    rec.spec.tenant,
+                    rec.latency(),
+                    failed,
+                    deadline_met,
+                );
+                self.publish_slo(engine, rec.spec.tenant, rec.finish_time, &fired);
             }
             st.records.push(rec);
         }
@@ -663,7 +726,28 @@ impl GemmService {
             if let Some(m) = &self.metrics {
                 m.record_rejection(job.tenant, &rej);
             }
+            let now = st.now;
+            if let Some(engine) = st.slo.as_mut() {
+                let fired = engine.observe_rejected(now, job.tenant);
+                self.publish_slo(engine, job.tenant, now, &fired);
+            }
             st.rejections.push((job, rej));
+        }
+    }
+
+    /// Publishes one tenant's current burn rates and any newly fired
+    /// alerts to the metrics bundle.
+    fn publish_slo(&self, engine: &SloEngine, tenant: usize, now: f64, fired: &[usize]) {
+        let Some(m) = &self.metrics else { return };
+        for (idx, spec) in engine.specs().iter().enumerate() {
+            if spec.tenant == tenant {
+                let (fast, slow) = engine.burn_rates(idx, now);
+                m.set_slo_burn(tenant, spec.kind, fast, slow);
+            }
+        }
+        for &idx in fired {
+            let spec = engine.specs()[idx];
+            m.record_slo_alert(spec.tenant, spec.kind);
         }
     }
 
@@ -735,6 +819,11 @@ impl GemmService {
             };
             if let Some(m) = &self.metrics {
                 m.record_rejection(job.tenant, &rej);
+            }
+            let now = st.now;
+            if let Some(engine) = st.slo.as_mut() {
+                let fired = engine.observe_rejected(now, job.tenant);
+                self.publish_slo(engine, job.tenant, now, &fired);
             }
             st.rejections.push((job, rej));
         }
@@ -1591,6 +1680,61 @@ mod tests {
         assert_eq!(a.preemptions, b.preemptions);
         assert_eq!(a.quarantine_events, b.quarantine_events);
         assert_eq!(a.shed(), b.shed());
+    }
+
+    #[test]
+    fn slo_alerts_fire_on_breach_and_stay_quiet_when_healthy() {
+        use std::sync::Mutex;
+        use summagen_insight::{BurnConfig, SloKind, SloSpec};
+        #[derive(Default)]
+        struct Collect(Mutex<Vec<SpanRecord>>);
+        impl EventSink for Collect {
+            fn record(&self, span: SpanRecord) {
+                self.0.lock().unwrap().push(span);
+            }
+        }
+        let policy = |threshold: f64| SloPolicy {
+            specs: vec![SloSpec {
+                tenant: 0,
+                kind: SloKind::LatencyP95,
+                threshold,
+                objective: 0.95,
+            }],
+            burn: BurnConfig {
+                fast_window: 0.5,
+                slow_window: 2.0,
+                fire_rate: 2.0,
+                min_events: 5,
+            },
+        };
+        // An unmeetable latency target: every finished job burns budget.
+        let sink = Arc::new(Collect::default());
+        let report = GemmService::new(pool(), config(Policy::FpmAware))
+            .with_slo(policy(0.0))
+            .with_sink(Arc::clone(&sink) as Arc<dyn EventSink>)
+            .run(generate(&small_mix()));
+        assert!(!report.slo_alerts.is_empty(), "breach never alerted");
+        let alert = &report.slo_alerts[0];
+        assert_eq!(alert.tenant, 0);
+        assert_eq!(alert.kind, SloKind::LatencyP95);
+        assert!(alert.burn_fast >= 2.0 && alert.burn_slow >= 2.0);
+        assert!(alert.cleared_at.is_some(), "finish() must close alerts");
+        let summaries = report.tenant_summaries(3);
+        assert_eq!(summaries[0].slo_alerts, report.slo_alerts.len());
+        assert_eq!(summaries[1].slo_alerts, 0);
+        // Each alert rendered as one annotation span on a device track.
+        let spans = sink.0.lock().unwrap();
+        let alert_spans: Vec<_> = spans
+            .iter()
+            .filter(|s| matches!(s.kind, SpanKind::SloAlert { .. }))
+            .collect();
+        assert_eq!(alert_spans.len(), report.slo_alerts.len());
+        assert!(alert_spans.iter().all(|s| !s.kind.is_leaf()));
+        // A trivially met target: the same load fires nothing.
+        let healthy = GemmService::new(pool(), config(Policy::FpmAware))
+            .with_slo(policy(1e9))
+            .run(generate(&small_mix()));
+        assert!(healthy.slo_alerts.is_empty(), "{:?}", healthy.slo_alerts);
     }
 
     #[test]

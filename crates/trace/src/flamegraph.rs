@@ -112,8 +112,11 @@ fn fold_rank<'a>(
     };
 
     for r in ordered {
-        if matches!(r.kind.label(), "rank-death" | "heartbeat") {
-            continue; // instant events: no duration to attribute
+        if matches!(r.kind.label(), "rank-death" | "heartbeat" | "slo-alert") {
+            // Instant events have no duration to attribute; SLO alert
+            // intervals describe the schedule without occupying the
+            // device, so folding them in would misnest real work.
+            continue;
         }
         close_until(&mut open, &mut frames, stacks, r.start, r.end);
         if let Some(top) = open.last_mut() {

@@ -19,6 +19,10 @@
 //!   `(sender, seq)` edges across ranks) that bounds the makespan
 //!   ([`CriticalPath`]); its end time equals the executor's reported
 //!   virtual time.
+//! * [`replay`](crate::replay::replay) — causal what-if replay: rescale
+//!   the demand of a span class, link, or device ([`Intervention`]) and
+//!   re-time the trace through the same happens-before DAG, so "comm
+//!   free" or "device 2 twice as fast" get concrete makespans.
 //! * [`perfetto_json`] — Chrome/Perfetto trace-event export on the
 //!   virtual-clock timebase, two tracks per rank (ops and enclosing
 //!   phases).
@@ -37,6 +41,7 @@ pub mod analysis;
 pub mod flamegraph;
 pub mod perfetto;
 pub mod recorder;
+pub mod replay;
 pub mod ring;
 
 pub use analysis::{
@@ -45,4 +50,5 @@ pub use analysis::{
 pub use flamegraph::folded_stacks;
 pub use perfetto::perfetto_json;
 pub use recorder::{RecordedTrace, TraceRecorder, TraceSpan, DEFAULT_RING_CAPACITY};
+pub use replay::{replay, Intervention, Replay, Target};
 pub use ring::RingBuffer;

@@ -146,6 +146,23 @@ fn event_json(ts: &TraceSpan) -> String {
             "quarantine",
             format!("{{\"failures\":{failures},\"opens\":{opens}}}"),
         ),
+        // SLO alert intervals also ride the phases track: they annotate
+        // the schedule (a tenant's burn windows were hot) without
+        // occupying any device.
+        SpanKind::SloAlert {
+            tenant,
+            slo,
+            burn_fast,
+            burn_slow,
+        } => (
+            r.rank * 2 + 1,
+            "slo",
+            format!(
+                "{{\"tenant\":{tenant},\"slo\":\"{}\",\"burn_fast\":{burn_fast},\
+                 \"burn_slow\":{burn_slow}}}",
+                esc(slo)
+            ),
+        ),
         SpanKind::Heartbeat { seq } => {
             // Zero-duration liveness tick: an instant event on the
             // phases track, out of the way of real comm/compute spans.

@@ -256,6 +256,18 @@ fn push_kind(out: &mut Vec<u8>, kind: &SpanKind) {
             push_u64(out, *failures);
             push_u64(out, *opens);
         }
+        SpanKind::SloAlert {
+            tenant,
+            slo,
+            burn_fast,
+            burn_slow,
+        } => {
+            out.push(11);
+            push_u64(out, *tenant);
+            out.extend_from_slice(slo.as_bytes());
+            push_u64(out, burn_fast.to_bits());
+            push_u64(out, burn_slow.to_bits());
+        }
     }
 }
 

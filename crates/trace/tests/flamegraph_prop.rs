@@ -1,0 +1,173 @@
+//! Property test: folded-stack weights conserve busy time.
+//!
+//! For arbitrary properly-nested span forests — stages holding leaves
+//! and collectives, collectives holding their own leaves, with gaps and
+//! uncovered self time everywhere — the sum of all folded-stack weights
+//! must equal the total busy time (the summed duration of the outermost
+//! spans), because leaf weights plus encloser self times tile each
+//! outermost span exactly. Annotation-only spans (SLO alerts, rank
+//! deaths) overlap the structure arbitrarily and must not perturb the
+//! total.
+//!
+//! All interval boundaries are integer virtual seconds, so the expected
+//! nanosecond total is exact and the assertion is equality, not
+//! tolerance.
+
+use proptest::prelude::*;
+
+use summagen_comm::span::{CollectiveOp, EventSink, MsgOutcome, SpanKind, SpanRecord, StageLabel};
+use summagen_trace::{folded_stacks, TraceRecorder};
+
+/// One child op inside a stage block: `(pad, width, kind)` with kind
+/// 0 = GEMM leaf, 1 = send leaf, 2 = collective encloser (holding a
+/// nested send when wide enough), 3 = an SLO-alert annotation that
+/// occupies no device time and must be skipped by the fold.
+type ChildSpec = (u64, u64, u32);
+
+/// One stage block: `(gap, children, tail_pad)`.
+type BlockSpec = (u64, Vec<ChildSpec>, u64);
+
+fn span(rank: usize, start: u64, end: u64, kind: SpanKind) -> SpanRecord {
+    SpanRecord {
+        rank,
+        start: start as f64,
+        end: end as f64,
+        kind,
+    }
+}
+
+fn gemm(rank: usize, start: u64, end: u64) -> SpanRecord {
+    span(
+        rank,
+        start,
+        end,
+        SpanKind::Gemm {
+            m: 8,
+            n: 8,
+            k: 8,
+            flops: 1024.0,
+            kernel_ns: 0,
+        },
+    )
+}
+
+fn send(rank: usize, start: u64, end: u64) -> SpanRecord {
+    span(
+        rank,
+        start,
+        end,
+        SpanKind::Send {
+            dst: rank + 1,
+            tag: 0,
+            bytes: 64,
+            seq: start,
+            outcome: MsgOutcome::Delivered,
+        },
+    )
+}
+
+/// Materialises one rank's blocks into the recorder, returning the
+/// rank's busy nanoseconds (the summed outermost stage durations).
+fn build_rank(rec: &TraceRecorder, rank: usize, blocks: &[BlockSpec]) -> u64 {
+    let mut t = 0u64;
+    let mut busy_ns = 0u64;
+    for (gap, children, tail_pad) in blocks {
+        t += gap;
+        let block_start = t;
+        for &(pad, w, kind) in children {
+            match kind {
+                0 => {
+                    t += pad;
+                    rec.record(gemm(rank, t, t + w));
+                    t += w;
+                }
+                1 => {
+                    t += pad;
+                    rec.record(send(rank, t, t + w));
+                    t += w;
+                }
+                2 => {
+                    t += pad;
+                    rec.record(span(
+                        rank,
+                        t,
+                        t + w,
+                        SpanKind::Collective {
+                            op: CollectiveOp::Bcast,
+                            root: 0,
+                            comm_size: 3,
+                        },
+                    ));
+                    if w >= 2 {
+                        // Nested leaf covering part of the collective;
+                        // the rest stays collective self time.
+                        rec.record(send(rank, t, t + w - 1));
+                    }
+                    t += w;
+                }
+                _ => {
+                    // Annotation riding on top of the schedule: spans
+                    // device time it does not occupy. No cursor
+                    // advance, no busy contribution.
+                    rec.record(span(
+                        rank,
+                        t,
+                        t + w,
+                        SpanKind::SloAlert {
+                            tenant: rank as u64,
+                            slo: "latency-p95",
+                            burn_fast: 3.0,
+                            burn_slow: 2.5,
+                        },
+                    ));
+                }
+            }
+        }
+        t += tail_pad;
+        rec.record(span(
+            rank,
+            block_start,
+            t,
+            SpanKind::Stage {
+                stage: StageLabel::HorizontalA,
+            },
+        ));
+        busy_ns += (t - block_start) * 1_000_000_000;
+    }
+    // An instant event never carries weight.
+    rec.record(span(rank, t, t, SpanKind::RankDeath { cause: "panic" }));
+    busy_ns
+}
+
+fn folded_total_ns(folded: &str) -> u64 {
+    folded
+        .lines()
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn self_time_weights_sum_to_total_busy_time(
+        ranks in proptest::collection::vec(
+            proptest::collection::vec(
+                (0u64..3, proptest::collection::vec((0u64..2, 1u64..4, 0u32..4), 0..5), 0u64..2),
+                1..4,
+            ),
+            1..4,
+        ),
+    ) {
+        let rec = TraceRecorder::new(ranks.len());
+        let mut busy_ns = 0u64;
+        for (rank, blocks) in ranks.iter().enumerate() {
+            busy_ns += build_rank(&rec, rank, blocks);
+        }
+        let folded = folded_stacks(&rec.finish());
+        prop_assert_eq!(folded_total_ns(&folded), busy_ns, "folded:\n{}", folded);
+        // The annotations never leak into the stacks.
+        prop_assert!(!folded.contains("slo-alert"));
+        prop_assert!(!folded.contains("rank-death"));
+    }
+}
