@@ -239,6 +239,69 @@ pub fn run_bench(out_dir: &Path, backend: Backend) -> io::Result<()> {
 /// One `--check` violation, human-readable.
 pub type CheckViolation = String;
 
+/// Why a `--check` run could not even be attempted — distinct from a
+/// [`CheckOutcome`] with violations (the comparison ran and failed).
+/// Every variant names the offending path, so a typo'd `--check DIR`
+/// fails with the directory it looked in rather than a bare "No such
+/// file or directory".
+#[derive(Debug)]
+pub enum CheckError {
+    /// The baseline directory does not exist (or is not a directory).
+    MissingBaselineDir(std::path::PathBuf),
+    /// A baseline artifact is missing or unreadable.
+    UnreadableBaseline(std::path::PathBuf, io::Error),
+    /// A baseline artifact exists but is not parseable JSON.
+    MalformedBaseline(std::path::PathBuf, String),
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::MissingBaselineDir(dir) => write!(
+                f,
+                "baseline directory '{}' does not exist — run the export first \
+                 (e.g. `reproduce bench --out {}`) or point --check at a committed baseline",
+                dir.display(),
+                dir.display()
+            ),
+            CheckError::UnreadableBaseline(path, e) => {
+                write!(f, "baseline '{}' unreadable: {e}", path.display())
+            }
+            CheckError::MalformedBaseline(path, e) => {
+                write!(f, "baseline '{}' is not valid JSON: {e}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckError::UnreadableBaseline(_, e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Reads and parses one baseline artifact, wrapping both failure modes
+/// with the offending path. Shared by `bench --check` and
+/// `insight --check`.
+pub fn read_baseline(path: &Path) -> Result<Json, CheckError> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| CheckError::UnreadableBaseline(path.to_path_buf(), e))?;
+    Json::parse(&text).map_err(|e| CheckError::MalformedBaseline(path.to_path_buf(), e))
+}
+
+/// Fails fast with a typed error if `baseline_dir` is not a directory,
+/// before any expensive fresh runs are attempted.
+pub fn require_baseline_dir(baseline_dir: &Path) -> Result<(), CheckError> {
+    if baseline_dir.is_dir() {
+        Ok(())
+    } else {
+        Err(CheckError::MissingBaselineDir(baseline_dir.to_path_buf()))
+    }
+}
+
 /// The relative drift of one numeric leaf between baseline and fresh
 /// documents; `--check` reports the worst one on failure so the first
 /// place to look is named instead of buried in a violation list.
@@ -400,8 +463,15 @@ pub fn compare_docs_drift(
 /// document against the matching artifact in `baseline_dir` (channel
 /// baselines are the unsuffixed `BENCH_<shape>.json`). Returns every
 /// violation (empty = within tolerance) plus the worst-drifting leaf
-/// across all shapes, so a failure names where to look first.
-pub fn check_bench(baseline_dir: &Path, tol: f64, backend: Backend) -> io::Result<CheckOutcome> {
+/// across all shapes, so a failure names where to look first. A missing
+/// or unreadable baseline is a typed [`CheckError`] naming the path —
+/// detected before the expensive fresh runs start.
+pub fn check_bench(
+    baseline_dir: &Path,
+    tol: f64,
+    backend: Backend,
+) -> Result<CheckOutcome, CheckError> {
+    require_baseline_dir(baseline_dir)?;
     let mut outcome = CheckOutcome::default();
     println!(
         "\nBENCH CHECK — fresh {backend} run vs baselines in {} (tolerance ±{:.2}%)",
@@ -410,9 +480,7 @@ pub fn check_bench(baseline_dir: &Path, tol: f64, backend: Backend) -> io::Resul
     );
     for shape in ALL_FOUR_SHAPES {
         let path = baseline_dir.join(bench_artifact_name(shape, backend));
-        let text = fs::read_to_string(&path)?;
-        let baseline = Json::parse(&text)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{path:?}: {e}")))?;
+        let baseline = read_baseline(&path)?;
         let fresh = bench_json(&bench_shape(shape, backend));
         let (v, drift) = compare_docs_drift(shape.name(), &baseline, &fresh, tol);
         println!(
@@ -433,6 +501,41 @@ pub fn check_bench(baseline_dir: &Path, tol: f64, backend: Backend) -> io::Resul
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn check_against_a_missing_baseline_dir_is_a_typed_error_naming_the_path() {
+        let dir = Path::new("target/no-such-baseline-dir");
+        let err = check_bench(dir, 0.01, Backend::Channel).unwrap_err();
+        match &err {
+            CheckError::MissingBaselineDir(p) => assert_eq!(p, dir),
+            other => panic!("expected MissingBaselineDir, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("target/no-such-baseline-dir"), "{msg}");
+        assert!(msg.contains("does not exist"), "{msg}");
+    }
+
+    #[test]
+    fn unreadable_and_malformed_baselines_name_the_offending_path() {
+        let dir = std::env::temp_dir().join("summagen-check-error-test");
+        fs::create_dir_all(&dir).unwrap();
+
+        let missing = dir.join("BENCH_nope.json");
+        match read_baseline(&missing) {
+            Err(CheckError::UnreadableBaseline(p, _)) => assert_eq!(p, missing),
+            other => panic!("expected UnreadableBaseline, got {other:?}"),
+        }
+
+        let bad = dir.join("BENCH_bad.json");
+        fs::write(&bad, "{ this is not json").unwrap();
+        match read_baseline(&bad) {
+            Err(CheckError::MalformedBaseline(p, _)) => assert_eq!(p, bad),
+            other => panic!("expected MalformedBaseline, got {other:?}"),
+        }
+        // The dir exists, so the fast pre-check passes.
+        assert!(require_baseline_dir(&dir).is_ok());
+        fs::remove_dir_all(&dir).ok();
+    }
 
     #[test]
     fn bench_json_is_deterministic_and_parseable() {

@@ -4,7 +4,7 @@
 //! reproduce table1 | fig1 | fig5 | fig6 | fig7 | fig8 | summary
 //!           | crossover | nrrp | energyopt | summa | cluster | exact
 //!           | auto | fig5measured | verify | recovery | trace | abft
-//!           | bench | soak | serve | degrade | insight | all
+//!           | bench | soak | serve | degrade | crash | insight | all
 //! ```
 //!
 //! Output is whitespace-aligned text: one row per problem size with one
@@ -44,6 +44,18 @@
 //! digest, the top tenant's p95 improves at 5×, and the real
 //! checkpointed executor resumes bit-identically across every panel
 //! boundary.
+//! `crash [--mix small|hetero] [--out DIR]` runs the durable-journal
+//! kill-point ladder at 5× load: 25 seeded crash/restart cycles
+//! (at-admission, mid-batch, torn mid-append, mid-checkpoint), each
+//! restart reopening the journal and resubmitting the whole stream,
+//! then a crash-free drain compared against a crash-free control. It
+//! writes `CRASH_<mix>.json`, the journal/recovery Prometheus
+//! exposition `CRASH_<mix>.prom`, and the final epoch's
+//! `SCHEDULE_CRASH_<mix>.json` timeline (default `target/crash`), and
+//! exits nonzero unless every armed cycle crashed, the terminal ledgers
+//! match the control exactly (same keys, bit-identical digests), at
+//! least one torn tail was truncated, replay stayed bounded, and the
+//! rerun ladder reproduces the document byte-for-byte.
 //! `insight [--out DIR]` replays the recorded schedules of the four
 //! paper shapes under virtual interventions (communication free, one
 //! link free, one device's GEMMs doubled), writes the ranked
@@ -57,7 +69,7 @@
 //! stampede alerts. `insight --check DIR [--tol FRACTION]` instead
 //! reruns the suite and compares against the like-named baselines.
 //! `all` runs every text command plus the trace, recovery, abft, bench,
-//! soak, serve, degrade, and insight exporters.
+//! soak, serve, degrade, crash, and insight exporters.
 
 use std::env;
 use std::str::FromStr;
@@ -206,6 +218,7 @@ fn main() {
             out_dir.as_deref().unwrap_or("target/serve"),
         ),
         "degrade" => degrade(&mix, out_dir.as_deref().unwrap_or("target/degrade")),
+        "crash" => crash(&mix, out_dir.as_deref().unwrap_or("target/crash")),
         "insight" => insight(
             out_dir.as_deref().unwrap_or("target/insight"),
             check_dir.as_deref(),
@@ -245,11 +258,12 @@ fn main() {
                 out_dir.as_deref().unwrap_or("target/serve"),
             );
             degrade(&mix, out_dir.as_deref().unwrap_or("target/degrade"));
+            crash(&mix, out_dir.as_deref().unwrap_or("target/crash"));
             insight(out_dir.as_deref().unwrap_or("target/insight"), None, tol);
         }
         other => {
             eprintln!(
-                "unknown figure '{other}'; expected one of: table1 fig1 fig5 fig6 fig7 fig8 summary crossover nrrp energyopt summa cluster exact auto fig5measured verify recovery trace abft bench soak serve degrade insight all"
+                "unknown figure '{other}'; expected one of: table1 fig1 fig5 fig6 fig7 fig8 summary crossover nrrp energyopt summa cluster exact auto fig5measured verify recovery trace abft bench soak serve degrade crash insight all"
             );
             std::process::exit(2);
         }
@@ -307,6 +321,17 @@ fn degrade(mix: &str, out_dir: &str) {
     use summagen_bench::degradecmd;
     if let Err(e) = degradecmd::run_degrade(mix, std::path::Path::new(out_dir)) {
         eprintln!("degrade run to '{out_dir}' failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Durable-journal kill-point ladder: 25 seeded crash/restart cycles
+/// against a crash-free control, with the exactly-once, torn-tail, and
+/// bounded-replay acceptance gates of `crashcmd`.
+fn crash(mix: &str, out_dir: &str) {
+    use summagen_bench::crashcmd;
+    if let Err(e) = crashcmd::run_crash(mix, std::path::Path::new(out_dir)) {
+        eprintln!("crash run to '{out_dir}' failed: {e}");
         std::process::exit(1);
     }
 }

@@ -65,7 +65,9 @@ use summagen_service::{
 };
 use summagen_trace::{perfetto_json, replay, Intervention, Replay, Target, TraceRecorder};
 
-use crate::benchcmd::{compare_docs_drift, CheckOutcome};
+use crate::benchcmd::{
+    compare_docs_drift, read_baseline, require_baseline_dir, CheckError, CheckOutcome,
+};
 use crate::degradecmd::{degrade_config, scaled_mix, DEGRADE_FAIL_PERMILLE};
 use crate::json::{with_metadata, Json};
 use crate::servecmd::{SERVE_ALPHA, SERVE_BETA};
@@ -618,19 +620,20 @@ pub fn run_insight(n: usize, out_dir: &Path) -> Result<(), String> {
 
 /// Check mode: reruns the suite and compares every `INSIGHT_*.json`
 /// against the like-named baselines in `baseline_dir`, same drift
-/// machinery as `bench --check`.
-pub fn check_insight(baseline_dir: &Path, tol: f64) -> io::Result<CheckOutcome> {
+/// machinery as `bench --check`. A missing or unreadable baseline is a
+/// typed [`CheckError`] naming the path — detected before the expensive
+/// fresh runs start.
+pub fn check_insight(baseline_dir: &Path, tol: f64) -> Result<CheckOutcome, CheckError> {
+    require_baseline_dir(baseline_dir)?;
     let mut outcome = CheckOutcome::default();
     println!(
         "\nINSIGHT CHECK — fresh run vs baselines in {} (tolerance ±{:.2}%)",
         baseline_dir.display(),
         100.0 * tol
     );
-    let mut one = |label: &str, file: String, fresh: Json| -> io::Result<()> {
+    let mut one = |label: &str, file: String, fresh: Json| -> Result<(), CheckError> {
         let path = baseline_dir.join(file);
-        let text = fs::read_to_string(&path)?;
-        let baseline = Json::parse(&text)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{path:?}: {e}")))?;
+        let baseline = read_baseline(&path)?;
         let (v, drift) = compare_docs_drift(label, &baseline, &fresh, tol);
         println!(
             "  {:<20} {}",

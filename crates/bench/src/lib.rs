@@ -6,6 +6,7 @@
 //! the criterion benches are thin wrappers over it.
 
 pub mod benchcmd;
+pub mod crashcmd;
 pub mod degradecmd;
 pub mod experiments;
 pub mod insightcmd;

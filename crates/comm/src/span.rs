@@ -167,6 +167,21 @@ pub enum SpanKind {
         /// Slow-window burn rate at fire time.
         burn_slow: f64,
     },
+    /// A crash-restart recovery interval: the service came back up at
+    /// `start` (the crash epoch's last durable instant), replayed
+    /// `records` journal records, and resumed serving at `end`. An
+    /// enclosing annotation, not a leaf — recovery is downtime on the
+    /// service timeline, it does not occupy a device.
+    Recover {
+        /// Restart epoch (1 = first recovery).
+        epoch: u64,
+        /// Journal records replayed.
+        records: u64,
+        /// Jobs rebuilt into the queue / in-flight set.
+        recovered_jobs: u64,
+        /// Torn or corrupt tail bytes the replay discarded.
+        torn_bytes: u64,
+    },
 }
 
 impl SpanKind {
@@ -185,6 +200,7 @@ impl SpanKind {
             SpanKind::Sched { .. } => "sched",
             SpanKind::Quarantine { .. } => "quarantine",
             SpanKind::SloAlert { .. } => "slo-alert",
+            SpanKind::Recover { .. } => "recover",
         }
     }
 
@@ -419,6 +435,13 @@ mod tests {
             burn_slow: 2.5
         }
         .is_leaf());
+        assert!(!SpanKind::Recover {
+            epoch: 1,
+            records: 12,
+            recovered_jobs: 3,
+            torn_bytes: 5
+        }
+        .is_leaf());
     }
 
     #[test]
@@ -467,6 +490,16 @@ mod tests {
             }
             .label(),
             "slo-alert"
+        );
+        assert_eq!(
+            SpanKind::Recover {
+                epoch: 1,
+                records: 0,
+                recovered_jobs: 0,
+                torn_bytes: 0
+            }
+            .label(),
+            "recover"
         );
         assert_eq!(AbftLabel::Correct.label(), "abft-correct");
         assert_eq!(AbftLabel::Checkpoint.label(), "abft-checkpoint");

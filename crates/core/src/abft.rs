@@ -44,7 +44,7 @@
 //! [`SpanKind::Abft`] leaf spans, so the resilience overhead is visible in
 //! Perfetto timelines and the critical-path decomposition.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -84,6 +84,13 @@ pub struct AbftOptions {
     /// compute time); set nonzero in checkpoint studies so the recompute
     /// cost of a restart is visible on the virtual clock.
     pub gemm_cost: f64,
+    /// Host-memory budget for retained checkpoint snapshots, in bytes.
+    /// When assembled prefixes exceed it, the oldest boundaries are
+    /// evicted first; the newest is always kept (it is the resume
+    /// point). The budget bounds the *retained* set — every capture is
+    /// still counted in [`AbftReport::checkpoints`] and in the
+    /// `summagen_abft_checkpoints_total` counter.
+    pub checkpoint_budget_bytes: usize,
 }
 
 impl Default for AbftOptions {
@@ -98,6 +105,10 @@ impl Default for AbftOptions {
             checkpoint_cost: 1e-9,
             rollback_cost: 1e-9,
             gemm_cost: 0.0,
+            // 256 MiB: four 2048² f64 prefixes — far above anything the
+            // tests or benches retain, so eviction only fires when a
+            // caller opts into a tighter bound.
+            checkpoint_budget_bytes: 256 << 20,
         }
     }
 }
@@ -114,8 +125,13 @@ pub struct AbftReport {
     /// Corruption events the residuals could not localize; each one ended
     /// its attempt with [`CommError::DataCorruption`].
     pub uncorrectable: u64,
-    /// Complete (all-ranks) checkpoints captured across the run.
+    /// Complete (all-ranks) checkpoints captured across the run —
+    /// distinct panel boundaries assembled, whether still retained or
+    /// since evicted by the byte budget.
     pub checkpoints: usize,
+    /// Checkpoint snapshots evicted to stay within
+    /// [`AbftOptions::checkpoint_budget_bytes`].
+    pub checkpoints_evicted: usize,
     /// First panel index the successful attempt executed (0 = from
     /// scratch).
     pub resume_step: usize,
@@ -158,9 +174,17 @@ struct AbftStats {
 /// every rank has written a boundary the store assembles the blocks into
 /// the global `C` prefix and promotes it to `completed`. Incomplete
 /// boundaries (some rank died first) are discarded with the attempt.
+///
+/// The store is bounded: assembled prefixes are accounted by their host
+/// footprint (8 bytes per element, plus pending deposits awaiting
+/// assembly), and when the completed set exceeds
+/// [`AbftOptions::checkpoint_budget_bytes`] the oldest boundaries are
+/// evicted. The newest boundary is never evicted — it is what a resumed
+/// attempt rolls back to.
 struct CheckpointStore {
     nprocs: usize,
     n: usize,
+    budget_bytes: usize,
     inner: Mutex<StoreInner>,
 }
 
@@ -171,13 +195,52 @@ type RankDeposit = Vec<(ProcBlock, DenseMatrix)>;
 struct StoreInner {
     pending: BTreeMap<usize, Vec<Option<RankDeposit>>>,
     completed: Vec<(usize, DenseMatrix)>,
+    /// Distinct boundaries assembled over the store's lifetime — the
+    /// capture set survives eviction.
+    captured: BTreeSet<usize>,
+    /// Completed prefixes dropped to stay within the byte budget.
+    evicted: usize,
+}
+
+/// Host bytes held by one dense matrix (f64 payload).
+fn matrix_bytes(m: &DenseMatrix) -> usize {
+    m.rows() * m.cols() * std::mem::size_of::<f64>()
+}
+
+fn deposit_bytes(d: &RankDeposit) -> usize {
+    d.iter().map(|(_, m)| matrix_bytes(m)).sum()
+}
+
+/// Evicts oldest-boundary entries from a sorted-or-not completed list
+/// until the retained bytes fit `budget`, always keeping the newest
+/// (largest-k) entry. Returns how many entries were dropped.
+fn evict_to_budget(completed: &mut Vec<(usize, DenseMatrix)>, budget: usize) -> usize {
+    let mut dropped = 0;
+    while completed.len() > 1
+        && completed
+            .iter()
+            .map(|(_, c)| matrix_bytes(c))
+            .sum::<usize>()
+            > budget
+    {
+        let oldest = completed
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (k, _))| *k)
+            .map(|(i, _)| i)
+            .unwrap();
+        completed.remove(oldest);
+        dropped += 1;
+    }
+    dropped
 }
 
 impl CheckpointStore {
-    fn new(nprocs: usize, n: usize) -> Self {
+    fn new(nprocs: usize, n: usize, budget_bytes: usize) -> Self {
         Self {
             nprocs,
             n,
+            budget_bytes,
             inner: Mutex::new(StoreInner::default()),
         }
     }
@@ -202,7 +265,42 @@ impl CheckpointStore {
                 }
             }
             inner.completed.push((k_prefix, c));
+            inner.captured.insert(k_prefix);
+            let budget = self.budget_bytes;
+            let dropped = evict_to_budget(&mut inner.completed, budget);
+            inner.evicted += dropped;
         }
+    }
+
+    /// Host bytes currently held: assembled prefixes plus pending
+    /// per-rank deposits awaiting the rest of their boundary.
+    fn bytes(&self) -> usize {
+        let inner = self.inner.lock().unwrap();
+        let done: usize = inner.completed.iter().map(|(_, c)| matrix_bytes(c)).sum();
+        let pending: usize = inner
+            .pending
+            .values()
+            .flat_map(|slots| slots.iter().flatten())
+            .map(deposit_bytes)
+            .sum();
+        done + pending
+    }
+
+    /// Distinct boundaries assembled over the store's lifetime
+    /// (eviction does not subtract).
+    fn captured_boundaries(&self) -> Vec<usize> {
+        self.inner
+            .lock()
+            .unwrap()
+            .captured
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// Completed prefixes dropped to stay within the byte budget.
+    fn evicted(&self) -> usize {
+        self.inner.lock().unwrap().evicted
     }
 
     fn take_completed(&self) -> Vec<(usize, DenseMatrix)> {
@@ -627,6 +725,7 @@ fn run_rank_abft(
             );
             if let Some(m) = comm.metrics() {
                 m.abft_checkpoints.inc();
+                m.checkpoint_bytes.set(store.bytes() as f64);
             }
             stats.checkpoints_written += 1;
         }
@@ -863,6 +962,8 @@ fn multiply_abft_inner(
     let mut failed_devices: Vec<usize> = Vec::new();
     let mut causes: BTreeMap<String, usize> = BTreeMap::new();
     let mut completed: Vec<(usize, DenseMatrix)> = Vec::new();
+    let mut captured_boundaries: BTreeSet<usize> = BTreeSet::new();
+    let mut checkpoints_evicted = 0usize;
     let mut uncorrectable = 0u64;
     let mut announced_failures = 0usize;
     let mut detected_failures = 0usize;
@@ -872,7 +973,7 @@ fn multiply_abft_inner(
         attempt += 1;
         let speeds: Vec<f64> = devices.iter().map(|&d| rel_speeds[d]).collect();
         let spec = survivor_spec(shape, n, &speeds);
-        let store = CheckpointStore::new(spec.nprocs, n);
+        let store = CheckpointStore::new(spec.nprocs, n, abft.checkpoint_budget_bytes);
         let resume = completed.last().map(|(k, c)| (*k, Arc::new(c.clone())));
         let resume_k = resume.as_ref().map_or(0, |(k, _)| *k);
         let faults = attempt_faults
@@ -899,13 +1000,26 @@ fn multiply_abft_inner(
         );
         // Harvest complete checkpoints whether the attempt lived or died:
         // snapshots written before a crash are exactly what the next
-        // attempt resumes from.
+        // attempt resumes from. The harvested set is held to the same
+        // byte budget as the in-attempt store — oldest boundaries go
+        // first, the newest (the resume point) is never dropped.
+        captured_boundaries.extend(store.captured_boundaries());
+        checkpoints_evicted += store.evicted();
         for (k, c) in store.take_completed() {
             if !completed.iter().any(|(ck, _)| *ck == k) {
                 completed.push((k, c));
             }
         }
         completed.sort_by_key(|(k, _)| *k);
+        checkpoints_evicted += evict_to_budget(&mut completed, abft.checkpoint_budget_bytes);
+        if let Some(m) = &metrics {
+            m.checkpoint_bytes.set(
+                completed
+                    .iter()
+                    .map(|(_, c)| matrix_bytes(c))
+                    .sum::<usize>() as f64,
+            );
+        }
         match outcome {
             Ok((mut run, stats)) => {
                 let backoff_time = (attempt - 1) as f64 * opts.retry_backoff;
@@ -931,7 +1045,8 @@ fn multiply_abft_inner(
                     detected: stats.iter().map(|s| s.detected).sum::<u64>() + uncorrectable,
                     corrected: stats.iter().map(|s| s.corrected).sum(),
                     uncorrectable,
-                    checkpoints: completed.len(),
+                    checkpoints: captured_boundaries.len(),
+                    checkpoints_evicted,
                     resume_step: stats.iter().map(|s| s.first_panel).max().unwrap_or(0) as usize,
                     resume_k,
                     panels_total: spec.grid_cols,
@@ -1055,7 +1170,7 @@ pub fn multiply_abft_prefix(
     );
     let resume_k = resume.map_or(0, |c| c.k);
     assert!(resume_k < stop_k, "segment [{resume_k}, {stop_k}) is empty");
-    let store = CheckpointStore::new(spec.nprocs, n);
+    let store = CheckpointStore::new(spec.nprocs, n, abft.checkpoint_budget_bytes);
     let defaults = RecoveryOptions::default();
     let (run, _stats) = try_run_abft(
         &spec,
@@ -1397,5 +1512,136 @@ mod tests {
         .expect("checksum-entry corruption is absorbed");
         assert_eq!(res.abft.attempts, 1);
         assert!(approx_eq(&res.run.c, &reference(&a, &b), 1e-9));
+    }
+
+    #[test]
+    fn checkpoint_store_evicts_oldest_boundary_first() {
+        let n = 8;
+        let prefix_bytes = n * n * std::mem::size_of::<f64>();
+        // Budget fits exactly one assembled prefix.
+        let store = CheckpointStore::new(1, n, prefix_bytes);
+        let deposit = || {
+            vec![(
+                ProcBlock {
+                    block_i: 0,
+                    block_j: 0,
+                    row: 0,
+                    col: 0,
+                    rows: n,
+                    cols: n,
+                },
+                DenseMatrix::zeros(n, n),
+            )]
+        };
+        store.write(2, 0, deposit());
+        assert_eq!(store.bytes(), prefix_bytes);
+        store.write(4, 0, deposit());
+        store.write(6, 0, deposit());
+        // Two evictions; only the newest boundary is retained.
+        assert_eq!(store.evicted(), 2);
+        assert_eq!(store.bytes(), prefix_bytes);
+        assert_eq!(store.captured_boundaries(), vec![2, 4, 6]);
+        let kept = store.take_completed();
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].0, 6, "the newest boundary survives eviction");
+    }
+
+    #[test]
+    fn checkpoint_store_never_evicts_its_only_snapshot() {
+        let n = 8;
+        // Budget smaller than a single prefix: the sole snapshot stays
+        // (it is the resume point) even though it exceeds the budget.
+        let store = CheckpointStore::new(1, n, 1);
+        store.write(
+            4,
+            0,
+            vec![(
+                ProcBlock {
+                    block_i: 0,
+                    block_j: 0,
+                    row: 0,
+                    col: 0,
+                    rows: n,
+                    cols: n,
+                },
+                DenseMatrix::zeros(n, n),
+            )],
+        );
+        assert_eq!(store.evicted(), 0);
+        assert_eq!(store.take_completed().len(), 1);
+    }
+
+    #[test]
+    fn tight_checkpoint_budget_preserves_the_result_and_the_capture_count() {
+        // Every-panel checkpointing under a one-prefix budget: eviction
+        // fires, the capture count still reports every boundary, the
+        // retained bytes respect the budget, and the product is exact.
+        let n = 24;
+        let a = random_matrix(n, n, 51);
+        let b = random_matrix(n, n, 52);
+        let budget = n * n * std::mem::size_of::<f64>();
+        let abft = AbftOptions {
+            checkpoint_interval: 1,
+            checkpoint_budget_bytes: budget,
+            ..AbftOptions::default()
+        };
+        let metrics = summagen_comm::RuntimeMetrics::fresh();
+        let res = multiply_abft_observed(
+            summagen_partition::Shape::OneDRectangular,
+            &[1.0, 1.0, 1.0],
+            &a,
+            &b,
+            ExecutionMode::Real,
+            ZeroCost,
+            &[],
+            &fast_opts(),
+            &abft,
+            None,
+            Some(metrics.clone()),
+        )
+        .expect("fault-free run succeeds under a tight budget");
+        assert!(approx_eq(&res.run.c, &reference(&a, &b), 1e-9));
+        assert!(
+            res.abft.checkpoints >= 2,
+            "need multiple boundaries to exercise eviction: {:?}",
+            res.abft
+        );
+        assert!(
+            res.abft.checkpoints_evicted >= res.abft.checkpoints - 1,
+            "all but the newest retained snapshot must be evicted: {:?}",
+            res.abft
+        );
+        let gauge = metrics.checkpoint_bytes.get();
+        assert!(
+            gauge <= budget as f64,
+            "retained bytes {gauge} exceed budget {budget}"
+        );
+
+        // The default (large) budget evicts nothing and reports the same
+        // capture count.
+        let unbounded = multiply_abft(
+            summagen_partition::Shape::OneDRectangular,
+            &[1.0, 1.0, 1.0],
+            &a,
+            &b,
+            ExecutionMode::Real,
+            ZeroCost,
+            &[],
+            &fast_opts(),
+            &AbftOptions {
+                checkpoint_interval: 1,
+                ..AbftOptions::default()
+            },
+        )
+        .expect("fault-free run succeeds");
+        assert_eq!(unbounded.abft.checkpoints_evicted, 0);
+        assert_eq!(unbounded.abft.checkpoints, res.abft.checkpoints);
+        for (x, y) in unbounded.run.c.as_slice().iter().zip(res.run.c.as_slice()) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "eviction must not perturb the numerics"
+            );
+        }
     }
 }

@@ -1,0 +1,167 @@
+//! The journal's wire format: length-prefixed, CRC-32-protected frames.
+//!
+//! Every record is written as one frame:
+//!
+//! ```text
+//! [magic u16][len u32][crc32 u32][payload; len bytes]
+//! ```
+//!
+//! all little-endian, where `crc32` covers exactly the payload. The
+//! decoder walks frames front to back and stops at the first frame that
+//! is short (the file ends mid-frame — a torn write), carries the wrong
+//! magic (the tail was overwritten with garbage), or fails its CRC (bit
+//! rot or a torn write that happened to leave the length plausible). In
+//! every one of those cases the *prefix* decoded so far is valid and the
+//! corrupt tail is reported, never misparsed — the torn-tail tolerance
+//! the recovery path stands on.
+
+/// Frame magic: distinguishes a genuine frame head from trailing
+/// garbage that happens to start with a plausible length.
+pub const FRAME_MAGIC: u16 = 0x5347; // "SG"
+
+/// Frame header bytes ahead of the payload: magic + len + crc.
+pub const FRAME_HEADER: usize = 2 + 4 + 4;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `bytes`.
+/// Computed bitwise — the journal's payloads are tens of bytes, so a
+/// table buys nothing worth its 1 KiB.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Appends one frame holding `payload` to `out`.
+pub fn encode_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// What a full decode pass found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeOutcome {
+    /// The payloads of every valid frame, in order.
+    pub payloads: Vec<Vec<u8>>,
+    /// Bytes of the longest valid prefix (where the next frame would
+    /// start).
+    pub valid_bytes: usize,
+    /// Bytes past the valid prefix that were discarded as torn or
+    /// corrupt (0 on a clean log).
+    pub torn_bytes: usize,
+}
+
+/// Decodes every valid frame from the front of `bytes`, stopping at the
+/// first torn or corrupt frame. The suffix past the last valid frame is
+/// counted, not parsed.
+pub fn decode_frames(bytes: &[u8]) -> DecodeOutcome {
+    let mut payloads = Vec::new();
+    let mut at = 0usize;
+    loop {
+        let rest = &bytes[at..];
+        if rest.is_empty() {
+            break;
+        }
+        if rest.len() < FRAME_HEADER {
+            break; // torn mid-header
+        }
+        let magic = u16::from_le_bytes([rest[0], rest[1]]);
+        if magic != FRAME_MAGIC {
+            break; // tail overwritten with garbage
+        }
+        let len = u32::from_le_bytes([rest[2], rest[3], rest[4], rest[5]]) as usize;
+        let want_crc = u32::from_le_bytes([rest[6], rest[7], rest[8], rest[9]]);
+        let Some(payload) = rest.get(FRAME_HEADER..FRAME_HEADER + len) else {
+            break; // torn mid-payload
+        };
+        if crc32(payload) != want_crc {
+            break; // corrupt payload (or a torn write with a lucky length)
+        }
+        payloads.push(payload.to_vec());
+        at += FRAME_HEADER + len;
+    }
+    DecodeOutcome {
+        payloads,
+        valid_bytes: at,
+        torn_bytes: bytes.len() - at,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, b"hello");
+        encode_frame(&mut buf, b"");
+        encode_frame(&mut buf, &[0xFFu8; 300]);
+        let out = decode_frames(&buf);
+        assert_eq!(out.payloads.len(), 3);
+        assert_eq!(out.payloads[0], b"hello");
+        assert_eq!(out.payloads[1], b"");
+        assert_eq!(out.payloads[2], vec![0xFFu8; 300]);
+        assert_eq!(out.valid_bytes, buf.len());
+        assert_eq!(out.torn_bytes, 0);
+    }
+
+    #[test]
+    fn truncation_recovers_the_prefix() {
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, b"first");
+        let first_len = buf.len();
+        encode_frame(&mut buf, b"second");
+        // Tear the tail anywhere inside the second frame: the first
+        // survives, the second is discarded, never misparsed.
+        for cut in first_len + 1..buf.len() {
+            let out = decode_frames(&buf[..cut]);
+            assert_eq!(out.payloads.len(), 1, "cut at {cut}");
+            assert_eq!(out.payloads[0], b"first");
+            assert_eq!(out.valid_bytes, first_len);
+            assert_eq!(out.torn_bytes, cut - first_len);
+        }
+    }
+
+    #[test]
+    fn corruption_in_the_tail_is_detected() {
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, b"first");
+        let first_len = buf.len();
+        encode_frame(&mut buf, b"second");
+        // Flip any single byte of the second frame.
+        for i in first_len..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x41;
+            let out = decode_frames(&bad);
+            assert_eq!(out.payloads.len(), 1, "flip at {i}");
+            assert_eq!(out.payloads[0], b"first");
+        }
+    }
+
+    #[test]
+    fn garbage_tail_does_not_parse() {
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, b"only");
+        let good = buf.len();
+        buf.extend_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x11]);
+        let out = decode_frames(&buf);
+        assert_eq!(out.payloads.len(), 1);
+        assert_eq!(out.valid_bytes, good);
+        assert_eq!(out.torn_bytes, 6);
+    }
+}

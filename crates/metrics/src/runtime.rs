@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use crate::registry::{Counter, Histogram, MetricsRegistry};
+use crate::registry::{Counter, Gauge, Histogram, MetricsRegistry};
 
 /// GEMM telemetry in both clock domains: the *virtual* (cost-model) side
 /// every simulated or real run advances, and the *wall-clock* side only a
@@ -165,6 +165,9 @@ pub struct RuntimeMetrics {
     pub abft_checkpoints: Arc<Counter>,
     /// Checkpoint restores (rollbacks) performed.
     pub abft_rollbacks: Arc<Counter>,
+    /// Host bytes currently held by retained checkpoint snapshots
+    /// (assembled prefixes plus pending per-rank deposits).
+    pub checkpoint_bytes: Arc<Gauge>,
 }
 
 impl RuntimeMetrics {
@@ -295,6 +298,10 @@ impl RuntimeMetrics {
             abft_rollbacks: reg.counter(
                 "summagen_abft_rollbacks_total",
                 "ABFT checkpoint restores (rollbacks) performed.",
+            ),
+            checkpoint_bytes: reg.gauge(
+                "summagen_abft_checkpoint_bytes",
+                "Host bytes held by retained checkpoint snapshots.",
             ),
             registry: Arc::clone(registry),
         })

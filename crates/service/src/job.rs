@@ -37,6 +37,15 @@ impl JobSpec {
     pub fn flops(&self) -> f64 {
         2.0 * (self.n as f64).powi(3)
     }
+
+    /// The job's idempotency key: a stable hash of the fields that
+    /// identify "the same request" across resubmissions (id, tenant,
+    /// size). A client retrying after a crash resends the same spec, so
+    /// equal keys mean the same logical job — the durability layer
+    /// suppresses the duplicate and the job completes exactly once.
+    pub fn idempotency(&self) -> u64 {
+        summagen_durable::idempotency_key(self.id, self.tenant as u32, self.n as u32)
+    }
 }
 
 /// Why the admission controller refused (or shed) a job. Typed so
@@ -83,6 +92,14 @@ pub enum Rejection {
         /// The configured activation threshold.
         threshold: f64,
     },
+    /// Resubmission suppression after a crash-restart: the journal
+    /// already holds durable state for a job with this idempotency key
+    /// (queued, running, or terminal), so accepting the resubmission
+    /// would risk completing the same logical job twice.
+    Duplicate {
+        /// The idempotency key the resubmission collided on.
+        idempotency: u64,
+    },
 }
 
 impl Rejection {
@@ -94,6 +111,7 @@ impl Rejection {
             Rejection::TooLarge { .. } => "too-large",
             Rejection::DeadlineInfeasible { .. } => "deadline-infeasible",
             Rejection::Shed { .. } => "shed",
+            Rejection::Duplicate { .. } => "duplicate",
         }
     }
 }
@@ -127,6 +145,10 @@ impl fmt::Display for Rejection {
                 f,
                 "shed under brownout for tenant {tenant}: queue-wait p95 \
                  {queue_wait_p95:.3}s over threshold {threshold:.3}s"
+            ),
+            Rejection::Duplicate { idempotency } => write!(
+                f,
+                "duplicate resubmission of journaled job (idempotency key {idempotency:#018x})"
             ),
         }
     }
@@ -286,6 +308,22 @@ mod tests {
             .label(),
             "shed"
         );
+        assert_eq!(Rejection::Duplicate { idempotency: 7 }.label(), "duplicate");
+        assert!(Rejection::Duplicate { idempotency: 7 }
+            .to_string()
+            .contains("0x0000000000000007"));
+    }
+
+    #[test]
+    fn idempotency_key_depends_on_identity_fields_only() {
+        let a = job(64);
+        let mut b = a.clone();
+        b.submit_time = 99.0; // resubmission after a crash: later clock
+        b.deadline = None;
+        assert_eq!(a.idempotency(), b.idempotency());
+        let mut c = a.clone();
+        c.n = 65;
+        assert_ne!(a.idempotency(), c.idempotency());
     }
 
     #[test]

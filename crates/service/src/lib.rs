@@ -26,6 +26,11 @@
 //!   boundaries, per-device circuit-breaker quarantine, and brownout
 //!   load shedding — each optional, all deterministic.
 //!
+//! Durable runs ([`GemmService::run_durable`] / [`GemmService::recover`])
+//! additionally write every job-lifecycle event ahead to a
+//! `summagen-durable` journal and rebuild the full service state from it
+//! after a crash, completing every admitted job exactly once.
+//!
 //! The whole service runs on the repo's virtual clock: a run is a pure
 //! function of (job stream, config), asserted by the report's schedule
 //! digest. The FPM-aware policy's win over FIFO on the heterogeneous
@@ -50,6 +55,6 @@ pub use metrics::ServiceMetrics;
 pub use queue::{AdmissionConfig, JobQueue};
 pub use scheduler::{commit, plan, service_time, DevicePool, Placement, Policy, PoolDevice};
 pub use service::{
-    BatchingConfig, FaultProfile, GemmService, ServiceBackend, ServiceConfig, ServiceReport,
-    TenantSummary,
+    BatchingConfig, CrashedRun, DurableReport, DurableRun, FaultProfile, GemmService,
+    RecoveryStats, ServiceBackend, ServiceConfig, ServiceReport, TenantSummary,
 };

@@ -15,12 +15,13 @@ use summagen_metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 use crate::job::Rejection;
 
 /// The rejection reasons, in label order, for per-reason counters.
-const REJECTION_LABELS: [&str; 5] = [
+const REJECTION_LABELS: [&str; 6] = [
     "queue-full",
     "quota-exceeded",
     "too-large",
     "deadline-infeasible",
     "shed",
+    "duplicate",
 ];
 
 fn rejection_slot(r: &Rejection) -> usize {
@@ -30,6 +31,7 @@ fn rejection_slot(r: &Rejection) -> usize {
         Rejection::TooLarge { .. } => 2,
         Rejection::DeadlineInfeasible { .. } => 3,
         Rejection::Shed { .. } => 4,
+        Rejection::Duplicate { .. } => 5,
     }
 }
 
@@ -41,7 +43,7 @@ pub struct ServiceMetrics {
     /// `summagen_service_jobs_total{tenant,outcome="failed"}`.
     failed: Vec<Arc<Counter>>,
     /// `summagen_service_rejections_total{tenant,reason}` — tenant-major.
-    rejections: Vec<[Arc<Counter>; 5]>,
+    rejections: Vec<[Arc<Counter>; 6]>,
     /// `summagen_service_shed_total{tenant}` — brownout sheds.
     shed: Vec<Arc<Counter>>,
     /// `summagen_service_deadline_miss_total{tenant}` — typed misses on
@@ -74,6 +76,27 @@ pub struct ServiceMetrics {
     slo_burn_slow: Vec<[Arc<Gauge>; 3]>,
     /// `summagen_service_slo_alerts_total{tenant,slo}`.
     slo_alerts: Vec<[Arc<Counter>; 3]>,
+    /// Journal records made durable.
+    pub journal_records: Arc<Counter>,
+    /// Journal fsyncs performed (group commit keeps this below the
+    /// record count under load).
+    pub journal_fsyncs: Arc<Counter>,
+    /// Durable journal size in bytes.
+    pub journal_bytes: Arc<Gauge>,
+    /// Virtual seconds of fsync cost accounted to durability.
+    pub journal_fsync_seconds: Arc<Gauge>,
+    /// Torn or corrupt tail bytes discarded during recovery.
+    pub journal_torn_bytes: Arc<Counter>,
+    /// Crash-restart recoveries performed.
+    pub recoveries: Arc<Counter>,
+    /// Journal records replayed across all recoveries.
+    pub replay_records: Arc<Counter>,
+    /// Jobs rebuilt (queued + in-flight) across all recoveries.
+    pub recovered_jobs: Arc<Counter>,
+    /// In-flight jobs resumed from a journaled panel boundary.
+    pub resumed_from_checkpoint: Arc<Counter>,
+    /// Duplicate resubmissions suppressed by idempotency keys.
+    pub duplicates_suppressed: Arc<Counter>,
 }
 
 impl ServiceMetrics {
@@ -250,6 +273,46 @@ impl ServiceMetrics {
                 "summagen_service_preemptions_total",
                 "Checkpoint preemptions of running batches.",
             ),
+            journal_records: registry.counter(
+                "summagen_service_journal_records_total",
+                "Write-ahead journal records made durable.",
+            ),
+            journal_fsyncs: registry.counter(
+                "summagen_service_journal_fsyncs_total",
+                "Journal fsyncs performed (group commit batches records per fsync).",
+            ),
+            journal_bytes: registry.gauge(
+                "summagen_service_journal_bytes",
+                "Durable write-ahead journal size in bytes.",
+            ),
+            journal_fsync_seconds: registry.gauge(
+                "summagen_service_journal_fsync_seconds",
+                "Virtual seconds of fsync cost accounted to durability.",
+            ),
+            journal_torn_bytes: registry.counter(
+                "summagen_service_journal_torn_bytes_total",
+                "Torn or corrupt journal tail bytes discarded during recovery.",
+            ),
+            recoveries: registry.counter(
+                "summagen_service_recoveries_total",
+                "Crash-restart recoveries performed.",
+            ),
+            replay_records: registry.counter(
+                "summagen_service_replay_records_total",
+                "Journal records replayed across recoveries.",
+            ),
+            recovered_jobs: registry.counter(
+                "summagen_service_recovered_jobs_total",
+                "Jobs rebuilt into the queue or in-flight set by recovery.",
+            ),
+            resumed_from_checkpoint: registry.counter(
+                "summagen_service_resumed_from_checkpoint_total",
+                "In-flight jobs resumed from a journaled panel boundary.",
+            ),
+            duplicates_suppressed: registry.counter(
+                "summagen_service_duplicates_suppressed_total",
+                "Duplicate resubmissions suppressed by idempotency keys.",
+            ),
             registry: Arc::clone(registry),
             device_busy,
             quarantined,
@@ -323,6 +386,21 @@ impl ServiceMetrics {
     /// Counts one fired burn-rate alert.
     pub fn record_slo_alert(&self, tenant: usize, kind: SloKind) {
         self.slo_alerts[tenant][kind.slot()].inc();
+    }
+
+    /// Publishes the journal's cumulative counters and current size.
+    /// Counters are advanced by the delta against their current value,
+    /// so repeated publishes of the same stats are idempotent.
+    pub fn publish_journal(&self, stats: &summagen_durable::JournalStats, durable_bytes: usize) {
+        self.journal_records.add(
+            stats
+                .records_flushed
+                .saturating_sub(self.journal_records.get()),
+        );
+        self.journal_fsyncs
+            .add(stats.fsyncs.saturating_sub(self.journal_fsyncs.get()));
+        self.journal_bytes.set(durable_bytes as f64);
+        self.journal_fsync_seconds.set(stats.fsync_seconds);
     }
 }
 
@@ -411,6 +489,47 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("reason=\"deadline-infeasible\""), "{text}");
+    }
+
+    #[test]
+    fn duplicate_rejections_hit_their_slot() {
+        let m = metrics();
+        m.record_rejection(1, &Rejection::Duplicate { idempotency: 42 });
+        assert_eq!(m.rejections[1][5].get(), 1);
+        assert_eq!(m.shed[1].get(), 0, "duplicates are not sheds");
+        let text = summagen_metrics::prometheus::render(m.registry());
+        assert!(text.contains("reason=\"duplicate\""), "{text}");
+    }
+
+    #[test]
+    fn journal_series_publish_idempotently() {
+        let m = metrics();
+        let stats = summagen_durable::JournalStats {
+            records_flushed: 10,
+            fsyncs: 3,
+            fsync_seconds: 0.003,
+            records_dropped: 1,
+            torn_bytes: 0,
+        };
+        m.publish_journal(&stats, 800);
+        m.publish_journal(&stats, 800); // same stats: no double count
+        assert_eq!(m.journal_records.get(), 10);
+        assert_eq!(m.journal_fsyncs.get(), 3);
+        assert_eq!(m.journal_bytes.get(), 800.0);
+        let text = summagen_metrics::prometheus::render(m.registry());
+        assert!(
+            text.contains("summagen_service_journal_records_total"),
+            "{text}"
+        );
+        assert!(
+            text.contains("summagen_service_journal_fsyncs_total"),
+            "{text}"
+        );
+        assert!(text.contains("summagen_service_recoveries_total"), "{text}");
+        assert!(
+            text.contains("summagen_service_duplicates_suppressed_total"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -135,6 +135,22 @@ impl JobQueue {
         self.peak_depth = self.peak_depth.max(self.jobs.len());
     }
 
+    /// Re-enters a *recovered* job at the tail of the queue, bypassing
+    /// the admission bounds. Crash recovery replays jobs the journal
+    /// proves were admitted before the crash — re-running admission
+    /// could reject them (the restart order differs from the arrival
+    /// order), and the exactly-once invariant forbids losing a job to
+    /// its own recovery. The quota slot is re-held so tenant depths
+    /// stay truthful.
+    pub fn preload_back(&mut self, job: JobSpec) {
+        if self.tenant_counts.len() <= job.tenant {
+            self.tenant_counts.resize(job.tenant + 1, 0);
+        }
+        self.tenant_counts[job.tenant] += 1;
+        self.jobs.push_back(job);
+        self.peak_depth = self.peak_depth.max(self.jobs.len());
+    }
+
     /// Removes and returns every queued job `pred` matches, preserving
     /// order — the brownout's shed sweep. Quota slots are released.
     pub fn drain_matching(&mut self, pred: impl Fn(&JobSpec) -> bool) -> Vec<JobSpec> {
@@ -265,6 +281,19 @@ mod tests {
         assert_eq!(q.iter().next().unwrap().id, 9);
         assert_eq!(q.take(0).id, 9);
         assert_eq!(q.tenant_depth(0), 2);
+    }
+
+    #[test]
+    fn preload_back_bypasses_bounds_and_keeps_order() {
+        let mut q = JobQueue::new(small_config());
+        q.offer(job(0, 0, 10)).unwrap();
+        q.offer(job(1, 0, 10)).unwrap();
+        // Tenant 0 is at quota; a recovered job still re-enters, at the
+        // tail (recovery preserves admission order).
+        q.preload_back(job(9, 0, 10));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.tenant_depth(0), 3);
+        assert_eq!(q.iter().last().unwrap().id, 9);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! fair. Same jobs + same config ⇒ byte-identical report, which the
 //! schedule digest asserts cheaply.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -29,6 +29,10 @@ use summagen_comm::span::{EventSink, SpanKind, SpanRecord};
 use summagen_comm::{FaultPlan, HockneyModel};
 use summagen_core::{
     multiply_abft, multiply_with_recovery, AbftOptions, ExecutionMode, RecoveryOptions,
+};
+use summagen_durable::{
+    fnv1a_words, replay, CrashKind, CrashSpec, JobMeta, Journal, JournalRecord, RejectionReason,
+    TerminalKind,
 };
 use summagen_insight::{SloAlert, SloEngine, SloPolicy};
 use summagen_matrix::{gemm_naive, max_abs_diff, random_matrix, DenseMatrix};
@@ -389,6 +393,189 @@ struct ResumeState {
     preemptions: usize,
 }
 
+/// What recovery found in the journal when this epoch started.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RecoveryStats {
+    /// Epoch index (0 = cold start, k = k-th restart).
+    pub epoch: u32,
+    /// Virtual instant this epoch's clock started at.
+    pub resume_clock: f64,
+    /// Journal records replayed.
+    pub replayed_records: usize,
+    /// Non-terminal jobs re-entered into the queue.
+    pub recovered_jobs: usize,
+    /// Recovered jobs that resumed from a durable panel checkpoint
+    /// (rather than restarting from scratch).
+    pub resumed_from_checkpoint: usize,
+    /// Resubmissions suppressed because the journal already knew their
+    /// idempotency key.
+    pub suppressed_duplicates: usize,
+    /// Torn tail bytes the frame decoder discarded at replay.
+    pub torn_bytes: usize,
+}
+
+/// A durable run that ran its whole stream.
+#[derive(Debug)]
+pub struct DurableReport {
+    /// The epoch's service report (this epoch's records only — terminal
+    /// outcomes from earlier epochs live in the journal).
+    pub report: ServiceReport,
+    /// The journal, committed through the end of the run.
+    pub journal: Journal,
+    /// What recovery found when the epoch started.
+    pub recovery: RecoveryStats,
+}
+
+/// A durable run the crash injector killed at its drawn kill point.
+#[derive(Debug)]
+pub struct CrashedRun {
+    /// The journal as the crash left it: pending records dropped, and —
+    /// for a torn-write crash — the durable tail truncated mid-record.
+    pub journal: Journal,
+    /// Journal-event counter value at the kill point.
+    pub event: u64,
+    /// What the crash did.
+    pub kind: CrashKind,
+    /// Virtual instant the crash hit.
+    pub at: f64,
+    /// What recovery found when the epoch started.
+    pub recovery: RecoveryStats,
+}
+
+/// How a durable (journaled) run ended.
+#[derive(Debug)]
+pub enum DurableRun {
+    /// Ran the whole stream; every terminal outcome is durable.
+    Finished(Box<DurableReport>),
+    /// Killed mid-run; only the journal's durable bytes survive.
+    Crashed(Box<CrashedRun>),
+}
+
+impl DurableRun {
+    /// The journal, however the run ended — what the next epoch reopens.
+    pub fn into_journal(self) -> Journal {
+        match self {
+            DurableRun::Finished(r) => r.journal,
+            DurableRun::Crashed(c) => c.journal,
+        }
+    }
+
+    /// Whether the run crashed.
+    pub fn crashed(&self) -> bool {
+        matches!(self, DurableRun::Crashed(_))
+    }
+}
+
+/// Journal + crash-injection state threaded through one durable epoch.
+struct DurableCtx {
+    journal: Journal,
+    crash: Option<CrashSpec>,
+    /// Journal-relevant events so far (each append counts one).
+    events: u64,
+    /// Set once the kill point fires: (what happened, when).
+    crashed: Option<(CrashKind, f64)>,
+    /// Panel marks per dispatch used for checkpoint records.
+    panels: usize,
+    /// Real-backend product digests by job id, captured at execution
+    /// (virtual-backend digests are recomputed from the spec).
+    digests: BTreeMap<JobId, u64>,
+    stats: RecoveryStats,
+}
+
+impl DurableCtx {
+    /// The crash kind due to fire, if the event counter has reached the
+    /// kill point and the crash has not happened yet.
+    fn due_kind(&self) -> Option<CrashKind> {
+        match self.crash {
+            Some(c) if self.crashed.is_none() && self.events >= c.at_event => Some(c.kind),
+            _ => None,
+        }
+    }
+
+    /// Executes the kill: pending records are lost; a torn-write crash
+    /// first force-flushes what is due and then tears the durable tail
+    /// mid-record.
+    fn crash_now(&mut self, now: f64, kind: CrashKind) {
+        if let CrashKind::MidAppend { torn_bytes } = kind {
+            self.journal.commit(now);
+            self.journal.drop_pending();
+            self.journal.tear_tail(torn_bytes as usize);
+        } else {
+            self.journal.drop_pending();
+        }
+        self.crashed = Some((kind, now));
+    }
+
+    /// Appends one record (counting the journal event) and fires the
+    /// kill point when it lands on this append: a `MidCheckpoint` crash
+    /// drops a checkpoint record *instead of* appending it — the crash
+    /// between the checkpoint's data write and its journal record — and
+    /// a `MidAppend` crash tears the tail right after the append.
+    fn append(&mut self, now: f64, at: f64, record: &JournalRecord) {
+        if self.crashed.is_some() {
+            return;
+        }
+        self.events += 1;
+        if self.due_kind() == Some(CrashKind::MidCheckpoint)
+            && matches!(record, JournalRecord::PanelCheckpoint { .. })
+        {
+            self.crash_now(now, CrashKind::MidCheckpoint);
+            return;
+        }
+        self.journal.append_at(now, at, record);
+        if let Some(kind @ CrashKind::MidAppend { .. }) = self.due_kind() {
+            self.crash_now(now, kind);
+        }
+    }
+}
+
+/// The journal's view of a job: identity, admission facts, and the
+/// idempotency key resubmission suppression matches on.
+fn job_meta(job: &JobSpec) -> JobMeta {
+    JobMeta {
+        id: job.id,
+        tenant: job.tenant as u32,
+        n: job.n as u32,
+        priority: job.priority,
+        deadline: job.deadline,
+        submit_time: job.submit_time,
+        idempotency: job.idempotency(),
+    }
+}
+
+/// Rebuilds the spec a recovered [`JobMeta`] was journaled from.
+fn spec_of(meta: &JobMeta) -> JobSpec {
+    JobSpec {
+        id: meta.id,
+        tenant: meta.tenant as usize,
+        n: meta.n as usize,
+        priority: meta.priority,
+        deadline: meta.deadline,
+        submit_time: meta.submit_time,
+    }
+}
+
+/// The journal's compact code for a typed rejection.
+fn reason_of(rej: &Rejection) -> RejectionReason {
+    match rej {
+        Rejection::QueueFull { .. } => RejectionReason::QueueFull,
+        Rejection::QuotaExceeded { .. } => RejectionReason::QuotaExceeded,
+        Rejection::TooLarge { .. } => RejectionReason::TooLarge,
+        Rejection::DeadlineInfeasible { .. } => RejectionReason::DeadlineInfeasible,
+        Rejection::Shed { .. } => RejectionReason::Shed,
+        Rejection::Duplicate { .. } => RejectionReason::Duplicate,
+    }
+}
+
+/// Digest of a virtual-backend job's output. The executor is a pure
+/// function of the spec, so the product — and therefore its digest — is
+/// fully determined by `(id, n)`; re-running a lost job after a crash
+/// reproduces it bit-identically, which is what the exactly-once gate
+/// compares across crash and control runs.
+fn job_output_digest(spec: &JobSpec) -> u64 {
+    fnv1a_words(&[spec.id, spec.n as u64])
+}
+
 /// Mutable state of one `run`, threaded through the event loop's helpers
 /// as a unit.
 struct RunState {
@@ -411,7 +598,19 @@ struct RunState {
     est_cache: BTreeMap<usize, f64>,
     /// SLO burn-rate engine (present when a policy is attached).
     slo: Option<SloEngine>,
+    /// Journal + crash-injection state (present on durable runs only;
+    /// `None` on a plain `run`, which journals nothing).
+    durable: Option<DurableCtx>,
     now: f64,
+}
+
+impl RunState {
+    /// Whether the crash injector has fired (always false on plain runs).
+    fn crashed(&self) -> bool {
+        self.durable
+            .as_ref()
+            .is_some_and(|ctx| ctx.crashed.is_some())
+    }
 }
 
 impl GemmService {
@@ -457,14 +656,211 @@ impl GemmService {
     }
 
     /// Runs the whole job stream to completion and reports.
-    pub fn run(&mut self, mut jobs: Vec<JobSpec>) -> ServiceReport {
-        jobs.sort_by(|a, b| {
-            a.submit_time
-                .total_cmp(&b.submit_time)
-                .then(a.id.cmp(&b.id))
-        });
+    pub fn run(&mut self, jobs: Vec<JobSpec>) -> ServiceReport {
+        let mut st = self.base_state();
+        let finished = self.drive(jobs, &mut st);
+        debug_assert!(finished, "a plain run has no crash injector");
+        self.finish_report(st)
+    }
+
+    /// Runs a journaled epoch from a cold start: every job-lifecycle
+    /// event is written ahead to `journal`, terminal outcomes are
+    /// group-committed before they are reported, and — when `crash` is
+    /// set — the run dies at the drawn kill point, leaving only the
+    /// journal's durable bytes for [`GemmService::recover`] to rebuild
+    /// from.
+    pub fn run_durable(
+        &mut self,
+        jobs: Vec<JobSpec>,
+        journal: Journal,
+        crash: Option<CrashSpec>,
+    ) -> DurableRun {
+        self.recover(journal, jobs, crash)
+    }
+
+    /// The restart path: replays the journal's durable bytes, rebuilds
+    /// the queue (admitted-but-unstarted jobs in admission order, then
+    /// in-flight jobs at the front with their checkpointed resume
+    /// fractions), re-seeds the SLO burn windows from the recovered
+    /// terminal outcomes, suppresses resubmissions whose idempotency key
+    /// the journal already knows, and runs the remaining stream on the
+    /// same monotone virtual clock the previous epoch died on. On an
+    /// empty journal this *is* the cold start — epoch 0, nothing to
+    /// replay.
+    ///
+    /// Call this on a freshly constructed service (a restarted process
+    /// has a fresh device pool); the journal is the only state that
+    /// survives a crash.
+    pub fn recover(
+        &mut self,
+        journal: Journal,
+        resubmissions: Vec<JobSpec>,
+        crash: Option<CrashSpec>,
+    ) -> DurableRun {
+        let rep = replay(journal.durable());
+        let rs = rep.state;
+        let epoch = rs.epochs;
+        let mut st = self.base_state();
+
+        // Replay downtime: a deterministic function of what was read —
+        // one virtual fsync plus a per-record scan cost. The epoch's
+        // clock starts *after* the downtime window, so recovery time is
+        // visible in queue waits exactly like real downtime would be.
+        let downtime = journal.config().fsync_cost + 1e-6 * rs.records as f64;
+        st.now = rs.resume_clock + if epoch > 0 { downtime } else { 0.0 };
+
+        // Suppress resubmissions the journal already knows: admitted,
+        // running, or terminal — each completes (or completed) exactly
+        // once; the duplicate bounces with a typed rejection.
+        let known: BTreeSet<u64> = rs.known_keys().collect();
+        let mut fresh = Vec::new();
+        let mut suppressed = 0usize;
+        for job in resubmissions {
+            let key = job.idempotency();
+            if known.contains(&key) {
+                suppressed += 1;
+                let rej = Rejection::Duplicate { idempotency: key };
+                if let Some(m) = &self.metrics {
+                    m.record_rejection(job.tenant, &rej);
+                }
+                st.rejections.push((job, rej));
+            } else {
+                fresh.push(job);
+            }
+        }
+
+        // Rebuild the queue: queued jobs keep their admission order;
+        // in-flight jobs re-enter at the front (they were already
+        // running) with their durable checkpoint fractions seeded into
+        // the resume map — re-dispatch re-runs only the unfinished
+        // suffix.
+        let mut resumed_from_checkpoint = 0usize;
+        for j in &rs.queued {
+            st.queue.preload_back(spec_of(&j.meta));
+        }
+        for j in rs.in_flight.iter().rev() {
+            if j.resume_fraction > 0.0 {
+                resumed_from_checkpoint += 1;
+            }
+            st.resume.insert(
+                j.meta.id,
+                ResumeState {
+                    fraction: j.resume_fraction,
+                    preemptions: 0,
+                },
+            );
+            st.queue.requeue_front(spec_of(&j.meta));
+        }
+
+        // Re-seed the SLO burn windows from the recovered terminal
+        // observations, in instant order — the sliding windows must not
+        // forget the pre-crash history. Alerts those observations fired
+        // pre-crash were already reported then; re-firing is dropped.
+        if let Some(engine) = st.slo.as_mut() {
+            let mut terms: Vec<_> = rs.completed.values().chain(rs.failed.values()).collect();
+            terms.sort_by(|a, b| a.at.total_cmp(&b.at).then(a.job.cmp(&b.job)));
+            for t in terms {
+                let _ = engine.observe_finished(
+                    t.at,
+                    t.tenant as usize,
+                    t.latency,
+                    t.kind == TerminalKind::Failed,
+                    t.deadline_met,
+                );
+            }
+        }
+
+        let recovered_jobs = rs.queued.len() + rs.in_flight.len();
+        let stats = RecoveryStats {
+            epoch,
+            resume_clock: rs.resume_clock,
+            replayed_records: rs.records,
+            recovered_jobs,
+            resumed_from_checkpoint,
+            suppressed_duplicates: suppressed,
+            torn_bytes: rs.torn_bytes,
+        };
+        if epoch > 0 {
+            if let Some(m) = &self.metrics {
+                m.recoveries.inc();
+                m.replay_records.add(rs.records as u64);
+                m.recovered_jobs.add(recovered_jobs as u64);
+                m.resumed_from_checkpoint
+                    .add(resumed_from_checkpoint as u64);
+                m.duplicates_suppressed.add(suppressed as u64);
+            }
+            if let Some(sink) = &self.sink {
+                sink.record(SpanRecord {
+                    rank: 0,
+                    start: rs.resume_clock,
+                    end: st.now,
+                    kind: SpanKind::Recover {
+                        epoch: u64::from(epoch),
+                        records: rs.records as u64,
+                        recovered_jobs: recovered_jobs as u64,
+                        torn_bytes: rs.torn_bytes as u64,
+                    },
+                });
+            }
+        }
+
+        let mut ctx = DurableCtx {
+            journal,
+            crash,
+            events: 0,
+            crashed: None,
+            panels: self.config.degrade.preemption.map_or(4, |p| p.panels),
+            digests: BTreeMap::new(),
+            stats,
+        };
+        ctx.append(
+            st.now,
+            st.now,
+            &JournalRecord::EpochStart {
+                epoch,
+                resume_clock: rs.resume_clock,
+                recovered_jobs: recovered_jobs as u32,
+                suppressed_duplicates: suppressed as u32,
+            },
+        );
+        ctx.journal.maybe_flush(st.now);
+        st.durable = Some(ctx);
+
+        let finished = !st.crashed() && self.drive(fresh, &mut st);
+        let mut ctx = st.durable.take().expect("durable ctx installed above");
+        if finished {
+            ctx.journal.commit(st.now);
+            debug_assert_eq!(
+                ctx.journal.pending_records(),
+                0,
+                "records stranded past the end"
+            );
+        }
+        if let Some(m) = &self.metrics {
+            m.publish_journal(&ctx.journal.stats(), ctx.journal.durable_bytes());
+        }
+        if finished {
+            DurableRun::Finished(Box::new(DurableReport {
+                recovery: ctx.stats,
+                journal: ctx.journal,
+                report: self.finish_report(st),
+            }))
+        } else {
+            let (kind, at) = ctx.crashed.expect("drive reported a crash");
+            DurableRun::Crashed(Box::new(CrashedRun {
+                journal: ctx.journal,
+                event: ctx.events,
+                kind,
+                at,
+                recovery: ctx.stats,
+            }))
+        }
+    }
+
+    /// A fresh event-loop state under the current config.
+    fn base_state(&self) -> RunState {
         let degrade = self.config.degrade;
-        let mut st = RunState {
+        RunState {
             queue: JobQueue::new(self.config.admission),
             in_flight: Vec::new(),
             records: Vec::new(),
@@ -484,9 +880,39 @@ impl GemmService {
             resume: BTreeMap::new(),
             est_cache: BTreeMap::new(),
             slo: self.slo.clone().map(SloEngine::new),
+            durable: None,
             now: 0.0,
-        };
+        }
+    }
+
+    /// The event loop. Returns `true` when the stream drained, `false`
+    /// when the crash injector killed the run (durable runs only) — in
+    /// which case `st` holds whatever in-memory state the crash lost and
+    /// only the journal matters.
+    fn drive(&mut self, mut jobs: Vec<JobSpec>, st: &mut RunState) -> bool {
+        jobs.sort_by(|a, b| {
+            a.submit_time
+                .total_cmp(&b.submit_time)
+                .then(a.id.cmp(&b.id))
+        });
         let mut arrivals = jobs.into_iter().peekable();
+
+        // A recovered epoch can start with a preloaded queue and no
+        // arrival or completion event pending — kick-start it so
+        // resumed work dispatches at the resume instant rather than
+        // waiting for (or missing) a wake-up event.
+        if !st.queue.is_empty() {
+            self.dispatch_all(st);
+            if let Some(ctx) = st.durable.as_mut() {
+                if ctx.due_kind() == Some(CrashKind::MidBatch) && !st.in_flight.is_empty() {
+                    ctx.crash_now(st.now, CrashKind::MidBatch);
+                }
+                ctx.journal.maybe_flush(st.now);
+            }
+            if st.crashed() {
+                return false;
+            }
+        }
 
         loop {
             let next_arrival = arrivals.peek().map(|j| j.submit_time);
@@ -501,29 +927,51 @@ impl GemmService {
                 None => break,
             };
             st.now = st.now.max(next);
-            self.flush_done(&mut st);
+            self.flush_done(st);
+            if st.crashed() {
+                return false;
+            }
             while arrivals
                 .peek()
                 .is_some_and(|j| j.submit_time <= st.now + EPS)
             {
                 let job = arrivals.next().expect("peeked");
-                self.admit(&mut st, job);
+                self.admit(st, job);
+                if st.crashed() {
+                    return false;
+                }
             }
-            self.shed_brownout(&mut st);
+            self.shed_brownout(st);
             if !st.breakers.is_empty() {
                 let now = st.now;
                 let mask: Vec<bool> = st.breakers.iter_mut().map(|b| b.eligible(now)).collect();
                 self.pool.set_eligible(&mask);
             }
-            self.dispatch_all(&mut st);
+            self.dispatch_all(st);
+            if let Some(ctx) = st.durable.as_mut() {
+                if ctx.due_kind() == Some(CrashKind::MidBatch) && !st.in_flight.is_empty() {
+                    ctx.crash_now(st.now, CrashKind::MidBatch);
+                }
+                ctx.journal.maybe_flush(st.now);
+            }
+            if st.crashed() {
+                return false;
+            }
             if let Some(m) = &self.metrics {
                 m.queue_depth.set(st.queue.len() as f64);
                 m.queue_depth_peak.set(st.queue.peak_depth() as f64);
+                if let Some(ctx) = &st.durable {
+                    m.publish_journal(&ctx.journal.stats(), ctx.journal.durable_bytes());
+                }
             }
         }
         debug_assert!(st.queue.is_empty(), "event loop ended with queued jobs");
         debug_assert!(st.in_flight.is_empty(), "event loop ended mid-batch");
+        true
+    }
 
+    /// Builds the report from a drained event-loop state.
+    fn finish_report(&mut self, mut st: RunState) -> ServiceReport {
         // Records flush in completion order; re-sort into dispatch order
         // (batch, then position within the batch) so the report's shape
         // does not depend on how completions interleaved.
@@ -614,6 +1062,41 @@ impl GemmService {
             }
         }
         for rec in fl.pending {
+            // Write-ahead ack barrier: the terminal outcome is journaled
+            // (commit-class — the group-commit trigger flushes it within
+            // this virtual instant) before metrics or the report see it.
+            // A crash after the flush finds the job terminal and
+            // suppresses its resubmission; a crash before re-runs it to
+            // the same digest — either way it completes exactly once.
+            if let Some(ctx) = st.durable.as_mut() {
+                let at = rec.finish_time;
+                let record = match rec.outcome {
+                    JobOutcome::Completed => JournalRecord::Completed {
+                        at,
+                        job: rec.spec.id,
+                        idempotency: rec.spec.idempotency(),
+                        tenant: rec.spec.tenant as u32,
+                        latency: rec.latency(),
+                        digest: ctx
+                            .digests
+                            .remove(&rec.spec.id)
+                            .unwrap_or_else(|| job_output_digest(&rec.spec)),
+                        deadline_met: rec
+                            .spec
+                            .deadline
+                            .map(|_| rec.deadline == DeadlineVerdict::Met),
+                    },
+                    JobOutcome::Failed { .. } => JournalRecord::Failed {
+                        at,
+                        job: rec.spec.id,
+                        idempotency: rec.spec.idempotency(),
+                        tenant: rec.spec.tenant as u32,
+                        latency: rec.latency(),
+                        attempts: rec.attempts as u32,
+                    },
+                };
+                ctx.append(at, at, &record);
+            }
             if let Some(m) = &self.metrics {
                 match rec.outcome {
                     JobOutcome::Completed => {
@@ -722,6 +1205,29 @@ impl GemmService {
             Some(r) => Err(r),
             None => st.queue.offer(job.clone()),
         };
+        // Write-ahead: the admission decision is journaled before the
+        // service acts on it. An admit is lazy-class (losing it only
+        // means the client resubmits and the job is admitted afresh); a
+        // rejection is commit-class (it is an externally visible ack).
+        if let Some(ctx) = st.durable.as_mut() {
+            let now = st.now;
+            let record = match &result {
+                Ok(()) => JournalRecord::Admitted {
+                    at: now,
+                    meta: job_meta(&job),
+                },
+                Err(rej) => JournalRecord::Rejected {
+                    at: now,
+                    meta: job_meta(&job),
+                    reason: reason_of(rej),
+                },
+            };
+            ctx.append(now, now, &record);
+            if ctx.due_kind() == Some(CrashKind::AtAdmission) {
+                ctx.crash_now(now, CrashKind::AtAdmission);
+                return;
+            }
+        }
         if let Err(rej) = result {
             if let Some(m) = &self.metrics {
                 m.record_rejection(job.tenant, &rej);
@@ -817,6 +1323,20 @@ impl GemmService {
                 queue_wait_p95: p95,
                 threshold: cfg.p95_threshold,
             };
+            // A shed is an externally visible rejection of an already
+            // admitted job — commit-class, journaled before the ack.
+            if let Some(ctx) = st.durable.as_mut() {
+                let now = st.now;
+                ctx.append(
+                    now,
+                    now,
+                    &JournalRecord::Rejected {
+                        at: now,
+                        meta: job_meta(&job),
+                        reason: RejectionReason::Shed,
+                    },
+                );
+            }
             if let Some(m) = &self.metrics {
                 m.record_rejection(job.tenant, &rej);
             }
@@ -971,6 +1491,23 @@ impl GemmService {
         if let Some(m) = &self.metrics {
             m.preemptions.inc();
         }
+        // The truncated tail's future-dated checkpoint records must not
+        // become durable: the work past the boundary was cut away, and a
+        // journal that claimed it would resume a crashed job too far
+        // ahead. Checkpoints at or before the boundary stand — that
+        // progress is real and checkpointed.
+        if let Some(ctx) = st.durable.as_mut() {
+            for (spec, _) in &requeue {
+                let id = spec.id;
+                ctx.journal.retract_pending(|r| {
+                    matches!(
+                        r,
+                        JournalRecord::PanelCheckpoint { job, at, .. }
+                            if *job == id && *at > boundary + EPS
+                    )
+                });
+            }
+        }
         // Requeue at the head in original order (reverse pushes front).
         for (spec, frac) in requeue.iter().rev() {
             let entry = st.resume.entry(spec.id).or_default();
@@ -1006,10 +1543,12 @@ impl GemmService {
         let mut t = st.now + self.config.batching.setup_cost;
         let mut pending = Vec::with_capacity(members.len());
         let mut breaker_events = Vec::new();
+        let mut base_fracs = Vec::with_capacity(members.len());
+        let mut digests = Vec::with_capacity(members.len());
         for job in members.iter() {
             let start_time = t;
             let resumed = st.resume.get(&job.id).copied().unwrap_or_default();
-            let (finish, attempts, devices, outcome) = self.execute(
+            let (finish, attempts, devices, outcome, digest) = self.execute(
                 job,
                 &placement,
                 t,
@@ -1018,6 +1557,8 @@ impl GemmService {
                 &mut breaker_events,
             );
             t = finish;
+            base_fracs.push(resumed.fraction);
+            digests.push(digest);
             if let Some(w) = &mut st.waits {
                 w.push(start_time - job.submit_time);
             }
@@ -1033,6 +1574,54 @@ impl GemmService {
                 deadline: DeadlineVerdict::of(job.deadline, finish),
                 outcome,
             });
+        }
+        // Journal the dispatch and the panel-boundary checkpoints it
+        // will cross. Checkpoint records are future-dated to their
+        // boundary instants — the event loop has no event mid-batch, but
+        // the journal only flushes them once the clock actually passes
+        // them, so the durable log never claims unreached progress. The
+        // journaled fraction composes the member's pre-dispatch resume
+        // base, making it the job's *absolute* checkpointed share.
+        if let Some(ctx) = st.durable.as_mut() {
+            ctx.append(
+                batch_start,
+                batch_start,
+                &JournalRecord::BatchStarted {
+                    at: batch_start,
+                    batch,
+                    job_ids: members.iter().map(|j| j.id).collect(),
+                    devices: placement.devices.iter().map(|&d| d as u32).collect(),
+                },
+            );
+            for (i, rec) in pending.iter().enumerate() {
+                if let Some(d) = digests[i] {
+                    ctx.digests.insert(rec.spec.id, d);
+                }
+                // Only a completing member leaves checkpointable panel
+                // products behind; a member that burns its attempt
+                // budget has no durable prefix to resume from.
+                if rec.outcome != JobOutcome::Completed {
+                    continue;
+                }
+                let span = rec.finish_time - rec.start_time;
+                for k in 1..ctx.panels {
+                    if ctx.crashed.is_some() {
+                        break;
+                    }
+                    let share = k as f64 / ctx.panels as f64;
+                    let boundary = rec.start_time + span * share;
+                    ctx.append(
+                        batch_start,
+                        boundary,
+                        &JournalRecord::PanelCheckpoint {
+                            at: boundary,
+                            job: rec.spec.id,
+                            idempotency: rec.spec.idempotency(),
+                            fraction: base_fracs[i] + (1.0 - base_fracs[i]) * share,
+                        },
+                    );
+                }
+            }
         }
         self.pool.occupy(&placement.devices, batch_start, t);
         st.in_flight.push(InFlight {
@@ -1062,7 +1651,7 @@ impl GemmService {
         resume_fraction: f64,
         retries: &mut u64,
         breaker_events: &mut Vec<BreakerEvent>,
-    ) -> (f64, usize, Vec<usize>, JobOutcome) {
+    ) -> (f64, usize, Vec<usize>, JobOutcome, Option<u64>) {
         let faults = self.config.faults;
         let work_scale = (1.0 - resume_fraction).max(0.0);
         let track_breakers = self.config.degrade.quarantine.is_some();
@@ -1124,19 +1713,27 @@ impl GemmService {
             }
         };
         if let ServiceBackend::Real { abft } = self.config.backend {
-            let real = self.execute_real(job, placement, abft);
-            if let Err(reason) = real {
-                return (t, attempts, devices, JobOutcome::Failed { reason });
+            match self.execute_real(job, placement, abft) {
+                Ok(digest) => return (t, attempts, devices, outcome, Some(digest)),
+                Err(reason) => return (t, attempts, devices, JobOutcome::Failed { reason }, None),
             }
         }
-        (t, attempts, devices, outcome)
+        (t, attempts, devices, outcome, None)
     }
 
     /// Numerically executes a job through the recovery-capable executor
-    /// (or the ABFT one) and verifies the product. Returns an error
-    /// string on numeric failure — which would be a service bug, and is
-    /// exactly what the real-mode tests are hunting for.
-    fn execute_real(&self, job: &JobSpec, placement: &Placement, abft: bool) -> Result<(), String> {
+    /// (or the ABFT one) and verifies the product, returning the
+    /// product's FNV digest (what the journal's `Completed` record
+    /// carries — bit-identical re-execution is what makes the digest a
+    /// meaningful exactly-once witness). Returns an error string on
+    /// numeric failure — which would be a service bug, and is exactly
+    /// what the real-mode tests are hunting for.
+    fn execute_real(
+        &self,
+        job: &JobSpec,
+        placement: &Placement,
+        abft: bool,
+    ) -> Result<u64, String> {
         let n = job.n;
         let a = random_matrix(n, n, job.id.wrapping_mul(2).wrapping_add(1));
         let b = random_matrix(n, n, job.id.wrapping_mul(2).wrapping_add(2));
@@ -1184,7 +1781,9 @@ impl GemmService {
             .map_err(|e| format!("recovery execution failed: {e:?}"))?
             .c
         };
-        verify_product(&a, &b, &c)
+        verify_product(&a, &b, &c)?;
+        let words: Vec<u64> = c.as_slice().iter().map(|v| v.to_bits()).collect();
+        Ok(fnv1a_words(&words))
     }
 }
 
@@ -1762,5 +2361,267 @@ mod tests {
             })
             .collect();
         assert_eq!(batches.len() as u64, report.batches);
+    }
+
+    // ------------------------------------------------------------------
+    // Durable runs: journaling, crash injection, recovery.
+    // ------------------------------------------------------------------
+
+    use summagen_durable::{decode_frames, GroupCommitConfig};
+
+    fn fresh_journal() -> Journal {
+        Journal::new(GroupCommitConfig::default())
+    }
+
+    /// Simulates a process restart: the crashed journal's durable bytes
+    /// are reopened on their longest valid frame prefix.
+    fn reopen(journal: Journal) -> Journal {
+        let (bytes, _) = journal.into_durable();
+        let valid = decode_frames(&bytes).valid_bytes;
+        Journal::reopen(bytes, valid, GroupCommitConfig::default())
+    }
+
+    /// Runs the stream through crash/restart cycles (one drawn kill
+    /// point per cycle, up to `max_cycles`) and then a final crash-free
+    /// recovery that drains the rest. Returns the final journal and how
+    /// many crashes actually fired.
+    fn drain_with_crashes(
+        jobs: &[JobSpec],
+        cfg: ServiceConfig,
+        seed: u64,
+        max_cycles: u64,
+    ) -> (Journal, u64) {
+        let mut journal = fresh_journal();
+        let mut crashes = 0u64;
+        for cycle in 0.. {
+            let spec = (cycle < max_cycles).then(|| CrashSpec::draw(seed, cycle, 16));
+            let mut svc = GemmService::new(pool(), cfg);
+            match svc.recover(journal, jobs.to_vec(), spec) {
+                DurableRun::Finished(rep) => return (rep.journal, crashes),
+                DurableRun::Crashed(c) => {
+                    crashes += 1;
+                    journal = reopen(c.journal);
+                }
+            }
+        }
+        unreachable!("the crash-free final cycle always finishes");
+    }
+
+    #[test]
+    fn durable_run_without_crash_matches_the_plain_run() {
+        let jobs = generate(&small_mix());
+        let plain = GemmService::new(pool(), config(Policy::FpmAware)).run(jobs.clone());
+        let out = GemmService::new(pool(), config(Policy::FpmAware)).run_durable(
+            jobs,
+            fresh_journal(),
+            None,
+        );
+        let DurableRun::Finished(rep) = out else {
+            panic!("no crash injector, must finish");
+        };
+        assert_eq!(
+            rep.report.schedule_digest, plain.schedule_digest,
+            "journaling must not perturb the schedule"
+        );
+        assert_eq!(rep.recovery.epoch, 0);
+        let replayed = summagen_durable::replay(rep.journal.durable()).state;
+        assert_eq!(
+            replayed.completed.len() + replayed.failed.len(),
+            plain.records.len(),
+            "every accepted job's terminal outcome is durable"
+        );
+        assert!(replayed.queued.is_empty());
+        assert!(replayed.in_flight.is_empty());
+        assert_eq!(replayed.rejected.len(), plain.rejections.len());
+    }
+
+    #[test]
+    fn crash_restart_cycles_complete_every_job_exactly_once() {
+        let jobs = generate(&small_mix());
+        let control = {
+            let out = GemmService::new(pool(), config(Policy::FpmAware)).run_durable(
+                jobs.clone(),
+                fresh_journal(),
+                None,
+            );
+            summagen_durable::replay(out.into_journal().durable()).state
+        };
+        let (journal, crashes) = drain_with_crashes(&jobs, config(Policy::FpmAware), 42, 64);
+        assert!(
+            crashes >= 3,
+            "kill points should actually fire (got {crashes})"
+        );
+        let recovered = summagen_durable::replay(journal.durable()).state;
+        let want: Vec<u64> = control.completed.keys().copied().collect();
+        let got: Vec<u64> = recovered.completed.keys().copied().collect();
+        assert_eq!(got, want, "a job was lost or duplicated across crashes");
+        for (key, t) in &control.completed {
+            assert_eq!(
+                recovered.completed[key].digest, t.digest,
+                "job {} did not reproduce bit-identically",
+                t.job
+            );
+        }
+        assert_eq!(
+            recovered.failed.keys().collect::<Vec<_>>(),
+            control.failed.keys().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn resubmissions_of_journaled_jobs_are_suppressed() {
+        let jobs = generate(&small_mix());
+        let out = GemmService::new(pool(), config(Policy::FpmAware)).run_durable(
+            jobs.clone(),
+            fresh_journal(),
+            None,
+        );
+        let journal = out.into_journal();
+        let known = summagen_durable::replay(journal.durable())
+            .state
+            .known_keys()
+            .count();
+        let out2 = GemmService::new(pool(), config(Policy::FpmAware)).recover(journal, jobs, None);
+        let DurableRun::Finished(rep) = out2 else {
+            panic!("no crash injector, must finish");
+        };
+        assert_eq!(rep.recovery.epoch, 1);
+        assert_eq!(rep.recovery.suppressed_duplicates, known);
+        assert!(
+            rep.report
+                .rejections
+                .iter()
+                .filter(|(_, r)| matches!(r, Rejection::Duplicate { .. }))
+                .count()
+                == known,
+            "every known key bounces as a typed duplicate"
+        );
+        assert!(
+            rep.report.records.is_empty(),
+            "nothing re-ran: {:?}",
+            rep.report.records.len()
+        );
+    }
+
+    #[test]
+    fn recovery_resumes_in_flight_work_from_its_checkpoint() {
+        // Hand-build a crashed epoch's durable journal: job 1 was
+        // mid-flight with a 0.5 checkpoint durable, job 2 queued.
+        let mut j = fresh_journal();
+        let j1 = job(1, 1024, 0.0);
+        let j2 = job(2, 1024, 0.0);
+        j.append(
+            0.0,
+            &JournalRecord::EpochStart {
+                epoch: 0,
+                resume_clock: 0.0,
+                recovered_jobs: 0,
+                suppressed_duplicates: 0,
+            },
+        );
+        j.append(
+            0.0,
+            &JournalRecord::Admitted {
+                at: 0.0,
+                meta: job_meta(&j1),
+            },
+        );
+        j.append(
+            0.0,
+            &JournalRecord::Admitted {
+                at: 0.0,
+                meta: job_meta(&j2),
+            },
+        );
+        j.append(
+            0.1,
+            &JournalRecord::BatchStarted {
+                at: 0.1,
+                batch: 0,
+                job_ids: vec![1],
+                devices: vec![0],
+            },
+        );
+        j.append(
+            0.5,
+            &JournalRecord::PanelCheckpoint {
+                at: 0.5,
+                job: 1,
+                idempotency: j1.idempotency(),
+                fraction: 0.5,
+            },
+        );
+        j.commit(0.5);
+        let journal = reopen(j);
+
+        let mut svc = GemmService::new(pool(), config(Policy::FpmAware));
+        let out = svc.recover(journal, Vec::new(), None);
+        let DurableRun::Finished(rep) = out else {
+            panic!("no crash injector, must finish");
+        };
+        assert_eq!(rep.recovery.epoch, 1);
+        assert_eq!(rep.recovery.recovered_jobs, 2);
+        assert_eq!(rep.recovery.resumed_from_checkpoint, 1);
+        assert_eq!(rep.report.records.len(), 2);
+        let r1 = rep.report.records.iter().find(|r| r.spec.id == 1).unwrap();
+        let r2 = rep.report.records.iter().find(|r| r.spec.id == 2).unwrap();
+        // The in-flight job re-enters at the queue front and re-runs
+        // only its unfinished half.
+        assert!(r1.start_time <= r2.start_time + EPS);
+        assert!(r1.start_time >= rep.recovery.resume_clock - EPS);
+        let d1 = r1.finish_time - r1.start_time;
+        let d2 = r2.finish_time - r2.start_time;
+        assert!(
+            d1 < 0.6 * d2,
+            "resumed job should run ~half as long: {d1} vs {d2}"
+        );
+    }
+
+    #[test]
+    fn mid_checkpoint_crash_falls_back_to_the_previous_durable_boundary() {
+        // Arrange a crash that lands exactly on a checkpoint append.
+        // The dropped checkpoint (and everything pending) is lost; the
+        // job must recover at the best *durable* fraction — here 0.0,
+        // the previous boundary being the start — and still complete
+        // with the control digest.
+        let jobs: Vec<JobSpec> = (0..4).map(|i| job(i, 512, i as f64 * 0.01)).collect();
+        let control = {
+            let out = GemmService::new(pool(), config(Policy::FpmAware)).run_durable(
+                jobs.clone(),
+                fresh_journal(),
+                None,
+            );
+            summagen_durable::replay(out.into_journal().durable()).state
+        };
+        // Find an event index whose kill actually lands mid-checkpoint.
+        let mut exercised = false;
+        for at_event in 1..24u64 {
+            let spec = CrashSpec {
+                at_event,
+                kind: CrashKind::MidCheckpoint,
+            };
+            let mut svc = GemmService::new(pool(), config(Policy::FpmAware));
+            let out = svc.run_durable(jobs.clone(), fresh_journal(), Some(spec));
+            let DurableRun::Crashed(c) = out else {
+                continue;
+            };
+            assert_eq!(c.kind, CrashKind::MidCheckpoint);
+            exercised = true;
+            let journal = reopen(c.journal);
+            let mut svc2 = GemmService::new(pool(), config(Policy::FpmAware));
+            let out2 = svc2.recover(journal, jobs.clone(), None);
+            let DurableRun::Finished(rep) = out2 else {
+                panic!("crash-free recovery finishes");
+            };
+            let st = summagen_durable::replay(rep.journal.durable()).state;
+            assert_eq!(
+                st.completed.keys().collect::<Vec<_>>(),
+                control.completed.keys().collect::<Vec<_>>()
+            );
+            for (key, t) in &control.completed {
+                assert_eq!(st.completed[key].digest, t.digest);
+            }
+        }
+        assert!(exercised, "no kill point landed on a checkpoint append");
     }
 }

@@ -96,9 +96,14 @@ proptest! {
                     prop_assert!(depth_before < quota);
                     prop_assert_eq!(len_before, capacity);
                 }
-                Err(rej @ (Rejection::DeadlineInfeasible { .. } | Rejection::Shed { .. })) => {
+                Err(
+                    rej @ (Rejection::DeadlineInfeasible { .. }
+                    | Rejection::Shed { .. }
+                    | Rejection::Duplicate { .. }),
+                ) => {
                     // Those rejections belong to the service's
-                    // degradation layer, never to the bounded queue.
+                    // degradation/durability layers, never to the
+                    // bounded queue.
                     prop_assert!(false, "queue produced a service-layer rejection: {rej:?}");
                 }
             }

@@ -163,6 +163,22 @@ fn event_json(ts: &TraceSpan) -> String {
                 esc(slo)
             ),
         ),
+        // Recovery intervals ride the phases track: they annotate the
+        // service's downtime window (journal replay + resume) without
+        // occupying any device.
+        SpanKind::Recover {
+            epoch,
+            records,
+            recovered_jobs,
+            torn_bytes,
+        } => (
+            r.rank * 2 + 1,
+            "recover",
+            format!(
+                "{{\"epoch\":{epoch},\"records\":{records},\"recovered_jobs\":{recovered_jobs},\
+                 \"torn_bytes\":{torn_bytes}}}"
+            ),
+        ),
         SpanKind::Heartbeat { seq } => {
             // Zero-duration liveness tick: an instant event on the
             // phases track, out of the way of real comm/compute spans.

@@ -268,6 +268,18 @@ fn push_kind(out: &mut Vec<u8>, kind: &SpanKind) {
             push_u64(out, burn_fast.to_bits());
             push_u64(out, burn_slow.to_bits());
         }
+        SpanKind::Recover {
+            epoch,
+            records,
+            recovered_jobs,
+            torn_bytes,
+        } => {
+            out.push(12);
+            push_u64(out, *epoch);
+            push_u64(out, *records);
+            push_u64(out, *recovered_jobs);
+            push_u64(out, *torn_bytes);
+        }
     }
 }
 
